@@ -1,0 +1,56 @@
+// Scaling of the area-bound computation (§4.2): the closed-form LP solution
+// is O(T log T) — cheap enough to serve as the normalizer of every
+// experiment, and as an online lower-bound oracle inside a runtime.
+
+#include <benchmark/benchmark.h>
+
+#include "bounds/area_bound.hpp"
+#include "bounds/exact_opt.hpp"
+#include "model/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hp;
+
+void BM_AreaBound(benchmark::State& state) {
+  util::Rng rng(777);
+  UniformGenParams params;
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  const Instance inst = uniform_instance(params, rng);
+  const Platform platform(20, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(area_bound_value(inst.tasks(), platform));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AreaBound)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_AreaBoundFullSolution(benchmark::State& state) {
+  util::Rng rng(778);
+  UniformGenParams params;
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  const Instance inst = uniform_instance(params, rng);
+  const Platform platform(20, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(area_bound(inst.tasks(), platform));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AreaBoundFullSolution)->Arg(1000)->Arg(100000);
+
+void BM_ExactOptimalSmall(benchmark::State& state) {
+  util::Rng rng(779);
+  UniformGenParams params;
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  const Instance inst = uniform_instance(params, rng);
+  const Platform platform(2, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_optimal_makespan(inst.tasks(), platform));
+  }
+}
+BENCHMARK(BM_ExactOptimalSmall)->Arg(8)->Arg(10)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Fig 4 of the paper: the task set T2 on n = 6k homogeneous processors.
+// The optimal packing has makespan n while the worst list order reaches
+// 2n-1 — the gap that drives the Theorem 14 lower-bound family.
+
+#include <iostream>
+
+#include "baselines/graham.hpp"
+#include "util/table.hpp"
+#include "worstcase/graham_gadget.hpp"
+
+int main() {
+  using namespace hp;
+
+  std::cout << "== Fig 4: optimal packing vs worst list schedule of the T2 "
+               "set on n = 6k processors ==\n";
+  util::Table table({"k", "n (procs)", "tasks", "optimal", "worst list",
+                     "LPT", "worst/opt", "Graham bound 2-1/n"},
+                    4);
+  for (int k : {1, 2, 4, 8, 16, 32}) {
+    const GrahamGadget g = graham_gadget(k);
+    // Optimal: verify the explicit packing really balances to n everywhere.
+    std::vector<double> load(static_cast<std::size_t>(g.machines), 0.0);
+    for (std::size_t t = 0; t < g.durations.size(); ++t) {
+      load[static_cast<std::size_t>(g.optimal_assignment[t])] += g.durations[t];
+    }
+    double opt = 0.0;
+    for (double l : load) opt = std::max(opt, l);
+
+    const double worst =
+        list_schedule_homogeneous(worst_order_durations(g), g.machines).makespan;
+    const double lpt = lpt_schedule_homogeneous(g.durations, g.machines).makespan;
+
+    table.row().cell(static_cast<long long>(k))
+        .cell(static_cast<long long>(g.machines))
+        .cell(static_cast<long long>(g.durations.size()))
+        .cell(opt).cell(worst).cell(lpt).cell(worst / opt)
+        .cell(2.0 - 1.0 / g.machines);
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: worst list order achieves 2n-1 vs optimal n; the "
+               "ratio tends to 2 as k grows.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig 6 of the paper: independent tasks. The task sets of Cholesky/QR/LU
+// at tile counts N = 4..64 are scheduled (ignoring dependencies) by
+// HeteroPrio, DualHP and HEFT on (20 CPUs, 4 GPUs); each makespan is
+// normalized by the area bound.
+//
+// Expected shape: HeteroPrio and DualHP -> 1 for large N; HeteroPrio wins
+// for N below ~20; HEFT is clearly worse throughout.
+//
+// Usage: bench_fig6_independent [kernel] [maxN]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "bounds/area_bound.hpp"
+#include "core/heteroprio.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hp;
+
+  std::vector<std::string> kernels = {"cholesky", "qr", "lu"};
+  std::vector<int> tile_counts = {4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 64};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "cholesky" || arg == "qr" || arg == "lu") {
+      kernels = {arg};
+    } else if (const int cap = std::atoi(arg.c_str()); cap > 0) {
+      std::erase_if(tile_counts, [cap](int n) { return n > cap; });
+    }
+  }
+
+  const Platform platform(20, 4);
+  std::cout << "== Fig 6: independent tasks, ratio to the area bound on "
+               "(20 CPU, 4 GPU) ==\n";
+
+  for (const std::string& kernel : kernels) {
+    util::Table table({"N", "tasks", "HeteroPrio", "DualHP", "HEFT"}, 4);
+    for (int tiles : tile_counts) {
+      TaskGraph graph;
+      if (kernel == "cholesky") {
+        graph = cholesky_dag(tiles);
+      } else if (kernel == "qr") {
+        graph = qr_dag(tiles);
+      } else {
+        graph = lu_dag(tiles);
+      }
+      const Instance inst = graph.to_instance();
+      const double bound = area_bound_value(inst.tasks(), platform);
+
+      const double hp_ratio =
+          heteroprio(inst.tasks(), platform).makespan() / bound;
+      const double dual_ratio = dualhp(inst.tasks(), platform).makespan() / bound;
+      const double heft_ratio =
+          heft_independent(inst.tasks(), platform).makespan() / bound;
+
+      table.row().cell(static_cast<long long>(tiles))
+          .cell(static_cast<long long>(inst.size()))
+          .cell(hp_ratio).cell(dual_ratio).cell(heft_ratio);
+    }
+    std::cout << "\n-- " << kernel << " --\n";
+    table.print(std::cout);
+  }
+  std::cout << "\npaper Fig 6: HeteroPrio and DualHP close to 1 for large N; "
+               "HeteroPrio better for N < 20; HEFT worst.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig 8 of the paper: equivalent acceleration factors. For each schedule of
+// the Fig 7 sweep, A_r = sum(p_i)/sum(q_i) over the tasks completed on
+// resource r. Good adequacy = low A_CPU (CPU gets the CPU-friendly tasks)
+// and high A_GPU.
+//
+// Expected shape: HeteroPrio lowest A_CPU, HEFT highest; DualHP in between.
+//
+// Usage: bench_fig8_equiv_accel [kernel] [maxN]
+
+#include <iostream>
+#include <map>
+
+#include "dag_sweep.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hp;
+  using namespace hp::bench;
+
+  SweepOptions options = sweep_options_from_args(argc, argv);
+  if (argc <= 1) {
+    // Default to a lighter sweep than Fig 7: the metric is stable in N.
+    options.tile_counts = {8, 16, 24, 32, 48};
+  }
+  const std::vector<SweepRow> rows = run_dag_sweep(options);
+  maybe_write_sweep_csv(rows, "fig8");
+
+  const std::vector<std::string> algos = {
+      "HeteroPrio-avg", "HeteroPrio-min", "HEFT-avg", "HEFT-min",
+      "DualHP-avg",     "DualHP-min",     "DualHP-fifo"};
+
+  std::cout << "== Fig 8: equivalent acceleration factor per resource "
+               "(A_CPU / A_GPU) ==\n";
+  for (const std::string& kernel : options.kernels) {
+    std::map<int, std::map<std::string, const SweepRow*>> grid;
+    for (const SweepRow& row : rows) {
+      if (row.kernel == kernel) grid[row.tiles][row.algorithm] = &row;
+    }
+    std::vector<std::string> headers = {"N"};
+    for (const std::string& algo : algos) headers.push_back(algo);
+    util::Table table(headers, 2);
+    for (const auto& [tiles, by_algo] : grid) {
+      table.row().cell(static_cast<long long>(tiles));
+      for (const std::string& algo : algos) {
+        const SweepRow* row = by_algo.at(algo);
+        table.cell(util::format_double(row->metrics.cpu.equivalent_accel, 2) +
+                   " / " +
+                   util::format_double(row->metrics.gpu.equivalent_accel, 2));
+      }
+    }
+    std::cout << "\n-- " << kernel << " --\n";
+    table.print(std::cout);
+  }
+  std::cout << "\npaper Fig 8: HeteroPrio assigns the CPU tasks with low "
+               "acceleration factors (low A_CPU); HEFT's A_CPU is higher.\n";
+  return 0;
+}

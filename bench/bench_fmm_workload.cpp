@@ -1,0 +1,76 @@
+// Extension experiment: the Fast Multipole Method — the workload HeteroPrio
+// was originally designed for (§1, ScalFMM on StarPU). The FMM DAG mixes
+// massively GPU-friendly near-field (P2P), moderately accelerated transfer
+// (M2L) and CPU-competitive tree passes — the exact affinity spread the
+// algorithm exploits. Also compares the flat-tree and binary-tree QR DAGs
+// (different shapes, same kernels class).
+
+#include <iostream>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "bounds/dag_lower_bound.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/fmm.hpp"
+#include "linalg/qr.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hp;
+
+void run_row(hp::util::Table& table, const char* label, TaskGraph& graph,
+             const Platform& platform) {
+  assign_priorities(graph, RankScheme::kMin);
+  const double lb = dag_lower_bound(graph, platform).value();
+  HeteroPrioStats stats;
+  const double hp_ms = heteroprio_dag(graph, platform, {}, &stats).makespan();
+  const double heft_ms =
+      heft(graph, platform, {.rank = RankScheme::kMin}).makespan();
+  const double dual_ms = dualhp_dag(graph, platform).makespan();
+  table.row().cell(label).cell(static_cast<long long>(graph.size()))
+      .cell(hp_ms / lb).cell(static_cast<long long>(stats.spoliations))
+      .cell(heft_ms / lb).cell(dual_ms / lb);
+}
+
+}  // namespace
+
+int main() {
+  const Platform platform(20, 4);
+  std::cout << "== FMM and QR-tree extension workloads on (20 CPU, 4 GPU), "
+               "ratio to lower bound ==\n";
+  util::Table table({"workload", "tasks", "HeteroPrio", "(spol)", "HEFT",
+                     "DualHP"},
+                    3);
+
+  for (int depth : {3, 4, 5}) {
+    FmmParams params;
+    params.depth = depth;
+    TaskGraph g = fmm_dag(params);
+    const std::string label = "fmm octree d=" + std::to_string(depth);
+    run_row(table, label.c_str(), g, platform);
+  }
+  for (int depth : {5, 6}) {
+    FmmParams params;
+    params.depth = depth;
+    params.branching = 4;
+    TaskGraph g = fmm_dag(params);
+    const std::string label = "fmm quadtree d=" + std::to_string(depth);
+    run_row(table, label.c_str(), g, platform);
+  }
+  for (int tiles : {16, 32}) {
+    TaskGraph flat = qr_dag(tiles);
+    const std::string flat_label = "qr flat N=" + std::to_string(tiles);
+    run_row(table, flat_label.c_str(), flat, platform);
+    TaskGraph tree = qr_binary_dag(tiles);
+    const std::string tree_label = "qr binary N=" + std::to_string(tiles);
+    run_row(table, tree_label.c_str(), tree, platform);
+  }
+  table.print(std::cout);
+  std::cout << "\nHeteroPrio's affinity queue shines on FMM: the CPU side "
+               "absorbs the tree passes\nwhile the GPUs drain P2P/M2L; the "
+               "binary-tree QR has a shorter critical path, easing\nthe "
+               "mid-range for every scheduler.\n";
+  return 0;
+}

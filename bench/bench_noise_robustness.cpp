@@ -1,0 +1,111 @@
+// Noise robustness — the motivation of §1: "nodes have many shared
+// resources and exhibit complex memory access patterns that render the
+// precise estimation of the duration of tasks extremely difficult", which
+// "favors dynamic strategies". This experiment (not a paper figure)
+// quantifies it: schedulers decide with estimated times while tasks run for
+// lognormal-perturbed actual times. HeteroPrio adapts online (spoliation
+// included); HEFT and DualHP plans are replayed statically.
+//
+// Reported: makespan normalized by the clairvoyant HeteroPrio makespan
+// (HeteroPrio run directly on the actual times), averaged over seeds.
+
+#include <iostream>
+#include <vector>
+
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+#include "runtime/stf_runtime.hpp"
+#include "sched/executor.hpp"
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hp;
+
+std::vector<Task> perturb(std::span<const Task> tasks, double sigma,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Task> actuals(tasks.begin(), tasks.end());
+  for (Task& t : actuals) {
+    t.cpu_time *= rng.lognormal(0.0, sigma);
+    t.gpu_time *= rng.lognormal(0.0, sigma);
+  }
+  return actuals;
+}
+
+}  // namespace
+
+int main() {
+  const Platform platform(20, 4);
+  constexpr int kSeeds = 5;
+
+  std::cout << "== Noise robustness: decisions on estimates, execution on "
+               "lognormal(sigma) actuals ==\n"
+               "(values: makespan / clairvoyant-HeteroPrio makespan, mean "
+               "over " << kSeeds << " seeds)\n\n";
+
+  util::Table table({"kernel", "N", "sigma", "HeteroPrio (online)",
+                     "HEFT (static replay)", "DualHP (static replay)"},
+                    3);
+
+  struct Kernel {
+    const char* name;
+    TaskGraph (*build)(int, const TimingModel&);
+  };
+  for (const Kernel& kernel : {Kernel{"cholesky", &cholesky_dag},
+                               Kernel{"qr", &qr_dag}}) {
+    for (int tiles : {16, 32}) {
+      TaskGraph graph = kernel.build(tiles, TimingModel::chameleon_960());
+      assign_priorities(graph, RankScheme::kMin);
+      const Schedule heft_plan = heft(graph, platform, {.rank = RankScheme::kMin});
+      const Schedule dual_plan = dualhp_dag(graph, platform);
+
+      for (double sigma : {0.0, 0.1, 0.2, 0.4}) {
+        std::vector<double> hp_ratio, heft_ratio, dual_ratio;
+        for (int seed = 1; seed <= kSeeds; ++seed) {
+          const auto actuals =
+              perturb(graph.tasks(), sigma, static_cast<std::uint64_t>(seed));
+
+          // Clairvoyant reference: HeteroPrio with exact knowledge.
+          TaskGraph oracle = kernel.build(tiles, TimingModel::chameleon_960());
+          for (std::size_t i = 0; i < oracle.size(); ++i) {
+            oracle.task(static_cast<TaskId>(i)).cpu_time = actuals[i].cpu_time;
+            oracle.task(static_cast<TaskId>(i)).gpu_time = actuals[i].gpu_time;
+          }
+          oracle.finalize();
+          assign_priorities(oracle, RankScheme::kMin);
+          const double reference = heteroprio_dag(oracle, platform).makespan();
+
+          HeteroPrioOptions hp_options;
+          hp_options.actual_times = actuals;
+          hp_ratio.push_back(
+              heteroprio_dag(graph, platform, hp_options).makespan() /
+              reference);
+          heft_ratio.push_back(
+              execute_static_plan(heft_plan, graph, platform, actuals)
+                  .makespan() /
+              reference);
+          dual_ratio.push_back(
+              execute_static_plan(dual_plan, graph, platform, actuals)
+                  .makespan() /
+              reference);
+          if (sigma == 0.0) break;  // deterministic, one seed is enough
+        }
+        table.row().cell(kernel.name).cell(static_cast<long long>(tiles))
+            .cell(sigma).cell(util::mean(hp_ratio))
+            .cell(util::mean(heft_ratio)).cell(util::mean(dual_ratio));
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the online scheduler stays near the clairvoyant "
+               "reference as sigma grows,\nwhile static replays degrade — "
+               "the paper's argument for dynamic runtime scheduling.\n";
+  return 0;
+}

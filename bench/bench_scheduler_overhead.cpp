@@ -1,0 +1,97 @@
+// Scheduler overhead (the complexity claim of §1/§3): time to compute a
+// complete schedule, and the derived per-task decision cost, for HeteroPrio
+// vs DualHP vs HEFT on random independent instances and on the Cholesky DAG.
+// HeteroPrio's per-decision cost must stay sublinear in the ready-set size
+// (it pops the ends of an ordered structure), which is why it is viable
+// inside a runtime system.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "core/heteroprio.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "model/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hp;
+
+Instance make_instance(std::size_t tasks) {
+  util::Rng rng(12345);
+  UniformGenParams params;
+  params.num_tasks = tasks;
+  return uniform_instance(params, rng);
+}
+
+void BM_HeteroPrioIndependent(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const Platform platform(20, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heteroprio(inst.tasks(), platform));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HeteroPrioIndependent)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DualHpIndependent(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const Platform platform(20, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dualhp(inst.tasks(), platform));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DualHpIndependent)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HeftIndependent(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const Platform platform(20, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heft_independent(inst.tasks(), platform));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HeftIndependent)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HeteroPrioCholeskyDag(benchmark::State& state) {
+  TaskGraph graph = cholesky_dag(static_cast<int>(state.range(0)));
+  assign_priorities(graph, RankScheme::kMin);
+  const Platform platform(20, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heteroprio_dag(graph, platform));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.size()));
+}
+BENCHMARK(BM_HeteroPrioCholeskyDag)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DualHpCholeskyDag(benchmark::State& state) {
+  TaskGraph graph = cholesky_dag(static_cast<int>(state.range(0)));
+  assign_priorities(graph, RankScheme::kMin);
+  const Platform platform(20, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dualhp_dag(graph, platform));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.size()));
+}
+BENCHMARK(BM_DualHpCholeskyDag)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_HeftCholeskyDag(benchmark::State& state) {
+  TaskGraph graph = cholesky_dag(static_cast<int>(state.range(0)));
+  const Platform platform(20, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heft(graph, platform, {.rank = RankScheme::kMin}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.size()));
+}
+BENCHMARK(BM_HeftCholeskyDag)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table 1 of the paper: acceleration factors for the Cholesky kernels
+// (tile size 960), plus the full kernel timing table used by every other
+// experiment in this repository.
+
+#include <iostream>
+
+#include "linalg/kernel_timings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hp;
+  const TimingModel model = TimingModel::chameleon_960();
+
+  std::cout << "== Table 1: acceleration factors for Cholesky kernels "
+               "(tile 960) ==\n";
+  util::Table table1({"", "DPOTRF", "DTRSM", "DSYRK", "DGEMM"}, 2);
+  table1.row().cell("GPU / 1 core")
+      .cell(model.accel(KernelKind::kPotrf))
+      .cell(model.accel(KernelKind::kTrsm))
+      .cell(model.accel(KernelKind::kSyrk))
+      .cell(model.accel(KernelKind::kGemm));
+  table1.print(std::cout);
+  std::cout << "paper: 1.72, 8.72, 26.96, 28.80\n\n";
+
+  std::cout << "== Full kernel timing model (substitution for the Chameleon "
+               "measurements, see DESIGN.md) ==\n";
+  util::Table full({"kernel", "cpu (ms)", "gpu (ms)", "accel"}, 3);
+  const KernelKind kinds[] = {
+      KernelKind::kPotrf, KernelKind::kTrsm,  KernelKind::kSyrk,
+      KernelKind::kGemm,  KernelKind::kGeqrt, KernelKind::kOrmqr,
+      KernelKind::kTsqrt, KernelKind::kTsmqr, KernelKind::kGetrf,
+      KernelKind::kGessm, KernelKind::kTstrf, KernelKind::kSsssm};
+  for (KernelKind kind : kinds) {
+    const KernelTiming t = model.timing(kind);
+    full.row().cell(kernel_name(kind)).cell(t.cpu).cell(t.gpu).cell(t.accel());
+  }
+  full.print(std::cout);
+  return 0;
+}

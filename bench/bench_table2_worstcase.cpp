@@ -1,0 +1,58 @@
+// Table 2 of the paper: approximation ratios and worst-case examples.
+// Runs HeteroPrio on the adversarial families of Theorems 8, 11 and 14 and
+// compares the measured ratio to the theory:
+//   (1,1)  bound phi ~ 1.618, tight;
+//   (m,1)  bound 1+phi ~ 2.618, tight as m grows;
+//   (m,n)  bound 2+sqrt(2) ~ 3.414, family reaching 2+2/sqrt(3) ~ 3.155.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/heteroprio.hpp"
+#include "util/table.hpp"
+#include "worstcase/instances.hpp"
+
+namespace {
+
+hp::util::Table g_table({"platform", "instance", "tasks", "measured ratio",
+                         "family limit", "proved upper bound"},
+                        4);
+
+void run(const hp::WorstCaseInstance& wc, double proved_bound) {
+  using namespace hp;
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  const double ratio = s.makespan() / wc.optimal_makespan;
+  g_table.row()
+      .cell("(" + std::to_string(wc.platform.cpus()) + "," +
+            std::to_string(wc.platform.gpus()) + ")")
+      .cell(wc.instance.name())
+      .cell(static_cast<long long>(wc.instance.size()))
+      .cell(ratio)
+      .cell(wc.theoretical_ratio)
+      .cell(proved_bound);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hp;
+  const double phi = kPhi;
+  const double upper_mn = 2.0 + std::sqrt(2.0);
+
+  std::cout << "== Table 2: approximation ratios and worst-case examples ==\n";
+  run(theorem8_instance(), phi);
+  for (int m : {2, 10, 100, 400}) run(theorem11_instance(m, 25), 1.0 + phi);
+  for (int k : {1, 2, 4, 6}) run(theorem14_instance(k), upper_mn);
+  g_table.print(std::cout);
+
+  std::cout << "\npaper Table 2:\n"
+            << "  (1,1): ratio phi = " << util::format_double(phi, 4)
+            << ", worst case phi\n"
+            << "  (m,1): ratio 1+phi = " << util::format_double(1 + phi, 4)
+            << ", worst case 1+phi (asymptotic in m)\n"
+            << "  (m,n): ratio 2+sqrt(2) = " << util::format_double(upper_mn, 4)
+            << ", worst case 2+2/sqrt(3) = "
+            << util::format_double(2 + 2 / std::sqrt(3.0), 4)
+            << " (asymptotic in n)\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+#pragma once
+// Shared runner for the DAG evaluation benches (Figs 7, 8, 9): runs the
+// seven scheduler variants of §6.2 over the three kernels and a sweep of
+// tile counts on the paper's platform (20 CPUs, 4 GPUs), collecting
+// makespans, lower bounds and the Fig 8/9 metrics.
+
+#include <string>
+#include <vector>
+
+#include "model/platform.hpp"
+#include "sched/metrics.hpp"
+
+namespace hp::bench {
+
+struct SweepRow {
+  std::string kernel;    // cholesky | qr | lu
+  int tiles = 0;
+  std::string algorithm; // e.g. "HeteroPrio-min"
+  double makespan = 0.0;
+  double lower_bound = 0.0;
+  double ratio = 0.0;
+  int spoliations = 0;
+  ScheduleMetrics metrics;
+  Platform platform{20, 4};
+};
+
+struct SweepOptions {
+  std::vector<std::string> kernels = {"cholesky", "qr", "lu"};
+  std::vector<int> tile_counts = {4, 8, 12, 16, 20, 24, 32, 40, 48, 64};
+  Platform platform{20, 4};
+  bool verbose = true;  ///< progress lines on stderr
+};
+
+/// Run the sweep; one row per (kernel, tiles, algorithm).
+[[nodiscard]] std::vector<SweepRow> run_dag_sweep(const SweepOptions& options);
+
+/// Parse bench CLI args: an optional max tile count (caps the sweep) and an
+/// optional comma-free kernel name filter.
+[[nodiscard]] SweepOptions sweep_options_from_args(int argc, char** argv);
+
+/// If the environment variable HP_BENCH_CSV names a directory, dump the
+/// sweep rows (kernel, N, algorithm, makespan, lower bound, ratio,
+/// spoliations, idle/accel metrics) to <dir>/<name>.csv for plotting.
+/// Returns true if a file was written.
+bool maybe_write_sweep_csv(const std::vector<SweepRow>& rows,
+                           const std::string& name);
+
+}  // namespace hp::bench

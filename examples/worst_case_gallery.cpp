@@ -1,0 +1,70 @@
+// Gallery of the paper's adversarial constructions (Thms 8, 11, 14 and the
+// Fig 4 Graham gadget): build each instance, run HeteroPrio, and show that
+// the measured ratio matches the theory. For the small cases a Gantt chart
+// visualizes the adversarial execution.
+
+#include <cmath>
+#include <iostream>
+
+#include "baselines/graham.hpp"
+#include "core/heteroprio.hpp"
+#include "sched/gantt.hpp"
+#include "util/table.hpp"
+#include "worstcase/graham_gadget.hpp"
+#include "worstcase/instances.hpp"
+
+namespace {
+
+void show(const hp::WorstCaseInstance& wc, bool gantt) {
+  using namespace hp;
+  HeteroPrioStats stats;
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform, {}, &stats);
+  std::cout << wc.instance.name() << "  (" << wc.platform.cpus() << " CPU, "
+            << wc.platform.gpus() << " GPU, " << wc.instance.size()
+            << " tasks)\n"
+            << "  OPT (constructed)     = "
+            << util::format_double(wc.optimal_makespan, 4) << '\n'
+            << "  HeteroPrio (measured) = "
+            << util::format_double(s.makespan(), 4) << '\n'
+            << "  HeteroPrio (expected) = "
+            << util::format_double(wc.expected_hp_makespan, 4) << '\n'
+            << "  ratio                 = "
+            << util::format_double(s.makespan() / wc.optimal_makespan, 4)
+            << "  (family limit " << util::format_double(wc.theoretical_ratio, 4)
+            << ")\n"
+            << "  spoliations           = " << stats.spoliations << "\n";
+  if (gantt) {
+    std::cout << render_gantt(s, wc.platform, {.width = 72});
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace hp;
+
+  std::cout << "== Theorem 8: 1 CPU + 1 GPU, ratio phi ==\n";
+  show(theorem8_instance(), /*gantt=*/true);
+
+  std::cout << "== Theorem 11: m CPUs + 1 GPU, ratio -> 1 + phi ==\n";
+  for (int m : {4, 10, 50}) show(theorem11_instance(m, 20), false);
+
+  std::cout << "== Theorem 14: n GPUs + n^2 CPUs, ratio -> 2 + 2/sqrt(3) ==\n";
+  for (int k : {1, 2}) show(theorem14_instance(k), false);
+
+  std::cout << "== Fig 4 gadget: list scheduling on homogeneous GPUs ==\n";
+  util::Table table({"k", "machines", "optimal", "worst list", "ratio",
+                     "Graham bound 2-1/n"});
+  for (int k : {1, 2, 4, 8}) {
+    const GrahamGadget g = graham_gadget(k);
+    const double worst =
+        list_schedule_homogeneous(worst_order_durations(g), g.machines).makespan;
+    table.row().cell(static_cast<long long>(k))
+        .cell(static_cast<long long>(g.machines))
+        .cell(static_cast<long long>(g.machines)).cell(worst)
+        .cell(worst / g.machines).cell(2.0 - 1.0 / g.machines);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,37 @@
+#pragma once
+// Knapsack-DP dual approximation — the algorithm family of Bleuse et al.
+// [3] (§3: "algorithms with varying approximation factors (4/3, 3/2 and 2)
+// based on dynamic programming and dual approximation techniques").
+//
+// For a makespan guess lambda:
+//   * tasks longer than lambda on one resource are forced to the other
+//     (infeasible if both exceed lambda);
+//   * the flexible tasks' CPU/GPU split is chosen by a knapsack dynamic
+//     program — minimize the total CPU work subject to the GPU work fitting
+//     the GPUs' capacity — instead of DualHP's greedy threshold fill;
+//   * each side is packed with LPT; the guess is feasible if every load is
+//     within 2*lambda.
+// Binary search over lambda as usual. The DP optimizes the split exactly
+// (up to the capacity discretization), which is precisely where the greedy
+// threshold of DualHP loses on lumpy instances; the price is the DP's
+// O(T * grid) time per guess — the complexity/quality trade-off the paper
+// discusses in §3.
+
+#include <span>
+
+#include "model/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp {
+
+struct DualDpOptions {
+  int bisection_iters = 16;  ///< binary-search steps on lambda
+  int capacity_grid = 512;   ///< knapsack discretization cells
+};
+
+/// Schedule independent tasks. Deterministic.
+[[nodiscard]] Schedule dualdp(std::span<const Task> tasks,
+                              const Platform& platform,
+                              const DualDpOptions& options = {});
+
+}  // namespace hp

@@ -1,0 +1,56 @@
+#include "baselines/graham.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace hp {
+
+ListScheduleResult list_schedule_homogeneous(std::span<const double> durations,
+                                             int machines) {
+  assert(machines > 0);
+  ListScheduleResult res;
+  res.machine.assign(durations.size(), -1);
+  res.start.assign(durations.size(), 0.0);
+
+  // Min-heap of (available time, machine id).
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
+  for (int mach = 0; mach < machines; ++mach) free_at.emplace(0.0, mach);
+
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    auto [t, mach] = free_at.top();
+    free_at.pop();
+    res.machine[i] = mach;
+    res.start[i] = t;
+    const double end = t + durations[i];
+    res.makespan = std::max(res.makespan, end);
+    free_at.emplace(end, mach);
+  }
+  return res;
+}
+
+ListScheduleResult lpt_schedule_homogeneous(std::span<const double> durations,
+                                            int machines) {
+  std::vector<std::size_t> order(durations.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (durations[a] != durations[b]) return durations[a] > durations[b];
+    return a < b;
+  });
+  std::vector<double> sorted(durations.size());
+  for (std::size_t i = 0; i < order.size(); ++i) sorted[i] = durations[order[i]];
+  const ListScheduleResult inner = list_schedule_homogeneous(sorted, machines);
+  ListScheduleResult res;
+  res.makespan = inner.makespan;
+  res.machine.assign(durations.size(), -1);
+  res.start.assign(durations.size(), 0.0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    res.machine[order[i]] = inner.machine[i];
+    res.start[order[i]] = inner.start[i];
+  }
+  return res;
+}
+
+}  // namespace hp

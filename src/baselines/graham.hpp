@@ -1,0 +1,30 @@
+#pragma once
+// Graham list scheduling on identical machines.
+//
+// Used by the Thm 14 analysis (Lemma 6 relies on Graham's (2 - 1/n) bound)
+// and by the Fig 4 gadget bench, which exhibits a task set whose worst list
+// schedule is almost twice its optimal packing.
+
+#include <span>
+#include <vector>
+
+namespace hp {
+
+struct ListScheduleResult {
+  double makespan = 0.0;
+  std::vector<int> machine;    ///< machine of each task (input order)
+  std::vector<double> start;   ///< start time of each task
+};
+
+/// List-schedule tasks with the given `durations`, in input order, on
+/// `machines` identical machines: whenever a machine is free, it takes the
+/// next task of the list. Ties: lowest machine id.
+[[nodiscard]] ListScheduleResult list_schedule_homogeneous(
+    std::span<const double> durations, int machines);
+
+/// Longest-processing-time-first variant (sorts by non-increasing duration,
+/// then list-schedules). Classic 4/3-approximation of P||Cmax.
+[[nodiscard]] ListScheduleResult lpt_schedule_homogeneous(
+    std::span<const double> durations, int machines);
+
+}  // namespace hp

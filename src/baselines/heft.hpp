@@ -1,0 +1,35 @@
+#pragma once
+// HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al. [11]).
+//
+// The first class of schedulers discussed in §1/§6: tasks are sorted by
+// upward rank (bottom level) and each is placed on the worker that
+// completes it earliest, with insertion into idle gaps. There are no
+// communication costs in the paper's model. Bleuse et al. [3] show HEFT can
+// be Θ(m) from optimal on CPU+GPU platforms; the Fig 6/7 benches reproduce
+// its weakness (it ignores acceleration factors).
+
+#include <span>
+
+#include "dag/ranking.hpp"
+#include "dag/task_graph.hpp"
+#include "model/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp {
+
+struct HeftOptions {
+  RankScheme rank = RankScheme::kAvg;  ///< avg or min (§6.2); kFifo invalid
+  bool insertion = true;  ///< insertion-based placement (classic HEFT)
+};
+
+/// HEFT on a DAG. Graph must be finalized and acyclic.
+[[nodiscard]] Schedule heft(const TaskGraph& graph, const Platform& platform,
+                            const HeftOptions& options = {});
+
+/// HEFT on independent tasks: rank reduces to the task's own weight; the
+/// highest-rank task is repeatedly placed on the worker finishing it first.
+[[nodiscard]] Schedule heft_independent(std::span<const Task> tasks,
+                                        const Platform& platform,
+                                        const HeftOptions& options = {});
+
+}  // namespace hp

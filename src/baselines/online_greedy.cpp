@@ -1,0 +1,84 @@
+#include "baselines/online_greedy.hpp"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace hp {
+
+const char* online_rule_name(OnlineRule rule) noexcept {
+  switch (rule) {
+    case OnlineRule::kEft: return "online-eft";
+    case OnlineRule::kThreshold: return "online-threshold";
+    case OnlineRule::kBalance: return "online-balance";
+  }
+  return "?";
+}
+
+Schedule online_greedy(std::span<const Task> tasks, const Platform& platform,
+                       const OnlineGreedyOptions& options) {
+  Schedule schedule(tasks.size());
+
+  // Per-side min-heaps of (load, worker id) plus side totals.
+  using Slot = std::pair<double, WorkerId>;
+  using Heap = std::priority_queue<Slot, std::vector<Slot>, std::greater<>>;
+  Heap heap[2];
+  double side_load[2] = {0.0, 0.0};
+  for (WorkerId w = 0; w < platform.workers(); ++w) {
+    heap[static_cast<int>(platform.type_of(w))].emplace(0.0, w);
+  }
+
+  auto place_on_side = [&](TaskId id, Resource r) {
+    auto& h = heap[static_cast<int>(r)];
+    assert(!h.empty());
+    auto [load, w] = h.top();
+    h.pop();
+    const double dt =
+        Platform::time_on(tasks[static_cast<std::size_t>(id)], r);
+    schedule.place(id, w, load, load + dt);
+    side_load[static_cast<int>(r)] += dt;
+    h.emplace(load + dt, w);
+  };
+
+  const bool has_cpu = platform.cpus() > 0;
+  const bool has_gpu = platform.gpus() > 0;
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    const Task& t = tasks[i];
+    if (!has_cpu) {
+      place_on_side(id, Resource::kGpu);
+      continue;
+    }
+    if (!has_gpu) {
+      place_on_side(id, Resource::kCpu);
+      continue;
+    }
+    switch (options.rule) {
+      case OnlineRule::kEft: {
+        const double cpu_finish = heap[0].top().first + t.cpu_time;
+        const double gpu_finish = heap[1].top().first + t.gpu_time;
+        place_on_side(id, cpu_finish <= gpu_finish ? Resource::kCpu
+                                                   : Resource::kGpu);
+        break;
+      }
+      case OnlineRule::kThreshold:
+        place_on_side(id, t.accel() >= options.threshold ? Resource::kGpu
+                                                         : Resource::kCpu);
+        break;
+      case OnlineRule::kBalance: {
+        const double cpu_norm =
+            (side_load[0] + t.cpu_time) / platform.cpus();
+        const double gpu_norm =
+            (side_load[1] + t.gpu_time) / platform.gpus();
+        place_on_side(id, cpu_norm <= gpu_norm ? Resource::kCpu
+                                               : Resource::kGpu);
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace hp

@@ -1,0 +1,41 @@
+#pragma once
+// Online greedy baselines for two sets of identical machines — the
+// algorithm class of Imreh [14] cited in §3. Tasks are processed in arrival
+// (id) order with no lookahead and no migration; each rule differs in how
+// it picks the resource side:
+//   * EFT       — the worker (of any type) finishing the task first; the
+//                 "historical" scheduler of §2.1 without priorities;
+//   * threshold — pure affinity: GPU side iff rho >= theta (then
+//                 least-loaded worker of the side); no load awareness;
+//   * balance   — the side whose *normalized* load (per-worker average
+//                 after adding the task) stays smaller; a cheap proxy of
+//                 the area bound's equalization.
+// None of these has a constant approximation factor on unrelated machines
+// (no spoliation); the bench shows where each one loses against HeteroPrio.
+
+#include <span>
+
+#include "model/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp {
+
+enum class OnlineRule {
+  kEft,
+  kThreshold,
+  kBalance,
+};
+
+[[nodiscard]] const char* online_rule_name(OnlineRule rule) noexcept;
+
+struct OnlineGreedyOptions {
+  OnlineRule rule = OnlineRule::kEft;
+  double threshold = 1.0;  ///< rho cutoff for OnlineRule::kThreshold
+};
+
+/// Schedule independent tasks in id order with the chosen rule.
+[[nodiscard]] Schedule online_greedy(std::span<const Task> tasks,
+                                     const Platform& platform,
+                                     const OnlineGreedyOptions& options = {});
+
+}  // namespace hp

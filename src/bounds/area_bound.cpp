@@ -1,0 +1,94 @@
+#include "bounds/area_bound.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace hp {
+
+AreaBoundResult area_bound(std::span<const Task> tasks,
+                           const Platform& platform) {
+  AreaBoundResult res;
+  const std::size_t count = tasks.size();
+  if (count == 0) return res;
+
+  const double m = platform.cpus();
+  const double n = platform.gpus();
+
+  res.order.resize(count);
+  std::iota(res.order.begin(), res.order.end(), TaskId{0});
+
+  // Degenerate platforms: a single resource class carries everything.
+  if (platform.gpus() == 0) {
+    for (const Task& t : tasks) res.cpu_work += t.cpu_time;
+    res.bound = res.cpu_work / m;
+    res.split_index = 0;
+    res.gpu_fraction_of_split = 0.0;
+    return res;
+  }
+  if (platform.cpus() == 0) {
+    for (const Task& t : tasks) res.gpu_work += t.gpu_time;
+    res.bound = res.gpu_work / n;
+    res.split_index = count;  // everything "before the split" = on GPU
+    res.gpu_fraction_of_split = 0.0;
+    return res;
+  }
+
+  std::sort(res.order.begin(), res.order.end(), [&](TaskId a, TaskId b) {
+    const double ra = tasks[static_cast<std::size_t>(a)].accel();
+    const double rb = tasks[static_cast<std::size_t>(b)].accel();
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+
+  // suffix_cpu[k] = sum of p_i over order[k..count)
+  std::vector<double> suffix_cpu(count + 1, 0.0);
+  for (std::size_t k = count; k-- > 0;) {
+    suffix_cpu[k] =
+        suffix_cpu[k + 1] + tasks[static_cast<std::size_t>(res.order[k])].cpu_time;
+  }
+
+  // Scan the split position. At position k, order[0..k) is fully on GPUs
+  // (load gpu_acc), order[k] is split with fraction g on the GPU, and
+  // order(k..count) is fully on CPUs. Balancing both sides:
+  //   (gpu_acc + g*q_k)/n = (suffix_cpu[k+1] + (1-g)*p_k)/m
+  double gpu_acc = 0.0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const Task& t = tasks[static_cast<std::size_t>(res.order[k])];
+    const double g = (((suffix_cpu[k + 1] + t.cpu_time) / m) - gpu_acc / n) /
+                     (t.gpu_time / n + t.cpu_time / m);
+    if (g <= 1.0) {
+      const double clamped = std::clamp(g, 0.0, 1.0);
+      res.split_index = k;
+      res.gpu_fraction_of_split = clamped;
+      res.threshold_accel = t.accel();
+      res.gpu_work = gpu_acc + clamped * t.gpu_time;
+      res.cpu_work = suffix_cpu[k + 1] + (1.0 - clamped) * t.cpu_time;
+      res.bound = std::max(res.gpu_work / n, res.cpu_work / m);
+      return res;
+    }
+    gpu_acc += t.gpu_time;
+  }
+
+  // Even the last task fully on the GPUs leaves them less loaded than the
+  // (empty) CPU side would allow: everything runs on the GPUs.
+  res.split_index = count;
+  res.gpu_fraction_of_split = 0.0;
+  res.threshold_accel = tasks[static_cast<std::size_t>(res.order.back())].accel();
+  res.gpu_work = gpu_acc;
+  res.cpu_work = 0.0;
+  res.bound = gpu_acc / n;
+  return res;
+}
+
+double area_bound_value(std::span<const Task> tasks, const Platform& platform) {
+  return area_bound(tasks, platform).bound;
+}
+
+double opt_lower_bound(std::span<const Task> tasks, const Platform& platform) {
+  double lb = area_bound_value(tasks, platform);
+  for (const Task& t : tasks) lb = std::max(lb, t.min_time());
+  return lb;
+}
+
+}  // namespace hp

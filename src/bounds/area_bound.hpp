@@ -1,0 +1,56 @@
+#pragma once
+// Area bound of §4.2 — a lower bound on the optimal makespan.
+//
+// The bound is the optimum of the fractional LP: each task may be split
+// between the CPU side (fraction x_i, consuming x_i * p_i CPU time) and the
+// GPU side; minimize the larger of (CPU work / m, GPU work / n).
+//
+// No LP solver is needed: Lemma 1 (both resource classes finish together at
+// the optimum) and Lemma 2 (the split is a threshold in the acceleration
+// factor, with at most one fractional task) reduce the LP to a linear scan
+// over the tasks sorted by decreasing rho. See DESIGN.md §4.
+
+#include <span>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/platform.hpp"
+
+namespace hp {
+
+/// Solution of the area-bound LP.
+struct AreaBoundResult {
+  double bound = 0.0;  ///< AreaBound(I)
+
+  /// Tasks sorted by non-increasing acceleration factor; tasks
+  /// order[0..split_index) run fully on GPUs, tasks order(split_index..)
+  /// fully on CPUs, and order[split_index] runs a fraction
+  /// `gpu_fraction_of_split` on the GPUs (1 - that on the CPUs).
+  std::vector<TaskId> order;
+  std::size_t split_index = 0;
+  double gpu_fraction_of_split = 0.0;
+
+  /// The threshold k of Lemma 2 (acceleration factor of the split task);
+  /// 0 when the instance is empty.
+  double threshold_accel = 0.0;
+
+  /// Work per resource class in the LP solution (Lemma 1: cpu_work / m ==
+  /// gpu_work / n == bound whenever both sides carry work).
+  double cpu_work = 0.0;
+  double gpu_work = 0.0;
+};
+
+/// Full area-bound solution. O(T log T).
+[[nodiscard]] AreaBoundResult area_bound(std::span<const Task> tasks,
+                                         const Platform& platform);
+
+/// Just the bound value.
+[[nodiscard]] double area_bound_value(std::span<const Task> tasks,
+                                      const Platform& platform);
+
+/// Best cheap lower bound on C_max^Opt(I):
+/// max(AreaBound(I), max_i min(p_i, q_i)).
+[[nodiscard]] double opt_lower_bound(std::span<const Task> tasks,
+                                     const Platform& platform);
+
+}  // namespace hp

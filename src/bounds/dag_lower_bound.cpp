@@ -1,0 +1,79 @@
+#include "bounds/dag_lower_bound.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dag/ranking.hpp"
+
+namespace hp {
+
+namespace {
+
+/// max over candidate thresholds T of (T + AreaBound({tasks with key >= T})).
+/// `keys` must be a per-task value such that every task with key >= T runs
+/// entirely within a window of length (Cmax - T).
+double segmented_direction(const TaskGraph& graph, const Platform& platform,
+                           const std::vector<double>& keys, int thresholds) {
+  std::vector<double> sorted(keys.begin(), keys.end());
+  std::sort(sorted.begin(), sorted.end());
+  // Candidate thresholds: quantiles of the positive keys.
+  std::vector<double> candidates;
+  const auto first_pos =
+      std::upper_bound(sorted.begin(), sorted.end(), 0.0) - sorted.begin();
+  const std::size_t positives = sorted.size() - static_cast<std::size_t>(first_pos);
+  if (positives == 0) return 0.0;
+  for (int c = 0; c < thresholds; ++c) {
+    const std::size_t idx =
+        static_cast<std::size_t>(first_pos) +
+        positives * static_cast<std::size_t>(c) / static_cast<std::size_t>(thresholds);
+    candidates.push_back(sorted[idx]);
+  }
+  candidates.push_back(sorted.back());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  double best = 0.0;
+  std::vector<Task> subset;
+  for (double threshold : candidates) {
+    subset.clear();
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      if (keys[i] >= threshold) subset.push_back(graph.task(static_cast<TaskId>(i)));
+    }
+    if (subset.empty()) continue;
+    best = std::max(best, threshold + area_bound_value(subset, platform));
+  }
+  return best;
+}
+
+}  // namespace
+
+DagLowerBound dag_lower_bound(const TaskGraph& graph, const Platform& platform,
+                              const DagLowerBoundOptions& options) {
+  DagLowerBound lb;
+  lb.area = area_bound_value(graph.tasks(), platform);
+  lb.critical_path = critical_path(graph, RankScheme::kMin);
+  for (const Task& t : graph.tasks()) {
+    lb.max_min_time = std::max(lb.max_min_time, t.min_time());
+  }
+
+  if (options.segment_thresholds > 0 && !graph.empty()) {
+    // Forward: tasks whose min-weight top level is >= T cannot start
+    // before T, so they fit in (Cmax - T) and Cmax >= T + AreaBound(them).
+    const std::vector<double> tops = top_levels(graph, RankScheme::kMin);
+    lb.segmented = segmented_direction(graph, platform, tops,
+                                       options.segment_thresholds);
+    // Backward: a task followed by a min-weight chain of length B =
+    // bottom_level - own weight must finish B before Cmax.
+    std::vector<double> tails = bottom_levels(graph, RankScheme::kMin);
+    for (std::size_t i = 0; i < tails.size(); ++i) {
+      tails[i] -= rank_weight(graph.task(static_cast<TaskId>(i)), RankScheme::kMin);
+    }
+    lb.segmented = std::max(
+        lb.segmented, segmented_direction(graph, platform, tails,
+                                          options.segment_thresholds));
+  }
+  return lb;
+}
+
+}  // namespace hp

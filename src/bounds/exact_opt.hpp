@@ -1,0 +1,33 @@
+#pragma once
+// Exact optimal makespan for small independent-task instances.
+//
+// Branch-and-bound over the assignment of tasks to individual workers.
+// Used only by tests (to verify the approximation ratios of Theorems 7, 9
+// and 12 on random instances) and by the worst-case benches' sanity checks.
+// Exponential in the number of tasks; intended for <= ~18 tasks.
+
+#include <cstdint>
+#include <span>
+
+#include "model/instance.hpp"
+#include "model/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp {
+
+struct ExactResult {
+  double makespan = 0.0;
+  Schedule schedule;        ///< one optimal schedule (tasks back-to-back)
+  std::uint64_t nodes = 0;  ///< B&B nodes explored
+};
+
+/// Exact optimum. Pruning: incumbent from a greedy EFT schedule, suffix area
+/// bounds, per-type symmetry breaking (identical workers with equal loads).
+[[nodiscard]] ExactResult exact_optimal(std::span<const Task> tasks,
+                                        const Platform& platform);
+
+/// Convenience: just the optimal makespan.
+[[nodiscard]] double exact_optimal_makespan(std::span<const Task> tasks,
+                                            const Platform& platform);
+
+}  // namespace hp

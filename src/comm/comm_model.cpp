@@ -1,0 +1,9 @@
+#include "comm/comm_model.hpp"
+
+namespace hp {
+
+std::vector<double> uniform_payloads(const TaskGraph& graph, double size_mb) {
+  return std::vector<double>(graph.size(), size_mb);
+}
+
+}  // namespace hp

@@ -1,0 +1,56 @@
+#pragma once
+// Communication cost model for CPU<->GPU data movement.
+//
+// The paper's §1 lists what a runtime scheduler knows: "(iv) the location of
+// all input files of all tasks (v) possibly an estimation of the duration
+// of ... each communication between each pair of resources" — but its
+// theoretical model ignores transfers. This module adds them back as an
+// extension: every task has an output payload; when a task consumes a
+// predecessor's output across the CPU/GPU memory boundary, the transfer
+// costs latency + size/bandwidth. Transfers from host memory to any CPU and
+// between CPUs are free (shared RAM); GPU->GPU goes through the host and
+// costs twice the boundary crossing.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "model/platform.hpp"
+
+namespace hp {
+
+struct CommModel {
+  /// Host <-> device bandwidth in MB per millisecond (≈ GB/s).
+  double bandwidth_mb_per_ms = 12.0;
+  /// Fixed per-transfer latency in ms (driver + DMA setup).
+  double latency_ms = 0.02;
+
+  /// Transfer time of `size_mb` across one host/device boundary.
+  [[nodiscard]] double boundary_cost(double size_mb) const noexcept {
+    return latency_ms + size_mb / bandwidth_mb_per_ms;
+  }
+
+  /// Time to move a payload produced on `from` so a worker `to` can read
+  /// it. Same worker or CPU->CPU: free. CPU<->GPU: one boundary.
+  /// GPU->GPU (different devices): two boundaries (through the host).
+  [[nodiscard]] double transfer_time(const Platform& platform, WorkerId from,
+                                     WorkerId to, double size_mb) const noexcept {
+    if (from == to || size_mb <= 0.0) return 0.0;
+    const Resource rf = platform.type_of(from);
+    const Resource rt = platform.type_of(to);
+    if (rf == Resource::kCpu && rt == Resource::kCpu) return 0.0;
+    if (rf == Resource::kGpu && rt == Resource::kGpu) {
+      return 2.0 * boundary_cost(size_mb);
+    }
+    return boundary_cost(size_mb);
+  }
+};
+
+/// Per-task output payload sizes (MB), parallel to a graph's tasks.
+/// `uniform_payloads` covers the dense-linear-algebra case where every
+/// kernel writes one tile (e.g. a 960x960 double tile is ~7.03 MB).
+[[nodiscard]] std::vector<double> uniform_payloads(const TaskGraph& graph,
+                                                   double size_mb = 7.03);
+
+}  // namespace hp

@@ -1,0 +1,300 @@
+#include "comm/comm_sched.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "dag/ready_tracker.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/worker_pool.hpp"
+
+namespace hp {
+
+namespace {
+
+/// Mean transfer cost of one payload over all ordered worker pairs —
+/// the averaging HEFT's rank computation uses for edge weights.
+double mean_transfer(const Platform& platform, const CommModel& comm,
+                     double size_mb) {
+  const double m = platform.cpus();
+  const double n = platform.gpus();
+  const double total = m + n;
+  if (total <= 1.0) return 0.0;
+  // Ordered pairs (from, to), from != to.
+  const double cross = 2.0 * m * n * comm.boundary_cost(size_mb);
+  const double gpu_gpu = n * (n - 1.0) * 2.0 * comm.boundary_cost(size_mb);
+  return (cross + gpu_gpu) / (total * (total - 1.0));
+}
+
+/// Upward rank with mean communication on edges.
+std::vector<double> comm_ranks(const TaskGraph& graph, const Platform& platform,
+                               const CommModel& comm,
+                               std::span<const double> payloads,
+                               RankScheme scheme) {
+  const std::vector<TaskId> order = graph.topological_order();
+  std::vector<double> rank(graph.size(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId id = *it;
+    const double edge_cost = mean_transfer(
+        platform, comm, payloads[static_cast<std::size_t>(id)]);
+    double succ_max = 0.0;
+    for (TaskId succ : graph.successors(id)) {
+      succ_max =
+          std::max(succ_max, edge_cost + rank[static_cast<std::size_t>(succ)]);
+    }
+    rank[static_cast<std::size_t>(id)] =
+        rank_weight(graph.task(id), scheme) + succ_max;
+  }
+  return rank;
+}
+
+/// Busy-interval timeline (same structure as the HEFT one; kept local so
+/// the comm module stays self-contained).
+class Timeline {
+ public:
+  [[nodiscard]] double earliest_start(double ready, double dt,
+                                      bool insertion) const {
+    if (segments_.empty()) return ready;
+    if (!insertion) return std::max(ready, segments_.back().second);
+    auto it = std::lower_bound(
+        segments_.begin(), segments_.end(), ready,
+        [](const auto& seg, double t) { return seg.second <= t; });
+    double candidate = ready;
+    if (it != segments_.begin()) {
+      candidate = std::max(ready, std::prev(it)->second);
+    }
+    while (it != segments_.end()) {
+      if (candidate + dt <= it->first) return candidate;
+      candidate = std::max(candidate, it->second);
+      ++it;
+    }
+    return candidate;
+  }
+
+  void insert(double start, double end) {
+    auto it = std::lower_bound(
+        segments_.begin(), segments_.end(), std::make_pair(start, end));
+    segments_.insert(it, {start, end});
+  }
+
+ private:
+  std::vector<std::pair<double, double>> segments_;
+};
+
+}  // namespace
+
+Schedule heft_comm(const TaskGraph& graph, const Platform& platform,
+                   const CommModel& comm, std::span<const double> payloads,
+                   const HeftCommOptions& options) {
+  assert(graph.finalized());
+  assert(payloads.size() == graph.size());
+  assert(options.rank != RankScheme::kFifo);
+
+  const std::vector<double> rank =
+      comm_ranks(graph, platform, comm, payloads, options.rank);
+  std::vector<TaskId> order(graph.size());
+  std::iota(order.begin(), order.end(), TaskId{0});
+  const std::vector<TaskId> topo = graph.topological_order();
+  std::vector<std::size_t> topo_pos(graph.size());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    topo_pos[static_cast<std::size_t>(topo[i])] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const double ra = rank[static_cast<std::size_t>(a)];
+    const double rb = rank[static_cast<std::size_t>(b)];
+    if (ra != rb) return ra > rb;
+    return topo_pos[static_cast<std::size_t>(a)] <
+           topo_pos[static_cast<std::size_t>(b)];
+  });
+
+  Schedule schedule(graph.size());
+  std::vector<Timeline> timeline(static_cast<std::size_t>(platform.workers()));
+  for (TaskId id : order) {
+    WorkerId best_w = 0;
+    double best_start = 0.0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (WorkerId w = 0; w < platform.workers(); ++w) {
+      double ready = 0.0;
+      for (TaskId pred : graph.predecessors(id)) {
+        const Placement& pp = schedule.placement(pred);
+        ready = std::max(
+            ready, pp.end + comm.transfer_time(
+                               platform, pp.worker, w,
+                               payloads[static_cast<std::size_t>(pred)]));
+      }
+      const double dt = Platform::time_on(graph.task(id), platform.type_of(w));
+      const double start = timeline[static_cast<std::size_t>(w)].earliest_start(
+          ready, dt, options.insertion);
+      if (start + dt < best_finish) {
+        best_finish = start + dt;
+        best_start = start;
+        best_w = w;
+      }
+    }
+    timeline[static_cast<std::size_t>(best_w)].insert(best_start, best_finish);
+    schedule.place(id, best_w, best_start, best_finish);
+  }
+  return schedule;
+}
+
+Schedule heteroprio_comm(const TaskGraph& graph, const Platform& platform,
+                         const CommModel& comm,
+                         std::span<const double> payloads,
+                         HeteroPrioCommStats* stats,
+                         const HeteroPrioCommOptions& options) {
+  assert(graph.finalized());
+  assert(payloads.size() == graph.size());
+  const std::span<const Task> tasks = graph.tasks();
+
+  Schedule schedule(tasks.size());
+  HeteroPrioCommStats local;
+
+  struct QueueOrder {
+    std::span<const Task> tasks;
+    bool operator()(TaskId a, TaskId b) const noexcept {
+      const Task& ta = tasks[static_cast<std::size_t>(a)];
+      const Task& tb = tasks[static_cast<std::size_t>(b)];
+      if (ta.accel() != tb.accel()) return ta.accel() > tb.accel();
+      if (ta.priority != tb.priority) {
+        return ta.accel() >= 1.0 ? ta.priority > tb.priority
+                                 : ta.priority < tb.priority;
+      }
+      return a < b;
+    }
+  };
+
+  sim::WorkerPool pool(platform);
+  sim::EventQueue<std::pair<WorkerId, std::uint64_t>> events;
+  std::vector<std::uint64_t> generation(
+      static_cast<std::size_t>(platform.workers()), 0);
+  std::set<TaskId, QueueOrder> queue{QueueOrder{tasks}};
+  ReadyTracker tracker(graph);
+  for (TaskId id : tracker.initially_ready()) queue.insert(id);
+
+  double now = 0.0;
+  std::size_t completed = 0;
+
+  // Staging delay: inputs move to `w` in parallel; delay = max transfer.
+  auto stage_delay = [&](TaskId id, WorkerId w) {
+    double delay = 0.0;
+    for (TaskId pred : graph.predecessors(id)) {
+      const Placement& pp = schedule.placement(pred);
+      delay = std::max(
+          delay, comm.transfer_time(platform, pp.worker, w,
+                                    payloads[static_cast<std::size_t>(pred)]));
+    }
+    return delay;
+  };
+
+  auto start_task = [&](WorkerId w, TaskId id) {
+    const double stage = stage_delay(id, w);
+    local.transfer_time_total += stage;
+    const double dt =
+        stage + Platform::time_on(tasks[static_cast<std::size_t>(id)],
+                                  platform.type_of(w));
+    const double finish = pool.start(w, id, now, dt);
+    ++generation[static_cast<std::size_t>(w)];
+    events.push(finish, {w, generation[static_cast<std::size_t>(w)]});
+  };
+
+  auto try_spoliate = [&](WorkerId w) -> bool {
+    const Resource mine = platform.type_of(w);
+    std::vector<WorkerId> victims = pool.busy_workers(other(mine));
+    std::sort(victims.begin(), victims.end(), [&](WorkerId a, WorkerId b) {
+      const double pa =
+          tasks[static_cast<std::size_t>(pool.running(a).task)].priority;
+      const double pb =
+          tasks[static_cast<std::size_t>(pool.running(b).task)].priority;
+      if (pa != pb) return pa > pb;
+      if (pool.running(a).finish != pool.running(b).finish) {
+        return pool.running(a).finish > pool.running(b).finish;
+      }
+      return pool.running(a).task < pool.running(b).task;
+    });
+    for (WorkerId victim : victims) {
+      const sim::Running& r = pool.running(victim);
+      const double dt =
+          stage_delay(r.task, w) +
+          Platform::time_on(tasks[static_cast<std::size_t>(r.task)], mine);
+      const double margin = 1e-9 * std::max(1.0, std::abs(r.finish));
+      if (now + dt >= r.finish - margin) continue;
+      const sim::Running aborted = pool.release(victim);
+      ++generation[static_cast<std::size_t>(victim)];
+      schedule.add_aborted(aborted.task, victim, aborted.start, now);
+      ++local.spoliations;
+      start_task(w, aborted.task);
+      return true;
+    }
+    return false;
+  };
+
+  auto dispatch = [&] {
+    bool acted = true;
+    while (acted) {
+      acted = false;
+      for (WorkerId w : pool.idle_workers_gpu_first()) {
+        if (pool.busy(w)) continue;
+        if (!queue.empty()) {
+          // Inspect up to locality_window candidates from this worker's end
+          // of the affinity queue and pick the cheapest-to-stage one.
+          const bool from_front = platform.type_of(w) == Resource::kGpu;
+          auto best_it = queue.end();
+          double best_delay = std::numeric_limits<double>::infinity();
+          const int window = std::max(1, options.locality_window);
+          if (from_front) {
+            auto it = queue.begin();
+            for (int c = 0; c < window && it != queue.end(); ++c, ++it) {
+              const double delay = stage_delay(*it, w);
+              if (delay < best_delay) {
+                best_delay = delay;
+                best_it = it;
+              }
+            }
+          } else {
+            auto it = std::prev(queue.end());
+            for (int c = 0; c < window; ++c) {
+              const double delay = stage_delay(*it, w);
+              if (delay < best_delay) {
+                best_delay = delay;
+                best_it = it;
+              }
+              if (it == queue.begin()) break;
+              --it;
+            }
+          }
+          const TaskId id = *best_it;
+          queue.erase(best_it);
+          start_task(w, id);
+          acted = true;
+        } else if (try_spoliate(w)) {
+          acted = true;
+        }
+      }
+    }
+  };
+
+  dispatch();
+  while (completed < tasks.size()) {
+    assert(!events.empty());
+    const double t = events.top().time;
+    now = t;
+    while (!events.empty() && events.top().time == t) {
+      const auto ev = events.pop();
+      const auto [w, gen] = ev.payload;
+      if (gen != generation[static_cast<std::size_t>(w)]) continue;
+      if (!pool.busy(w)) continue;
+      const sim::Running done = pool.release(w);
+      schedule.place(done.task, w, done.start, done.finish);
+      ++completed;
+      for (TaskId released : tracker.complete(done.task)) queue.insert(released);
+    }
+    dispatch();
+  }
+
+  if (stats != nullptr) *stats = local;
+  return schedule;
+}
+
+}  // namespace hp

@@ -1,0 +1,17 @@
+#include "core/heteroprio_dag.hpp"
+
+#include <cassert>
+
+#include "core/hp_engine.hpp"
+
+namespace hp {
+
+Schedule heteroprio_dag(const TaskGraph& graph, const Platform& platform,
+                        const HeteroPrioOptions& options,
+                        HeteroPrioStats* stats) {
+  assert(graph.finalized());
+  return detail::run_heteroprio(graph.tasks(), &graph, platform, options,
+                                stats);
+}
+
+}  // namespace hp

@@ -1,0 +1,24 @@
+#pragma once
+// HeteroPrio extended to task graphs (§6.2).
+//
+// The independent-task rule is applied at every instant to the set of
+// currently ready tasks: an idle resource takes the most-affine ready task;
+// if no ready task is available for an idle resource, a spoliation attempt
+// is done on currently running tasks of the other resource type. Priorities
+// (typically bottom levels, see dag/ranking.hpp) break acceleration-factor
+// ties and select among spoliation victims.
+
+#include "core/heteroprio.hpp"
+#include "dag/task_graph.hpp"
+
+namespace hp {
+
+/// Schedule `graph` on `platform` with HeteroPrio. The graph must be
+/// finalized and acyclic; task priorities must already be assigned (use
+/// assign_priorities() for the paper's avg/min schemes). Deterministic.
+[[nodiscard]] Schedule heteroprio_dag(const TaskGraph& graph,
+                                      const Platform& platform,
+                                      const HeteroPrioOptions& options = {},
+                                      HeteroPrioStats* stats = nullptr);
+
+}  // namespace hp

@@ -1,0 +1,57 @@
+#include "dag/dot_export.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace hp {
+
+namespace {
+const char* kind_color(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kPotrf:
+    case KernelKind::kGeqrt:
+    case KernelKind::kGetrf: return "#e45756";  // panel factorizations
+    case KernelKind::kTrsm:
+    case KernelKind::kOrmqr:
+    case KernelKind::kGessm: return "#f2a93b";  // panel updates
+    case KernelKind::kSyrk:
+    case KernelKind::kTsqrt:
+    case KernelKind::kTstrf: return "#4c78a8";  // secondary updates
+    case KernelKind::kGemm:
+    case KernelKind::kTsmqr:
+    case KernelKind::kSsssm: return "#59a14f";  // trailing updates
+    case KernelKind::kGeneric: return "#bab0ac";
+  }
+  return "#bab0ac";
+}
+}  // namespace
+
+std::string to_dot(const TaskGraph& graph, const DotOptions& options) {
+  if (graph.size() > options.max_tasks) return {};
+  std::ostringstream oss;
+  oss << "digraph \"" << graph.name() << "\" {\n"
+      << "  rankdir=TB;\n  node [shape=box, style=filled];\n";
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    const Task& t = graph.task(id);
+    oss << "  t" << id << " [label=\"" << kernel_name(t.kind) << ' ' << id;
+    if (options.show_times) {
+      oss << "\\np=" << util::format_double(t.cpu_time, 3)
+          << " q=" << util::format_double(t.gpu_time, 3);
+    }
+    oss << '"';
+    if (options.color_by_kind) oss << ", fillcolor=\"" << kind_color(t.kind) << '"';
+    oss << "];\n";
+  }
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    for (TaskId succ : graph.successors(id)) {
+      oss << "  t" << id << " -> t" << succ << ";\n";
+    }
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace hp

@@ -1,0 +1,21 @@
+#pragma once
+// Graphviz DOT export for task graphs (inspection / documentation).
+
+#include <string>
+
+#include "dag/task_graph.hpp"
+
+namespace hp {
+
+struct DotOptions {
+  bool show_times = true;      ///< annotate nodes with (p, q)
+  bool color_by_kind = true;   ///< one fill color per kernel kind
+  std::size_t max_tasks = 2000;  ///< refuse to render graphs bigger than this
+};
+
+/// Render `graph` as a DOT digraph. Returns an empty string if the graph
+/// exceeds options.max_tasks (DOT output of a 100k-node graph is useless).
+[[nodiscard]] std::string to_dot(const TaskGraph& graph,
+                                 const DotOptions& options = {});
+
+}  // namespace hp

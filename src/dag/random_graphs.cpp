@@ -1,0 +1,72 @@
+#include "dag/random_graphs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hp {
+
+namespace {
+
+Task draw_task(const UniformGenParams& params, util::Rng& rng) {
+  Task t;
+  t.cpu_time = rng.uniform(params.cpu_time_lo, params.cpu_time_hi);
+  t.gpu_time = t.cpu_time / rng.uniform(params.accel_lo, params.accel_hi);
+  return t;
+}
+
+}  // namespace
+
+TaskGraph random_layered_dag(const LayeredDagParams& params, util::Rng& rng) {
+  assert(params.layers >= 1 && params.width >= 1);
+  TaskGraph graph("layered");
+  std::vector<TaskId> previous;
+  for (int layer = 0; layer < params.layers; ++layer) {
+    std::vector<TaskId> current;
+    for (int i = 0; i < params.width; ++i) {
+      current.push_back(graph.add_task(draw_task(params.timing, rng)));
+    }
+    if (!previous.empty()) {
+      for (TaskId to : current) {
+        bool connected = false;
+        for (TaskId from : previous) {
+          if (rng.uniform01() < params.edge_probability) {
+            graph.add_edge(from, to);
+            connected = true;
+          }
+        }
+        if (!connected) {
+          // Guarantee a predecessor so only layer 0 holds entry tasks.
+          const TaskId from =
+              previous[rng.bounded(previous.size())];
+          graph.add_edge(from, to);
+        }
+      }
+    }
+    previous = std::move(current);
+  }
+  graph.finalize();
+  return graph;
+}
+
+TaskGraph random_sparse_dag(const SparseDagParams& params, util::Rng& rng) {
+  assert(params.num_tasks >= 1 && params.window >= 1);
+  TaskGraph graph("sparse");
+  for (std::size_t i = 0; i < params.num_tasks; ++i) {
+    graph.add_task(draw_task(params.timing, rng));
+  }
+  const double per_slot_probability =
+      std::min(1.0, params.avg_out_degree / params.window);
+  for (std::size_t i = 0; i < params.num_tasks; ++i) {
+    const std::size_t hi =
+        std::min(params.num_tasks, i + 1 + static_cast<std::size_t>(params.window));
+    for (std::size_t j = i + 1; j < hi; ++j) {
+      if (rng.uniform01() < per_slot_probability) {
+        graph.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(j));
+      }
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace hp

@@ -1,0 +1,38 @@
+#pragma once
+// Random task-graph generators — non-linear-algebra DAG shapes for property
+// tests and robustness experiments (the paper's algorithms must not depend
+// on the regular structure of the factorization DAGs).
+
+#include "dag/task_graph.hpp"
+#include "model/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+
+struct LayeredDagParams {
+  int layers = 6;
+  int width = 8;               ///< tasks per layer
+  double edge_probability = 0.35;  ///< per (prev-layer task, task) pair
+  UniformGenParams timing;     ///< task duration distribution
+};
+
+/// Layered DAG: edges only go from layer L to layer L+1; every non-entry
+/// task gets at least one predecessor (no accidental extra sources).
+[[nodiscard]] TaskGraph random_layered_dag(const LayeredDagParams& params,
+                                           util::Rng& rng);
+
+struct SparseDagParams {
+  std::size_t num_tasks = 50;
+  /// Expected number of successors per task (edges go forward in id order;
+  /// targets drawn uniformly from the next `window` tasks).
+  double avg_out_degree = 2.0;
+  int window = 12;
+  UniformGenParams timing;
+};
+
+/// Sparse random DAG over a topological spine (G(n, p) restricted to a
+/// forward window, so depth and width are both non-trivial).
+[[nodiscard]] TaskGraph random_sparse_dag(const SparseDagParams& params,
+                                          util::Rng& rng);
+
+}  // namespace hp

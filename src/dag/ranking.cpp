@@ -1,0 +1,77 @@
+#include "dag/ranking.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hp {
+
+const char* rank_scheme_name(RankScheme scheme) noexcept {
+  switch (scheme) {
+    case RankScheme::kAvg: return "avg";
+    case RankScheme::kMin: return "min";
+    case RankScheme::kFifo: return "fifo";
+  }
+  return "?";
+}
+
+double rank_weight(const Task& task, RankScheme scheme) noexcept {
+  switch (scheme) {
+    case RankScheme::kAvg: return 0.5 * (task.cpu_time + task.gpu_time);
+    case RankScheme::kMin: return task.min_time();
+    case RankScheme::kFifo: return 0.0;
+  }
+  return 0.0;
+}
+
+std::vector<double> bottom_levels(const TaskGraph& graph, RankScheme scheme) {
+  const std::vector<TaskId> order = graph.topological_order();
+  assert(graph.empty() || !order.empty());
+  std::vector<double> level(graph.size(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId id = *it;
+    double succ_max = 0.0;
+    for (TaskId succ : graph.successors(id)) {
+      succ_max = std::max(succ_max, level[static_cast<std::size_t>(succ)]);
+    }
+    level[static_cast<std::size_t>(id)] =
+        rank_weight(graph.task(id), scheme) + succ_max;
+  }
+  return level;
+}
+
+std::vector<double> top_levels(const TaskGraph& graph, RankScheme scheme) {
+  const std::vector<TaskId> order = graph.topological_order();
+  assert(graph.empty() || !order.empty());
+  std::vector<double> level(graph.size(), 0.0);
+  for (TaskId id : order) {
+    const double ready =
+        level[static_cast<std::size_t>(id)] + rank_weight(graph.task(id), scheme);
+    for (TaskId succ : graph.successors(id)) {
+      auto& l = level[static_cast<std::size_t>(succ)];
+      l = std::max(l, ready);
+    }
+  }
+  return level;
+}
+
+void assign_priorities(TaskGraph& graph, RankScheme scheme) {
+  if (scheme == RankScheme::kFifo) {
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      graph.task(static_cast<TaskId>(i)).priority = 0.0;
+    }
+    return;
+  }
+  const std::vector<double> levels = bottom_levels(graph, scheme);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    graph.task(static_cast<TaskId>(i)).priority = levels[i];
+  }
+}
+
+double critical_path(const TaskGraph& graph, RankScheme scheme) {
+  const std::vector<double> levels = bottom_levels(graph, scheme);
+  double best = 0.0;
+  for (double l : levels) best = std::max(best, l);
+  return best;
+}
+
+}  // namespace hp

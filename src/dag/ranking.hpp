@@ -1,0 +1,46 @@
+#pragma once
+// Task ranking schemes for DAG scheduling (§6.2).
+//
+// The paper compares two bottom-level weight schemes plus a no-priority
+// scheme:
+//   avg  — node weight is the mean of the CPU and GPU times (the weight used
+//          by standard HEFT on two resource types);
+//   min  — node weight is min(p, q), the "optimistic" variant;
+//   fifo — no offline priority; ties are broken by ready order (only used by
+//          DualHP in the paper).
+// The bottom level of a task is the maximum weight of a path from the task
+// to an exit task, inclusive.
+
+#include <vector>
+
+#include "dag/task_graph.hpp"
+
+namespace hp {
+
+enum class RankScheme { kAvg, kMin, kFifo };
+
+[[nodiscard]] const char* rank_scheme_name(RankScheme scheme) noexcept;
+
+/// Node weight of `task` under `scheme` (0 for kFifo).
+[[nodiscard]] double rank_weight(const Task& task, RankScheme scheme) noexcept;
+
+/// Bottom level of every task (max path weight to an exit, inclusive).
+/// Graph must be finalized and acyclic.
+[[nodiscard]] std::vector<double> bottom_levels(const TaskGraph& graph,
+                                                RankScheme scheme);
+
+/// Top level of every task: max path weight from an entry, exclusive of the
+/// task itself. With kMin weights this is a valid earliest-start bound on
+/// any platform.
+[[nodiscard]] std::vector<double> top_levels(const TaskGraph& graph,
+                                             RankScheme scheme);
+
+/// Set each task's priority to its bottom level (no-op for kFifo: priorities
+/// are set to 0 so ready order decides).
+void assign_priorities(TaskGraph& graph, RankScheme scheme);
+
+/// Critical-path length under `scheme` weights: max bottom level over entry
+/// tasks. With kMin weights this is a lower bound on any schedule's makespan.
+[[nodiscard]] double critical_path(const TaskGraph& graph, RankScheme scheme);
+
+}  // namespace hp

@@ -1,0 +1,28 @@
+#include "dag/ready_tracker.hpp"
+
+#include <cassert>
+
+namespace hp {
+
+ReadyTracker::ReadyTracker(const TaskGraph& graph)
+    : graph_(&graph), indegree_(graph.size()), remaining_(graph.size()) {
+  assert(graph.finalized());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    indegree_[i] = static_cast<std::int32_t>(graph.in_degree(static_cast<TaskId>(i)));
+    if (indegree_[i] == 0) initial_.push_back(static_cast<TaskId>(i));
+  }
+}
+
+std::vector<TaskId> ReadyTracker::complete(TaskId task) {
+  assert(remaining_ > 0);
+  --remaining_;
+  std::vector<TaskId> released;
+  for (TaskId succ : graph_->successors(task)) {
+    auto& deg = indegree_[static_cast<std::size_t>(succ)];
+    assert(deg > 0);
+    if (--deg == 0) released.push_back(succ);
+  }
+  return released;
+}
+
+}  // namespace hp

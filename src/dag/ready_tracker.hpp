@@ -1,0 +1,39 @@
+#pragma once
+// Ready-set maintenance for DAG scheduling.
+//
+// Tracks remaining in-degrees; completing a task releases its successors.
+// This is the piece a task-based runtime (StarPU et al.) maintains for the
+// scheduler: "the set of (independent) tasks whose all dependencies have
+// been solved" (§1).
+
+#include <vector>
+
+#include "dag/task_graph.hpp"
+
+namespace hp {
+
+class ReadyTracker {
+ public:
+  /// Graph must be finalized. Entry tasks are immediately ready.
+  explicit ReadyTracker(const TaskGraph& graph);
+
+  /// Tasks ready at construction (in-degree 0), in id order.
+  [[nodiscard]] const std::vector<TaskId>& initially_ready() const noexcept {
+    return initial_;
+  }
+
+  /// Mark `task` complete; returns the tasks that became ready, in id order.
+  std::vector<TaskId> complete(TaskId task);
+
+  /// Number of tasks not yet completed.
+  [[nodiscard]] std::size_t remaining() const noexcept { return remaining_; }
+  [[nodiscard]] bool done() const noexcept { return remaining_ == 0; }
+
+ private:
+  const TaskGraph* graph_;
+  std::vector<std::int32_t> indegree_;
+  std::vector<TaskId> initial_;
+  std::size_t remaining_;
+};
+
+}  // namespace hp

@@ -1,0 +1,80 @@
+#include "dag/task_graph.hpp"
+
+#include <algorithm>
+
+namespace hp {
+
+TaskId TaskGraph::add_task(Task task) {
+  finalized_ = false;
+  tasks_.push_back(task);
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to) {
+  assert(from >= 0 && static_cast<std::size_t>(from) < tasks_.size());
+  assert(to >= 0 && static_cast<std::size_t>(to) < tasks_.size());
+  assert(from != to);
+  finalized_ = false;
+  raw_edges_.emplace_back(from, to);
+}
+
+void TaskGraph::finalize() {
+  if (finalized_) return;
+  std::sort(raw_edges_.begin(), raw_edges_.end());
+  raw_edges_.erase(std::unique(raw_edges_.begin(), raw_edges_.end()),
+                   raw_edges_.end());
+  edge_count_ = raw_edges_.size();
+
+  const std::size_t n = tasks_.size();
+  succ_offset_.assign(n + 1, 0);
+  pred_offset_.assign(n + 1, 0);
+  for (const auto& [from, to] : raw_edges_) {
+    ++succ_offset_[static_cast<std::size_t>(from) + 1];
+    ++pred_offset_[static_cast<std::size_t>(to) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    succ_offset_[i + 1] += succ_offset_[i];
+    pred_offset_[i + 1] += pred_offset_[i];
+  }
+  succ_.resize(edge_count_);
+  pred_.resize(edge_count_);
+  std::vector<std::size_t> succ_fill(succ_offset_.begin(), succ_offset_.end() - 1);
+  std::vector<std::size_t> pred_fill(pred_offset_.begin(), pred_offset_.end() - 1);
+  for (const auto& [from, to] : raw_edges_) {
+    succ_[succ_fill[static_cast<std::size_t>(from)]++] = to;
+    pred_[pred_fill[static_cast<std::size_t>(to)]++] = from;
+  }
+  finalized_ = true;
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  assert(finalized_);
+  const std::size_t n = tasks_.size();
+  std::vector<std::size_t> indeg(n);
+  std::vector<TaskId> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    indeg[i] = in_degree(static_cast<TaskId>(i));
+    if (indeg[i] == 0) order.push_back(static_cast<TaskId>(i));
+  }
+  // Kahn's algorithm; `order` doubles as the work queue.
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (TaskId succ : successors(order[head])) {
+      if (--indeg[static_cast<std::size_t>(succ)] == 0) order.push_back(succ);
+    }
+  }
+  if (order.size() != n) order.clear();  // cycle
+  return order;
+}
+
+bool TaskGraph::is_dag() const {
+  return empty() || !topological_order().empty();
+}
+
+Instance TaskGraph::to_instance() const {
+  Instance inst(name_);
+  for (const Task& t : tasks_) inst.add(t);
+  return inst;
+}
+
+}  // namespace hp

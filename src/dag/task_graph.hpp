@@ -1,0 +1,97 @@
+#pragma once
+// Task graph (DAG) substrate.
+//
+// Nodes are Tasks (same model as independent instances); edges are
+// precedence constraints. Graphs are built incrementally (add_task /
+// add_edge) and then finalized into CSR adjacency for O(1) successor /
+// predecessor spans; the linear-algebra generators produce graphs with
+// ~N^3/3 tasks so compactness matters.
+
+#include <cassert>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/task.hpp"
+
+namespace hp {
+
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Append a task; returns its id. Invalidates finalization.
+  TaskId add_task(Task task);
+
+  /// Add the precedence edge from -> to. Duplicate edges are removed at
+  /// finalize(). Invalidates finalization.
+  void add_edge(TaskId from, TaskId to);
+
+  /// Build CSR adjacency. Must be called after construction and before any
+  /// successor/predecessor query. Idempotent.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edge_count_; }
+
+  [[nodiscard]] const Task& task(TaskId id) const noexcept {
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] Task& task(TaskId id) noexcept {
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::span<const Task> tasks() const noexcept { return tasks_; }
+
+  [[nodiscard]] std::span<const TaskId> successors(TaskId id) const noexcept {
+    assert(finalized_);
+    const auto i = static_cast<std::size_t>(id);
+    return {succ_.data() + succ_offset_[i], succ_offset_[i + 1] - succ_offset_[i]};
+  }
+  [[nodiscard]] std::span<const TaskId> predecessors(TaskId id) const noexcept {
+    assert(finalized_);
+    const auto i = static_cast<std::size_t>(id);
+    return {pred_.data() + pred_offset_[i], pred_offset_[i + 1] - pred_offset_[i]};
+  }
+
+  [[nodiscard]] std::size_t in_degree(TaskId id) const noexcept {
+    return predecessors(id).size();
+  }
+  [[nodiscard]] std::size_t out_degree(TaskId id) const noexcept {
+    return successors(id).size();
+  }
+
+  /// Topological order (Kahn). Empty result if the graph has a cycle and is
+  /// non-empty. Requires finalize().
+  [[nodiscard]] std::vector<TaskId> topological_order() const;
+
+  /// True iff acyclic. Requires finalize().
+  [[nodiscard]] bool is_dag() const;
+
+  /// Copy the tasks into an independent-task Instance (drops edges).
+  /// This is how Fig 6's "independent tasks" instances are derived from the
+  /// kernels' task sets (§6.1).
+  [[nodiscard]] Instance to_instance() const;
+
+ private:
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<std::pair<TaskId, TaskId>> raw_edges_;
+  std::size_t edge_count_ = 0;
+  bool finalized_ = false;
+
+  std::vector<std::size_t> succ_offset_;
+  std::vector<TaskId> succ_;
+  std::vector<std::size_t> pred_offset_;
+  std::vector<TaskId> pred_;
+};
+
+}  // namespace hp

@@ -1,0 +1,22 @@
+#include "dag/validation.hpp"
+
+#include <sstream>
+
+namespace hp {
+
+GraphCheck check_graph(const TaskGraph& graph) {
+  if (!graph.finalized()) return {false, "graph not finalized"};
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Task& t = graph.task(static_cast<TaskId>(i));
+    if (!(t.cpu_time > 0.0) || !(t.gpu_time > 0.0)) {
+      std::ostringstream oss;
+      oss << "task " << i << " has non-positive time (p=" << t.cpu_time
+          << ", q=" << t.gpu_time << ')';
+      return {false, oss.str()};
+    }
+  }
+  if (!graph.is_dag()) return {false, "graph has a cycle"};
+  return {};
+}
+
+}  // namespace hp

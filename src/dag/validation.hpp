@@ -1,0 +1,19 @@
+#pragma once
+// Structural validation of task graphs.
+
+#include <string>
+
+#include "dag/task_graph.hpp"
+
+namespace hp {
+
+struct GraphCheck {
+  bool ok = true;
+  std::string message;  ///< first problem found, empty when ok
+};
+
+/// Check that `graph` is a well-formed scheduling input: finalized, acyclic,
+/// strictly positive task times on both resources.
+[[nodiscard]] GraphCheck check_graph(const TaskGraph& graph);
+
+}  // namespace hp

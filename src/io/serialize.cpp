@@ -1,0 +1,163 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace hp::io {
+
+namespace {
+
+void emit_task_line(std::ostringstream& oss, const Task& t) {
+  oss << "task " << util::format_double(t.cpu_time, 9) << ' '
+      << util::format_double(t.gpu_time, 9);
+  if (t.priority != 0.0 || t.kind != KernelKind::kGeneric) {
+    oss << ' ' << util::format_double(t.priority, 9);
+  }
+  if (t.kind != KernelKind::kGeneric) {
+    oss << ' ' << kernel_name(t.kind);
+  }
+  oss << '\n';
+}
+
+std::string fail(std::string* error, int line_no, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + message;
+  }
+  return {};
+}
+
+/// Parse a "task p q [prio] [kind]" payload. Returns nullopt on error.
+std::optional<Task> parse_task(std::istringstream& fields) {
+  Task t;
+  if (!(fields >> t.cpu_time >> t.gpu_time)) return std::nullopt;
+  if (!(t.cpu_time > 0.0) || !(t.gpu_time > 0.0)) return std::nullopt;
+  std::string extra;
+  if (fields >> extra) {
+    try {
+      t.priority = std::stod(extra);
+      if (fields >> extra) t.kind = kernel_kind_from_name(extra);
+    } catch (...) {
+      t.kind = kernel_kind_from_name(extra);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string instance_to_text(const Instance& instance) {
+  std::ostringstream oss;
+  oss << "# hp-instance v1\n";
+  if (!instance.name().empty()) oss << "name " << instance.name() << '\n';
+  for (const Task& t : instance.tasks()) emit_task_line(oss, t);
+  return oss.str();
+}
+
+std::optional<Instance> instance_from_text(const std::string& text,
+                                           std::string* error) {
+  Instance instance;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "name") {
+      std::string name;
+      fields >> name;
+      instance.set_name(name);
+    } else if (keyword == "task") {
+      const auto task = parse_task(fields);
+      if (!task.has_value()) {
+        fail(error, line_no, "bad task line: " + line);
+        return std::nullopt;
+      }
+      instance.add(*task);
+    } else if (keyword == "edge") {
+      fail(error, line_no, "edges are not allowed in an instance file");
+      return std::nullopt;
+    } else {
+      fail(error, line_no, "unknown keyword '" + keyword + "'");
+      return std::nullopt;
+    }
+  }
+  return instance;
+}
+
+std::string graph_to_text(const TaskGraph& graph) {
+  std::ostringstream oss;
+  oss << "# hp-graph v1\n";
+  if (!graph.name().empty()) oss << "name " << graph.name() << '\n';
+  for (const Task& t : graph.tasks()) emit_task_line(oss, t);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    for (TaskId succ : graph.successors(static_cast<TaskId>(i))) {
+      oss << "edge " << i << ' ' << succ << '\n';
+    }
+  }
+  return oss.str();
+}
+
+std::optional<TaskGraph> graph_from_text(const std::string& text,
+                                         std::string* error) {
+  TaskGraph graph;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "name") {
+      std::string name;
+      fields >> name;
+      graph.set_name(name);
+    } else if (keyword == "task") {
+      const auto task = parse_task(fields);
+      if (!task.has_value()) {
+        fail(error, line_no, "bad task line: " + line);
+        return std::nullopt;
+      }
+      graph.add_task(*task);
+    } else if (keyword == "edge") {
+      long long from = -1, to = -1;
+      if (!(fields >> from >> to) || from < 0 || to < 0 ||
+          from >= static_cast<long long>(graph.size()) ||
+          to >= static_cast<long long>(graph.size()) || from == to) {
+        fail(error, line_no, "bad edge line: " + line);
+        return std::nullopt;
+      }
+      graph.add_edge(static_cast<TaskId>(from), static_cast<TaskId>(to));
+    } else {
+      fail(error, line_no, "unknown keyword '" + keyword + "'");
+      return std::nullopt;
+    }
+  }
+  graph.finalize();
+  if (!graph.is_dag() && !graph.empty()) {
+    fail(error, line_no, "graph has a cycle");
+    return std::nullopt;
+  }
+  return graph;
+}
+
+bool save_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+std::optional<std::string> load_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+}  // namespace hp::io

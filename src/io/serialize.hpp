@@ -1,0 +1,40 @@
+#pragma once
+// Plain-text serialization of instances and task graphs.
+//
+// Line-oriented format, '#' comments, whitespace-separated fields:
+//
+//   # hp-instance v1            |  # hp-graph v1
+//   name my-instance            |  name my-graph
+//   task <p> <q> [prio] [kind]  |  task <p> <q> [prio] [kind]
+//   ...                         |  edge <from> <to>
+//
+// Task ids are implicit (declaration order). Used by the CLI tool and for
+// exchanging workloads (e.g. real measured timings) with other tools.
+
+#include <optional>
+#include <string>
+
+#include "dag/task_graph.hpp"
+#include "model/instance.hpp"
+
+namespace hp::io {
+
+[[nodiscard]] std::string instance_to_text(const Instance& instance);
+
+/// Parse; on failure returns nullopt and, if `error` is non-null, a
+/// human-readable message with the offending line number.
+[[nodiscard]] std::optional<Instance> instance_from_text(
+    const std::string& text, std::string* error = nullptr);
+
+[[nodiscard]] std::string graph_to_text(const TaskGraph& graph);
+
+/// Parse; the returned graph is finalized.
+[[nodiscard]] std::optional<TaskGraph> graph_from_text(
+    const std::string& text, std::string* error = nullptr);
+
+/// Whole-file helpers.
+[[nodiscard]] bool save_text_file(const std::string& path,
+                                  const std::string& content);
+[[nodiscard]] std::optional<std::string> load_text_file(const std::string& path);
+
+}  // namespace hp::io

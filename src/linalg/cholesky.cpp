@@ -1,0 +1,37 @@
+#include "linalg/cholesky.hpp"
+
+#include <cassert>
+
+#include "linalg/tile_dag_builder.hpp"
+
+namespace hp {
+
+TaskGraph cholesky_dag(int tiles, const TimingModel& model) {
+  assert(tiles >= 1);
+  TileDagBuilder builder("cholesky-" + std::to_string(tiles));
+
+  for (int k = 0; k < tiles; ++k) {
+    {
+      const Tile akk{k, k};
+      builder.add(model.make_task(KernelKind::kPotrf), {}, {{akk}});
+    }
+    for (int i = k + 1; i < tiles; ++i) {
+      const Tile akk{k, k};
+      const Tile aik{i, k};
+      builder.add(model.make_task(KernelKind::kTrsm), {{akk}}, {{aik}});
+    }
+    for (int i = k + 1; i < tiles; ++i) {
+      const Tile aik{i, k};
+      const Tile aii{i, i};
+      builder.add(model.make_task(KernelKind::kSyrk), {{aik}}, {{aii}});
+      for (int j = k + 1; j < i; ++j) {
+        const Tile ajk{j, k};
+        const Tile aij{i, j};
+        builder.add(model.make_task(KernelKind::kGemm), {{aik, ajk}}, {{aij}});
+      }
+    }
+  }
+  return builder.take();
+}
+
+}  // namespace hp

@@ -1,0 +1,28 @@
+#pragma once
+// Tiled Cholesky factorization DAG (right-looking, lower triangular).
+//
+// Kernels per elimination step k: DPOTRF(k), DTRSM(i,k) for i>k, and the
+// trailing update DSYRK(i,k) / DGEMM(i,j,k) for i>j>k — the workload of the
+// paper's Table 1 and of the Cholesky panels of Figs 6-9.
+//
+// Task counts for N tiles: N POTRF, N(N-1)/2 TRSM, N(N-1)/2 SYRK,
+// N(N-1)(N-2)/6 GEMM.
+
+#include "dag/task_graph.hpp"
+#include "linalg/kernel_timings.hpp"
+
+namespace hp {
+
+/// Number of tasks of the N-tile Cholesky DAG.
+[[nodiscard]] constexpr std::size_t cholesky_task_count(int tiles) noexcept {
+  const auto n = static_cast<std::size_t>(tiles);
+  return n + n * (n - 1) / 2 + n * (n - 1) / 2 + n * (n - 1) * (n - 2) / 6;
+}
+
+/// Build the DAG for an N-tile Cholesky factorization. The graph is
+/// finalized; priorities are left at 0 (use assign_priorities).
+[[nodiscard]] TaskGraph cholesky_dag(int tiles,
+                                     const TimingModel& model =
+                                         TimingModel::chameleon_960());
+
+}  // namespace hp

@@ -1,0 +1,129 @@
+#include "linalg/fmm.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace hp {
+
+namespace {
+
+/// Cells per level: branching^level.
+std::vector<std::size_t> cells_per_level(const FmmParams& params) {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(params.depth), 1);
+  for (int level = 1; level < params.depth; ++level) {
+    counts[static_cast<std::size_t>(level)] =
+        counts[static_cast<std::size_t>(level - 1)] *
+        static_cast<std::size_t>(params.branching);
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::size_t fmm_task_count(const FmmParams& params) noexcept {
+  const auto counts = cells_per_level(params);
+  const std::size_t leaves = counts.back();
+  std::size_t internal = 0;
+  for (int level = 0; level < params.depth - 1; ++level) {
+    internal += counts[static_cast<std::size_t>(level)];
+  }
+  std::size_t transfer_cells = 0;  // levels 2..depth-1 get M2L and a down task
+  for (int level = 2; level < params.depth; ++level) {
+    transfer_cells += counts[static_cast<std::size_t>(level)];
+  }
+  // P2M + L2P + P2P per leaf, M2M per internal cell, M2L + L2L per
+  // transfer-level cell.
+  return 3 * leaves + internal + 2 * transfer_cells;
+}
+
+TaskGraph fmm_dag(const FmmParams& params, const TimingModel& model) {
+  assert(params.depth >= 3);
+  assert(params.branching >= 2);
+  const int depth = params.depth;
+  const int leaf_level = depth - 1;
+  const auto counts = cells_per_level(params);
+
+  TaskGraph graph("fmm-d" + std::to_string(depth) + "-b" +
+                  std::to_string(params.branching));
+
+  // upward[level][cell] = P2M (leaves) or M2M (internal) task id.
+  std::vector<std::vector<TaskId>> upward(static_cast<std::size_t>(depth));
+  for (int level = depth - 1; level >= 0; --level) {
+    auto& row = upward[static_cast<std::size_t>(level)];
+    row.resize(counts[static_cast<std::size_t>(level)]);
+    for (std::size_t cell = 0; cell < row.size(); ++cell) {
+      if (level == leaf_level) {
+        row[cell] = graph.add_task(model.make_task(KernelKind::kP2M));
+      } else {
+        row[cell] = graph.add_task(model.make_task(KernelKind::kM2M));
+        const auto& children = upward[static_cast<std::size_t>(level + 1)];
+        for (int c = 0; c < params.branching; ++c) {
+          graph.add_edge(
+              children[cell * static_cast<std::size_t>(params.branching) +
+                       static_cast<std::size_t>(c)],
+              row[cell]);
+        }
+      }
+    }
+  }
+
+  // Transfer + downward passes for levels 2..depth-1.
+  // down[level][cell]: the L2L task combining the parent's local expansion
+  // with the cell's own M2L.
+  std::vector<std::vector<TaskId>> m2l(static_cast<std::size_t>(depth));
+  std::vector<std::vector<TaskId>> down(static_cast<std::size_t>(depth));
+  for (int level = 2; level < depth; ++level) {
+    const std::size_t cells = counts[static_cast<std::size_t>(level)];
+    auto& m2l_row = m2l[static_cast<std::size_t>(level)];
+    auto& down_row = down[static_cast<std::size_t>(level)];
+    m2l_row.resize(cells);
+    down_row.resize(cells);
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      m2l_row[cell] = graph.add_task(model.make_task(KernelKind::kM2L));
+      // Interaction list: same-level cells at index distance 1..k around
+      // `cell` (a 1-D flattening of the well-separated neighborhood).
+      int added = 0;
+      for (int offset = 1; added < params.interactions; ++offset) {
+        bool any = false;
+        const std::size_t off = static_cast<std::size_t>(offset);
+        if (cell >= off) {
+          graph.add_edge(upward[static_cast<std::size_t>(level)][cell - off],
+                         m2l_row[cell]);
+          ++added;
+          any = true;
+        }
+        if (added < params.interactions && cell + off < cells) {
+          graph.add_edge(upward[static_cast<std::size_t>(level)][cell + off],
+                         m2l_row[cell]);
+          ++added;
+          any = true;
+        }
+        if (!any) break;  // level too small for more interactions
+      }
+
+      down_row[cell] = graph.add_task(model.make_task(KernelKind::kL2L));
+      graph.add_edge(m2l_row[cell], down_row[cell]);
+      if (level > 2) {
+        const std::size_t parent =
+            cell / static_cast<std::size_t>(params.branching);
+        graph.add_edge(down[static_cast<std::size_t>(level - 1)][parent],
+                       down_row[cell]);
+      }
+    }
+  }
+
+  // Leaf finalization: L2P after the leaf's down task; P2P independent.
+  const std::size_t leaves = counts.back();
+  for (std::size_t cell = 0; cell < leaves; ++cell) {
+    const TaskId l2p = graph.add_task(model.make_task(KernelKind::kL2P));
+    graph.add_edge(down[static_cast<std::size_t>(leaf_level)][cell], l2p);
+  }
+  for (std::size_t cell = 0; cell < leaves; ++cell) {
+    graph.add_task(model.make_task(KernelKind::kP2P));
+  }
+
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace hp

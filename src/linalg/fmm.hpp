@@ -1,0 +1,44 @@
+#pragma once
+// Fast Multipole Method task graph — the workload HeteroPrio was originally
+// designed for (§1: "proposed in the context of fast multipole
+// computations", in ScalFMM on StarPU).
+//
+// We model a uniform tree of configurable depth and branching factor with
+// the classic FMM phases:
+//   upward   — P2M per leaf, M2M per internal cell (children -> parent);
+//   transfer — M2L per cell below level 2, fed by the upward tasks of the
+//              cells in its interaction list (well-separated same-level
+//              cells; modeled by index distance with a configurable list
+//              size);
+//   downward — L2L per cell (parent -> children, joined with the cell's own
+//              M2L), L2P per leaf;
+//   direct   — P2P per leaf (near field), independent of the tree passes.
+//
+// The affinity structure is what matters for the scheduler: P2P is
+// massively GPU-friendly, M2L moderately, the tree passes are small and
+// CPU-competitive (see TimingModel::chameleon_960).
+
+#include <cstddef>
+
+#include "dag/task_graph.hpp"
+#include "linalg/kernel_timings.hpp"
+
+namespace hp {
+
+struct FmmParams {
+  int depth = 4;      ///< tree levels 0..depth-1; leaves at depth-1; >= 3
+  int branching = 8;  ///< children per cell (8 = octree, 4 = quadtree)
+  /// Interaction-list size per cell (number of same-level M2L sources,
+  /// capped by the cells available at that level).
+  int interactions = 12;
+};
+
+/// Number of tasks fmm_dag(params) will generate.
+[[nodiscard]] std::size_t fmm_task_count(const FmmParams& params) noexcept;
+
+/// Build the FMM DAG. Finalized; priorities 0.
+[[nodiscard]] TaskGraph fmm_dag(const FmmParams& params,
+                                const TimingModel& model =
+                                    TimingModel::chameleon_960());
+
+}  // namespace hp

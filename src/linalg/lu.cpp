@@ -1,0 +1,37 @@
+#include "linalg/lu.hpp"
+
+#include <cassert>
+
+#include "linalg/tile_dag_builder.hpp"
+
+namespace hp {
+
+TaskGraph lu_dag(int tiles, const TimingModel& model) {
+  assert(tiles >= 1);
+  TileDagBuilder builder("lu-" + std::to_string(tiles));
+
+  for (int k = 0; k < tiles; ++k) {
+    {
+      const Tile akk{k, k};
+      builder.add(model.make_task(KernelKind::kGetrf), {}, {{akk}});
+    }
+    for (int j = k + 1; j < tiles; ++j) {
+      const Tile akk{k, k};
+      const Tile akj{k, j};
+      builder.add(model.make_task(KernelKind::kGessm), {{akk}}, {{akj}});
+    }
+    for (int i = k + 1; i < tiles; ++i) {
+      const Tile akk{k, k};
+      const Tile aik{i, k};
+      builder.add(model.make_task(KernelKind::kTstrf), {}, {{akk, aik}});
+      for (int j = k + 1; j < tiles; ++j) {
+        const Tile akj{k, j};
+        const Tile aij{i, j};
+        builder.add(model.make_task(KernelKind::kSsssm), {{aik}}, {{akj, aij}});
+      }
+    }
+  }
+  return builder.take();
+}
+
+}  // namespace hp

@@ -1,0 +1,26 @@
+#pragma once
+// Tiled LU factorization DAG with incremental pivoting (PLASMA-style).
+//
+// Kernels per step k: DGETRF(k) factors the diagonal tile; DGESSM(k,j)
+// applies its pivoting/L to row k; DTSTRF(i,k) folds tile (i,k) into the
+// panel (sequential chain, updates (k,k)); DSSSSM(i,j,k) applies each fold
+// to the trailing tiles.
+//
+// Same task-count structure as QR: N GETRF, N(N-1)/2 GESSM, N(N-1)/2 TSTRF,
+// N(N-1)(2N-1)/6 SSSSM.
+
+#include "dag/task_graph.hpp"
+#include "linalg/kernel_timings.hpp"
+
+namespace hp {
+
+[[nodiscard]] constexpr std::size_t lu_task_count(int tiles) noexcept {
+  const auto n = static_cast<std::size_t>(tiles);
+  return n + n * (n - 1) / 2 + n * (n - 1) / 2 + (n - 1) * n * (2 * n - 1) / 6;
+}
+
+/// Build the DAG for an N-tile LU factorization. Finalized; priorities 0.
+[[nodiscard]] TaskGraph lu_dag(int tiles, const TimingModel& model =
+                                              TimingModel::chameleon_960());
+
+}  // namespace hp

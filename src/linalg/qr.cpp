@@ -1,0 +1,87 @@
+#include "linalg/qr.hpp"
+
+#include <cassert>
+
+#include "linalg/tile_dag_builder.hpp"
+
+namespace hp {
+
+TaskGraph qr_dag(int tiles, const TimingModel& model) {
+  assert(tiles >= 1);
+  TileDagBuilder builder("qr-" + std::to_string(tiles));
+
+  for (int k = 0; k < tiles; ++k) {
+    {
+      const Tile akk{k, k};
+      builder.add(model.make_task(KernelKind::kGeqrt), {}, {{akk}});
+    }
+    for (int j = k + 1; j < tiles; ++j) {
+      const Tile akk{k, k};
+      const Tile akj{k, j};
+      builder.add(model.make_task(KernelKind::kOrmqr), {{akk}}, {{akj}});
+    }
+    for (int i = k + 1; i < tiles; ++i) {
+      // TSQRT folds tile (i,k) into the panel; updates both (k,k) and (i,k),
+      // which serializes the chain down the column.
+      const Tile akk{k, k};
+      const Tile aik{i, k};
+      builder.add(model.make_task(KernelKind::kTsqrt), {}, {{akk, aik}});
+      for (int j = k + 1; j < tiles; ++j) {
+        const Tile akj{k, j};
+        const Tile aij{i, j};
+        builder.add(model.make_task(KernelKind::kTsmqr), {{aik}}, {{akj, aij}});
+      }
+    }
+  }
+  return builder.take();
+}
+
+std::size_t qr_binary_task_count(int tiles) noexcept {
+  std::size_t count = 0;
+  for (int k = 0; k < tiles; ++k) {
+    const int rows = tiles - k;
+    const int cols = tiles - 1 - k;
+    count += static_cast<std::size_t>(rows) * (1 + static_cast<std::size_t>(cols));
+    // Binary-tree merges: rows-1 TTQRT, each with `cols` TTMQR updates.
+    count += static_cast<std::size_t>(rows - 1) *
+             (1 + static_cast<std::size_t>(cols));
+  }
+  return count;
+}
+
+TaskGraph qr_binary_dag(int tiles, const TimingModel& model) {
+  assert(tiles >= 1);
+  TileDagBuilder builder("qr-tt-" + std::to_string(tiles));
+
+  for (int k = 0; k < tiles; ++k) {
+    // Independent panel factorizations, one per tile row.
+    for (int i = k; i < tiles; ++i) {
+      const Tile aik{i, k};
+      builder.add(model.make_task(KernelKind::kGeqrt), {}, {{aik}});
+      for (int j = k + 1; j < tiles; ++j) {
+        const Tile aij{i, j};
+        builder.add(model.make_task(KernelKind::kOrmqr), {{aik}}, {{aij}});
+      }
+    }
+    // Binary-tree merge of the triangular factors: at distance d, row i
+    // absorbs row i+d (both triangular), with TTMQR updating both rows'
+    // trailing tiles.
+    for (int dist = 1; k + dist < tiles; dist *= 2) {
+      for (int i = k; i + dist < tiles; i += 2 * dist) {
+        const int partner = i + dist;
+        const Tile aik{i, k};
+        const Tile apk{partner, k};
+        builder.add(model.make_task(KernelKind::kTtqrt), {}, {{aik, apk}});
+        for (int j = k + 1; j < tiles; ++j) {
+          const Tile aij{i, j};
+          const Tile apj{partner, j};
+          builder.add(model.make_task(KernelKind::kTtmqr), {{apk}},
+                      {{aij, apj}});
+        }
+      }
+    }
+  }
+  return builder.take();
+}
+
+}  // namespace hp

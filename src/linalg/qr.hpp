@@ -1,0 +1,38 @@
+#pragma once
+// Tiled QR factorization DAG (flat reduction tree, PLASMA/Chameleon style).
+//
+// Kernels per step k: DGEQRT(k) factors the diagonal tile; DORMQR(k,j)
+// applies it to row k; DTSQRT(i,k) incrementally folds tile (i,k) into the
+// panel (a sequential chain down the column); DTSMQR(i,j,k) applies each
+// fold to the trailing tiles of rows k and i.
+//
+// Task counts for N tiles: N GEQRT, N(N-1)/2 ORMQR, N(N-1)/2 TSQRT,
+// N(N-1)(2N-1)/6 TSMQR.
+
+#include "dag/task_graph.hpp"
+#include "linalg/kernel_timings.hpp"
+
+namespace hp {
+
+[[nodiscard]] constexpr std::size_t qr_task_count(int tiles) noexcept {
+  const auto n = static_cast<std::size_t>(tiles);
+  return n + n * (n - 1) / 2 + n * (n - 1) / 2 + (n - 1) * n * (2 * n - 1) / 6;
+}
+
+/// Build the DAG for an N-tile QR factorization. Finalized; priorities 0.
+[[nodiscard]] TaskGraph qr_dag(int tiles, const TimingModel& model =
+                                              TimingModel::chameleon_960());
+
+/// Binary-reduction-tree variant (PLASMA's TT kernels): every tile of the
+/// panel is factored independently (GEQRT + ORMQR row updates), then pairs
+/// of rows are merged by DTTQRT/DTTMQR along a binary tree. Shorter critical
+/// path and far more parallelism in the panel than the flat TS chain —
+/// a different DAG shape to stress the schedulers with.
+[[nodiscard]] TaskGraph qr_binary_dag(int tiles,
+                                      const TimingModel& model =
+                                          TimingModel::chameleon_960());
+
+/// Number of tasks of qr_binary_dag(tiles).
+[[nodiscard]] std::size_t qr_binary_task_count(int tiles) noexcept;
+
+}  // namespace hp

@@ -1,0 +1,34 @@
+#include "linalg/tile_dag_builder.hpp"
+
+namespace hp {
+
+TaskId TileDagBuilder::add(Task task, std::span<const Tile> reads,
+                           std::span<const Tile> writes) {
+  const TaskId id = graph_.add_task(task);
+  for (const Tile tile : reads) {
+    TileState& state = tiles_[key(tile)];
+    if (state.last_writer != kInvalidTask) {
+      graph_.add_edge(state.last_writer, id);
+    }
+    state.readers_since_write.push_back(id);
+  }
+  for (const Tile tile : writes) {
+    TileState& state = tiles_[key(tile)];
+    if (state.last_writer != kInvalidTask) {
+      graph_.add_edge(state.last_writer, id);
+    }
+    for (const TaskId reader : state.readers_since_write) {
+      if (reader != id) graph_.add_edge(reader, id);
+    }
+    state.last_writer = id;
+    state.readers_since_write.clear();
+  }
+  return id;
+}
+
+TaskGraph TileDagBuilder::take() {
+  graph_.finalize();
+  return std::move(graph_);
+}
+
+}  // namespace hp

@@ -1,0 +1,54 @@
+#pragma once
+// Dataflow DAG construction over a tiled matrix.
+//
+// The tiled factorization generators declare, for every kernel call, which
+// tiles it reads and which it writes. Dependencies are inferred the way a
+// sequential-task-flow runtime (StarPU, QUARK, PaRSEC's DTD) does:
+//   read  -> edge from the tile's last writer (RAW);
+//   write -> edges from the tile's last writer (WAW) and from every reader
+//            since that write (WAR).
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "linalg/kernel_timings.hpp"
+
+namespace hp {
+
+/// Tile coordinate in the matrix (block row, block column).
+struct Tile {
+  int i = 0;
+  int j = 0;
+};
+
+class TileDagBuilder {
+ public:
+  explicit TileDagBuilder(std::string name) : graph_(std::move(name)) {}
+
+  /// Add one kernel call. Tiles in `reads` are read, tiles in `writes` are
+  /// read+written (all these kernels update in place). Returns the task id.
+  TaskId add(Task task, std::span<const Tile> reads,
+             std::span<const Tile> writes);
+
+  /// Finalize and take the graph.
+  [[nodiscard]] TaskGraph take();
+
+ private:
+  struct TileState {
+    TaskId last_writer = kInvalidTask;
+    std::vector<TaskId> readers_since_write;
+  };
+
+  static std::uint64_t key(Tile t) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.i)) << 32) |
+           static_cast<std::uint32_t>(t.j);
+  }
+
+  TaskGraph graph_;
+  std::unordered_map<std::uint64_t, TileState> tiles_;
+};
+
+}  // namespace hp

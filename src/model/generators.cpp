@@ -1,0 +1,45 @@
+#include "model/generators.hpp"
+
+namespace hp {
+
+Instance uniform_instance(const UniformGenParams& params, util::Rng& rng) {
+  Instance inst("uniform");
+  for (std::size_t i = 0; i < params.num_tasks; ++i) {
+    Task t;
+    t.cpu_time = rng.uniform(params.cpu_time_lo, params.cpu_time_hi);
+    const double accel = rng.uniform(params.accel_lo, params.accel_hi);
+    t.gpu_time = t.cpu_time / accel;
+    inst.add(t);
+  }
+  return inst;
+}
+
+Instance bimodal_instance(std::size_t num_tasks, double gpu_friendly_fraction,
+                          util::Rng& rng) {
+  Instance inst("bimodal");
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    Task t;
+    t.cpu_time = rng.uniform(1.0, 20.0);
+    const bool gpu_friendly = rng.uniform01() < gpu_friendly_fraction;
+    const double accel =
+        gpu_friendly ? rng.uniform(10.0, 30.0) : rng.uniform(0.3, 2.0);
+    t.gpu_time = t.cpu_time / accel;
+    inst.add(t);
+  }
+  return inst;
+}
+
+Instance uniform_accel_instance(std::size_t num_tasks, double accel,
+                                double cpu_time_lo, double cpu_time_hi,
+                                util::Rng& rng) {
+  Instance inst("uniform-accel");
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    Task t;
+    t.cpu_time = rng.uniform(cpu_time_lo, cpu_time_hi);
+    t.gpu_time = t.cpu_time / accel;
+    inst.add(t);
+  }
+  return inst;
+}
+
+}  // namespace hp

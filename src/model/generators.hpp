@@ -1,0 +1,42 @@
+#pragma once
+// Random instance generators for tests and overhead benches.
+//
+// These are *not* the paper's workloads (those come from src/linalg); they
+// provide controlled random instances for property tests (approximation-
+// ratio sweeps against the exact optimum) and for measuring scheduler
+// overhead at scale.
+
+#include <cstdint>
+
+#include "model/instance.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+
+/// Parameters of the uniform random generator.
+struct UniformGenParams {
+  std::size_t num_tasks = 16;
+  double cpu_time_lo = 0.5;   ///< p_i ~ U[cpu_time_lo, cpu_time_hi]
+  double cpu_time_hi = 10.0;
+  double accel_lo = 0.2;      ///< rho_i ~ U[accel_lo, accel_hi]; q_i = p_i/rho_i
+  double accel_hi = 30.0;
+};
+
+/// Tasks with uniform CPU times and uniform acceleration factors.
+[[nodiscard]] Instance uniform_instance(const UniformGenParams& params,
+                                        util::Rng& rng);
+
+/// A "bimodal" instance mimicking mixed kernels: a fraction of tasks is
+/// strongly GPU-friendly (rho in [10, 30]), the rest CPU-friendly
+/// (rho in [0.3, 2]). Exercises the affinity-based split.
+[[nodiscard]] Instance bimodal_instance(std::size_t num_tasks,
+                                        double gpu_friendly_fraction,
+                                        util::Rng& rng);
+
+/// Instance where all tasks have the same acceleration factor (the two
+/// resource types become uniformly related). Useful for edge-case tests.
+[[nodiscard]] Instance uniform_accel_instance(std::size_t num_tasks,
+                                              double accel, double cpu_time_lo,
+                                              double cpu_time_hi, util::Rng& rng);
+
+}  // namespace hp

@@ -1,0 +1,25 @@
+#include "model/instance.hpp"
+
+#include <algorithm>
+
+namespace hp {
+
+double Instance::total_cpu_work() const noexcept {
+  double sum = 0.0;
+  for (const Task& t : tasks_) sum += t.cpu_time;
+  return sum;
+}
+
+double Instance::total_gpu_work() const noexcept {
+  double sum = 0.0;
+  for (const Task& t : tasks_) sum += t.gpu_time;
+  return sum;
+}
+
+double Instance::max_min_time() const noexcept {
+  double best = 0.0;
+  for (const Task& t : tasks_) best = std::max(best, t.min_time());
+  return best;
+}
+
+}  // namespace hp

@@ -1,0 +1,55 @@
+#pragma once
+// An instance of the independent-task scheduling problem: a named set of
+// tasks. TaskIds index into the task vector.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/task.hpp"
+
+namespace hp {
+
+/// A set of independent tasks (the paper's instance I).
+class Instance {
+ public:
+  Instance() = default;
+  explicit Instance(std::string name) : name_(std::move(name)) {}
+  Instance(std::string name, std::vector<Task> tasks)
+      : name_(std::move(name)), tasks_(std::move(tasks)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Append a task; returns its id.
+  TaskId add(Task task) {
+    tasks_.push_back(task);
+    return static_cast<TaskId>(tasks_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+  [[nodiscard]] const Task& operator[](TaskId id) const noexcept {
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] Task& operator[](TaskId id) noexcept {
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] std::span<const Task> tasks() const noexcept { return tasks_; }
+  [[nodiscard]] std::span<Task> tasks() noexcept { return tasks_; }
+
+  /// Sum of p_i over all tasks.
+  [[nodiscard]] double total_cpu_work() const noexcept;
+  /// Sum of q_i over all tasks.
+  [[nodiscard]] double total_gpu_work() const noexcept;
+  /// max over tasks of min(p_i, q_i): a lower bound on any makespan.
+  [[nodiscard]] double max_min_time() const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace hp

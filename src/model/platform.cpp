@@ -1,0 +1,9 @@
+#include "model/platform.hpp"
+
+namespace hp {
+
+const char* resource_name(Resource r) noexcept {
+  return r == Resource::kCpu ? "CPU" : "GPU";
+}
+
+}  // namespace hp

@@ -1,0 +1,64 @@
+#pragma once
+// Platform model: m CPU workers and n GPU workers (§4.1).
+//
+// Workers are numbered 0..m-1 (CPUs) then m..m+n-1 (GPUs). All workers of a
+// type are identical; the two types are unrelated (a task's time depends on
+// the type only).
+
+#include <cassert>
+#include <cstdint>
+
+#include "model/task.hpp"
+
+namespace hp {
+
+using WorkerId = std::int32_t;
+
+enum class Resource : std::uint8_t { kCpu = 0, kGpu = 1 };
+
+/// The other resource type.
+[[nodiscard]] constexpr Resource other(Resource r) noexcept {
+  return r == Resource::kCpu ? Resource::kGpu : Resource::kCpu;
+}
+
+[[nodiscard]] const char* resource_name(Resource r) noexcept;
+
+/// An (m CPUs, n GPUs) node.
+class Platform {
+ public:
+  Platform(int num_cpus, int num_gpus) : m_(num_cpus), n_(num_gpus) {
+    assert(num_cpus >= 0 && num_gpus >= 0 && num_cpus + num_gpus > 0);
+  }
+
+  [[nodiscard]] int cpus() const noexcept { return m_; }
+  [[nodiscard]] int gpus() const noexcept { return n_; }
+  [[nodiscard]] int workers() const noexcept { return m_ + n_; }
+
+  /// Number of workers of the given type.
+  [[nodiscard]] int count(Resource r) const noexcept {
+    return r == Resource::kCpu ? m_ : n_;
+  }
+
+  [[nodiscard]] Resource type_of(WorkerId w) const noexcept {
+    assert(w >= 0 && w < workers());
+    return w < m_ ? Resource::kCpu : Resource::kGpu;
+  }
+
+  /// First worker id of the given type.
+  [[nodiscard]] WorkerId first(Resource r) const noexcept {
+    return r == Resource::kCpu ? 0 : m_;
+  }
+
+  /// Processing time of `task` on a worker of type `r`.
+  [[nodiscard]] static double time_on(const Task& task, Resource r) noexcept {
+    return r == Resource::kCpu ? task.cpu_time : task.gpu_time;
+  }
+
+  friend bool operator==(const Platform&, const Platform&) = default;
+
+ private:
+  int m_;
+  int n_;
+};
+
+}  // namespace hp

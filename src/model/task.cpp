@@ -1,0 +1,40 @@
+#include "model/task.hpp"
+
+namespace hp {
+
+KernelKind kernel_kind_from_name(const std::string& name) noexcept {
+  for (std::size_t k = 0; k < kNumKernelKinds; ++k) {
+    const auto kind = static_cast<KernelKind>(k);
+    if (name == kernel_name(kind)) return kind;
+  }
+  return KernelKind::kGeneric;
+}
+
+const char* kernel_name(KernelKind kind) noexcept {
+  switch (kind) {
+    case KernelKind::kGeneric: return "TASK";
+    case KernelKind::kPotrf: return "DPOTRF";
+    case KernelKind::kTrsm: return "DTRSM";
+    case KernelKind::kSyrk: return "DSYRK";
+    case KernelKind::kGemm: return "DGEMM";
+    case KernelKind::kGeqrt: return "DGEQRT";
+    case KernelKind::kOrmqr: return "DORMQR";
+    case KernelKind::kTsqrt: return "DTSQRT";
+    case KernelKind::kTsmqr: return "DTSMQR";
+    case KernelKind::kGetrf: return "DGETRF";
+    case KernelKind::kGessm: return "DGESSM";
+    case KernelKind::kTstrf: return "DTSTRF";
+    case KernelKind::kSsssm: return "DSSSSM";
+    case KernelKind::kTtqrt: return "DTTQRT";
+    case KernelKind::kTtmqr: return "DTTMQR";
+    case KernelKind::kP2M: return "P2M";
+    case KernelKind::kM2M: return "M2M";
+    case KernelKind::kM2L: return "M2L";
+    case KernelKind::kL2L: return "L2L";
+    case KernelKind::kL2P: return "L2P";
+    case KernelKind::kP2P: return "P2P";
+  }
+  return "?";
+}
+
+}  // namespace hp

@@ -1,0 +1,79 @@
+#pragma once
+// Task model of the paper (§4.1).
+//
+// A task T_i has a processing time p_i on a CPU and q_i on a GPU; its
+// acceleration factor is rho_i = p_i / q_i (may be < 1 when the CPU is
+// faster). Tasks additionally carry an offline priority used for
+// tie-breaking (§2.2 and §6.2) and a kernel kind for reporting.
+
+#include <cstdint>
+#include <string>
+
+namespace hp {
+
+using TaskId = std::int32_t;
+constexpr TaskId kInvalidTask = -1;
+
+/// Kernel kinds of the linear-algebra workloads plus a generic kind.
+/// Only used for reporting; scheduling decisions never look at the kind.
+enum class KernelKind : std::int16_t {
+  kGeneric = 0,
+  // Cholesky
+  kPotrf,
+  kTrsm,
+  kSyrk,
+  kGemm,
+  // QR (flat tree)
+  kGeqrt,
+  kOrmqr,
+  kTsqrt,
+  kTsmqr,
+  // LU (incremental, PLASMA-style)
+  kGetrf,
+  kGessm,
+  kTstrf,
+  kSsssm,
+  // QR, binary reduction tree (triangle-on-top-of-triangle kernels)
+  kTtqrt,
+  kTtmqr,
+  // Fast multipole method (the workload HeteroPrio was designed for, §1)
+  kP2M,
+  kM2M,
+  kM2L,
+  kL2L,
+  kL2P,
+  kP2P,
+};
+
+/// Number of kernel kinds (for table sizing).
+inline constexpr std::size_t kNumKernelKinds =
+    static_cast<std::size_t>(KernelKind::kP2P) + 1;
+
+/// Printable name of a kernel kind (e.g. "DGEMM").
+[[nodiscard]] const char* kernel_name(KernelKind kind) noexcept;
+
+/// Inverse of kernel_name: returns kGeneric for unknown names.
+[[nodiscard]] KernelKind kernel_kind_from_name(const std::string& name) noexcept;
+
+/// One schedulable task.
+struct Task {
+  double cpu_time = 0.0;  ///< p_i: processing time on one CPU core
+  double gpu_time = 0.0;  ///< q_i: processing time on one GPU
+  double priority = 0.0;  ///< offline priority, higher = more urgent
+  KernelKind kind = KernelKind::kGeneric;
+
+  /// Acceleration factor rho_i = p_i / q_i.
+  [[nodiscard]] double accel() const noexcept { return cpu_time / gpu_time; }
+
+  /// min(p_i, q_i): a lower bound on any schedule containing this task.
+  [[nodiscard]] double min_time() const noexcept {
+    return cpu_time < gpu_time ? cpu_time : gpu_time;
+  }
+
+  /// max(p_i, q_i).
+  [[nodiscard]] double max_time() const noexcept {
+    return cpu_time > gpu_time ? cpu_time : gpu_time;
+  }
+};
+
+}  // namespace hp

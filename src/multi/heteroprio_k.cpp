@@ -1,0 +1,339 @@
+#include "multi/heteroprio_k.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace hp::multi {
+
+namespace {
+
+struct Running {
+  TaskId task = kInvalidTask;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+double time_on(const TaskK& task, TypeId t) {
+  return task.time[static_cast<std::size_t>(t)];
+}
+
+bool strictly_better(double candidate, double current) {
+  return candidate < current - 1e-9 * std::max(1.0, std::abs(current));
+}
+
+}  // namespace
+
+Schedule heteroprio_k(std::span<const TaskK> tasks, const PlatformK& platform,
+                      const HeteroPrioKOptions& options,
+                      HeteroPrioKStats* stats) {
+#ifndef NDEBUG
+  for (const TaskK& t : tasks) {
+    assert(static_cast<int>(t.time.size()) == platform.types());
+  }
+#endif
+  Schedule schedule(tasks.size());
+  HeteroPrioKStats local;
+
+  // One affinity-ordered view of the ready set per type.
+  struct TypeOrder {
+    std::span<const TaskK> tasks;
+    TypeId type;
+    bool operator()(TaskId a, TaskId b) const noexcept {
+      const double fa = affinity(tasks[static_cast<std::size_t>(a)], type);
+      const double fb = affinity(tasks[static_cast<std::size_t>(b)], type);
+      if (fa != fb) return fa > fb;
+      const double pa = tasks[static_cast<std::size_t>(a)].priority;
+      const double pb = tasks[static_cast<std::size_t>(b)].priority;
+      if (pa != pb) return pa > pb;
+      return a < b;
+    }
+  };
+  std::vector<std::set<TaskId, TypeOrder>> views;
+  for (TypeId t = 0; t < platform.types(); ++t) {
+    views.emplace_back(TypeOrder{tasks, t});
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (auto& view : views) view.insert(static_cast<TaskId>(i));
+  }
+
+  std::vector<Running> running(static_cast<std::size_t>(platform.workers()));
+  std::vector<std::uint64_t> generation(running.size(), 0);
+  sim::EventQueue<std::pair<WorkerId, std::uint64_t>> events;
+  std::size_t completed = 0;
+  double now = 0.0;
+
+  auto start_task = [&](WorkerId w, TaskId id) {
+    const TypeId t = platform.type_of(w);
+    auto& slot = running[static_cast<std::size_t>(w)];
+    slot = Running{id, now, now + time_on(tasks[static_cast<std::size_t>(id)], t)};
+    ++generation[static_cast<std::size_t>(w)];
+    events.push(slot.finish, {w, generation[static_cast<std::size_t>(w)]});
+  };
+
+  auto idle_workers = [&] {
+    // Descending type id, ascending worker id within a type (for
+    // [CPU, GPU] platforms the GPUs are served first, as in the paper).
+    std::vector<WorkerId> idle;
+    for (TypeId t = platform.types() - 1; t >= 0; --t) {
+      for (WorkerId w = platform.first(t); w < platform.first(t) + platform.count(t);
+           ++w) {
+        if (running[static_cast<std::size_t>(w)].task == kInvalidTask) {
+          idle.push_back(w);
+        }
+      }
+    }
+    return idle;
+  };
+
+  auto try_spoliate = [&](WorkerId w) -> bool {
+    const TypeId mine = platform.type_of(w);
+    std::vector<WorkerId> victims;
+    for (WorkerId v = 0; v < platform.workers(); ++v) {
+      if (platform.type_of(v) != mine &&
+          running[static_cast<std::size_t>(v)].task != kInvalidTask) {
+        victims.push_back(v);
+      }
+    }
+    std::sort(victims.begin(), victims.end(), [&](WorkerId a, WorkerId b) {
+      const Running& ra = running[static_cast<std::size_t>(a)];
+      const Running& rb = running[static_cast<std::size_t>(b)];
+      if (ra.finish != rb.finish) return ra.finish > rb.finish;
+      const double pa = tasks[static_cast<std::size_t>(ra.task)].priority;
+      const double pb = tasks[static_cast<std::size_t>(rb.task)].priority;
+      if (pa != pb) return pa > pb;
+      return ra.task < rb.task;
+    });
+    for (WorkerId v : victims) {
+      Running& slot = running[static_cast<std::size_t>(v)];
+      const double dt = time_on(tasks[static_cast<std::size_t>(slot.task)], mine);
+      if (!strictly_better(now + dt, slot.finish)) continue;
+      schedule.add_aborted(slot.task, v, slot.start, now);
+      ++generation[static_cast<std::size_t>(v)];
+      ++local.spoliations;
+      const TaskId stolen = slot.task;
+      slot = Running{};
+      start_task(w, stolen);
+      return true;
+    }
+    return false;
+  };
+
+  auto dispatch = [&] {
+    bool acted = true;
+    while (acted) {
+      acted = false;
+      for (WorkerId w : idle_workers()) {
+        if (running[static_cast<std::size_t>(w)].task != kInvalidTask) continue;
+        const TypeId t = platform.type_of(w);
+        auto& view = views[static_cast<std::size_t>(t)];
+        if (!view.empty()) {
+          const TaskId id = *view.begin();
+          for (auto& other_view : views) other_view.erase(id);
+          start_task(w, id);
+          acted = true;
+        } else if (options.enable_spoliation && try_spoliate(w)) {
+          acted = true;
+        }
+      }
+    }
+  };
+
+  dispatch();
+  while (completed < tasks.size()) {
+    assert(!events.empty());
+    const double t = events.top().time;
+    now = t;
+    while (!events.empty() && events.top().time == t) {
+      const auto ev = events.pop();
+      const auto [w, gen] = ev.payload;
+      if (gen != generation[static_cast<std::size_t>(w)]) continue;
+      auto& slot = running[static_cast<std::size_t>(w)];
+      if (slot.task == kInvalidTask) continue;
+      schedule.place(slot.task, w, slot.start, slot.finish);
+      slot = Running{};
+      ++completed;
+    }
+    dispatch();
+  }
+  if (stats != nullptr) *stats = local;
+  return schedule;
+}
+
+Schedule eft_k(std::span<const TaskK> tasks, const PlatformK& platform) {
+  Schedule schedule(tasks.size());
+  std::vector<TaskId> order(tasks.size());
+  std::iota(order.begin(), order.end(), TaskId{0});
+  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const auto avg = [&](TaskId id) {
+      const TaskK& t = tasks[static_cast<std::size_t>(id)];
+      double sum = 0.0;
+      for (double v : t.time) sum += v;
+      return sum / static_cast<double>(t.time.size());
+    };
+    const double ra = avg(a);
+    const double rb = avg(b);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+  std::vector<double> load(static_cast<std::size_t>(platform.workers()), 0.0);
+  for (TaskId id : order) {
+    WorkerId best = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (WorkerId w = 0; w < platform.workers(); ++w) {
+      const double finish =
+          load[static_cast<std::size_t>(w)] +
+          time_on(tasks[static_cast<std::size_t>(id)], platform.type_of(w));
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = w;
+      }
+    }
+    schedule.place(id, best, load[static_cast<std::size_t>(best)], best_finish);
+    load[static_cast<std::size_t>(best)] = best_finish;
+  }
+  return schedule;
+}
+
+double lower_bound_k(std::span<const TaskK> tasks, const PlatformK& platform) {
+  if (tasks.empty()) return 0.0;
+  double lb = 0.0;
+  for (const TaskK& t : tasks) lb = std::max(lb, t.min_time());
+
+  // Weak LP duality: any price vector mu >= 0 with sum_t mu_t * n_t = 1
+  // yields the valid bound sum_i min_t (mu_t * time_it). Sample the simplex
+  // and keep the best (converges to the fractional LP optimum from below).
+  const int k = platform.types();
+  util::Rng rng(0xC0FFEE);
+  std::vector<double> mu(static_cast<std::size_t>(k));
+  auto evaluate = [&](const std::vector<double>& prices) {
+    double total = 0.0;
+    for (const TaskK& t : tasks) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < k; ++r) {
+        best = std::min(best,
+                        prices[static_cast<std::size_t>(r)] *
+                            t.time[static_cast<std::size_t>(r)]);
+      }
+      total += best;
+    }
+    return total;
+  };
+  auto normalize = [&](std::vector<double>& prices) {
+    double denom = 0.0;
+    for (int r = 0; r < k; ++r) {
+      denom += prices[static_cast<std::size_t>(r)] * platform.count(r);
+    }
+    for (double& p : prices) p /= denom;
+  };
+
+  double best_value = 0.0;
+  std::vector<double> best_mu(static_cast<std::size_t>(k),
+                              1.0 / platform.workers());
+  for (int sample = 0; sample < 200; ++sample) {
+    for (double& p : mu) p = -std::log(std::max(1e-12, rng.uniform01()));
+    normalize(mu);
+    const double value = evaluate(mu);
+    if (value > best_value) {
+      best_value = value;
+      best_mu = mu;
+    }
+  }
+  // Local refinement around the best sample.
+  for (double step : {0.5, 0.2, 0.05}) {
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<double> candidate = best_mu;
+      const auto axis = static_cast<std::size_t>(rng.bounded(
+          static_cast<std::uint64_t>(k)));
+      candidate[axis] *= 1.0 + step * (rng.uniform01() - 0.5);
+      normalize(candidate);
+      const double value = evaluate(candidate);
+      if (value > best_value) {
+        best_value = value;
+        best_mu = candidate;
+      }
+    }
+  }
+  return std::max(lb, best_value);
+}
+
+namespace {
+
+struct SolverK {
+  std::span<const TaskK> tasks;
+  const PlatformK& platform;
+  std::vector<TaskId> order;
+  std::vector<double> suffix_lb;
+  std::vector<double> load;
+  double best = 0.0;
+
+  void dfs(std::size_t depth, double cur_max) {
+    if (cur_max >= best) return;
+    if (std::max(cur_max, suffix_lb[depth]) >= best) return;
+    if (depth == order.size()) {
+      best = cur_max;
+      return;
+    }
+    const TaskK& t = tasks[static_cast<std::size_t>(order[depth])];
+    for (WorkerId w = 0; w < platform.workers(); ++w) {
+      bool duplicate = false;
+      const TypeId type = platform.type_of(w);
+      for (WorkerId v = platform.first(type); v < w; ++v) {
+        if (load[static_cast<std::size_t>(v)] ==
+            load[static_cast<std::size_t>(w)]) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      const double dt = t.time[static_cast<std::size_t>(type)];
+      const double new_load = load[static_cast<std::size_t>(w)] + dt;
+      if (new_load >= best) continue;
+      load[static_cast<std::size_t>(w)] = new_load;
+      dfs(depth + 1, std::max(cur_max, new_load));
+      load[static_cast<std::size_t>(w)] = new_load - dt;
+    }
+  }
+};
+
+}  // namespace
+
+double exact_optimal_k(std::span<const TaskK> tasks, const PlatformK& platform) {
+  if (tasks.empty()) return 0.0;
+  SolverK solver{tasks, platform, {}, {}, {}, 0.0};
+  solver.order.resize(tasks.size());
+  std::iota(solver.order.begin(), solver.order.end(), TaskId{0});
+  std::sort(solver.order.begin(), solver.order.end(), [&](TaskId a, TaskId b) {
+    const double ma = tasks[static_cast<std::size_t>(a)].min_time();
+    const double mb = tasks[static_cast<std::size_t>(b)].min_time();
+    if (ma != mb) return ma > mb;
+    return a < b;
+  });
+  solver.suffix_lb.assign(tasks.size() + 1, 0.0);
+  {
+    std::vector<TaskK> suffix;
+    for (std::size_t d = tasks.size(); d-- > 0;) {
+      suffix.push_back(tasks[static_cast<std::size_t>(solver.order[d])]);
+      // Cheap suffix bound: max min-time + volume over the fastest type.
+      double vol = 0.0, longest = 0.0;
+      for (const TaskK& t : suffix) {
+        vol += t.min_time();
+        longest = std::max(longest, t.min_time());
+      }
+      solver.suffix_lb[d] =
+          std::max(longest, vol / platform.workers());
+    }
+  }
+  solver.load.assign(static_cast<std::size_t>(platform.workers()), 0.0);
+  solver.best = eft_k(tasks, platform).makespan() * (1.0 + 1e-12) + 1e-12;
+  solver.dfs(0, 0.0);
+  return solver.best;
+}
+
+}  // namespace hp::multi

@@ -1,0 +1,55 @@
+#pragma once
+// HeteroPrio generalized to k resource types (extension; see platform_k.hpp).
+//
+// Each type t keeps a view of the ready tasks ordered by decreasing
+// relative affinity for t (how much slower the best other type would be);
+// an idle worker of type t takes the most-t-affine task. With k = 2 the two
+// views are the two ends of the paper's single rho-ordered queue and the
+// algorithm coincides with Algorithm 1 (verified by test_multi.cpp).
+// Spoliation works as in the paper: an idle worker may restart a task
+// running on any *other* type if it finishes it strictly earlier (victims
+// by decreasing expected completion time, ties by priority).
+//
+// No approximation guarantee is proven here for k >= 3 — this is the
+// natural "future work" beyond the paper; the benches measure its quality
+// against the exact optimum and a greedy EFT baseline.
+
+#include <span>
+
+#include "multi/platform_k.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp::multi {
+
+struct HeteroPrioKOptions {
+  bool enable_spoliation = true;
+};
+
+struct HeteroPrioKStats {
+  int spoliations = 0;
+};
+
+/// Schedule independent k-type tasks. Every task must carry exactly
+/// platform.types() times. Deterministic; idle workers are served by
+/// descending type id (so with [CPU, GPU] the GPUs pick first, matching the
+/// 2-type engine).
+[[nodiscard]] Schedule heteroprio_k(std::span<const TaskK> tasks,
+                                    const PlatformK& platform,
+                                    const HeteroPrioKOptions& options = {},
+                                    HeteroPrioKStats* stats = nullptr);
+
+/// Greedy earliest-finish-time baseline: tasks by decreasing average time,
+/// each on the worker finishing it first.
+[[nodiscard]] Schedule eft_k(std::span<const TaskK> tasks,
+                             const PlatformK& platform);
+
+/// Exact optimum by branch and bound (small instances; tests/benches only).
+[[nodiscard]] double exact_optimal_k(std::span<const TaskK> tasks,
+                                     const PlatformK& platform);
+
+/// Work-volume lower bound: max(max_i min_t time, best fractional split by
+/// a water-filling argument over types — see the implementation note).
+[[nodiscard]] double lower_bound_k(std::span<const TaskK> tasks,
+                                   const PlatformK& platform);
+
+}  // namespace hp::multi

@@ -1,0 +1,78 @@
+#pragma once
+// k-resource-type platform — the generalization of §1's CPU+GPU node to the
+// setting of Bonifaci & Wiese [10] ("scheduling unrelated machines of few
+// different types"): a node with k classes of identical workers (e.g.
+// CPU cores + GPUs + FPGAs/TPUs).
+
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "model/platform.hpp"
+#include "model/task.hpp"
+
+namespace hp::multi {
+
+using TypeId = int;
+
+class PlatformK {
+ public:
+  /// counts[t] = number of workers of type t. Worker ids are contiguous by
+  /// type: type 0 first.
+  explicit PlatformK(std::vector<int> counts) : counts_(std::move(counts)) {
+    offsets_.resize(counts_.size() + 1, 0);
+    for (std::size_t t = 0; t < counts_.size(); ++t) {
+      assert(counts_[t] >= 0);
+      offsets_[t + 1] = offsets_[t] + counts_[t];
+    }
+    assert(workers() > 0);
+  }
+
+  [[nodiscard]] int types() const noexcept {
+    return static_cast<int>(counts_.size());
+  }
+  [[nodiscard]] int count(TypeId t) const noexcept {
+    return counts_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] int workers() const noexcept { return offsets_.back(); }
+  [[nodiscard]] WorkerId first(TypeId t) const noexcept {
+    return offsets_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] TypeId type_of(WorkerId w) const noexcept {
+    assert(w >= 0 && w < workers());
+    TypeId t = 0;
+    while (offsets_[static_cast<std::size_t>(t) + 1] <= w) ++t;
+    return t;
+  }
+
+ private:
+  std::vector<int> counts_;
+  std::vector<int> offsets_;
+};
+
+/// Task with one processing time per resource type.
+struct TaskK {
+  std::vector<double> time;  ///< time[t] on a worker of type t
+  double priority = 0.0;
+
+  [[nodiscard]] double min_time() const noexcept {
+    double best = time.front();
+    for (double v : time) best = std::min(best, v);
+    return best;
+  }
+};
+
+/// Relative affinity of a task for type t: how much slower the best *other*
+/// type is. For k = 2 this is exactly the acceleration factor rho (GPU
+/// side) and 1/rho (CPU side), so the k-type queue order reduces to the
+/// paper's ordering.
+[[nodiscard]] inline double affinity(const TaskK& task, TypeId t) noexcept {
+  double best_other = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < task.time.size(); ++r) {
+    if (static_cast<TypeId>(r) != t) best_other = std::min(best_other, task.time[r]);
+  }
+  return best_other / task.time[static_cast<std::size_t>(t)];
+}
+
+}  // namespace hp::multi

@@ -1,0 +1,39 @@
+#pragma once
+// Data-access declarations for the sequential-task-flow runtime.
+//
+// As in StarPU/QUARK/PaRSEC-DTD, a task declares which data it touches and
+// how; the runtime infers the dependency DAG from the sequential submission
+// order (RAW, WAR and WAW — there is no renaming, so a write serializes
+// against everything since the previous write).
+
+#include <cstdint>
+
+namespace hp::runtime {
+
+/// Opaque handle to a registered piece of data (e.g. a matrix tile).
+using DataHandle = std::int32_t;
+constexpr DataHandle kInvalidData = -1;
+
+enum class AccessMode : std::uint8_t {
+  kRead,       ///< RAW dependency on the last writer
+  kWrite,      ///< WAW on the last writer + WAR on readers since
+  kReadWrite,  ///< same edges as kWrite (in-place update)
+};
+
+struct DataAccess {
+  DataHandle handle = kInvalidData;
+  AccessMode mode = AccessMode::kRead;
+};
+
+/// Shorthands for call sites: R(h), W(h), RW(h).
+[[nodiscard]] constexpr DataAccess R(DataHandle h) noexcept {
+  return {h, AccessMode::kRead};
+}
+[[nodiscard]] constexpr DataAccess W(DataHandle h) noexcept {
+  return {h, AccessMode::kWrite};
+}
+[[nodiscard]] constexpr DataAccess RW(DataHandle h) noexcept {
+  return {h, AccessMode::kReadWrite};
+}
+
+}  // namespace hp::runtime

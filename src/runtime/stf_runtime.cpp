@@ -1,0 +1,108 @@
+#include "runtime/stf_runtime.hpp"
+
+#include <cassert>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "sched/executor.hpp"
+
+namespace hp::runtime {
+
+const char* policy_name(SchedulerPolicy policy) noexcept {
+  switch (policy) {
+    case SchedulerPolicy::kHeteroPrio: return "HeteroPrio";
+    case SchedulerPolicy::kHeft: return "HEFT";
+    case SchedulerPolicy::kDualHp: return "DualHP";
+  }
+  return "?";
+}
+
+StfRuntime::StfRuntime(Platform platform, RuntimeOptions options)
+    : platform_(platform), options_(options) {}
+
+DataHandle StfRuntime::register_data(std::string name) {
+  DataState state;
+  state.name = name.empty() ? "d" + std::to_string(data_.size()) : std::move(name);
+  data_.push_back(std::move(state));
+  return static_cast<DataHandle>(data_.size() - 1);
+}
+
+TaskId StfRuntime::submit(const Task& timing,
+                          std::span<const DataAccess> accesses) {
+  ran_ = false;
+  const TaskId id = graph_.add_task(timing);
+  for (const DataAccess& access : accesses) {
+    assert(access.handle >= 0 &&
+           static_cast<std::size_t>(access.handle) < data_.size());
+    DataState& state = data_[static_cast<std::size_t>(access.handle)];
+    if (access.mode == AccessMode::kRead) {
+      if (state.last_writer != kInvalidTask) {
+        graph_.add_edge(state.last_writer, id);
+      }
+      state.readers_since_write.push_back(id);
+    } else {
+      if (state.last_writer != kInvalidTask) {
+        graph_.add_edge(state.last_writer, id);
+      }
+      for (const TaskId reader : state.readers_since_write) {
+        if (reader != id) graph_.add_edge(reader, id);
+      }
+      state.last_writer = id;
+      state.readers_since_write.clear();
+    }
+  }
+  return id;
+}
+
+TaskId StfRuntime::submit(const Task& timing,
+                          std::initializer_list<DataAccess> accesses) {
+  return submit(timing, std::span<const DataAccess>(accesses.begin(),
+                                                    accesses.size()));
+}
+
+double StfRuntime::run() {
+  if (ran_) return schedule_.makespan();
+  graph_.finalize();
+  assign_priorities(graph_, options_.rank);
+
+  // Draw the actual durations (decisions always use the estimates held in
+  // the graph's tasks).
+  actuals_.assign(graph_.tasks().begin(), graph_.tasks().end());
+  if (options_.noise_sigma > 0.0) {
+    util::Rng rng(options_.noise_seed);
+    for (Task& t : actuals_) {
+      t.cpu_time *= rng.lognormal(0.0, options_.noise_sigma);
+      t.gpu_time *= rng.lognormal(0.0, options_.noise_sigma);
+    }
+  }
+
+  stats_ = HeteroPrioStats{};
+  switch (options_.policy) {
+    case SchedulerPolicy::kHeteroPrio: {
+      HeteroPrioOptions hp_options;
+      hp_options.actual_times = actuals_;
+      schedule_ = heteroprio_dag(graph_, platform_, hp_options, &stats_);
+      break;
+    }
+    case SchedulerPolicy::kHeft: {
+      HeftOptions heft_options;
+      heft_options.rank =
+          options_.rank == RankScheme::kFifo ? RankScheme::kAvg : options_.rank;
+      const Schedule plan = heft(graph_, platform_, heft_options);
+      schedule_ = execute_static_plan(plan, graph_, platform_, actuals_);
+      break;
+    }
+    case SchedulerPolicy::kDualHp: {
+      DualHpOptions dual_options;
+      dual_options.fifo_order = options_.rank == RankScheme::kFifo;
+      const Schedule plan = dualhp_dag(graph_, platform_, dual_options);
+      schedule_ = execute_static_plan(plan, graph_, platform_, actuals_);
+      break;
+    }
+  }
+  ran_ = true;
+  return schedule_.makespan();
+}
+
+}  // namespace hp::runtime

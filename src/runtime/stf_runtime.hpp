@@ -1,0 +1,99 @@
+#pragma once
+// A miniature sequential-task-flow (STF) runtime — the substrate the paper's
+// schedulers live in (StarPU et al., §1).
+//
+// The application registers data handles and submits tasks sequentially,
+// declaring per-task data accesses; the runtime infers the dependency DAG,
+// computes priorities, schedules with a pluggable policy (HeteroPrio by
+// default) and "executes" on a simulated m-CPU + n-GPU node. Duration
+// estimates may be noisy: decisions use the estimates, the simulated clock
+// uses the actual times (§1's motivation for dynamic schedulers).
+//
+//   runtime::StfRuntime rt(Platform(20, 4));
+//   auto a = rt.register_data("A00");
+//   rt.submit(model.make_task(KernelKind::kPotrf), {runtime::RW(a)});
+//   ...
+//   double makespan = rt.run();
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/heteroprio.hpp"
+#include "dag/ranking.hpp"
+#include "dag/task_graph.hpp"
+#include "model/platform.hpp"
+#include "runtime/data.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace hp::runtime {
+
+enum class SchedulerPolicy {
+  kHeteroPrio,  ///< online HeteroPrio with spoliation (default)
+  kHeft,        ///< static HEFT plan, replayed under actual durations
+  kDualHp,      ///< DualHP re-solved over ready sets (estimates), replayed
+};
+
+[[nodiscard]] const char* policy_name(SchedulerPolicy policy) noexcept;
+
+struct RuntimeOptions {
+  SchedulerPolicy policy = SchedulerPolicy::kHeteroPrio;
+  /// Priority scheme for the inferred DAG (kFifo = submission order only).
+  RankScheme rank = RankScheme::kMin;
+  /// Multiplicative lognormal noise applied to actual task durations;
+  /// 0 = estimates are exact.
+  double noise_sigma = 0.0;
+  std::uint64_t noise_seed = 1;
+};
+
+class StfRuntime {
+ public:
+  explicit StfRuntime(Platform platform, RuntimeOptions options = {});
+
+  /// Register a piece of data; the name is only for DOT export/debugging.
+  DataHandle register_data(std::string name = "");
+
+  /// Submit a task touching the given data. Dependencies on previously
+  /// submitted tasks are inferred from the access modes. Returns the task
+  /// id. Must not be called after run().
+  TaskId submit(const Task& timing, std::span<const DataAccess> accesses);
+  TaskId submit(const Task& timing, std::initializer_list<DataAccess> accesses);
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return graph_.size(); }
+  [[nodiscard]] std::size_t num_data() const noexcept { return data_.size(); }
+
+  /// Schedule and simulate everything submitted so far. Returns the
+  /// makespan. Idempotent until the next submit().
+  double run();
+
+  /// The inferred DAG (finalized by run()).
+  [[nodiscard]] const TaskGraph& graph() const noexcept { return graph_; }
+  /// The realized schedule (valid after run()).
+  [[nodiscard]] const Schedule& schedule() const noexcept { return schedule_; }
+  /// Actual durations used by the last run() (== estimates when sigma = 0).
+  [[nodiscard]] std::span<const Task> actual_times() const noexcept {
+    return actuals_;
+  }
+  /// HeteroPrio statistics of the last run() (zero for static policies).
+  [[nodiscard]] const HeteroPrioStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct DataState {
+    std::string name;
+    TaskId last_writer = kInvalidTask;
+    std::vector<TaskId> readers_since_write;
+  };
+
+  Platform platform_;
+  RuntimeOptions options_;
+  TaskGraph graph_{"stf"};
+  std::vector<DataState> data_;
+  std::vector<Task> actuals_;
+  Schedule schedule_;
+  HeteroPrioStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace hp::runtime

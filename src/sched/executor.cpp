@@ -1,0 +1,80 @@
+#include "sched/executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace hp {
+
+Schedule execute_static_plan(const Schedule& plan, const TaskGraph& graph,
+                             const Platform& platform,
+                             std::span<const Task> actual_times) {
+  assert(graph.finalized());
+  assert(plan.num_tasks() == graph.size());
+  const std::span<const Task> actuals =
+      actual_times.empty() ? graph.tasks() : actual_times;
+  assert(actuals.size() == graph.size());
+
+  // Per-worker task queues in planned start order.
+  std::vector<std::vector<TaskId>> queue(
+      static_cast<std::size_t>(platform.workers()));
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Placement& p = plan.placement(static_cast<TaskId>(i));
+    assert(p.placed());
+    queue[static_cast<std::size_t>(p.worker)].push_back(static_cast<TaskId>(i));
+  }
+  for (auto& q : queue) {
+    std::sort(q.begin(), q.end(), [&](TaskId a, TaskId b) {
+      const double sa = plan.placement(a).start;
+      const double sb = plan.placement(b).start;
+      if (sa != sb) return sa < sb;
+      return a < b;
+    });
+  }
+
+  // Iteratively release the earliest startable head-of-queue task. With W
+  // workers this is O(T * W) — fine for replay purposes.
+  Schedule out(graph.size());
+  std::vector<std::size_t> head(queue.size(), 0);
+  std::vector<double> worker_free(queue.size(), 0.0);
+  std::vector<double> completion(graph.size(), -1.0);
+  std::size_t remaining = graph.size();
+
+  while (remaining > 0) {
+    WorkerId best_w = -1;
+    double best_start = 0.0;
+    for (WorkerId w = 0; w < platform.workers(); ++w) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (head[wi] >= queue[wi].size()) continue;
+      const TaskId id = queue[wi][head[wi]];
+      double ready = worker_free[wi];
+      bool deps_scheduled = true;
+      for (TaskId pred : graph.predecessors(id)) {
+        const double c = completion[static_cast<std::size_t>(pred)];
+        if (c < 0.0) {
+          deps_scheduled = false;
+          break;
+        }
+        ready = std::max(ready, c);
+      }
+      if (!deps_scheduled) continue;
+      if (best_w < 0 || ready < best_start ||
+          (ready == best_start && w < best_w)) {
+        best_w = w;
+        best_start = ready;
+      }
+    }
+    assert(best_w >= 0 && "static plan deadlocked (cyclic waiting)");
+    const auto wi = static_cast<std::size_t>(best_w);
+    const TaskId id = queue[wi][head[wi]++];
+    const double dt = Platform::time_on(actuals[static_cast<std::size_t>(id)],
+                                        platform.type_of(best_w));
+    out.place(id, best_w, best_start, best_start + dt);
+    completion[static_cast<std::size_t>(id)] = best_start + dt;
+    worker_free[wi] = best_start + dt;
+    --remaining;
+  }
+  return out;
+}
+
+}  // namespace hp

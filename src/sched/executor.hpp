@@ -1,0 +1,26 @@
+#pragma once
+// Execute a planned schedule under (possibly different) actual durations.
+//
+// A static scheduler (HEFT, DualHP) plans with estimated task times. At
+// execution time, a runtime keeps the plan's worker assignment and
+// per-worker task order, but each task starts only when its worker is free
+// and its predecessors have completed, and runs for its *actual* time.
+// This is how the noise-robustness experiments replay static plans.
+
+#include <span>
+
+#include "dag/task_graph.hpp"
+#include "model/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp {
+
+/// Replay `plan`'s assignment with `actual_times` (parallel to
+/// graph.tasks()). Pass an empty span to reuse the graph's own times.
+/// Returns the realized schedule. The plan must place every task.
+[[nodiscard]] Schedule execute_static_plan(const Schedule& plan,
+                                           const TaskGraph& graph,
+                                           const Platform& platform,
+                                           std::span<const Task> actual_times = {});
+
+}  // namespace hp

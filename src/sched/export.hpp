@@ -1,0 +1,35 @@
+#pragma once
+// Schedule exporters: Chrome trace-event JSON (load in chrome://tracing or
+// Perfetto) and standalone SVG Gantt charts. Practical inspection tooling
+// for schedules beyond the terminal ASCII Gantt.
+
+#include <span>
+#include <string>
+
+#include "model/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp {
+
+/// Chrome trace-event JSON ("X" complete events, one lane per worker;
+/// aborted spoliation segments appear as "(aborted)" slices). Times are
+/// interpreted as microseconds by the viewer. `tasks` provides names/kinds
+/// and must parallel the schedule.
+[[nodiscard]] std::string to_chrome_trace(const Schedule& schedule,
+                                          std::span<const Task> tasks,
+                                          const Platform& platform);
+
+struct SvgOptions {
+  int width = 1200;        ///< drawing width in px (plus a label gutter)
+  int row_height = 22;     ///< lane height per worker
+  bool show_aborted = true;
+};
+
+/// Standalone SVG Gantt: one lane per worker, tasks colored by kernel kind,
+/// aborted segments hatched gray.
+[[nodiscard]] std::string to_svg_gantt(const Schedule& schedule,
+                                       std::span<const Task> tasks,
+                                       const Platform& platform,
+                                       const SvgOptions& options = {});
+
+}  // namespace hp

@@ -1,0 +1,56 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace hp {
+
+namespace {
+char task_letter(TaskId id) {
+  constexpr const char* kAlphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return kAlphabet[static_cast<std::size_t>(id) % 52];
+}
+}  // namespace
+
+std::string render_gantt(const Schedule& schedule, const Platform& platform,
+                         const GanttOptions& options) {
+  const double makespan = schedule.makespan();
+  if (makespan <= 0.0) return "(empty schedule)\n";
+  const int width = std::max(10, options.width);
+  const double scale = width / makespan;
+
+  std::vector<std::string> rows(static_cast<std::size_t>(platform.workers()),
+                                std::string(static_cast<std::size_t>(width), ' '));
+
+  auto paint = [&](WorkerId w, double start, double end, char ch) {
+    auto lo = static_cast<int>(start * scale);
+    auto hi = static_cast<int>(end * scale);
+    lo = std::clamp(lo, 0, width - 1);
+    hi = std::clamp(hi, lo + 1, width);
+    for (int c = lo; c < hi; ++c) rows[static_cast<std::size_t>(w)][static_cast<std::size_t>(c)] = ch;
+  };
+
+  if (options.show_aborted) {
+    for (const AbortedSegment& a : schedule.aborted()) {
+      paint(a.worker, a.start, a.abort_time, '.');
+    }
+  }
+  for (std::size_t i = 0; i < schedule.num_tasks(); ++i) {
+    const Placement& p = schedule.placement(static_cast<TaskId>(i));
+    if (p.placed()) paint(p.worker, p.start, p.end, task_letter(static_cast<TaskId>(i)));
+  }
+
+  std::ostringstream oss;
+  oss << "makespan = " << util::format_double(makespan, 4) << '\n';
+  for (WorkerId w = 0; w < platform.workers(); ++w) {
+    oss << resource_name(platform.type_of(w)) << '#' << w << '\t' << '|'
+        << rows[static_cast<std::size_t>(w)] << "|\n";
+  }
+  return oss.str();
+}
+
+}  // namespace hp

@@ -1,0 +1,24 @@
+#pragma once
+// ASCII Gantt chart of a schedule (quickstart/example output; reproduces the
+// shape of the paper's Figs 1, 2 and 5 in a terminal).
+
+#include <span>
+#include <string>
+
+#include "model/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp {
+
+struct GanttOptions {
+  int width = 100;          ///< characters of the time axis
+  bool show_aborted = true; ///< render spoliation-aborted segments (as '.')
+};
+
+/// Render one row per worker. Each task is drawn with a letter cycling
+/// through a-z/A-Z by task id; aborted segments are drawn with '.'.
+[[nodiscard]] std::string render_gantt(const Schedule& schedule,
+                                       const Platform& platform,
+                                       const GanttOptions& options = {});
+
+}  // namespace hp

@@ -1,0 +1,53 @@
+#include "sched/metrics.hpp"
+
+#include <limits>
+
+namespace hp {
+
+ScheduleMetrics compute_metrics(const Schedule& schedule,
+                                std::span<const Task> tasks,
+                                const Platform& platform) {
+  ScheduleMetrics m;
+  m.makespan = schedule.makespan();
+
+  double cpu_p = 0.0, cpu_q = 0.0, gpu_p = 0.0, gpu_q = 0.0;
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Placement& p = schedule.placement(static_cast<TaskId>(i));
+    if (!p.placed()) continue;
+    const Resource r = platform.type_of(p.worker);
+    ResourceMetrics& rm = r == Resource::kCpu ? m.cpu : m.gpu;
+    rm.busy_time += p.end - p.start;
+    ++rm.tasks_completed;
+    if (r == Resource::kCpu) {
+      cpu_p += tasks[i].cpu_time;
+      cpu_q += tasks[i].gpu_time;
+    } else {
+      gpu_p += tasks[i].cpu_time;
+      gpu_q += tasks[i].gpu_time;
+    }
+  }
+  for (const AbortedSegment& a : schedule.aborted()) {
+    const Resource r = platform.type_of(a.worker);
+    ResourceMetrics& rm = r == Resource::kCpu ? m.cpu : m.gpu;
+    rm.aborted_time += a.abort_time - a.start;
+  }
+
+  m.cpu.idle_time = platform.cpus() * m.makespan - m.cpu.busy_time;
+  m.gpu.idle_time = platform.gpus() * m.makespan - m.gpu.busy_time;
+
+  m.cpu.equivalent_accel =
+      cpu_q > 0.0 ? cpu_p / cpu_q : std::numeric_limits<double>::quiet_NaN();
+  m.gpu.equivalent_accel =
+      gpu_q > 0.0 ? gpu_p / gpu_q : std::numeric_limits<double>::quiet_NaN();
+  return m;
+}
+
+double normalized_idle(const ScheduleMetrics& metrics, Resource r,
+                       const Platform& platform, double lower_bound) noexcept {
+  const double capacity = platform.count(r) * lower_bound;
+  if (capacity <= 0.0) return 0.0;
+  return metrics.of(r).idle_time / capacity;
+}
+
+}  // namespace hp

@@ -1,0 +1,47 @@
+#pragma once
+// Schedule metrics used in the paper's evaluation (§6.2, Figs 8 and 9).
+
+#include <span>
+
+#include "model/instance.hpp"
+#include "model/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp {
+
+/// Per-resource-type aggregates of a schedule.
+struct ResourceMetrics {
+  double busy_time = 0.0;     ///< completed work only
+  double aborted_time = 0.0;  ///< work lost to spoliation
+  double idle_time = 0.0;     ///< count(r)*makespan - busy_time (aborted work
+                              ///< counts as idle, per the §6.2 footnote)
+  int tasks_completed = 0;
+  /// Equivalent acceleration factor A_r = sum(p_i)/sum(q_i) over tasks
+  /// completed on this resource type (Fig 8). NaN when no task completed.
+  double equivalent_accel = 0.0;
+};
+
+struct ScheduleMetrics {
+  double makespan = 0.0;
+  ResourceMetrics cpu;
+  ResourceMetrics gpu;
+
+  [[nodiscard]] const ResourceMetrics& of(Resource r) const noexcept {
+    return r == Resource::kCpu ? cpu : gpu;
+  }
+};
+
+/// Compute all metrics of `schedule` for the tasks it places.
+[[nodiscard]] ScheduleMetrics compute_metrics(const Schedule& schedule,
+                                              std::span<const Task> tasks,
+                                              const Platform& platform);
+
+/// Normalized idle time of resource `r` (Fig 9): idle time divided by the
+/// amount of that resource used in the lower-bound solution, i.e.
+/// count(r) * lower_bound (the area-bound solution keeps both resource
+/// classes fully busy for exactly the bound, Lemma 1).
+[[nodiscard]] double normalized_idle(const ScheduleMetrics& metrics, Resource r,
+                                     const Platform& platform,
+                                     double lower_bound) noexcept;
+
+}  // namespace hp

@@ -1,0 +1,21 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace hp {
+
+bool Schedule::complete() const noexcept {
+  return std::all_of(placements_.begin(), placements_.end(),
+                     [](const Placement& p) { return p.placed(); });
+}
+
+double Schedule::makespan() const noexcept {
+  double end = 0.0;
+  for (const Placement& p : placements_) {
+    if (p.placed()) end = std::max(end, p.end);
+  }
+  for (const AbortedSegment& a : aborted_) end = std::max(end, a.abort_time);
+  return end;
+}
+
+}  // namespace hp

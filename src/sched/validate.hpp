@@ -1,0 +1,40 @@
+#pragma once
+// Schedule validity checking.
+//
+// Every scheduler's output is checked in tests against three properties:
+//   1. completeness — every task is placed exactly once;
+//   2. durations — each placement's length equals the task's time on the
+//      worker's resource type (aborted segments must be strictly shorter);
+//   3. exclusivity — segments on one worker (final + aborted) do not overlap;
+//   4. precedence (DAG inputs) — a task starts no earlier than every
+//      predecessor's completion.
+
+#include <span>
+#include <string>
+
+#include "dag/task_graph.hpp"
+#include "model/instance.hpp"
+#include "model/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp {
+
+struct ScheduleCheck {
+  bool ok = true;
+  std::string message;  ///< first violation found, empty when ok
+};
+
+/// Validate a schedule of an independent-task instance.
+[[nodiscard]] ScheduleCheck check_schedule(const Schedule& schedule,
+                                           std::span<const Task> tasks,
+                                           const Platform& platform,
+                                           double tol = 1e-9);
+
+/// Validate a schedule of a DAG (all independent-instance checks plus
+/// precedence).
+[[nodiscard]] ScheduleCheck check_schedule(const Schedule& schedule,
+                                           const TaskGraph& graph,
+                                           const Platform& platform,
+                                           double tol = 1e-9);
+
+}  // namespace hp

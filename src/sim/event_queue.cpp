@@ -1,0 +1,13 @@
+// EventQueue is header-only (class template); this translation unit pins an
+// explicit instantiation so template errors surface when the library builds,
+// not first in a downstream target.
+
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace hp::sim {
+
+template class EventQueue<int>;
+
+}  // namespace hp::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Stable discrete-event queue.
+//
+// A binary min-heap ordered by (time, sequence number). The sequence number
+// makes simultaneous events pop in insertion order, which keeps every
+// scheduler in this library fully deterministic (a core requirement: the
+// worst-case constructions of Thms 8/11/14 rely on reproducible
+// tie-breaking).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace hp::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void push(double time, Payload payload) {
+    heap_.push_back(Event{time, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Earliest event (undefined if empty).
+  [[nodiscard]] const Event& top() const noexcept { return heap_.front(); }
+
+  Event pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event e = std::move(heap_.back());
+    heap_.pop_back();
+    return e;
+  }
+
+  void clear() noexcept {
+    heap_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hp::sim

@@ -1,0 +1,37 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace hp::sim {
+
+namespace {
+const char* kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kStart: return "start";
+    case TraceKind::kComplete: return "complete";
+    case TraceKind::kAbort: return "abort";
+    case TraceKind::kSpoliate: return "spoliate";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string TimelineLog::to_string(const Platform& platform) const {
+  std::ostringstream oss;
+  for (const TraceEntry& e : entries_) {
+    oss << "[t=" << util::format_double(e.time, 4) << "] " << kind_name(e.kind)
+        << " task " << e.task << " on " << resource_name(platform.type_of(e.worker))
+        << '#' << e.worker;
+    if (e.kind == TraceKind::kSpoliate && e.victim_worker >= 0) {
+      oss << " (spoliated from "
+          << resource_name(platform.type_of(e.victim_worker)) << '#'
+          << e.victim_worker << ')';
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace hp::sim

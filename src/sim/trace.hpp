@@ -1,0 +1,50 @@
+#pragma once
+// Human-readable execution log for debugging and the examples' verbose mode.
+//
+// Schedulers append typed entries (start / complete / spoliate / abort);
+// the log renders them as a chronological listing. This is deliberately
+// separate from sched::Schedule, which is the machine-checkable artifact.
+
+#include <string>
+#include <vector>
+
+#include "model/platform.hpp"
+#include "model/task.hpp"
+
+namespace hp::sim {
+
+enum class TraceKind : std::uint8_t { kStart, kComplete, kAbort, kSpoliate };
+
+struct TraceEntry {
+  double time;
+  TraceKind kind;
+  TaskId task;
+  WorkerId worker;
+  WorkerId victim_worker;  ///< for kSpoliate: the worker losing the task
+};
+
+class TimelineLog {
+ public:
+  /// When disabled, record() is a no-op; schedulers can always call it.
+  explicit TimelineLog(bool enabled = false) : enabled_(enabled) {}
+
+  void record(double time, TraceKind kind, TaskId task, WorkerId worker,
+              WorkerId victim_worker = -1) {
+    if (!enabled_) return;
+    entries_.push_back({time, kind, task, worker, victim_worker});
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Render as text, one line per entry.
+  [[nodiscard]] std::string to_string(const Platform& platform) const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace hp::sim

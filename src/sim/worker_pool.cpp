@@ -1,0 +1,28 @@
+#include "sim/worker_pool.hpp"
+
+namespace hp::sim {
+
+std::vector<WorkerId> WorkerPool::idle_workers_gpu_first() const {
+  std::vector<WorkerId> out;
+  out.reserve(static_cast<std::size_t>(platform_.workers() - busy_count_));
+  for (WorkerId w = platform_.first(Resource::kGpu); w < platform_.workers();
+       ++w) {
+    if (!busy(w)) out.push_back(w);
+  }
+  for (WorkerId w = 0; w < platform_.first(Resource::kGpu); ++w) {
+    if (!busy(w)) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<WorkerId> WorkerPool::busy_workers(Resource r) const {
+  std::vector<WorkerId> out;
+  const WorkerId lo = platform_.first(r);
+  const WorkerId hi = lo + platform_.count(r);
+  for (WorkerId w = lo; w < hi; ++w) {
+    if (busy(w)) out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace hp::sim

@@ -1,0 +1,82 @@
+#pragma once
+// Worker state tracking for event-driven scheduling simulations.
+//
+// A WorkerPool records, for each worker of a Platform, whether it is busy,
+// which task it runs, when the task started and when it will complete. The
+// schedulers (HeteroPrio, DualHP-DAG) drive it; the pool itself has no
+// policy.
+
+#include <cassert>
+#include <vector>
+
+#include "model/platform.hpp"
+#include "model/task.hpp"
+
+namespace hp::sim {
+
+/// A task in flight on a worker.
+struct Running {
+  TaskId task = kInvalidTask;
+  double start = 0.0;
+  double finish = 0.0;  ///< expected completion time
+};
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(const Platform& platform)
+      : platform_(platform),
+        running_(static_cast<std::size_t>(platform.workers())) {}
+
+  [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
+
+  [[nodiscard]] bool busy(WorkerId w) const noexcept {
+    return running_[static_cast<std::size_t>(w)].task != kInvalidTask;
+  }
+
+  [[nodiscard]] const Running& running(WorkerId w) const noexcept {
+    return running_[static_cast<std::size_t>(w)];
+  }
+
+  /// Start `task` on idle worker `w` at time `now` for `duration`.
+  /// Returns the completion time.
+  double start(WorkerId w, TaskId task, double now, double duration) {
+    assert(!busy(w));
+    auto& r = running_[static_cast<std::size_t>(w)];
+    r.task = task;
+    r.start = now;
+    r.finish = now + duration;
+    ++busy_count_;
+    return r.finish;
+  }
+
+  /// Mark worker `w` idle (task completed or aborted). Returns what ran.
+  Running release(WorkerId w) {
+    assert(busy(w));
+    auto& r = running_[static_cast<std::size_t>(w)];
+    Running out = r;
+    r = Running{};
+    --busy_count_;
+    return out;
+  }
+
+  [[nodiscard]] int busy_count() const noexcept { return busy_count_; }
+  [[nodiscard]] bool all_busy() const noexcept {
+    return busy_count_ == platform_.workers();
+  }
+  [[nodiscard]] bool all_idle() const noexcept { return busy_count_ == 0; }
+
+  /// Collect idle workers, GPUs first then CPUs, each in increasing id.
+  /// (GPUs are offered work first so the head of the affinity queue goes to
+  /// a GPU when both types are idle — see DESIGN.md.)
+  [[nodiscard]] std::vector<WorkerId> idle_workers_gpu_first() const;
+
+  /// Busy workers of type `r`, increasing id.
+  [[nodiscard]] std::vector<WorkerId> busy_workers(Resource r) const;
+
+ private:
+  Platform platform_;
+  std::vector<Running> running_;
+  int busy_count_ = 0;
+};
+
+}  // namespace hp::sim

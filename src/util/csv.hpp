@@ -1,0 +1,29 @@
+#pragma once
+// Minimal CSV writer, used by benches to dump figure series for plotting.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hp::util {
+
+/// Streams rows to a CSV file. The file is created on construction and
+/// flushed/closed by the destructor (RAII). Values containing commas or
+/// quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  /// True if the file was opened successfully.
+  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Quote a cell if needed.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace hp::util

@@ -1,0 +1,84 @@
+#pragma once
+// Deterministic, seedable PRNG utilities.
+//
+// All randomized components in this library (instance generators, timing
+// noise) take an explicit Rng so that every experiment is reproducible from
+// its seed. The generator is xoshiro256**, seeded via splitmix64, which is
+// fast, has a 256-bit state and passes BigCrush; std::mt19937 is avoided
+// because its state is large and its seeding from a single 32-bit value is
+// notoriously weak.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hp::util {
+
+/// splitmix64 step; used to expand a single 64-bit seed into a full state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double normal() noexcept;
+
+  /// Lognormal deviate: exp(mu + sigma * N(0,1)).
+  double lognormal(double mu, double sigma) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace hp::util

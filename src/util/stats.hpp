@@ -1,0 +1,52 @@
+#pragma once
+// Small descriptive-statistics helpers used by benches and tests.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hp::util {
+
+/// Summary of a sample: count, mean, standard deviation, extrema, quantiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+/// Compute a Summary of `values`. Empty input yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Quantile by linear interpolation on the sorted sample, q in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> sorted_values, double q);
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Geometric mean; 0 for empty input. All values must be positive.
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+/// Welford online accumulator, for streaming summaries.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hp::util

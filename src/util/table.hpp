@@ -1,0 +1,48 @@
+#pragma once
+// Fixed-width ASCII table printer for bench/example output.
+//
+// Benches print paper-style tables (rows of a figure's series); this helper
+// keeps columns aligned and formats doubles consistently.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hp::util {
+
+/// Column-aligned ASCII table. Cells are stored as strings; numeric
+/// convenience overloads format with a configurable precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int precision = 3);
+
+  /// Start a new row.
+  Table& row();
+
+  /// Append a cell to the current row.
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(std::size_t value) { return cell(static_cast<long long>(value)); }
+
+  /// Number of data rows so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with column separators and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (headers + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_;
+};
+
+/// Format a double with the given precision, trimming trailing zeros.
+[[nodiscard]] std::string format_double(double value, int precision);
+
+}  // namespace hp::util

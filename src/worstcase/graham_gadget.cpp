@@ -1,0 +1,79 @@
+#include "worstcase/graham_gadget.hpp"
+
+#include <cassert>
+
+namespace hp {
+
+GrahamGadget graham_gadget(int k) {
+  assert(k >= 1);
+  GrahamGadget g;
+  g.k = k;
+  g.machines = 6 * k;
+  const int n = g.machines;
+
+  // Task indices: group i (i = 0..2k-1) holds six tasks of length 2k+i at
+  // indices 6i..6i+5; the single task of length 6k is last (index 12k).
+  g.durations.reserve(static_cast<std::size_t>(12 * k + 1));
+  for (int i = 0; i < 2 * k; ++i) {
+    for (int c = 0; c < 6; ++c) {
+      g.durations.push_back(static_cast<double>(2 * k + i));
+    }
+  }
+  g.durations.push_back(static_cast<double>(n));
+  auto task_index = [k](int group, int copy) {
+    (void)k;
+    return static_cast<std::size_t>(6 * group + copy);
+  };
+
+  // Perfect packing (Fig 4 left): every machine gets exactly n work.
+  g.optimal_assignment.assign(g.durations.size(), -1);
+  int machine = 0;
+  // Pairs (2k+i, 4k-i) for i = 1..k-1, i.e. groups (i, 2k-i): six machines
+  // per i.
+  for (int i = 1; i < k; ++i) {
+    for (int c = 0; c < 6; ++c) {
+      g.optimal_assignment[task_index(i, c)] = machine;
+      g.optimal_assignment[task_index(2 * k - i, c)] = machine;
+      ++machine;
+    }
+  }
+  // Six tasks of length 3k (group k): two per machine on 3 machines.
+  for (int c = 0; c < 6; ++c) {
+    g.optimal_assignment[task_index(k, c)] = machine + c / 2;
+  }
+  machine += 3;
+  // Six tasks of length 2k (group 0): three per machine on 2 machines.
+  for (int c = 0; c < 6; ++c) {
+    g.optimal_assignment[task_index(0, c)] = machine + c / 3;
+  }
+  machine += 2;
+  // The length-6k task alone.
+  g.optimal_assignment.back() = machine++;
+  assert(machine == n);
+
+  // Worst list order (Fig 4 right): groups 0..k-1 (lengths 2k..3k-1, one
+  // per machine), then groups 2k-1 down to k (lengths 4k-1 down to 3k, so
+  // the machine freeing at 2k+i picks length 4k-1-i and every machine ends
+  // at 6k-1), then the length-6k task.
+  for (int i = 0; i < k; ++i) {
+    for (int c = 0; c < 6; ++c) g.worst_order.push_back(task_index(i, c));
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int c = 0; c < 6; ++c) {
+      g.worst_order.push_back(task_index(2 * k - 1 - i, c));
+    }
+  }
+  g.worst_order.push_back(g.durations.size() - 1);
+  return g;
+}
+
+std::vector<double> worst_order_durations(const GrahamGadget& gadget) {
+  std::vector<double> out;
+  out.reserve(gadget.worst_order.size());
+  for (std::size_t idx : gadget.worst_order) {
+    out.push_back(gadget.durations[idx]);
+  }
+  return out;
+}
+
+}  // namespace hp

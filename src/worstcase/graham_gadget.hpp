@@ -1,0 +1,32 @@
+#pragma once
+// The homogeneous list-scheduling gadget of Fig 4 (the task set T2 of
+// Theorem 14): 12k+1 tasks on n = 6k identical processors whose optimal
+// packing has makespan n while the worst list order reaches 2n-1.
+
+#include <vector>
+
+namespace hp {
+
+struct GrahamGadget {
+  int k = 1;
+  int machines = 6;  ///< n = 6k
+
+  /// Durations indexed by task: six of length 2k+i for i = 0..2k-1, plus one
+  /// of length 6k (last).
+  std::vector<double> durations;
+
+  /// A perfect packing: machine index per task, max load = n.
+  std::vector<int> optimal_assignment;
+
+  /// Task order whose list schedule has makespan 2n-1.
+  std::vector<std::size_t> worst_order;
+};
+
+[[nodiscard]] GrahamGadget graham_gadget(int k);
+
+/// Durations permuted into gadget.worst_order (ready to feed
+/// list_schedule_homogeneous).
+[[nodiscard]] std::vector<double> worst_order_durations(
+    const GrahamGadget& gadget);
+
+}  // namespace hp

@@ -1,0 +1,128 @@
+#include "worstcase/instances.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace hp {
+
+WorstCaseInstance theorem8_instance() {
+  WorstCaseInstance wc;
+  wc.platform = Platform(1, 1);
+  wc.instance.set_name("thm8");
+
+  // X: p = phi, q = 1. Y: p = 1, q = 1/phi. Both have rho = phi.
+  // Priorities make the GPU (queue head, highest priority first for
+  // rho >= 1) pick Y, leaving X to the CPU. The GPU then idles at
+  // 1/phi = phi - 1 but cannot spoliate X: restarting it would finish at
+  // 1/phi + 1 = phi, not better than X's CPU completion at phi.
+  Task x{kPhi, 1.0, /*priority=*/1.0, KernelKind::kGeneric};
+  Task y{1.0, 1.0 / kPhi, /*priority=*/2.0, KernelKind::kGeneric};
+  wc.instance.add(x);
+  wc.instance.add(y);
+
+  // OPT: X on the GPU (time 1), Y on the CPU (time 1).
+  wc.optimal_makespan = 1.0;
+  wc.expected_hp_makespan = kPhi;
+  wc.theoretical_ratio = kPhi;
+  return wc;
+}
+
+WorstCaseInstance theorem11_instance(int m, int chunks) {
+  assert(m >= 2 && chunks >= 1);
+  WorstCaseInstance wc;
+  wc.platform = Platform(m, 1);
+  wc.instance.set_name("thm11-m" + std::to_string(m));
+
+  const double x = (m - 1.0) / (m + kPhi);
+  const double eps = x / chunks;  // K tasks of length eps fill [0, x]
+
+  // T4: GPU filler, rho = phi, highest priority in the phi group so the GPU
+  // drains it first. K tasks of GPU time eps keep the GPU busy until x.
+  for (int c = 0; c < chunks; ++c) {
+    wc.instance.add(Task{eps * kPhi, eps, /*priority=*/3.0});
+  }
+  // T3: CPU filler, rho = 1 (queue tail). m*K unit tasks of CPU time eps
+  // keep all m CPUs busy until exactly x.
+  for (int c = 0; c < m * chunks; ++c) {
+    wc.instance.add(Task{eps, eps, /*priority=*/0.0});
+  }
+  // T1: taken by the GPU at time x (priority above T2 in the phi group).
+  wc.instance.add(Task{1.0, 1.0 / kPhi, /*priority=*/2.0});
+  // T2: taken by a CPU at time x; finishes at x + phi. The GPU, idle from
+  // x + 1/phi, cannot improve on that (x + 1/phi + 1 = x + phi).
+  wc.instance.add(Task{kPhi, 1.0, /*priority=*/1.0});
+
+  // OPT = 1: T2 on the GPU; T1 on one CPU; T3 and T4 pack the remaining
+  // m - 1 CPUs with total work x * (m + phi) = m - 1 (up to epsilon-level
+  // rounding).
+  wc.optimal_makespan = 1.0;
+  wc.expected_hp_makespan = x + kPhi;
+  wc.theoretical_ratio = 1.0 + kPhi;
+  return wc;
+}
+
+double theorem14_r(int n) noexcept {
+  // r^2 - 3*(2 - 1/n)*r - 3 = 0, positive root.
+  const double b = 3.0 * (2.0 - 1.0 / n);
+  return 0.5 * (b + std::sqrt(b * b + 12.0));
+}
+
+WorstCaseInstance theorem14_instance(int k) {
+  assert(k >= 1);
+  const int n = 6 * k;
+  const int m = n * n;
+  WorstCaseInstance wc;
+  wc.platform = Platform(m, n);
+  wc.instance.set_name("thm14-k" + std::to_string(k));
+
+  const double r = theorem14_r(n);
+  const double x_real = n * (static_cast<double>(m) - n) / (m + n * r);
+  const double x = std::floor(x_real);  // integral phase-1 length
+
+  // T4: GPU filler, rho = r, highest priority of the rho = r group. n*x
+  // tasks of GPU time 1 keep the n GPUs busy until exactly x.
+  for (int c = 0; c < n * static_cast<int>(x); ++c) {
+    wc.instance.add(Task{r, 1.0, /*priority=*/100.0});
+  }
+  // T3: CPU filler, rho = 1 (queue tail). m*x unit tasks.
+  for (int c = 0; c < m * static_cast<int>(x); ++c) {
+    wc.instance.add(Task{1.0, 1.0, /*priority=*/0.0});
+  }
+  // T1: n tasks (p = n, q = n/r), taken by the GPUs at time x.
+  for (int c = 0; c < n; ++c) {
+    wc.instance.add(Task{static_cast<double>(n), n / r, /*priority=*/50.0});
+  }
+  // T2: CPU time r*n/3 each; GPU times realize the Graham worst case of
+  // Fig 4 when spoliated in priority order:
+  //   first block  — six tasks of length 2k+i for i = 0..k-1 (spoliated at
+  //                  x + n/r, one per GPU);
+  //   second block — six tasks of length 4k-1-i (picked as GPUs free up);
+  //   last         — the task of length n = 6k, whose spoliation cannot
+  //                  improve its completion (equality), so it stays on CPU.
+  const double t2_cpu = r * n / 3.0;
+  double priority = 40.0;
+  for (int i = 0; i < k; ++i) {
+    for (int c = 0; c < 6; ++c) {
+      wc.instance.add(Task{t2_cpu, static_cast<double>(2 * k + i), priority});
+      priority -= 0.001;
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int c = 0; c < 6; ++c) {
+      wc.instance.add(Task{t2_cpu, static_cast<double>(4 * k - 1 - i), priority});
+      priority -= 0.001;
+    }
+  }
+  wc.instance.add(Task{t2_cpu, static_cast<double>(n), priority});
+
+  // OPT = n: T2 packs the n GPUs to exactly n (Fig 4 left); T1 on n CPUs;
+  // T3/T4 fill the remaining m-n CPUs (total work x*(m+nr) <= n*(m-n)).
+  wc.optimal_makespan = n;
+  // HP: phase 1 ends at x; GPUs run T1 until x + n/r; spoliation of T2
+  // then replays Fig 4's worst list schedule of length 2n-1.
+  wc.expected_hp_makespan = x + n / r + 2.0 * n - 1.0;
+  wc.theoretical_ratio = 2.0 + 2.0 / std::sqrt(3.0);
+  return wc;
+}
+
+}  // namespace hp

@@ -1,0 +1,43 @@
+#pragma once
+// Worst-case instance families of Theorems 8, 11 and 14.
+//
+// Each generator builds the paper's adversarial task set with priorities
+// chosen so that this library's deterministic tie-breaking realizes the
+// adversarial HeteroPrio execution described in the proof. The bench
+// bench_table2_worstcase runs HeteroPrio on them and compares the measured
+// ratio to the theoretical bound.
+
+#include "model/instance.hpp"
+#include "model/platform.hpp"
+
+namespace hp {
+
+/// phi = (1 + sqrt(5)) / 2.
+inline constexpr double kPhi = 1.6180339887498948482;
+
+struct WorstCaseInstance {
+  Instance instance;
+  Platform platform{1, 1};
+  double optimal_makespan = 0.0;   ///< makespan of the constructed optimum
+  double expected_hp_makespan = 0.0;  ///< adversarial HeteroPrio makespan
+  double theoretical_ratio = 0.0;  ///< the bound the family approaches
+};
+
+/// Theorem 8: 1 CPU + 1 GPU, two tasks with equal acceleration factor phi.
+/// HeteroPrio reaches exactly phi * OPT.
+[[nodiscard]] WorstCaseInstance theorem8_instance();
+
+/// Theorem 11: m CPUs + 1 GPU. `chunks` is the number K of unit filler
+/// tasks per processor (epsilon = x / K); larger K sharpens the ratio
+/// towards (1 + phi) as m grows. Requires m >= 2, chunks >= 1.
+[[nodiscard]] WorstCaseInstance theorem11_instance(int m, int chunks);
+
+/// Theorem 14: n = 6k GPUs, m = n^2 CPUs. HeteroPrio approaches
+/// 2 + 2/sqrt(3) ~ 3.15 as k grows. Requires k >= 1.
+[[nodiscard]] WorstCaseInstance theorem14_instance(int k);
+
+/// The r of Theorem 14: the positive root of n/r + 2n - 1 = nr/3, which
+/// tends to 3 + 2*sqrt(3) as n grows.
+[[nodiscard]] double theorem14_r(int n) noexcept;
+
+}  // namespace hp

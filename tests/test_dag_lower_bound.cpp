@@ -1,0 +1,59 @@
+#include "bounds/dag_lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+
+namespace hp {
+namespace {
+
+TEST(DagLowerBoundTest, ChainIsCriticalPathBound) {
+  TaskGraph g("chain");
+  const TaskId a = g.add_task(Task{4.0, 2.0});
+  const TaskId b = g.add_task(Task{6.0, 3.0});
+  g.add_edge(a, b);
+  g.finalize();
+  const DagLowerBound lb = dag_lower_bound(g, Platform(4, 4));
+  EXPECT_DOUBLE_EQ(lb.critical_path, 5.0);  // min times 2 + 3
+  EXPECT_DOUBLE_EQ(lb.max_min_time, 3.0);
+  EXPECT_DOUBLE_EQ(lb.value(), 5.0);
+}
+
+TEST(DagLowerBoundTest, WideGraphIsAreaBound) {
+  TaskGraph g("wide");
+  for (int i = 0; i < 100; ++i) g.add_task(Task{2.0, 1.0});
+  g.finalize();
+  const Platform platform(1, 1);
+  const DagLowerBound lb = dag_lower_bound(g, platform);
+  EXPECT_GT(lb.area, lb.critical_path);
+  EXPECT_DOUBLE_EQ(lb.value(), lb.area);
+}
+
+TEST(DagLowerBoundTest, ValueIsMaxOfComponents) {
+  DagLowerBound lb;
+  lb.area = 3.0;
+  lb.critical_path = 5.0;
+  lb.max_min_time = 4.0;
+  EXPECT_DOUBLE_EQ(lb.value(), 5.0);
+}
+
+TEST(DagLowerBoundTest, CholeskyBoundPositiveAndConsistent) {
+  const TaskGraph g = cholesky_dag(8);
+  const Platform platform(20, 4);
+  const DagLowerBound lb = dag_lower_bound(g, platform);
+  EXPECT_GT(lb.area, 0.0);
+  EXPECT_GT(lb.critical_path, 0.0);
+  EXPECT_GE(lb.value(), lb.area);
+  EXPECT_GE(lb.value(), lb.critical_path);
+}
+
+TEST(DagLowerBoundTest, MoreResourcesShrinkAreaNotCp) {
+  const TaskGraph g = cholesky_dag(6);
+  const DagLowerBound small = dag_lower_bound(g, Platform(2, 1));
+  const DagLowerBound big = dag_lower_bound(g, Platform(20, 8));
+  EXPECT_GT(small.area, big.area);
+  EXPECT_DOUBLE_EQ(small.critical_path, big.critical_path);
+}
+
+}  // namespace
+}  // namespace hp

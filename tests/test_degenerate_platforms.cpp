@@ -1,0 +1,87 @@
+// Degenerate platform shapes across all DAG schedulers: single-type nodes
+// must behave like homogeneous list scheduling (no spoliation possible),
+// single-worker nodes must serialize, and nothing may crash or deadlock.
+
+#include <gtest/gtest.h>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "core/heteroprio.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "sched/validate.hpp"
+
+namespace hp {
+namespace {
+
+TEST(DegeneratePlatforms, CpuOnlyDagScheduling) {
+  TaskGraph g = cholesky_dag(6);
+  assign_priorities(g, RankScheme::kMin);
+  const Platform platform(4, 0);
+  HeteroPrioStats stats;
+  const Schedule s = heteroprio_dag(g, platform, {}, &stats);
+  const auto check = check_schedule(s, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_EQ(stats.spoliations, 0);
+  double cpu_work = 0.0;
+  for (const Task& t : g.tasks()) cpu_work += t.cpu_time;
+  EXPECT_GE(s.makespan(), cpu_work / 4.0 - 1e-9);
+}
+
+TEST(DegeneratePlatforms, GpuOnlyDagScheduling) {
+  TaskGraph g = cholesky_dag(6);
+  assign_priorities(g, RankScheme::kAvg);
+  const Platform platform(0, 2);
+  const Schedule s = heteroprio_dag(g, platform);
+  const auto check = check_schedule(s, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+}
+
+TEST(DegeneratePlatforms, SingleWorkerSerializesEverything) {
+  TaskGraph g = cholesky_dag(4);
+  const Platform platform(1, 0);
+  const Schedule s = heteroprio_dag(g, platform);
+  double cpu_work = 0.0;
+  for (const Task& t : g.tasks()) cpu_work += t.cpu_time;
+  EXPECT_NEAR(s.makespan(), cpu_work, 1e-9);
+}
+
+TEST(DegeneratePlatforms, HeftAndDualHpOnSingleTypeNodes) {
+  TaskGraph g = cholesky_dag(5);
+  assign_priorities(g, RankScheme::kMin);
+  for (const Platform& platform : {Platform(3, 0), Platform(0, 3)}) {
+    const Schedule heft_s = heft(g, platform, {.rank = RankScheme::kMin});
+    const Schedule dual_s = dualhp_dag(g, platform);
+    EXPECT_TRUE(check_schedule(heft_s, g, platform).ok);
+    EXPECT_TRUE(check_schedule(dual_s, g, platform).ok);
+  }
+}
+
+TEST(DegeneratePlatforms, ManyMoreWorkersThanTasks) {
+  const std::vector<Task> tasks{Task{2.0, 1.0}, Task{1.0, 2.0}};
+  const Platform platform(16, 16);
+  const Schedule s = heteroprio(tasks, platform);
+  const auto check = check_schedule(s, tasks, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  // Each task lands on its favorite type immediately.
+  EXPECT_DOUBLE_EQ(s.makespan(), 1.0);
+}
+
+TEST(DegeneratePlatforms, SingleTaskEveryPlatformShape) {
+  const std::vector<Task> tasks{Task{3.0, 2.0}};
+  for (int cpus : {0, 1, 5}) {
+    for (int gpus : {0, 1, 5}) {
+      if (cpus + gpus == 0) continue;
+      const Platform platform(cpus, gpus);
+      const Schedule s = heteroprio(tasks, platform);
+      const double expected =
+          gpus > 0 ? 2.0 : 3.0;  // GPU is faster when available
+      EXPECT_DOUBLE_EQ(s.makespan(), expected)
+          << "(" << cpus << "," << gpus << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,157 @@
+// Differential/fuzz suite: cross-check every scheduler against the exact
+// optimum and the bounds on thousands of small random instances with
+// adversarially varied shapes (extreme acceleration factors, ties,
+// near-zero durations, single-resource platforms). Complements the targeted
+// unit tests with breadth.
+
+#include <gtest/gtest.h>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "baselines/online_greedy.hpp"
+#include "bounds/area_bound.hpp"
+#include "bounds/exact_opt.hpp"
+#include "core/heteroprio.hpp"
+#include "model/generators.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+constexpr double kPhiD = 1.6180339887498949;
+constexpr double kSqrt2D = 1.4142135623730951;
+
+/// Draw a "nasty" instance: wide log-uniform durations, occasional exact
+/// ties, occasional extreme acceleration factors.
+Instance nasty_instance(std::size_t num_tasks, util::Rng& rng) {
+  Instance inst("nasty");
+  double last_cpu = 1.0, last_gpu = 1.0;
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    Task t;
+    const double r = rng.uniform01();
+    if (r < 0.15 && i > 0) {
+      // Exact duplicate of the previous task: exercises tie-breaking.
+      t.cpu_time = last_cpu;
+      t.gpu_time = last_gpu;
+    } else if (r < 0.30) {
+      // Extreme acceleration factor, either direction.
+      t.cpu_time = rng.lognormal(1.0, 1.0);
+      const double rho = rng.uniform01() < 0.5 ? rng.uniform(50.0, 500.0)
+                                               : rng.uniform(0.002, 0.02);
+      t.gpu_time = t.cpu_time / rho;
+    } else if (r < 0.40) {
+      // Tiny task amid normal ones.
+      t.cpu_time = rng.uniform(1e-4, 1e-3);
+      t.gpu_time = t.cpu_time / rng.uniform(0.5, 2.0);
+    } else {
+      t.cpu_time = rng.lognormal(1.0, 1.2);
+      t.gpu_time = t.cpu_time / rng.lognormal(0.5, 1.0);
+    }
+    last_cpu = t.cpu_time;
+    last_gpu = t.gpu_time;
+    inst.add(t);
+  }
+  return inst;
+}
+
+struct Shape {
+  int cpus;
+  int gpus;
+  double hp_bound;  ///< applicable HeteroPrio theorem bound
+};
+
+const Shape kShapes[] = {
+    {1, 1, kPhiD},
+    {3, 1, 1.0 + kPhiD},
+    {1, 2, 2.0 + kSqrt2D},
+    {2, 2, 2.0 + kSqrt2D},
+    {4, 2, 2.0 + kSqrt2D},
+};
+
+TEST(Differential, HeteroPrioVsExactOnHundredsOfNastyInstances) {
+  util::Rng rng(20250704);
+  int checked = 0;
+  for (int rep = 0; rep < 300; ++rep) {
+    const Shape& shape = kShapes[rng.bounded(std::size(kShapes))];
+    const Platform platform(shape.cpus, shape.gpus);
+    const std::size_t count = 3 + rng.bounded(7);  // 3..9 tasks
+    const Instance inst = nasty_instance(count, rng);
+
+    const Schedule s = heteroprio(inst.tasks(), platform);
+    const auto check = check_schedule(s, inst.tasks(), platform);
+    ASSERT_TRUE(check.ok) << "rep " << rep << ": " << check.message;
+
+    const double opt = exact_optimal_makespan(inst.tasks(), platform);
+    ASSERT_GE(s.makespan(), opt * (1.0 - 1e-9)) << "rep " << rep;
+    EXPECT_LE(s.makespan(), shape.hp_bound * opt * (1.0 + 1e-9))
+        << "rep " << rep << " on (" << shape.cpus << "," << shape.gpus
+        << "): HP " << s.makespan() << " opt " << opt;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 300);
+}
+
+TEST(Differential, AllSchedulersValidOnNastyInstances) {
+  util::Rng rng(987654321);
+  for (int rep = 0; rep < 120; ++rep) {
+    const Shape& shape = kShapes[rng.bounded(std::size(kShapes))];
+    const Platform platform(shape.cpus, shape.gpus);
+    const Instance inst = nasty_instance(5 + rng.bounded(25), rng);
+
+    const Schedule schedules[] = {
+        heteroprio(inst.tasks(), platform),
+        heteroprio(inst.tasks(), platform, {.enable_spoliation = false}),
+        dualhp(inst.tasks(), platform),
+        heft_independent(inst.tasks(), platform),
+        online_greedy(inst.tasks(), platform, {OnlineRule::kEft, 1.0}),
+        online_greedy(inst.tasks(), platform, {OnlineRule::kBalance, 1.0}),
+    };
+    for (const Schedule& s : schedules) {
+      const auto check = check_schedule(s, inst.tasks(), platform);
+      EXPECT_TRUE(check.ok) << "rep " << rep << ": " << check.message;
+      EXPECT_GE(s.makespan(),
+                area_bound_value(inst.tasks(), platform) * (1.0 - 1e-9));
+    }
+  }
+}
+
+TEST(Differential, AreaBoundNeverExceedsAnyScheduleOrExact) {
+  util::Rng rng(555);
+  for (int rep = 0; rep < 200; ++rep) {
+    const Platform platform(1 + static_cast<int>(rng.bounded(3)),
+                            1 + static_cast<int>(rng.bounded(2)));
+    const Instance inst = nasty_instance(3 + rng.bounded(6), rng);
+    const double lb = opt_lower_bound(inst.tasks(), platform);
+    const double opt = exact_optimal_makespan(inst.tasks(), platform);
+    EXPECT_LE(lb, opt * (1.0 + 1e-9)) << "rep " << rep;
+  }
+}
+
+TEST(Differential, DualHpNearTwoApproxOnNastyInstances) {
+  util::Rng rng(777);
+  for (int rep = 0; rep < 150; ++rep) {
+    const Platform platform(2, 1);
+    const Instance inst = nasty_instance(4 + rng.bounded(6), rng);
+    const Schedule s = dualhp(inst.tasks(), platform);
+    const double opt = exact_optimal_makespan(inst.tasks(), platform);
+    EXPECT_LE(s.makespan(), 2.0 * opt * (1.0 + 1e-6)) << "rep " << rep;
+  }
+}
+
+TEST(Differential, SpoliationMonotoneOnNastyInstances) {
+  util::Rng rng(999);
+  for (int rep = 0; rep < 150; ++rep) {
+    const Shape& shape = kShapes[rng.bounded(std::size(kShapes))];
+    const Platform platform(shape.cpus, shape.gpus);
+    const Instance inst = nasty_instance(4 + rng.bounded(12), rng);
+    const double with = heteroprio(inst.tasks(), platform).makespan();
+    const double without =
+        heteroprio(inst.tasks(), platform, {.enable_spoliation = false})
+            .makespan();
+    EXPECT_LE(with, without * (1.0 + 1e-9)) << "rep " << rep;
+  }
+}
+
+}  // namespace
+}  // namespace hp

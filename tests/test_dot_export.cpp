@@ -1,0 +1,43 @@
+#include "dag/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(DotExport, ContainsNodesAndEdges) {
+  TaskGraph g("mini");
+  const TaskId a = g.add_task(Task{1.0, 0.5, 0.0, KernelKind::kPotrf});
+  const TaskId b = g.add_task(Task{2.0, 0.25, 0.0, KernelKind::kTrsm});
+  g.add_edge(a, b);
+  g.finalize();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph \"mini\""), std::string::npos);
+  EXPECT_NE(dot.find("t0"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("DPOTRF"), std::string::npos);
+  EXPECT_NE(dot.find("DTRSM"), std::string::npos);
+}
+
+TEST(DotExport, TimesShownWhenRequested) {
+  TaskGraph g("x");
+  g.add_task(Task{1.5, 0.5});
+  g.finalize();
+  DotOptions opts;
+  opts.show_times = true;
+  EXPECT_NE(to_dot(g, opts).find("p=1.5"), std::string::npos);
+  opts.show_times = false;
+  EXPECT_EQ(to_dot(g, opts).find("p=1.5"), std::string::npos);
+}
+
+TEST(DotExport, RefusesOversizedGraphs) {
+  TaskGraph g("big");
+  for (int i = 0; i < 100; ++i) g.add_task(Task{1.0, 1.0});
+  g.finalize();
+  DotOptions opts;
+  opts.max_tasks = 50;
+  EXPECT_TRUE(to_dot(g, opts).empty());
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,97 @@
+#include "baselines/dualdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/dualhp.hpp"
+#include "bounds/exact_opt.hpp"
+#include "linalg/cholesky.hpp"
+#include "model/generators.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(DualDp, EmptyAndSingleTask) {
+  const std::vector<Task> none;
+  EXPECT_DOUBLE_EQ(dualdp(none, Platform(1, 1)).makespan(), 0.0);
+  const std::vector<Task> one{Task{4.0, 1.0}};
+  const Schedule s = dualdp(one, Platform(1, 1));
+  EXPECT_LE(s.makespan(), 2.0 + 1e-9);  // within 2*OPT
+}
+
+TEST(DualDp, ValidSchedulesOnRandomInstances) {
+  util::Rng rng(31);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Instance inst = uniform_instance({.num_tasks = 40}, rng);
+    const Platform platform(3, 2);
+    const Schedule s = dualdp(inst.tasks(), platform);
+    const auto check = check_schedule(s, inst.tasks(), platform);
+    EXPECT_TRUE(check.ok) << check.message;
+  }
+}
+
+TEST(DualDp, WithinTwiceOptimalOnSmallInstances) {
+  util::Rng rng(32);
+  for (int rep = 0; rep < 12; ++rep) {
+    const Instance inst = uniform_instance({.num_tasks = 9}, rng);
+    const Platform platform(2, 1);
+    const Schedule s = dualdp(inst.tasks(), platform);
+    const double opt = exact_optimal_makespan(inst.tasks(), platform);
+    EXPECT_LE(s.makespan(), 2.0 * opt * (1.0 + 1e-6)) << "rep " << rep;
+  }
+}
+
+TEST(DualDp, BeatsGreedyThresholdOnLumpyInstance) {
+  // The DP's raison d'etre: a lumpy instance where the greedy GPU fill of
+  // DualHP strands a big task. Two big GPU-friendly tasks that together
+  // overload one GPU, plus filler: the knapsack balances them.
+  std::vector<Task> tasks;
+  tasks.push_back(Task{40.0, 10.0});  // rho 4
+  tasks.push_back(Task{40.0, 10.0});
+  for (int i = 0; i < 10; ++i) tasks.push_back(Task{4.0, 1.0});  // rho 4
+  const Platform platform(2, 1);
+  const double dp_ms = dualdp(tasks, platform).makespan();
+  const double greedy_ms = dualhp(tasks, platform).makespan();
+  EXPECT_LE(dp_ms, greedy_ms * (1.0 + 1e-9));
+}
+
+TEST(DualDp, AverageNotWorseThanDualHpOnKernelTaskSets) {
+  // On the Fig 6 workloads the DP split should on average match or beat the
+  // greedy one (both converge to the area bound for large N).
+  const Platform platform(20, 4);
+  const Instance inst = cholesky_dag(16).to_instance();
+  const double dp_ms = dualdp(inst.tasks(), platform).makespan();
+  const double greedy_ms = dualhp(inst.tasks(), platform).makespan();
+  EXPECT_LE(dp_ms, greedy_ms * 1.05);
+}
+
+TEST(DualDp, SingleResourcePlatforms) {
+  const std::vector<Task> tasks{Task{2.0, 1.0}, Task{2.0, 1.0}};
+  const Schedule cpu_only = dualdp(tasks, Platform(2, 0));
+  EXPECT_DOUBLE_EQ(cpu_only.makespan(), 2.0);
+  const Schedule gpu_only = dualdp(tasks, Platform(0, 2));
+  EXPECT_DOUBLE_EQ(gpu_only.makespan(), 1.0);
+}
+
+TEST(DualDp, DeterministicAcrossRuns) {
+  util::Rng rng(33);
+  const Instance inst = uniform_instance({.num_tasks = 25}, rng);
+  const Platform platform(2, 2);
+  EXPECT_DOUBLE_EQ(dualdp(inst.tasks(), platform).makespan(),
+                   dualdp(inst.tasks(), platform).makespan());
+}
+
+TEST(DualDp, FinerGridNeverHurtsMuch) {
+  util::Rng rng(34);
+  const Instance inst = uniform_instance({.num_tasks = 30}, rng);
+  const Platform platform(3, 1);
+  const double coarse =
+      dualdp(inst.tasks(), platform, {.capacity_grid = 64}).makespan();
+  const double fine =
+      dualdp(inst.tasks(), platform, {.capacity_grid = 1024}).makespan();
+  EXPECT_LE(fine, coarse * 1.10);
+}
+
+}  // namespace
+}  // namespace hp

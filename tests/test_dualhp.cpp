@@ -1,0 +1,177 @@
+#include "baselines/dualhp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bounds/area_bound.hpp"
+#include "bounds/exact_opt.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "model/generators.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(DualTry, ForcedAssignments) {
+  // lambda = 3: task 0 (p=5 > 3) forced to GPU; task 1 (q=4 > 3) forced to
+  // CPU; task 2 flexible.
+  const std::vector<Task> tasks{Task{5.0, 1.0}, Task{2.0, 4.0},
+                                Task{1.0, 1.0}};
+  std::vector<TaskId> candidates{0, 2, 1};  // rho desc: 5, 1, 0.5
+  const std::vector<double> cpu_loads{0.0};
+  const std::vector<double> gpu_loads{0.0};
+  const auto res = detail::dual_try(tasks, candidates, 3.0, cpu_loads, gpu_loads);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.side[0], Resource::kGpu);  // candidate 0 = task 0
+  EXPECT_EQ(res.side[2], Resource::kCpu);  // candidate 2 = task 1
+}
+
+TEST(DualTry, InfeasibleWhenTaskExceedsLambdaOnBoth) {
+  const std::vector<Task> tasks{Task{5.0, 5.0}};
+  const std::vector<TaskId> candidates{0};
+  const std::vector<double> one_load{0.0};
+  EXPECT_FALSE(
+      detail::dual_try(tasks, candidates, 4.0, one_load, one_load).feasible);
+  EXPECT_TRUE(
+      detail::dual_try(tasks, candidates, 5.0, one_load, one_load).feasible);
+}
+
+TEST(DualTry, RespectsTwoLambdaCap) {
+  // Two tasks of CPU time 3 on one CPU with lambda = 2: cap is 4, placing
+  // both (load 6) must fail; GPU-hostile so they cannot spill there.
+  const std::vector<Task> tasks{Task{3.0, 50.0}, Task{3.0, 50.0}};
+  const std::vector<TaskId> candidates{0, 1};
+  const std::vector<double> cpu_loads{0.0};
+  const std::vector<double> gpu_loads{0.0};
+  EXPECT_FALSE(
+      detail::dual_try(tasks, candidates, 2.0, cpu_loads, gpu_loads).feasible);
+}
+
+TEST(DualTry, AccountsForInitialLoads) {
+  // GPU already loaded to 3; with lambda = 2 (cap 4) a q=2 task fits only
+  // if the residual allows; 3+2=5 > 4 -> must go to the CPU instead.
+  const std::vector<Task> tasks{Task{2.0, 2.0}};
+  const std::vector<TaskId> candidates{0};
+  const std::vector<double> cpu_loads{0.0};
+  const std::vector<double> gpu_loads{3.0};
+  const auto res = detail::dual_try(tasks, candidates, 2.0, cpu_loads, gpu_loads);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.side[0], Resource::kCpu);
+}
+
+TEST(DualHp, ValidScheduleOnRandomInstances) {
+  util::Rng rng(21);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Instance inst = uniform_instance({.num_tasks = 30}, rng);
+    const Platform platform(3, 2);
+    const Schedule s = dualhp(inst.tasks(), platform);
+    const auto check = check_schedule(s, inst.tasks(), platform);
+    EXPECT_TRUE(check.ok) << check.message;
+  }
+}
+
+TEST(DualHp, WithinTwiceOptimalOnSmallInstances) {
+  // The dual-approximation guarantee: makespan <= 2 * OPT (§6: "returns a
+  // schedule of length 2*lambda" with lambda <= OPT at the search's end).
+  util::Rng rng(22);
+  for (int rep = 0; rep < 12; ++rep) {
+    const Instance inst = uniform_instance({.num_tasks = 9}, rng);
+    const Platform platform(2, 1);
+    const Schedule s = dualhp(inst.tasks(), platform);
+    const double opt = exact_optimal_makespan(inst.tasks(), platform);
+    EXPECT_LE(s.makespan(), 2.0 * opt * (1.0 + 1e-6) + 1e-9);
+  }
+}
+
+TEST(DualHp, EmptyInstance) {
+  const std::vector<Task> tasks;
+  EXPECT_DOUBLE_EQ(dualhp(tasks, Platform(1, 1)).makespan(), 0.0);
+}
+
+TEST(DualHp, SingleTaskGoesToFasterResourceWithinBound) {
+  const std::vector<Task> tasks{Task{4.0, 1.0}};
+  const Schedule s = dualhp(tasks, Platform(1, 1));
+  EXPECT_LE(s.makespan(), 2.0 + 1e-9);  // 2 * OPT = 2
+}
+
+TEST(DualHp, PriorityOrderingWithinWorker) {
+  // Force both tasks onto the single CPU; the higher-priority one runs
+  // first unless fifo ordering is requested.
+  const std::vector<Task> tasks{
+      Task{1.0, 50.0, /*priority=*/1.0},
+      Task{1.0, 50.0, /*priority=*/9.0},
+  };
+  const Platform platform(1, 1);
+  const Schedule by_prio = dualhp(tasks, platform);
+  EXPECT_LT(by_prio.placement(1).start, by_prio.placement(0).start);
+  const Schedule by_fifo = dualhp(tasks, platform, {.fifo_order = true});
+  EXPECT_LT(by_fifo.placement(0).start, by_fifo.placement(1).start);
+}
+
+TEST(DualHpDag, ValidOnCholesky) {
+  TaskGraph g = cholesky_dag(6);
+  assign_priorities(g, RankScheme::kAvg);
+  const Platform platform(4, 2);
+  const Schedule s = dualhp_dag(g, platform);
+  const auto check = check_schedule(s, g, platform);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(DualHpDag, ChainCompletes) {
+  TaskGraph g("chain");
+  const TaskId a = g.add_task(Task{2.0, 1.0});
+  const TaskId b = g.add_task(Task{2.0, 1.0});
+  const TaskId c = g.add_task(Task{2.0, 1.0});
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.finalize();
+  const Platform platform(1, 1);
+  const Schedule s = dualhp_dag(g, platform);
+  const auto check = check_schedule(s, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_GE(s.makespan(), 3.0 - 1e-9);  // critical path of min times
+}
+
+TEST(DualHpDag, FifoAndPriorityVariantsBothValid) {
+  TaskGraph g = cholesky_dag(5);
+  assign_priorities(g, RankScheme::kMin);
+  const Platform platform(2, 2);
+  const Schedule prio = dualhp_dag(g, platform);
+  const Schedule fifo = dualhp_dag(g, platform, {.fifo_order = true});
+  EXPECT_TRUE(check_schedule(prio, g, platform).ok);
+  EXPECT_TRUE(check_schedule(fifo, g, platform).ok);
+}
+
+TEST(DualHpDag, DeterministicAcrossRuns) {
+  TaskGraph g = cholesky_dag(5);
+  assign_priorities(g, RankScheme::kAvg);
+  const Platform platform(3, 1);
+  EXPECT_DOUBLE_EQ(dualhp_dag(g, platform).makespan(),
+                   dualhp_dag(g, platform).makespan());
+}
+
+TEST(DualHpDag, ConservatismLeavesCpusIdleOnGpuFriendlyFront) {
+  // §6.2's observation: at the start, DualHP assigns everything to the GPU
+  // because using a CPU would lengthen the local makespan. With a single
+  // ready chain of GPU-friendly tasks, the CPU never works.
+  TaskGraph g("gpu-chain");
+  TaskId prev = g.add_task(Task{20.0, 1.0});
+  for (int i = 0; i < 4; ++i) {
+    const TaskId next = g.add_task(Task{20.0, 1.0});
+    g.add_edge(prev, next);
+    prev = next;
+  }
+  g.finalize();
+  const Platform platform(2, 1);
+  const Schedule s = dualhp_dag(g, platform);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(platform.type_of(s.placement(static_cast<TaskId>(i)).worker),
+              Resource::kGpu);
+  }
+}
+
+}  // namespace
+}  // namespace hp

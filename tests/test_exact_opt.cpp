@@ -1,0 +1,105 @@
+#include "bounds/exact_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bounds/area_bound.hpp"
+#include "model/generators.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(ExactOpt, EmptyInstance) {
+  const std::vector<Task> tasks;
+  EXPECT_DOUBLE_EQ(exact_optimal_makespan(tasks, Platform(1, 1)), 0.0);
+}
+
+TEST(ExactOpt, SingleTaskPicksFasterResource) {
+  const std::vector<Task> tasks{Task{5.0, 2.0}};
+  EXPECT_DOUBLE_EQ(exact_optimal_makespan(tasks, Platform(1, 1)), 2.0);
+  const std::vector<Task> cpu_friendly{Task{2.0, 5.0}};
+  EXPECT_DOUBLE_EQ(exact_optimal_makespan(cpu_friendly, Platform(1, 1)), 2.0);
+}
+
+TEST(ExactOpt, Theorem8InstanceHasOptimalOne) {
+  const double phi = 1.6180339887498949;
+  const std::vector<Task> tasks{Task{phi, 1.0}, Task{1.0, 1.0 / phi}};
+  EXPECT_NEAR(exact_optimal_makespan(tasks, Platform(1, 1)), 1.0, 1e-12);
+}
+
+TEST(ExactOpt, TwoIdenticalTasksTwoCpus) {
+  const std::vector<Task> tasks{Task{3.0, 100.0}, Task{3.0, 100.0}};
+  EXPECT_DOUBLE_EQ(exact_optimal_makespan(tasks, Platform(2, 1)), 3.0);
+}
+
+TEST(ExactOpt, ForcedSerializationOnOneWorker) {
+  const std::vector<Task> tasks{Task{1.0, 100.0}, Task{2.0, 100.0},
+                                Task{3.0, 100.0}};
+  // One CPU, GPU useless: makespan = 6.
+  EXPECT_DOUBLE_EQ(exact_optimal_makespan(tasks, Platform(1, 1)), 6.0);
+}
+
+TEST(ExactOpt, ScheduleIsValidAndMatchesMakespan) {
+  util::Rng rng(5);
+  const Instance inst = uniform_instance({.num_tasks = 8}, rng);
+  const Platform platform(2, 2);
+  const ExactResult res = exact_optimal(inst.tasks(), platform);
+  const auto check = check_schedule(res.schedule, inst.tasks(), platform);
+  EXPECT_TRUE(check.ok) << check.message;
+  EXPECT_NEAR(res.schedule.makespan(), res.makespan, 1e-9);
+}
+
+TEST(ExactOpt, NeverBelowAreaBound) {
+  util::Rng rng(6);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Instance inst = uniform_instance({.num_tasks = 9}, rng);
+    const Platform platform(2, 1);
+    const double opt = exact_optimal_makespan(inst.tasks(), platform);
+    EXPECT_GE(opt, opt_lower_bound(inst.tasks(), platform) - 1e-9);
+  }
+}
+
+TEST(ExactOpt, MatchesBruteForceOnOneCpuOneGpu) {
+  // Reference: enumerate all 2^T side choices; per side a single worker, so
+  // the makespan is max(sum p on CPU, sum q on GPU).
+  util::Rng rng(7);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Instance inst = uniform_instance({.num_tasks = 10}, rng);
+    const Platform platform(1, 1);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t mask = 0; mask < (1u << inst.size()); ++mask) {
+      double cpu = 0.0, gpu = 0.0;
+      for (std::size_t i = 0; i < inst.size(); ++i) {
+        if (mask & (1u << i)) {
+          gpu += inst[static_cast<TaskId>(i)].gpu_time;
+        } else {
+          cpu += inst[static_cast<TaskId>(i)].cpu_time;
+        }
+      }
+      best = std::min(best, std::max(cpu, gpu));
+    }
+    EXPECT_NEAR(exact_optimal_makespan(inst.tasks(), platform), best, 1e-9);
+  }
+}
+
+TEST(ExactOpt, SymmetryBreakingStillOptimalManyWorkers) {
+  // 4 identical CPU tasks on 4 CPUs: optimal = max single task.
+  const std::vector<Task> tasks{Task{2.0, 50.0}, Task{2.0, 50.0},
+                                Task{2.0, 50.0}, Task{2.0, 50.0}};
+  EXPECT_DOUBLE_EQ(exact_optimal_makespan(tasks, Platform(4, 1)), 2.0);
+}
+
+TEST(ExactOpt, ExploresFewNodesWithPruning) {
+  util::Rng rng(8);
+  const Instance inst = uniform_instance({.num_tasks = 12}, rng);
+  const ExactResult res = exact_optimal(inst.tasks(), Platform(2, 2));
+  // 4^12 = 16.7M raw leaves; pruning must cut that drastically.
+  EXPECT_LT(res.nodes, 2'000'000u);
+  EXPECT_GT(res.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,93 @@
+#include "sched/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/heft.hpp"
+#include "linalg/cholesky.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Executor, ExactEstimatesReproducePlanMakespan) {
+  const TaskGraph g = cholesky_dag(8);
+  const Platform platform(4, 2);
+  const Schedule plan = heft(g, platform, {.rank = RankScheme::kMin});
+  const Schedule replay = execute_static_plan(plan, g, platform);
+  const auto check = check_schedule(replay, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  // Replay compacts idle gaps but never beats the plan's dependencies:
+  // with exact times it matches the plan up to gap-compaction.
+  EXPECT_LE(replay.makespan(), plan.makespan() + 1e-9);
+}
+
+TEST(Executor, PreservesWorkerAssignment) {
+  const TaskGraph g = cholesky_dag(6);
+  const Platform platform(3, 1);
+  const Schedule plan = heft(g, platform);
+  const Schedule replay = execute_static_plan(plan, g, platform);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(replay.placement(static_cast<TaskId>(i)).worker,
+              plan.placement(static_cast<TaskId>(i)).worker);
+  }
+}
+
+TEST(Executor, NoisyDurationsShiftExecution) {
+  TaskGraph g = cholesky_dag(6);
+  const Platform platform(3, 1);
+  const Schedule plan = heft(g, platform);
+
+  std::vector<Task> actuals(g.tasks().begin(), g.tasks().end());
+  util::Rng rng(9);
+  for (Task& t : actuals) {
+    t.cpu_time *= rng.lognormal(0.0, 0.3);
+    t.gpu_time *= rng.lognormal(0.0, 0.3);
+  }
+  const Schedule replay = execute_static_plan(plan, g, platform, actuals);
+  // Valid against the ACTUAL durations.
+  const auto check = check_schedule(replay, actuals, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  // Precedence still respected.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    for (TaskId pred : g.predecessors(static_cast<TaskId>(i))) {
+      EXPECT_GE(replay.placement(static_cast<TaskId>(i)).start,
+                replay.placement(pred).end - 1e-9);
+    }
+  }
+}
+
+TEST(Executor, ChainOnOneWorkerIsSequential) {
+  TaskGraph g("chain");
+  const TaskId a = g.add_task(Task{1.0, 10.0});
+  const TaskId b = g.add_task(Task{2.0, 10.0});
+  g.add_edge(a, b);
+  g.finalize();
+  const Platform platform(1, 1);
+  Schedule plan(2);
+  plan.place(a, 0, 0.0, 1.0);
+  plan.place(b, 0, 1.0, 3.0);
+  const Schedule replay = execute_static_plan(plan, g, platform);
+  EXPECT_DOUBLE_EQ(replay.placement(b).start, 1.0);
+  EXPECT_DOUBLE_EQ(replay.makespan(), 3.0);
+}
+
+TEST(Executor, CrossWorkerDependencyDelaysStart) {
+  TaskGraph g("cross");
+  const TaskId a = g.add_task(Task{4.0, 4.0});
+  const TaskId b = g.add_task(Task{1.0, 1.0});
+  g.add_edge(a, b);
+  g.finalize();
+  const Platform platform(1, 1);
+  Schedule plan(2);
+  plan.place(a, 0, 0.0, 4.0);
+  plan.place(b, 1, 4.0, 5.0);
+  // Double the actual duration of a: b must slide to start at 8.
+  std::vector<Task> actuals{Task{8.0, 8.0}, Task{1.0, 1.0}};
+  const Schedule replay = execute_static_plan(plan, g, platform, actuals);
+  EXPECT_DOUBLE_EQ(replay.placement(b).start, 8.0);
+  EXPECT_DOUBLE_EQ(replay.makespan(), 9.0);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,90 @@
+#include "sched/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hp {
+namespace {
+
+struct Fixture {
+  Platform platform{1, 1};
+  std::vector<Task> tasks{Task{4.0, 1.0, 0.0, KernelKind::kGemm},
+                          Task{2.0, 3.0, 0.0, KernelKind::kPotrf}};
+  Schedule schedule{2};
+
+  Fixture() {
+    schedule.place(0, 1, 0.0, 1.0);
+    schedule.place(1, 0, 0.0, 2.0);
+    schedule.add_aborted(0, 0, 0.0, 0.5);
+  }
+};
+
+TEST(ChromeTrace, ContainsEventsAndLaneNames) {
+  const Fixture f;
+  const std::string json = to_chrome_trace(f.schedule, f.tasks, f.platform);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("DGEMM"), std::string::npos);
+  EXPECT_NE(json.find("DPOTRF"), std::string::npos);
+  EXPECT_NE(json.find("(aborted)"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ChromeTrace, BalancedBracesAndQuotes) {
+  const Fixture f;
+  const std::string json = to_chrome_trace(f.schedule, f.tasks, f.platform);
+  int depth = 0;
+  int quotes = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    if (ch == '"') ++quotes;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(ChromeTrace, DurationsInMicroseconds) {
+  const Fixture f;
+  const std::string json = to_chrome_trace(f.schedule, f.tasks, f.platform);
+  // task 1 runs 2.0 time units -> "dur":2000
+  EXPECT_NE(json.find("\"dur\":2000"), std::string::npos);
+}
+
+TEST(SvgGantt, WellFormedAndLabeled) {
+  const Fixture f;
+  const std::string svg = to_svg_gantt(f.schedule, f.tasks, f.platform);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("CPU0"), std::string::npos);
+  EXPECT_NE(svg.find("GPU1"), std::string::npos);
+  EXPECT_NE(svg.find("makespan = 2"), std::string::npos);
+  EXPECT_NE(svg.find("<title>DGEMM</title>"), std::string::npos);
+}
+
+TEST(SvgGantt, AbortedSegmentsToggle) {
+  const Fixture f;
+  const std::string with =
+      to_svg_gantt(f.schedule, f.tasks, f.platform, {.show_aborted = true});
+  EXPECT_NE(with.find("aborted by spoliation"), std::string::npos);
+  const std::string without =
+      to_svg_gantt(f.schedule, f.tasks, f.platform, {.show_aborted = false});
+  EXPECT_EQ(without.find("aborted by spoliation"), std::string::npos);
+}
+
+TEST(SvgGantt, RectanglePerPlacedTask) {
+  const Fixture f;
+  const std::string svg =
+      to_svg_gantt(f.schedule, f.tasks, f.platform, {.show_aborted = false});
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 2u);
+}
+
+}  // namespace
+}  // namespace hp

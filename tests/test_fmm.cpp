@@ -1,0 +1,133 @@
+#include "linalg/fmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bounds/dag_lower_bound.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "dag/validation.hpp"
+#include "sched/validate.hpp"
+
+namespace hp {
+namespace {
+
+std::map<KernelKind, int> kind_histogram(const TaskGraph& g) {
+  std::map<KernelKind, int> hist;
+  for (const Task& t : g.tasks()) ++hist[t.kind];
+  return hist;
+}
+
+TEST(Fmm, TaskCountMatchesFormula) {
+  for (int depth : {3, 4, 5}) {
+    for (int branching : {4, 8}) {
+      FmmParams params;
+      params.depth = depth;
+      params.branching = branching;
+      const TaskGraph g = fmm_dag(params);
+      EXPECT_EQ(g.size(), fmm_task_count(params))
+          << "depth " << depth << " b " << branching;
+    }
+  }
+}
+
+TEST(Fmm, PhaseCounts) {
+  FmmParams params;
+  params.depth = 4;
+  params.branching = 4;  // quadtree: levels 1,4,16,64 cells
+  const TaskGraph g = fmm_dag(params);
+  const auto hist = kind_histogram(g);
+  EXPECT_EQ(hist.at(KernelKind::kP2M), 64);
+  EXPECT_EQ(hist.at(KernelKind::kM2M), 1 + 4 + 16);
+  EXPECT_EQ(hist.at(KernelKind::kM2L), 16 + 64);
+  EXPECT_EQ(hist.at(KernelKind::kL2L), 16 + 64);
+  EXPECT_EQ(hist.at(KernelKind::kL2P), 64);
+  EXPECT_EQ(hist.at(KernelKind::kP2P), 64);
+}
+
+TEST(Fmm, WellFormedDag) {
+  FmmParams params;
+  params.depth = 4;
+  const TaskGraph g = fmm_dag(params);
+  const GraphCheck check = check_graph(g);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Fmm, P2PTasksAreIndependentSources) {
+  FmmParams params;
+  params.depth = 3;
+  params.branching = 4;
+  const TaskGraph g = fmm_dag(params);
+  int p2p_sources = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    if (g.task(id).kind == KernelKind::kP2P) {
+      EXPECT_EQ(g.in_degree(id), 0u);
+      EXPECT_EQ(g.out_degree(id), 0u);
+      ++p2p_sources;
+    }
+  }
+  EXPECT_EQ(p2p_sources, 16);
+}
+
+TEST(Fmm, UpwardPassOrdering) {
+  // Every M2M depends on exactly `branching` children.
+  FmmParams params;
+  params.depth = 3;
+  params.branching = 4;
+  const TaskGraph g = fmm_dag(params);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    if (g.task(id).kind == KernelKind::kM2M) {
+      EXPECT_EQ(g.in_degree(id), 4u);
+    }
+  }
+}
+
+TEST(Fmm, L2PDependsOnDownwardPass) {
+  FmmParams params;
+  params.depth = 3;
+  params.branching = 4;
+  const TaskGraph g = fmm_dag(params);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    if (g.task(id).kind == KernelKind::kL2P) {
+      ASSERT_EQ(g.in_degree(id), 1u);
+      EXPECT_EQ(g.task(g.predecessors(id)[0]).kind, KernelKind::kL2L);
+    }
+  }
+}
+
+TEST(Fmm, InteractionListRespectsRequestedSize) {
+  FmmParams params;
+  params.depth = 4;
+  params.branching = 8;
+  params.interactions = 6;
+  const TaskGraph g = fmm_dag(params);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    if (g.task(id).kind == KernelKind::kM2L) {
+      EXPECT_LE(g.in_degree(id), 6u);
+      EXPECT_GE(g.in_degree(id), 1u);
+    }
+  }
+}
+
+TEST(Fmm, HeteroPrioSchedulesCloseToBound) {
+  // The original HeteroPrio success story: CPUs soak up the tree passes,
+  // GPUs chew through P2P/M2L.
+  FmmParams params;
+  params.depth = 4;
+  TaskGraph g = fmm_dag(params);
+  assign_priorities(g, RankScheme::kMin);
+  const Platform platform(20, 4);
+  const Schedule s = heteroprio_dag(g, platform);
+  const auto check = check_schedule(s, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  const double lb = dag_lower_bound(g, platform).value();
+  EXPECT_LE(s.makespan(), 1.3 * lb);
+}
+
+}  // namespace
+}  // namespace hp

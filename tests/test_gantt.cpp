@@ -1,0 +1,49 @@
+#include "sched/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(Gantt, RendersOneRowPerWorker) {
+  const Platform platform(2, 1);
+  Schedule s(2);
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 2, 0.0, 1.0);
+  const std::string out = render_gantt(s, platform);
+  EXPECT_NE(out.find("CPU#0"), std::string::npos);
+  EXPECT_NE(out.find("CPU#1"), std::string::npos);
+  EXPECT_NE(out.find("GPU#2"), std::string::npos);
+  EXPECT_NE(out.find("makespan = 2"), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleHandled) {
+  const Platform platform(1, 1);
+  const Schedule s(0);
+  EXPECT_EQ(render_gantt(s, platform), "(empty schedule)\n");
+}
+
+TEST(Gantt, AbortedSegmentsRenderedAsDots) {
+  const Platform platform(1, 1);
+  Schedule s(1);
+  s.add_aborted(0, 0, 0.0, 1.0);
+  s.place(0, 1, 1.0, 2.0);
+  const std::string with = render_gantt(s, platform, {.width = 40, .show_aborted = true});
+  EXPECT_NE(with.find('.'), std::string::npos);
+  const std::string without =
+      render_gantt(s, platform, {.width = 40, .show_aborted = false});
+  EXPECT_EQ(without.find('.'), std::string::npos);
+}
+
+TEST(Gantt, TaskLettersAppear) {
+  const Platform platform(1, 0);
+  Schedule s(2);
+  s.place(0, 0, 0.0, 1.0);  // letter 'a'
+  s.place(1, 0, 1.0, 2.0);  // letter 'b'
+  const std::string out = render_gantt(s, platform, {.width = 20});
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hp

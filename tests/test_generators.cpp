@@ -1,0 +1,71 @@
+#include "model/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(Generators, UniformInstanceSizeAndRanges) {
+  util::Rng rng(1);
+  UniformGenParams params;
+  params.num_tasks = 200;
+  params.cpu_time_lo = 1.0;
+  params.cpu_time_hi = 5.0;
+  params.accel_lo = 0.5;
+  params.accel_hi = 20.0;
+  const Instance inst = uniform_instance(params, rng);
+  ASSERT_EQ(inst.size(), 200u);
+  for (const Task& t : inst.tasks()) {
+    EXPECT_GE(t.cpu_time, 1.0);
+    EXPECT_LT(t.cpu_time, 5.0);
+    EXPECT_GE(t.accel(), 0.5 - 1e-12);
+    EXPECT_LE(t.accel(), 20.0 + 1e-12);
+    EXPECT_GT(t.gpu_time, 0.0);
+  }
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  util::Rng a(7), b(7);
+  const Instance ia = uniform_instance({}, a);
+  const Instance ib = uniform_instance({}, b);
+  ASSERT_EQ(ia.size(), ib.size());
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ia[static_cast<TaskId>(i)].cpu_time,
+                     ib[static_cast<TaskId>(i)].cpu_time);
+    EXPECT_DOUBLE_EQ(ia[static_cast<TaskId>(i)].gpu_time,
+                     ib[static_cast<TaskId>(i)].gpu_time);
+  }
+}
+
+TEST(Generators, BimodalSeparatesAccelModes) {
+  util::Rng rng(2);
+  const Instance inst = bimodal_instance(500, 0.5, rng);
+  int gpu_friendly = 0, cpu_friendly = 0;
+  for (const Task& t : inst.tasks()) {
+    const double rho = t.accel();
+    if (rho >= 10.0 - 1e-9) {
+      ++gpu_friendly;
+    } else {
+      EXPECT_LE(rho, 2.0 + 1e-9);
+      ++cpu_friendly;
+    }
+  }
+  // Roughly half each (binomial, 500 draws).
+  EXPECT_GT(gpu_friendly, 180);
+  EXPECT_GT(cpu_friendly, 180);
+}
+
+TEST(Generators, BimodalAllGpuFriendly) {
+  util::Rng rng(3);
+  const Instance inst = bimodal_instance(50, 1.0, rng);
+  for (const Task& t : inst.tasks()) EXPECT_GE(t.accel(), 10.0 - 1e-9);
+}
+
+TEST(Generators, UniformAccelInstanceHasConstantRho) {
+  util::Rng rng(4);
+  const Instance inst = uniform_accel_instance(100, 3.5, 1.0, 2.0, rng);
+  for (const Task& t : inst.tasks()) EXPECT_NEAR(t.accel(), 3.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,103 @@
+#include "baselines/graham.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "worstcase/graham_gadget.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Graham, SingleMachineSerializes) {
+  const std::vector<double> d{1.0, 2.0, 3.0};
+  const ListScheduleResult res = list_schedule_homogeneous(d, 1);
+  EXPECT_DOUBLE_EQ(res.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(res.start[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.start[2], 3.0);
+}
+
+TEST(Graham, TwoMachinesInterleave) {
+  const std::vector<double> d{3.0, 1.0, 1.0, 1.0};
+  const ListScheduleResult res = list_schedule_homogeneous(d, 2);
+  // Machine 0: task0 [0,3]; machine 1: tasks 1,2,3 [0,3].
+  EXPECT_DOUBLE_EQ(res.makespan, 3.0);
+}
+
+TEST(Graham, MachineAssignmentsValid) {
+  const std::vector<double> d{2.0, 2.0, 2.0, 2.0, 2.0};
+  const ListScheduleResult res = list_schedule_homogeneous(d, 3);
+  for (int mach : res.machine) {
+    EXPECT_GE(mach, 0);
+    EXPECT_LT(mach, 3);
+  }
+  EXPECT_DOUBLE_EQ(res.makespan, 4.0);
+}
+
+TEST(Graham, LptNoWorseThanArbitraryOrderHere) {
+  const std::vector<double> d{1.0, 1.0, 1.0, 3.0};
+  const ListScheduleResult natural = list_schedule_homogeneous(d, 2);
+  const ListScheduleResult lpt = lpt_schedule_homogeneous(d, 2);
+  EXPECT_DOUBLE_EQ(natural.makespan, 4.0);  // 3 starts late
+  EXPECT_DOUBLE_EQ(lpt.makespan, 3.0);
+  EXPECT_LE(lpt.makespan, natural.makespan);
+}
+
+TEST(Graham, LptPreservesTaskIndexing) {
+  const std::vector<double> d{1.0, 5.0, 2.0};
+  const ListScheduleResult lpt = lpt_schedule_homogeneous(d, 2);
+  // Task 1 (longest) starts at 0.
+  EXPECT_DOUBLE_EQ(lpt.start[1], 0.0);
+  for (int mach : lpt.machine) EXPECT_GE(mach, 0);
+}
+
+TEST(GadgetTest, StructureMatchesPaper) {
+  for (int k : {1, 2, 4}) {
+    const GrahamGadget g = graham_gadget(k);
+    EXPECT_EQ(g.machines, 6 * k);
+    EXPECT_EQ(g.durations.size(), static_cast<std::size_t>(12 * k + 1));
+    // Six tasks of each length 2k+i, one of length 6k.
+    for (int i = 0; i < 2 * k; ++i) {
+      int count = 0;
+      for (double d : g.durations) count += (d == 2 * k + i);
+      EXPECT_EQ(count, 6) << "length " << 2 * k + i;
+    }
+    EXPECT_DOUBLE_EQ(g.durations.back(), 6.0 * k);
+  }
+}
+
+TEST(GadgetTest, OptimalAssignmentLoadsExactlyN) {
+  for (int k : {1, 2, 3, 5}) {
+    const GrahamGadget g = graham_gadget(k);
+    std::vector<double> load(static_cast<std::size_t>(g.machines), 0.0);
+    for (std::size_t t = 0; t < g.durations.size(); ++t) {
+      ASSERT_GE(g.optimal_assignment[t], 0);
+      ASSERT_LT(g.optimal_assignment[t], g.machines);
+      load[static_cast<std::size_t>(g.optimal_assignment[t])] += g.durations[t];
+    }
+    for (double l : load) EXPECT_DOUBLE_EQ(l, 6.0 * k);
+  }
+}
+
+TEST(GadgetTest, WorstOrderReachesTwoNMinusOne) {
+  for (int k : {1, 2, 3, 5}) {
+    const GrahamGadget g = graham_gadget(k);
+    const auto worst = worst_order_durations(g);
+    ASSERT_EQ(worst.size(), g.durations.size());
+    const ListScheduleResult res = list_schedule_homogeneous(worst, g.machines);
+    EXPECT_DOUBLE_EQ(res.makespan, 2.0 * g.machines - 1.0);
+  }
+}
+
+TEST(GadgetTest, WorstOrderIsPermutation) {
+  const GrahamGadget g = graham_gadget(3);
+  std::vector<bool> seen(g.durations.size(), false);
+  for (std::size_t idx : g.worst_order) {
+    ASSERT_LT(idx, seen.size());
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,146 @@
+#include "baselines/heft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/dag_lower_bound.hpp"
+#include "bounds/exact_opt.hpp"
+#include "linalg/cholesky.hpp"
+#include "model/generators.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Heft, IndependentSingleTask) {
+  const std::vector<Task> tasks{Task{4.0, 1.0}};
+  const Platform platform(1, 1);
+  const Schedule s = heft_independent(tasks, platform);
+  EXPECT_EQ(platform.type_of(s.placement(0).worker), Resource::kGpu);
+  EXPECT_DOUBLE_EQ(s.makespan(), 1.0);
+}
+
+TEST(Heft, IndependentGreedyEftPlacement) {
+  // Three equal tasks, 1 CPU + 1 GPU, p = 2, q = 1: HEFT places the first
+  // two at t=0 (GPU then CPU by EFT) and the third on the GPU at t=1.
+  const std::vector<Task> tasks{Task{2.0, 1.0}, Task{2.0, 1.0},
+                                Task{2.0, 1.0}};
+  const Platform platform(1, 1);
+  const Schedule s = heft_independent(tasks, platform);
+  const auto check = check_schedule(s, tasks, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_DOUBLE_EQ(s.makespan(), 2.0);
+}
+
+TEST(Heft, IgnoresAccelerationFactorsUnlikeHeteroPrio) {
+  // The classic failure mode (§6.1): a big CPU-friendly task and a big
+  // GPU-friendly task. HEFT ranks by avg time and can assign the
+  // CPU-friendly task to the GPU when it finishes earlier *at that moment*.
+  // We only check validity and determinism here; the ratio experiments live
+  // in the benches.
+  util::Rng rng(3);
+  const Instance inst = bimodal_instance(30, 0.5, rng);
+  const Platform platform(4, 2);
+  const Schedule a = heft_independent(inst.tasks(), platform);
+  const Schedule b = heft_independent(inst.tasks(), platform);
+  const auto check = check_schedule(a, inst.tasks(), platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(a.placement(static_cast<TaskId>(i)).worker,
+              b.placement(static_cast<TaskId>(i)).worker);
+  }
+}
+
+TEST(Heft, DagChainSequentialOnBestWorker) {
+  TaskGraph g("chain");
+  const TaskId a = g.add_task(Task{2.0, 1.0});
+  const TaskId b = g.add_task(Task{2.0, 1.0});
+  g.add_edge(a, b);
+  g.finalize();
+  const Platform platform(1, 1);
+  const Schedule s = heft(g, platform);
+  const auto check = check_schedule(s, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_DOUBLE_EQ(s.makespan(), 2.0);  // both on the GPU back to back
+}
+
+TEST(Heft, RespectsPrecedenceOnCholesky) {
+  const TaskGraph g = cholesky_dag(6);
+  const Platform platform(4, 2);
+  for (RankScheme scheme : {RankScheme::kAvg, RankScheme::kMin}) {
+    const Schedule s = heft(g, platform, {.rank = scheme});
+    const auto check = check_schedule(s, g, platform);
+    EXPECT_TRUE(check.ok) << rank_scheme_name(scheme) << ": " << check.message;
+    EXPECT_GE(s.makespan(), dag_lower_bound(g, platform).value() - 1e-9);
+  }
+}
+
+TEST(Heft, InsertionFillsGaps) {
+  // Fork: root releases one long and one short task; a later independent
+  // task can slot into the gap left on the idle worker only with insertion.
+  TaskGraph g("gap");
+  const TaskId root = g.add_task(Task{1.0, 1.0});
+  const TaskId heavy = g.add_task(Task{8.0, 8.0});
+  const TaskId dependent = g.add_task(Task{1.0, 1.0});
+  const TaskId filler = g.add_task(Task{0.5, 0.5});
+  g.add_edge(root, heavy);
+  g.add_edge(root, dependent);
+  g.add_edge(dependent, filler);
+  g.finalize();
+  const Platform platform(1, 1);
+  const Schedule with = heft(g, platform, {.insertion = true});
+  const Schedule without = heft(g, platform, {.insertion = false});
+  const auto check = check_schedule(with, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_LE(with.makespan(), without.makespan() + 1e-12);
+}
+
+TEST(Heft, AvgAndMinRanksBothValidOnRandomDags) {
+  // Random layered DAG.
+  util::Rng rng(9);
+  TaskGraph g("layers");
+  std::vector<TaskId> prev;
+  for (int layer = 0; layer < 4; ++layer) {
+    std::vector<TaskId> cur;
+    for (int i = 0; i < 5; ++i) {
+      Task t;
+      t.cpu_time = rng.uniform(0.5, 4.0);
+      t.gpu_time = t.cpu_time / rng.uniform(0.3, 10.0);
+      cur.push_back(g.add_task(t));
+    }
+    for (TaskId to : cur) {
+      for (TaskId from : prev) {
+        if (rng.uniform01() < 0.4) g.add_edge(from, to);
+      }
+    }
+    prev = cur;
+  }
+  g.finalize();
+  const Platform platform(2, 1);
+  for (RankScheme scheme : {RankScheme::kAvg, RankScheme::kMin}) {
+    const Schedule s = heft(g, platform, {.rank = scheme});
+    const auto check = check_schedule(s, g, platform);
+    EXPECT_TRUE(check.ok) << check.message;
+  }
+}
+
+TEST(Heft, NearOptimalOnSmallIndependentInstances) {
+  // HEFT has no constant guarantee, but on small benign instances it should
+  // stay within the trivial 2x of optimal most of the time; we assert a
+  // loose 3x envelope to catch gross regressions.
+  util::Rng rng(10);
+  for (int rep = 0; rep < 10; ++rep) {
+    UniformGenParams params;
+    params.num_tasks = 8;
+    params.accel_lo = 0.5;
+    params.accel_hi = 4.0;
+    const Instance inst = uniform_instance(params, rng);
+    const Platform platform(2, 1);
+    const Schedule s = heft_independent(inst.tasks(), platform);
+    const double opt = exact_optimal_makespan(inst.tasks(), platform);
+    EXPECT_LE(s.makespan(), 3.0 * opt + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hp

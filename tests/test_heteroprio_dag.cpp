@@ -1,0 +1,130 @@
+#include "core/heteroprio_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/dag_lower_bound.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "sched/validate.hpp"
+
+namespace hp {
+namespace {
+
+TEST(HeteroPrioDag, ChainRunsEachTaskOnItsBestResource) {
+  // A chain of one CPU-friendly and one GPU-friendly task: spoliation pulls
+  // the CPU-friendly one off the GPU immediately, so the makespan is the
+  // sum of min times.
+  TaskGraph g("chain");
+  const TaskId a = g.add_task(Task{1.0, 6.0});
+  const TaskId b = g.add_task(Task{8.0, 2.0});
+  g.add_edge(a, b);
+  g.finalize();
+  const Platform platform(1, 1);
+  const Schedule s = heteroprio_dag(g, platform);
+  const auto check = check_schedule(s, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_EQ(platform.type_of(s.placement(a).worker), Resource::kCpu);
+  EXPECT_EQ(platform.type_of(s.placement(b).worker), Resource::kGpu);
+  EXPECT_DOUBLE_EQ(s.makespan(), 3.0);
+}
+
+TEST(HeteroPrioDag, RespectsDependencies) {
+  TaskGraph g("diamond");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{2.0, 1.0});
+  const TaskId c = g.add_task(Task{1.0, 2.0});
+  const TaskId d = g.add_task(Task{1.0, 1.0});
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.finalize();
+  const Platform platform(2, 2);
+  const Schedule s = heteroprio_dag(g, platform);
+  const auto check = check_schedule(s, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_GE(s.placement(d).start,
+            std::max(s.placement(b).end, s.placement(c).end) - 1e-12);
+}
+
+TEST(HeteroPrioDag, MakespanAtLeastLowerBound) {
+  TaskGraph g = cholesky_dag(6);
+  assign_priorities(g, RankScheme::kMin);
+  const Platform platform(4, 2);
+  const Schedule s = heteroprio_dag(g, platform);
+  const auto check = check_schedule(s, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  const double lb = dag_lower_bound(g, platform).value();
+  EXPECT_GE(s.makespan(), lb - 1e-9);
+  // Sanity: not pathologically bad either on this easy instance.
+  EXPECT_LE(s.makespan(), 4.0 * lb);
+}
+
+TEST(HeteroPrioDag, PriorityTieBreakPrefersHigherBottomLevel) {
+  // Two ready tasks with identical (p, q); the one with the larger
+  // priority must start first on the single GPU.
+  TaskGraph g("tie");
+  const TaskId low = g.add_task(Task{4.0, 1.0, /*priority=*/1.0});
+  const TaskId high = g.add_task(Task{4.0, 1.0, /*priority=*/2.0});
+  g.finalize();
+  const Platform platform(0, 1);
+  const Schedule s = heteroprio_dag(g, platform);
+  EXPECT_LT(s.placement(high).start, s.placement(low).start);
+}
+
+TEST(HeteroPrioDag, SpoliationAcrossDependencyWaves) {
+  // Entry task releases two successors; one is CPU-hostile and gets
+  // spoliated by the GPU after it finishes its own work.
+  TaskGraph g("waves");
+  const TaskId root = g.add_task(Task{5.0, 0.5});
+  const TaskId fast = g.add_task(Task{9.0, 1.0});   // rho 9 -> GPU
+  const TaskId slow = g.add_task(Task{9.0, 3.0});   // rho 3 -> CPU, then spoliated
+  g.add_edge(root, fast);
+  g.add_edge(root, slow);
+  g.finalize();
+  const Platform platform(1, 1);
+  HeteroPrioStats stats;
+  const Schedule s = heteroprio_dag(g, platform, {}, &stats);
+  const auto check = check_schedule(s, g, platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_EQ(stats.spoliations, 1);
+  EXPECT_EQ(platform.type_of(s.placement(slow).worker), Resource::kGpu);
+}
+
+TEST(HeteroPrioDag, DeterministicOnCholesky) {
+  TaskGraph g = cholesky_dag(5);
+  assign_priorities(g, RankScheme::kAvg);
+  const Platform platform(3, 1);
+  const Schedule a = heteroprio_dag(g, platform);
+  const Schedule b = heteroprio_dag(g, platform);
+  EXPECT_DOUBLE_EQ(a.makespan(), b.makespan());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(a.placement(static_cast<TaskId>(i)).worker,
+              b.placement(static_cast<TaskId>(i)).worker);
+  }
+}
+
+TEST(HeteroPrioDag, MinRankingUsuallyNoWorseThanNone) {
+  // Not a theorem, but on Cholesky the bottom-level tie-breaking should not
+  // catastrophically hurt; both must stay within the validity envelope.
+  TaskGraph with = cholesky_dag(8);
+  assign_priorities(with, RankScheme::kMin);
+  TaskGraph without = cholesky_dag(8);  // priorities all zero
+  const Platform platform(4, 2);
+  const double m_with = heteroprio_dag(with, platform).makespan();
+  const double m_without = heteroprio_dag(without, platform).makespan();
+  const double lb = dag_lower_bound(with, platform).value();
+  EXPECT_LE(m_with, 3.0 * lb);
+  EXPECT_LE(m_without, 3.0 * lb);
+}
+
+TEST(HeteroPrioDag, SingleTaskGraph) {
+  TaskGraph g("one");
+  g.add_task(Task{2.0, 1.0});
+  g.finalize();
+  const Schedule s = heteroprio_dag(g, Platform(1, 1));
+  EXPECT_DOUBLE_EQ(s.makespan(), 1.0);
+}
+
+}  // namespace
+}  // namespace hp

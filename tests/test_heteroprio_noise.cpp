@@ -1,0 +1,124 @@
+// HeteroPrio with imperfect duration estimates: decisions use the estimated
+// times, the clock uses the actual times (HeteroPrioOptions::actual_times).
+
+#include <gtest/gtest.h>
+
+#include "core/heteroprio.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "model/generators.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+std::vector<Task> perturb(std::span<const Task> tasks, double sigma,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Task> actuals(tasks.begin(), tasks.end());
+  for (Task& t : actuals) {
+    t.cpu_time *= rng.lognormal(0.0, sigma);
+    t.gpu_time *= rng.lognormal(0.0, sigma);
+  }
+  return actuals;
+}
+
+TEST(HeteroPrioNoise, EmptyActualsMeansExactEstimates) {
+  util::Rng rng(1);
+  const Instance inst = uniform_instance({.num_tasks = 20}, rng);
+  const Platform platform(2, 1);
+  const Schedule base = heteroprio(inst.tasks(), platform);
+  HeteroPrioOptions options;
+  options.actual_times = inst.tasks();
+  const Schedule same = heteroprio(inst.tasks(), platform, options);
+  EXPECT_DOUBLE_EQ(base.makespan(), same.makespan());
+}
+
+TEST(HeteroPrioNoise, ScheduleValidAgainstActualDurations) {
+  util::Rng rng(2);
+  const Instance inst = uniform_instance({.num_tasks = 30}, rng);
+  const auto actuals = perturb(inst.tasks(), 0.4, 7);
+  const Platform platform(3, 2);
+  HeteroPrioOptions options;
+  options.actual_times = actuals;
+  const Schedule s = heteroprio(inst.tasks(), platform, options);
+  const auto check = check_schedule(s, actuals, platform);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(HeteroPrioNoise, DagScheduleValidAndPrecedenceHolds) {
+  TaskGraph g = cholesky_dag(8);
+  assign_priorities(g, RankScheme::kMin);
+  const auto actuals = perturb(g.tasks(), 0.3, 5);
+  const Platform platform(4, 2);
+  HeteroPrioOptions options;
+  options.actual_times = actuals;
+  const Schedule s = heteroprio_dag(g, platform, options);
+  // Durations match the actuals...
+  const auto duration_check = check_schedule(s, actuals, platform);
+  EXPECT_TRUE(duration_check.ok) << duration_check.message;
+  // ...and dependencies are still respected.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    for (TaskId pred : g.predecessors(static_cast<TaskId>(i))) {
+      EXPECT_GE(s.placement(static_cast<TaskId>(i)).start,
+                s.placement(pred).end - 1e-9);
+    }
+  }
+}
+
+TEST(HeteroPrioNoise, MildNoiseDegradesGracefully) {
+  // The dynamic scheduler should absorb moderate noise: the noisy makespan
+  // stays within a small factor of the clairvoyant one (HeteroPrio run
+  // directly on the actual times).
+  TaskGraph g = cholesky_dag(12);
+  assign_priorities(g, RankScheme::kMin);
+  const Platform platform(4, 2);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto actuals = perturb(g.tasks(), 0.15, seed);
+    HeteroPrioOptions noisy_options;
+    noisy_options.actual_times = actuals;
+    const double noisy = heteroprio_dag(g, platform, noisy_options).makespan();
+
+    TaskGraph clairvoyant = cholesky_dag(12);
+    for (std::size_t i = 0; i < clairvoyant.size(); ++i) {
+      clairvoyant.task(static_cast<TaskId>(i)).cpu_time = actuals[i].cpu_time;
+      clairvoyant.task(static_cast<TaskId>(i)).gpu_time = actuals[i].gpu_time;
+    }
+    clairvoyant.finalize();
+    assign_priorities(clairvoyant, RankScheme::kMin);
+    const double exact = heteroprio_dag(clairvoyant, platform).makespan();
+
+    EXPECT_LE(noisy, 1.5 * exact) << "seed " << seed;
+    EXPECT_GE(noisy, 0.6 * exact) << "seed " << seed;
+  }
+}
+
+TEST(HeteroPrioNoise, SpoliationStillOneDirectional) {
+  // Lemma 5's invariant is about the scheduler's decisions, which use the
+  // estimates; it must survive noisy execution.
+  util::Rng rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Instance inst = bimodal_instance(14, 0.5, rng);
+    const auto actuals = perturb(inst.tasks(), 0.3, 100 + rep);
+    const Platform platform(2, 2);
+    HeteroPrioOptions options;
+    options.actual_times = actuals;
+    const Schedule s = heteroprio(inst.tasks(), platform, options);
+
+    bool spoliated_to[2] = {false, false};
+    bool aborted_on[2] = {false, false};
+    for (const AbortedSegment& a : s.aborted()) {
+      aborted_on[static_cast<int>(platform.type_of(a.worker))] = true;
+      spoliated_to[static_cast<int>(
+          platform.type_of(s.placement(a.task).worker))] = true;
+    }
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_FALSE(spoliated_to[r] && aborted_on[r]) << "rep " << rep;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hp

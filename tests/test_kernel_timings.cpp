@@ -1,0 +1,74 @@
+#include "linalg/kernel_timings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(KernelTimings, Table1AccelerationFactorsExact) {
+  const TimingModel model = TimingModel::chameleon_960();
+  EXPECT_NEAR(model.accel(KernelKind::kPotrf), 1.72, 1e-12);
+  EXPECT_NEAR(model.accel(KernelKind::kTrsm), 8.72, 1e-12);
+  EXPECT_NEAR(model.accel(KernelKind::kSyrk), 26.96, 1e-12);
+  EXPECT_NEAR(model.accel(KernelKind::kGemm), 28.80, 1e-12);
+}
+
+TEST(KernelTimings, AllKernelsHavePositiveTimes) {
+  const TimingModel model = TimingModel::chameleon_960();
+  for (int k = 0; k <= static_cast<int>(KernelKind::kSsssm); ++k) {
+    const KernelTiming t = model.timing(static_cast<KernelKind>(k));
+    EXPECT_GT(t.cpu, 0.0);
+    EXPECT_GT(t.gpu, 0.0);
+  }
+}
+
+TEST(KernelTimings, PanelKernelsBarelyAccelerated) {
+  // Qualitative structure the schedulers rely on: panel factorizations are
+  // CPU-competitive, trailing updates are strongly GPU-friendly.
+  const TimingModel model = TimingModel::chameleon_960();
+  EXPECT_LT(model.accel(KernelKind::kPotrf), 3.0);
+  EXPECT_LT(model.accel(KernelKind::kGeqrt), 3.0);
+  EXPECT_LT(model.accel(KernelKind::kGetrf), 3.0);
+  EXPECT_GT(model.accel(KernelKind::kGemm), 20.0);
+  EXPECT_GT(model.accel(KernelKind::kTsmqr), 10.0);
+  EXPECT_GT(model.accel(KernelKind::kSsssm), 10.0);
+}
+
+TEST(KernelTimings, MakeTaskCopiesTimesAndKind) {
+  const TimingModel model = TimingModel::chameleon_960();
+  const Task t = model.make_task(KernelKind::kGemm);
+  EXPECT_EQ(t.kind, KernelKind::kGemm);
+  EXPECT_DOUBLE_EQ(t.cpu_time, model.timing(KernelKind::kGemm).cpu);
+  EXPECT_DOUBLE_EQ(t.gpu_time, model.timing(KernelKind::kGemm).gpu);
+  EXPECT_DOUBLE_EQ(t.priority, 0.0);
+}
+
+TEST(KernelTimings, SetOverridesEntry) {
+  TimingModel model = TimingModel::chameleon_960();
+  model.set(KernelKind::kGemm, {1.0, 0.5});
+  EXPECT_DOUBLE_EQ(model.accel(KernelKind::kGemm), 2.0);
+}
+
+TEST(KernelTimings, NoisyTasksDeterministicPerSeed) {
+  const TimingModel model = TimingModel::chameleon_960();
+  util::Rng a(5), b(5);
+  const Task ta = model.make_task_noisy(KernelKind::kSyrk, 0.1, a);
+  const Task tb = model.make_task_noisy(KernelKind::kSyrk, 0.1, b);
+  EXPECT_DOUBLE_EQ(ta.cpu_time, tb.cpu_time);
+  EXPECT_DOUBLE_EQ(ta.gpu_time, tb.gpu_time);
+  EXPECT_GT(ta.cpu_time, 0.0);
+}
+
+TEST(KernelTimings, NoisePerturbsAroundNominal) {
+  const TimingModel model = TimingModel::chameleon_960();
+  util::Rng rng(6);
+  double sum = 0.0;
+  constexpr int kSamples = 2000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += model.make_task_noisy(KernelKind::kGemm, 0.05, rng).cpu_time;
+  }
+  EXPECT_NEAR(sum / kSamples, model.timing(KernelKind::kGemm).cpu, 0.5);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dag/validation.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/tile_dag_builder.hpp"
+
+namespace hp {
+namespace {
+
+std::map<KernelKind, int> kind_histogram(const TaskGraph& g) {
+  std::map<KernelKind, int> hist;
+  for (const Task& t : g.tasks()) ++hist[t.kind];
+  return hist;
+}
+
+class FactorizationDags : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorizationDags, CholeskyTaskCounts) {
+  const int n = GetParam();
+  const TaskGraph g = cholesky_dag(n);
+  EXPECT_EQ(g.size(), cholesky_task_count(n));
+  const auto hist = kind_histogram(g);
+  EXPECT_EQ(hist.at(KernelKind::kPotrf), n);
+  if (n > 1) {
+    EXPECT_EQ(hist.at(KernelKind::kTrsm), n * (n - 1) / 2);
+    EXPECT_EQ(hist.at(KernelKind::kSyrk), n * (n - 1) / 2);
+  }
+  if (n > 2) {
+    EXPECT_EQ(hist.at(KernelKind::kGemm), n * (n - 1) * (n - 2) / 6);
+  }
+}
+
+TEST_P(FactorizationDags, QrTaskCounts) {
+  const int n = GetParam();
+  const TaskGraph g = qr_dag(n);
+  EXPECT_EQ(g.size(), qr_task_count(n));
+  const auto hist = kind_histogram(g);
+  EXPECT_EQ(hist.at(KernelKind::kGeqrt), n);
+  if (n > 1) {
+    EXPECT_EQ(hist.at(KernelKind::kOrmqr), n * (n - 1) / 2);
+    EXPECT_EQ(hist.at(KernelKind::kTsqrt), n * (n - 1) / 2);
+    EXPECT_EQ(hist.at(KernelKind::kTsmqr), (n - 1) * n * (2 * n - 1) / 6);
+  }
+}
+
+TEST_P(FactorizationDags, LuTaskCounts) {
+  const int n = GetParam();
+  const TaskGraph g = lu_dag(n);
+  EXPECT_EQ(g.size(), lu_task_count(n));
+  const auto hist = kind_histogram(g);
+  EXPECT_EQ(hist.at(KernelKind::kGetrf), n);
+  if (n > 1) {
+    EXPECT_EQ(hist.at(KernelKind::kGessm), n * (n - 1) / 2);
+    EXPECT_EQ(hist.at(KernelKind::kTstrf), n * (n - 1) / 2);
+    EXPECT_EQ(hist.at(KernelKind::kSsssm), (n - 1) * n * (2 * n - 1) / 6);
+  }
+}
+
+TEST_P(FactorizationDags, AllThreeAreWellFormed) {
+  const int n = GetParam();
+  for (const TaskGraph& g : {cholesky_dag(n), qr_dag(n), lu_dag(n)}) {
+    const GraphCheck check = check_graph(g);
+    EXPECT_TRUE(check.ok) << g.name() << ": " << check.message;
+  }
+}
+
+TEST_P(FactorizationDags, SingleSourceAndSink) {
+  const int n = GetParam();
+  for (const TaskGraph& g : {cholesky_dag(n), qr_dag(n), lu_dag(n)}) {
+    int sources = 0, sinks = 0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      sources += g.in_degree(static_cast<TaskId>(i)) == 0;
+      sinks += g.out_degree(static_cast<TaskId>(i)) == 0;
+    }
+    EXPECT_EQ(sources, 1) << g.name();
+    EXPECT_EQ(sinks, 1) << g.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileCounts, FactorizationDags,
+                         ::testing::Values(1, 2, 3, 4, 6, 10));
+
+TEST(CholeskyStructure, TrsmWaitsForPotrf) {
+  // N=2: POTRF(0) -> TRSM(1,0) -> {SYRK(1,0)} -> POTRF(1).
+  const TaskGraph g = cholesky_dag(2);
+  ASSERT_EQ(g.size(), 4u);
+  // Task ids follow generation order: POTRF0=0, TRSM=1, SYRK=2, POTRF1=3.
+  EXPECT_EQ(g.task(0).kind, KernelKind::kPotrf);
+  EXPECT_EQ(g.task(1).kind, KernelKind::kTrsm);
+  EXPECT_EQ(g.task(2).kind, KernelKind::kSyrk);
+  EXPECT_EQ(g.task(3).kind, KernelKind::kPotrf);
+  const auto succ0 = g.successors(0);
+  EXPECT_TRUE(std::find(succ0.begin(), succ0.end(), 1) != succ0.end());
+  const auto succ1 = g.successors(1);
+  EXPECT_TRUE(std::find(succ1.begin(), succ1.end(), 2) != succ1.end());
+  const auto succ2 = g.successors(2);
+  EXPECT_TRUE(std::find(succ2.begin(), succ2.end(), 3) != succ2.end());
+}
+
+TEST(CholeskyStructure, GemmHasBothPanelPredecessors) {
+  // N=3, k=0: GEMM(2,1,0) must depend on TRSM(1,0) and TRSM(2,0).
+  const TaskGraph g = cholesky_dag(3);
+  // Find the unique GEMM of step 0.
+  TaskId gemm = kInvalidTask;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g.task(static_cast<TaskId>(i)).kind == KernelKind::kGemm) {
+      gemm = static_cast<TaskId>(i);
+      break;
+    }
+  }
+  ASSERT_NE(gemm, kInvalidTask);
+  int trsm_preds = 0;
+  for (TaskId pred : g.predecessors(gemm)) {
+    trsm_preds += g.task(pred).kind == KernelKind::kTrsm;
+  }
+  EXPECT_EQ(trsm_preds, 2);
+}
+
+TEST(QrStructure, TsqrtChainIsSequential) {
+  // The TSQRT tasks of column 0 form a chain through tile (0,0).
+  const TaskGraph g = qr_dag(4);
+  std::vector<TaskId> tsqrts;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g.task(static_cast<TaskId>(i)).kind == KernelKind::kTsqrt) {
+      tsqrts.push_back(static_cast<TaskId>(i));
+    }
+  }
+  // First three TSQRTs belong to k=0 (generation order) and must be chained.
+  ASSERT_GE(tsqrts.size(), 3u);
+  const auto succ = g.successors(tsqrts[0]);
+  EXPECT_TRUE(std::find(succ.begin(), succ.end(), tsqrts[1]) != succ.end());
+}
+
+TEST(TileDagBuilderTest, ReadAfterWriteEdge) {
+  TileDagBuilder builder("raw");
+  const Tile a{0, 0};
+  const TaskId writer = builder.add(Task{1.0, 1.0}, {}, {{a}});
+  const TaskId reader = builder.add(Task{1.0, 1.0}, {{a}}, {});
+  const TaskGraph g = builder.take();
+  const auto succ = g.successors(writer);
+  EXPECT_TRUE(std::find(succ.begin(), succ.end(), reader) != succ.end());
+}
+
+TEST(TileDagBuilderTest, WriteAfterReadEdge) {
+  TileDagBuilder builder("war");
+  const Tile a{0, 0};
+  const TaskId w1 = builder.add(Task{1.0, 1.0}, {}, {{a}});
+  const TaskId r = builder.add(Task{1.0, 1.0}, {{a}}, {});
+  const TaskId w2 = builder.add(Task{1.0, 1.0}, {}, {{a}});
+  const TaskGraph g = builder.take();
+  (void)w1;
+  const auto succ = g.successors(r);
+  EXPECT_TRUE(std::find(succ.begin(), succ.end(), w2) != succ.end());
+}
+
+TEST(TileDagBuilderTest, IndependentTilesNoEdge) {
+  TileDagBuilder builder("indep");
+  builder.add(Task{1.0, 1.0}, {}, {{Tile{0, 0}}});
+  builder.add(Task{1.0, 1.0}, {}, {{Tile{1, 1}}});
+  const TaskGraph g = builder.take();
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(LinalgDags, TimingModelPropagatesToTasks) {
+  const TimingModel model = TimingModel::chameleon_960();
+  const TaskGraph g = cholesky_dag(3, model);
+  for (const Task& t : g.tasks()) {
+    const KernelTiming expect = model.timing(t.kind);
+    EXPECT_DOUBLE_EQ(t.cpu_time, expect.cpu);
+    EXPECT_DOUBLE_EQ(t.gpu_time, expect.gpu);
+  }
+}
+
+}  // namespace
+}  // namespace hp

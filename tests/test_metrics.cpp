@@ -1,0 +1,96 @@
+#include "sched/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hp {
+namespace {
+
+TEST(Metrics, BusyAndIdleTime) {
+  // 1 CPU + 1 GPU; CPU busy [0,2], GPU busy [0,1]; makespan 2.
+  const std::vector<Task> tasks{Task{2.0, 1.0}, Task{3.0, 1.0}};
+  const Platform platform(1, 1);
+  Schedule s(2);
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 1, 0.0, 1.0);
+  const ScheduleMetrics m = compute_metrics(s, tasks, platform);
+  EXPECT_DOUBLE_EQ(m.makespan, 2.0);
+  EXPECT_DOUBLE_EQ(m.cpu.busy_time, 2.0);
+  EXPECT_DOUBLE_EQ(m.gpu.busy_time, 1.0);
+  EXPECT_DOUBLE_EQ(m.cpu.idle_time, 0.0);
+  EXPECT_DOUBLE_EQ(m.gpu.idle_time, 1.0);
+  EXPECT_EQ(m.cpu.tasks_completed, 1);
+  EXPECT_EQ(m.gpu.tasks_completed, 1);
+}
+
+TEST(Metrics, AbortedWorkCountsAsIdle) {
+  // The §6.2 footnote: aborted work is idle time, not busy time.
+  const std::vector<Task> tasks{Task{4.0, 1.0}};
+  const Platform platform(1, 1);
+  Schedule s(1);
+  s.add_aborted(0, 0, 0.0, 2.0);  // 2 units lost on the CPU
+  s.place(0, 1, 2.0, 3.0);        // finished on the GPU
+  const ScheduleMetrics m = compute_metrics(s, tasks, platform);
+  EXPECT_DOUBLE_EQ(m.makespan, 3.0);
+  EXPECT_DOUBLE_EQ(m.cpu.busy_time, 0.0);
+  EXPECT_DOUBLE_EQ(m.cpu.aborted_time, 2.0);
+  EXPECT_DOUBLE_EQ(m.cpu.idle_time, 3.0);  // full horizon counts as idle
+  EXPECT_DOUBLE_EQ(m.gpu.busy_time, 1.0);
+}
+
+TEST(Metrics, EquivalentAccelerationFactor) {
+  // A_r = sum(p_i) / sum(q_i) over tasks completed on r (Fig 8).
+  const std::vector<Task> tasks{Task{10.0, 1.0}, Task{6.0, 3.0},
+                                Task{4.0, 4.0}};
+  const Platform platform(1, 1);
+  Schedule s(3);
+  s.place(0, 1, 0.0, 1.0);   // GPU
+  s.place(1, 1, 1.0, 4.0);   // GPU
+  s.place(2, 0, 0.0, 4.0);   // CPU
+  const ScheduleMetrics m = compute_metrics(s, tasks, platform);
+  EXPECT_DOUBLE_EQ(m.gpu.equivalent_accel, 16.0 / 4.0);
+  EXPECT_DOUBLE_EQ(m.cpu.equivalent_accel, 1.0);
+}
+
+TEST(Metrics, EquivalentAccelNaNWhenResourceUnused) {
+  const std::vector<Task> tasks{Task{1.0, 1.0}};
+  const Platform platform(1, 1);
+  Schedule s(1);
+  s.place(0, 0, 0.0, 1.0);
+  const ScheduleMetrics m = compute_metrics(s, tasks, platform);
+  EXPECT_TRUE(std::isnan(m.gpu.equivalent_accel));
+}
+
+TEST(Metrics, NormalizedIdle) {
+  const std::vector<Task> tasks{Task{2.0, 1.0}};
+  const Platform platform(2, 1);
+  Schedule s(1);
+  s.place(0, 0, 0.0, 2.0);
+  const ScheduleMetrics m = compute_metrics(s, tasks, platform);
+  // idle on CPUs = 2*2 - 2 = 2; capacity at LB=1: 2*1=2 -> normalized 1.
+  EXPECT_DOUBLE_EQ(normalized_idle(m, Resource::kCpu, platform, 1.0), 1.0);
+  // GPU idle = 2; capacity 1*1=1 -> normalized 2.
+  EXPECT_DOUBLE_EQ(normalized_idle(m, Resource::kGpu, platform, 1.0), 2.0);
+}
+
+TEST(Metrics, NormalizedIdleZeroCapacity) {
+  const std::vector<Task> tasks{Task{1.0, 1.0}};
+  const Platform platform(1, 1);
+  Schedule s(1);
+  s.place(0, 0, 0.0, 1.0);
+  const ScheduleMetrics m = compute_metrics(s, tasks, platform);
+  EXPECT_DOUBLE_EQ(normalized_idle(m, Resource::kCpu, platform, 0.0), 0.0);
+}
+
+TEST(Metrics, OfSelectsResource) {
+  ScheduleMetrics m;
+  m.cpu.busy_time = 1.0;
+  m.gpu.busy_time = 2.0;
+  EXPECT_DOUBLE_EQ(m.of(Resource::kCpu).busy_time, 1.0);
+  EXPECT_DOUBLE_EQ(m.of(Resource::kGpu).busy_time, 2.0);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,177 @@
+#include "multi/heteroprio_k.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heteroprio.hpp"
+#include "model/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hp::multi {
+namespace {
+
+TaskK make_task_k(std::initializer_list<double> times, double priority = 0.0) {
+  TaskK t;
+  t.time = times;
+  t.priority = priority;
+  return t;
+}
+
+TEST(PlatformKTest, WorkerMapping) {
+  const PlatformK platform({2, 3, 1});
+  EXPECT_EQ(platform.types(), 3);
+  EXPECT_EQ(platform.workers(), 6);
+  EXPECT_EQ(platform.first(0), 0);
+  EXPECT_EQ(platform.first(1), 2);
+  EXPECT_EQ(platform.first(2), 5);
+  EXPECT_EQ(platform.type_of(0), 0);
+  EXPECT_EQ(platform.type_of(2), 1);
+  EXPECT_EQ(platform.type_of(4), 1);
+  EXPECT_EQ(platform.type_of(5), 2);
+}
+
+TEST(AffinityTest, ReducesToAccelerationFactorForTwoTypes) {
+  // time = {p (CPU), q (GPU)}: affinity for GPU = p/q = rho, for CPU = q/p.
+  const TaskK t = make_task_k({8.0, 2.0});
+  EXPECT_DOUBLE_EQ(affinity(t, 1), 4.0);
+  EXPECT_DOUBLE_EQ(affinity(t, 0), 0.25);
+}
+
+TEST(HeteroPrioK, MatchesTwoTypeEngineExactly) {
+  // With types [CPU, GPU], heteroprio_k must reproduce the core engine's
+  // schedules task for task.
+  util::Rng rng(606);
+  for (int rep = 0; rep < 25; ++rep) {
+    const int cpus = 1 + static_cast<int>(rng.bounded(4));
+    const int gpus = 1 + static_cast<int>(rng.bounded(3));
+    UniformGenParams params;
+    params.num_tasks = 4 + rng.bounded(20);
+    const Instance inst = uniform_instance(params, rng);
+
+    std::vector<TaskK> tasks_k;
+    for (const Task& t : inst.tasks()) {
+      tasks_k.push_back(make_task_k({t.cpu_time, t.gpu_time}, t.priority));
+    }
+
+    const Schedule two = heteroprio(inst.tasks(), Platform(cpus, gpus));
+    const Schedule k = heteroprio_k(tasks_k, PlatformK({cpus, gpus}));
+    ASSERT_EQ(two.aborted().size(), k.aborted().size()) << "rep " << rep;
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      const auto id = static_cast<TaskId>(i);
+      EXPECT_EQ(two.placement(id).worker, k.placement(id).worker)
+          << "rep " << rep << " task " << i;
+      EXPECT_DOUBLE_EQ(two.placement(id).start, k.placement(id).start)
+          << "rep " << rep << " task " << i;
+    }
+  }
+}
+
+TEST(HeteroPrioK, ThreeTypesAffinitySplit) {
+  // Three tasks, each clearly best on a different type.
+  const std::vector<TaskK> tasks{
+      make_task_k({1.0, 10.0, 10.0}),
+      make_task_k({10.0, 1.0, 10.0}),
+      make_task_k({10.0, 10.0, 1.0}),
+  };
+  const PlatformK platform({1, 1, 1});
+  const Schedule s = heteroprio_k(tasks, platform);
+  EXPECT_EQ(platform.type_of(s.placement(0).worker), 0);
+  EXPECT_EQ(platform.type_of(s.placement(1).worker), 1);
+  EXPECT_EQ(platform.type_of(s.placement(2).worker), 2);
+  EXPECT_DOUBLE_EQ(s.makespan(), 1.0);
+}
+
+TEST(HeteroPrioK, SpoliationAcrossThreeTypes) {
+  // Four tasks on three single-worker types: the leftover task B is grabbed
+  // by the first free worker (type 2, where it takes 9), then the type-0
+  // worker — B's fast type — frees at the same instant and spoliates it
+  // (1 + 2 < 10).
+  const std::vector<TaskK> tasks{
+      make_task_k({1.0, 9.0, 9.0}),  // A: type 0
+      make_task_k({2.0, 9.0, 9.0}),  // B: leftover, fast only on type 0
+      make_task_k({9.0, 1.0, 9.0}),  // C: type 1
+      make_task_k({9.0, 9.0, 1.0}),  // D: type 2
+  };
+  const PlatformK platform({1, 1, 1});
+  HeteroPrioKStats stats;
+  const Schedule s = heteroprio_k(tasks, platform, {}, &stats);
+  EXPECT_EQ(stats.spoliations, 1);
+  EXPECT_EQ(platform.type_of(s.placement(1).worker), 0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 3.0);
+}
+
+TEST(HeteroPrioK, WithinBoundOfExactOnRandomThreeTypeInstances) {
+  util::Rng rng(607);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<TaskK> tasks;
+    const std::size_t count = 4 + rng.bounded(5);
+    for (std::size_t i = 0; i < count; ++i) {
+      TaskK t;
+      for (int r = 0; r < 3; ++r) {
+        t.time.push_back(rng.lognormal(1.0, 1.0));
+      }
+      tasks.push_back(t);
+    }
+    const PlatformK platform({2, 1, 1});
+    const double hp_ms = heteroprio_k(tasks, platform).makespan();
+    const double opt = exact_optimal_k(tasks, platform);
+    EXPECT_GE(hp_ms, opt * (1.0 - 1e-9)) << "rep " << rep;
+    // No proven ratio for k = 3; empirically it stays well below 2+sqrt(2).
+    EXPECT_LE(hp_ms, 3.5 * opt) << "rep " << rep;
+  }
+}
+
+TEST(LowerBoundK, SandwichedByExactOptimum) {
+  util::Rng rng(608);
+  for (int rep = 0; rep < 15; ++rep) {
+    std::vector<TaskK> tasks;
+    for (int i = 0; i < 7; ++i) {
+      TaskK t;
+      for (int r = 0; r < 3; ++r) t.time.push_back(rng.uniform(0.5, 8.0));
+      tasks.push_back(t);
+    }
+    const PlatformK platform({1, 2, 1});
+    const double lb = lower_bound_k(tasks, platform);
+    const double opt = exact_optimal_k(tasks, platform);
+    EXPECT_LE(lb, opt * (1.0 + 1e-9)) << "rep " << rep;
+    EXPECT_GT(lb, 0.0);
+  }
+}
+
+TEST(LowerBoundK, MatchesAreaBoundIntuitionForTwoTypes) {
+  // Thm 8 instance: the dual bound reaches the area bound value 1.
+  const std::vector<TaskK> tasks{
+      make_task_k({1.6180339887, 1.0}),
+      make_task_k({1.0, 1.0 / 1.6180339887}),
+  };
+  const double lb = lower_bound_k(tasks, PlatformK({1, 1}));
+  EXPECT_NEAR(lb, 1.0, 0.01);
+}
+
+TEST(EftK, ValidAndReasonable) {
+  util::Rng rng(609);
+  std::vector<TaskK> tasks;
+  for (int i = 0; i < 30; ++i) {
+    TaskK t;
+    for (int r = 0; r < 3; ++r) t.time.push_back(rng.uniform(0.5, 6.0));
+    tasks.push_back(t);
+  }
+  const PlatformK platform({2, 2, 2});
+  const Schedule s = eft_k(tasks, platform);
+  EXPECT_TRUE(s.complete());
+  EXPECT_GE(s.makespan(), lower_bound_k(tasks, platform) * (1.0 - 1e-9));
+}
+
+TEST(HeteroPrioK, NoSpoliationWhenDisabled) {
+  const std::vector<TaskK> tasks{
+      make_task_k({1.0, 50.0, 2.0}),
+      make_task_k({30.0, 50.0, 4.0}),
+      make_task_k({50.0, 1.0, 50.0}),
+  };
+  HeteroPrioKStats stats;
+  (void)heteroprio_k(tasks, PlatformK({1, 1, 1}),
+                     {.enable_spoliation = false}, &stats);
+  EXPECT_EQ(stats.spoliations, 0);
+}
+
+}  // namespace
+}  // namespace hp::multi

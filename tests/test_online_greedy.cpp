@@ -1,0 +1,108 @@
+#include "baselines/online_greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/area_bound.hpp"
+#include "bounds/exact_opt.hpp"
+#include "core/heteroprio.hpp"
+#include "model/generators.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(OnlineGreedy, EftPicksEarliestFinish) {
+  // One CPU (p=2) vs one GPU (q=3): EFT takes the CPU.
+  const std::vector<Task> tasks{Task{2.0, 3.0}};
+  const Platform platform(1, 1);
+  const Schedule s =
+      online_greedy(tasks, platform, {OnlineRule::kEft, 1.0});
+  EXPECT_EQ(platform.type_of(s.placement(0).worker), Resource::kCpu);
+}
+
+TEST(OnlineGreedy, ThresholdSplitsByAffinityOnly) {
+  const std::vector<Task> tasks{
+      Task{4.0, 1.0},  // rho 4 -> GPU
+      Task{1.0, 4.0},  // rho 0.25 -> CPU
+  };
+  const Platform platform(1, 1);
+  const Schedule s =
+      online_greedy(tasks, platform, {OnlineRule::kThreshold, 1.0});
+  EXPECT_EQ(platform.type_of(s.placement(0).worker), Resource::kGpu);
+  EXPECT_EQ(platform.type_of(s.placement(1).worker), Resource::kCpu);
+}
+
+TEST(OnlineGreedy, ThresholdHasNoGuarantee) {
+  // The classic failure of list scheduling without spoliation (§3): a task
+  // with rho slightly above the threshold is sent to a loaded GPU even
+  // though the CPUs are free.
+  std::vector<Task> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back(Task{15.0, 10.0});  // rho 1.5
+  const Platform platform(8, 1);
+  const Schedule greedy =
+      online_greedy(tasks, platform, {OnlineRule::kThreshold, 1.0});
+  const Schedule hp_sched = heteroprio(tasks, platform);
+  // Threshold: everything on the single GPU: 80. HeteroPrio: spread + steal.
+  EXPECT_DOUBLE_EQ(greedy.makespan(), 80.0);
+  EXPECT_LT(hp_sched.makespan(), 40.0);
+}
+
+TEST(OnlineGreedy, AllRulesProduceValidSchedules) {
+  util::Rng rng(5);
+  const Instance inst = uniform_instance({.num_tasks = 40}, rng);
+  const Platform platform(3, 2);
+  for (OnlineRule rule :
+       {OnlineRule::kEft, OnlineRule::kThreshold, OnlineRule::kBalance}) {
+    const Schedule s = online_greedy(inst.tasks(), platform, {rule, 1.0});
+    const auto check = check_schedule(s, inst.tasks(), platform);
+    EXPECT_TRUE(check.ok) << online_rule_name(rule) << ": " << check.message;
+  }
+}
+
+TEST(OnlineGreedy, SingleResourceTypePlatforms) {
+  const std::vector<Task> tasks{Task{1.0, 2.0}, Task{1.0, 2.0}};
+  const Schedule cpu_only =
+      online_greedy(tasks, Platform(2, 0), {OnlineRule::kEft, 1.0});
+  EXPECT_DOUBLE_EQ(cpu_only.makespan(), 1.0);
+  const Schedule gpu_only =
+      online_greedy(tasks, Platform(0, 2), {OnlineRule::kThreshold, 1.0});
+  EXPECT_DOUBLE_EQ(gpu_only.makespan(), 2.0);
+}
+
+TEST(OnlineGreedy, BalanceTracksAreaBoundOnManySmallTasks) {
+  util::Rng rng(6);
+  const Instance inst = uniform_instance({.num_tasks = 300}, rng);
+  const Platform platform(4, 2);
+  const Schedule s =
+      online_greedy(inst.tasks(), platform, {OnlineRule::kBalance, 1.0});
+  const double bound = area_bound_value(inst.tasks(), platform);
+  // Balance keeps normalized loads close; with 300 small tasks it should
+  // land within ~2x of the bound (no affinity awareness, so not 1x).
+  EXPECT_LE(s.makespan(), 2.0 * bound);
+}
+
+TEST(OnlineGreedy, EftWithinGrahamStyleEnvelopeOnSmallInstances) {
+  util::Rng rng(7);
+  for (int rep = 0; rep < 8; ++rep) {
+    UniformGenParams params;
+    params.num_tasks = 8;
+    params.accel_lo = 0.5;
+    params.accel_hi = 4.0;
+    const Instance inst = uniform_instance(params, rng);
+    const Platform platform(2, 1);
+    const Schedule s =
+        online_greedy(inst.tasks(), platform, {OnlineRule::kEft, 1.0});
+    const double opt = exact_optimal_makespan(inst.tasks(), platform);
+    EXPECT_LE(s.makespan(), 4.0 * opt);
+  }
+}
+
+TEST(OnlineGreedy, RuleNames) {
+  EXPECT_STREQ(online_rule_name(OnlineRule::kEft), "online-eft");
+  EXPECT_STREQ(online_rule_name(OnlineRule::kThreshold), "online-threshold");
+  EXPECT_STREQ(online_rule_name(OnlineRule::kBalance), "online-balance");
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,66 @@
+#include "model/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(PlatformTest, CountsAndWorkers) {
+  const Platform p(20, 4);
+  EXPECT_EQ(p.cpus(), 20);
+  EXPECT_EQ(p.gpus(), 4);
+  EXPECT_EQ(p.workers(), 24);
+  EXPECT_EQ(p.count(Resource::kCpu), 20);
+  EXPECT_EQ(p.count(Resource::kGpu), 4);
+}
+
+TEST(PlatformTest, WorkerTypeBoundaries) {
+  const Platform p(3, 2);
+  EXPECT_EQ(p.type_of(0), Resource::kCpu);
+  EXPECT_EQ(p.type_of(2), Resource::kCpu);
+  EXPECT_EQ(p.type_of(3), Resource::kGpu);
+  EXPECT_EQ(p.type_of(4), Resource::kGpu);
+}
+
+TEST(PlatformTest, FirstWorkerOfType) {
+  const Platform p(3, 2);
+  EXPECT_EQ(p.first(Resource::kCpu), 0);
+  EXPECT_EQ(p.first(Resource::kGpu), 3);
+}
+
+TEST(PlatformTest, TimeOnResource) {
+  const Task t{5.0, 1.25, 0.0, KernelKind::kGeneric};
+  EXPECT_DOUBLE_EQ(Platform::time_on(t, Resource::kCpu), 5.0);
+  EXPECT_DOUBLE_EQ(Platform::time_on(t, Resource::kGpu), 1.25);
+}
+
+TEST(PlatformTest, OtherResource) {
+  EXPECT_EQ(other(Resource::kCpu), Resource::kGpu);
+  EXPECT_EQ(other(Resource::kGpu), Resource::kCpu);
+}
+
+TEST(PlatformTest, ResourceNames) {
+  EXPECT_STREQ(resource_name(Resource::kCpu), "CPU");
+  EXPECT_STREQ(resource_name(Resource::kGpu), "GPU");
+}
+
+TEST(PlatformTest, CpuOnlyPlatform) {
+  const Platform p(4, 0);
+  EXPECT_EQ(p.workers(), 4);
+  EXPECT_EQ(p.type_of(3), Resource::kCpu);
+}
+
+TEST(PlatformTest, GpuOnlyPlatform) {
+  const Platform p(0, 4);
+  EXPECT_EQ(p.workers(), 4);
+  EXPECT_EQ(p.type_of(0), Resource::kGpu);
+  EXPECT_EQ(p.first(Resource::kGpu), 0);
+}
+
+TEST(PlatformTest, Equality) {
+  EXPECT_EQ(Platform(2, 1), Platform(2, 1));
+  EXPECT_FALSE(Platform(2, 1) == Platform(1, 2));
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,105 @@
+// Verification of the proofs' *internal* claims on the actual adversarial
+// executions — not just the final ratios. Each check mirrors a step of the
+// §5 case analysis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/heteroprio.hpp"
+#include "worstcase/instances.hpp"
+
+namespace hp {
+namespace {
+
+TEST(ProofStructure, Theorem8GpuIdlesButCannotImprove) {
+  // The proof's pivotal moment: the GPU idles at 1/phi = phi - 1 and
+  // restarting X there would finish exactly at phi — no strict improvement.
+  const WorstCaseInstance wc = theorem8_instance();
+  HeteroPrioStats stats;
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform, {}, &stats);
+  EXPECT_NEAR(stats.first_idle_time, kPhi - 1.0, 1e-9);
+  EXPECT_GE(stats.spoliation_attempts, 1);
+  EXPECT_EQ(stats.spoliations, 0);
+  // X (task 0) runs on the CPU for its full p = phi.
+  const Placement& x = s.placement(0);
+  EXPECT_EQ(wc.platform.type_of(x.worker), Resource::kCpu);
+  EXPECT_NEAR(x.end - x.start, kPhi, 1e-12);
+}
+
+TEST(ProofStructure, Theorem11HostageTaskEndsLast) {
+  // Lemma 10's T: the task finishing after (1+phi-ish)*OPT is T2, executed
+  // on a CPU in S_HP^NS, with acceleration factor >= phi (here exactly phi)
+  // and p_T > phi * C_opt... the instance uses p_T = phi = phi * OPT.
+  const WorstCaseInstance wc = theorem11_instance(20, 30);
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  // The last-finishing task is T2 (the final task added).
+  const auto t2 = static_cast<TaskId>(wc.instance.size() - 1);
+  double latest = 0.0;
+  TaskId last = kInvalidTask;
+  for (std::size_t i = 0; i < wc.instance.size(); ++i) {
+    const Placement& p = s.placement(static_cast<TaskId>(i));
+    if (p.end > latest) {
+      latest = p.end;
+      last = static_cast<TaskId>(i);
+    }
+  }
+  EXPECT_EQ(last, t2);
+  EXPECT_EQ(wc.platform.type_of(s.placement(t2).worker), Resource::kCpu);
+  EXPECT_NEAR(wc.instance[t2].accel(), kPhi, 1e-12);
+  EXPECT_GE(wc.instance[t2].cpu_time, kPhi * wc.optimal_makespan - 1e-12);
+}
+
+TEST(ProofStructure, Theorem14SpoliatedTasksSatisfyLemma13) {
+  // Lemma 13 (i): every spoliated task has p_i > C_opt. (ii): tasks running
+  // on GPUs in S_HP^NS have acceleration factor well above 1 (the instance
+  // uses rho in [r/3, r], all > 1 + sqrt(2) for its T1/T4 classes).
+  const WorstCaseInstance wc = theorem14_instance(2);
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  ASSERT_FALSE(s.aborted().empty());
+  for (const AbortedSegment& a : s.aborted()) {
+    // All victims are T2 tasks with p = r*n/3 > n = C_opt (since r > 3).
+    EXPECT_GT(wc.instance[a.task].cpu_time, wc.optimal_makespan);
+    // Spoliation flows CPU -> GPU only.
+    EXPECT_EQ(wc.platform.type_of(a.worker), Resource::kCpu);
+    EXPECT_EQ(wc.platform.type_of(s.placement(a.task).worker), Resource::kGpu);
+  }
+}
+
+TEST(ProofStructure, Theorem14FinalTaskNotSpoliatedByEquality) {
+  // The length-n T2 task ends exactly at x + r*n/3 on its CPU; the GPUs
+  // cannot strictly improve it (the defining equation of r makes it an
+  // exact tie), so it is never aborted.
+  const WorstCaseInstance wc = theorem14_instance(2);
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  const auto last_t2 = static_cast<TaskId>(wc.instance.size() - 1);
+  EXPECT_EQ(wc.platform.type_of(s.placement(last_t2).worker), Resource::kCpu);
+  for (const AbortedSegment& a : s.aborted()) {
+    EXPECT_NE(a.task, last_t2);
+  }
+  EXPECT_NEAR(s.placement(last_t2).end, wc.expected_hp_makespan, 1e-6);
+}
+
+TEST(ProofStructure, Theorem14SpoliationCountMatchesGadget) {
+  // Exactly 2n of the 2n+1 T2 tasks are spoliated (the Fig 4 replay).
+  for (int k : {1, 2}) {
+    const WorstCaseInstance wc = theorem14_instance(k);
+    HeteroPrioStats stats;
+    (void)heteroprio(wc.instance.tasks(), wc.platform, {}, &stats);
+    EXPECT_EQ(stats.spoliations, 2 * 6 * k) << "k=" << k;
+  }
+}
+
+TEST(ProofStructure, Theorem12BoundHoldsOnItsOwnWorstFamily) {
+  // The Thm 14 family must respect the Thm 12 upper bound with room to
+  // spare (the gap between 2+2/sqrt(3) and 2+sqrt(2) is the open question).
+  for (int k : {1, 2, 3}) {
+    const WorstCaseInstance wc = theorem14_instance(k);
+    const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+    EXPECT_LE(s.makespan(),
+              (2.0 + std::sqrt(2.0)) * wc.optimal_makespan * (1.0 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace hp

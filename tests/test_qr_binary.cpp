@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/heft.hpp"
+#include "bounds/dag_lower_bound.hpp"
+#include "dag/ranking.hpp"
+#include "dag/validation.hpp"
+#include "linalg/qr.hpp"
+
+namespace hp {
+namespace {
+
+std::map<KernelKind, int> kind_histogram(const TaskGraph& g) {
+  std::map<KernelKind, int> hist;
+  for (const Task& t : g.tasks()) ++hist[t.kind];
+  return hist;
+}
+
+class QrBinary : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrBinary, TaskCountMatchesFormula) {
+  const int n = GetParam();
+  const TaskGraph g = qr_binary_dag(n);
+  EXPECT_EQ(g.size(), qr_binary_task_count(n));
+}
+
+TEST_P(QrBinary, WellFormed) {
+  const TaskGraph g = qr_binary_dag(GetParam());
+  const GraphCheck check = check_graph(g);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST_P(QrBinary, KernelMix) {
+  const int n = GetParam();
+  const TaskGraph g = qr_binary_dag(n);
+  const auto hist = kind_histogram(g);
+  // One GEQRT per (k, i>=k): N(N+1)/2 of them.
+  EXPECT_EQ(hist.at(KernelKind::kGeqrt), n * (n + 1) / 2);
+  if (n > 1) {
+    // N-1-k merges per step k: N(N-1)/2 TTQRTs.
+    EXPECT_EQ(hist.at(KernelKind::kTtqrt), n * (n - 1) / 2);
+    EXPECT_GT(hist.at(KernelKind::kTtmqr), 0);
+    EXPECT_GT(hist.at(KernelKind::kOrmqr), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QrBinary, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(QrBinaryVsFlat, PanelReductionDepthIsLogarithmic) {
+  // The point of the binary tree: reducing one panel of R rows takes
+  // ceil(log2(R)) merge levels instead of a length R-1 TS chain. Check the
+  // deepest *single-step* merge chain: the step-0 TTQRTs that rewrite tile
+  // (0,0) are exactly the merges at distances 1, 2, 4, ... — ceil(log2(N))
+  // of them — while the flat DAG's step-0 TSQRTs form an N-1 chain.
+  const int n = 24;
+  const TaskGraph flat = qr_dag(n);
+  const TaskGraph tree = qr_binary_dag(n);
+
+  // Longest chain of consecutive same-kind panel kernels starting at the
+  // entry GEQRT (task 0 in both generators).
+  auto panel_depth = [](const TaskGraph& g, KernelKind merge_kind) {
+    int depth = 0;
+    TaskId cur = 0;  // GEQRT(0,0)
+    for (;;) {
+      TaskId next = kInvalidTask;
+      for (TaskId succ : g.successors(cur)) {
+        if (g.task(succ).kind == merge_kind) {
+          next = succ;
+          break;
+        }
+      }
+      if (next == kInvalidTask) break;
+      cur = next;
+      ++depth;
+    }
+    return depth;
+  };
+
+  EXPECT_EQ(panel_depth(flat, KernelKind::kTsqrt), n - 1);
+  EXPECT_EQ(panel_depth(tree, KernelKind::kTtqrt), 5);  // ceil(log2 24)
+}
+
+TEST(QrBinaryVsFlat, TreeHelpsSchedulersInMidRange) {
+  // Deterministic empirical property at N=16 on the paper's platform: the
+  // extra panel parallelism of the tree variant improves HEFT's makespan
+  // ratio (and does not hurt HeteroPrio's), cf. bench_fmm_workload.
+  const Platform platform(20, 4);
+  auto ratio = [&](TaskGraph graph) {
+    assign_priorities(graph, RankScheme::kMin);
+    const double lb = dag_lower_bound(graph, platform).value();
+    return heft(graph, platform, {.rank = RankScheme::kMin}).makespan() / lb;
+  };
+  EXPECT_LT(ratio(qr_binary_dag(16)), ratio(qr_dag(16)));
+}
+
+TEST(QrBinaryVsFlat, MoreTasksSameTrailingWork) {
+  // The tree variant re-factors every panel tile (more, smaller tasks).
+  EXPECT_GT(qr_binary_task_count(16), qr_task_count(16));
+}
+
+TEST(QrBinaryVsFlat, PanelFactorizationsIndependentWithinStep) {
+  // In step k = 0 the GEQRT of each row has in-degree 0 (no TS chain).
+  const TaskGraph g = qr_binary_dag(4);
+  int independent_geqrt = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    if (g.task(id).kind == KernelKind::kGeqrt && g.in_degree(id) == 0) {
+      ++independent_geqrt;
+    }
+  }
+  EXPECT_EQ(independent_geqrt, 4);  // all four rows of step 0
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,96 @@
+#include "dag/random_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "bounds/dag_lower_bound.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "dag/validation.hpp"
+#include "sched/validate.hpp"
+
+namespace hp {
+namespace {
+
+TEST(RandomLayered, StructureAsRequested) {
+  util::Rng rng(1);
+  LayeredDagParams params;
+  params.layers = 5;
+  params.width = 6;
+  const TaskGraph g = random_layered_dag(params, rng);
+  EXPECT_EQ(g.size(), 30u);
+  EXPECT_TRUE(check_graph(g).ok);
+  // Only layer 0 contains entry tasks.
+  int sources = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    sources += g.in_degree(static_cast<TaskId>(i)) == 0;
+  }
+  EXPECT_EQ(sources, 6);
+}
+
+TEST(RandomLayered, DeterministicPerSeed) {
+  LayeredDagParams params;
+  util::Rng a(9), b(9);
+  const TaskGraph ga = random_layered_dag(params, a);
+  const TaskGraph gb = random_layered_dag(params, b);
+  EXPECT_EQ(ga.num_edges(), gb.num_edges());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ga.task(static_cast<TaskId>(i)).cpu_time,
+                     gb.task(static_cast<TaskId>(i)).cpu_time);
+  }
+}
+
+TEST(RandomSparse, AcyclicAndWithinWindow) {
+  util::Rng rng(2);
+  SparseDagParams params;
+  params.num_tasks = 80;
+  params.window = 10;
+  const TaskGraph g = random_sparse_dag(params, rng);
+  EXPECT_TRUE(check_graph(g).ok);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    for (TaskId succ : g.successors(static_cast<TaskId>(i))) {
+      EXPECT_GT(succ, static_cast<TaskId>(i));
+      EXPECT_LE(succ, static_cast<TaskId>(i) + params.window);
+    }
+  }
+}
+
+TEST(RandomSparse, AverageOutDegreeRoughlyAsRequested) {
+  util::Rng rng(3);
+  SparseDagParams params;
+  params.num_tasks = 2000;
+  params.avg_out_degree = 3.0;
+  const TaskGraph g = random_sparse_dag(params, rng);
+  const double avg =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.size());
+  EXPECT_NEAR(avg, 3.0, 0.3);
+}
+
+TEST(RandomDags, AllSchedulersValidOnRandomShapes) {
+  util::Rng rng(4);
+  const Platform platform(4, 2);
+  for (int rep = 0; rep < 6; ++rep) {
+    LayeredDagParams layered;
+    layered.layers = 3 + static_cast<int>(rng.bounded(5));
+    layered.width = 2 + static_cast<int>(rng.bounded(8));
+    TaskGraph graphs[] = {random_layered_dag(layered, rng),
+                          random_sparse_dag({}, rng)};
+    for (TaskGraph& g : graphs) {
+      assign_priorities(g, RankScheme::kMin);
+      const double lb = dag_lower_bound(g, platform).value();
+      const Schedule hp_s = heteroprio_dag(g, platform);
+      const Schedule heft_s = heft(g, platform, {.rank = RankScheme::kMin});
+      const Schedule dual_s = dualhp_dag(g, platform);
+      for (const Schedule* s : {&hp_s, &heft_s, &dual_s}) {
+        const auto check = check_schedule(*s, g, platform);
+        EXPECT_TRUE(check.ok) << g.name() << " rep " << rep << ": "
+                              << check.message;
+        EXPECT_GE(s->makespan(), lb - 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hp

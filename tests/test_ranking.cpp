@@ -1,0 +1,107 @@
+#include "dag/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TaskGraph chain3() {
+  TaskGraph g("chain");
+  const TaskId a = g.add_task(Task{4.0, 2.0});  // avg 3, min 2
+  const TaskId b = g.add_task(Task{2.0, 6.0});  // avg 4, min 2
+  const TaskId c = g.add_task(Task{1.0, 1.0});  // avg 1, min 1
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.finalize();
+  return g;
+}
+
+TEST(Ranking, WeightSchemes) {
+  const Task t{4.0, 2.0};
+  EXPECT_DOUBLE_EQ(rank_weight(t, RankScheme::kAvg), 3.0);
+  EXPECT_DOUBLE_EQ(rank_weight(t, RankScheme::kMin), 2.0);
+  EXPECT_DOUBLE_EQ(rank_weight(t, RankScheme::kFifo), 0.0);
+}
+
+TEST(Ranking, BottomLevelsOnChainAvg) {
+  const TaskGraph g = chain3();
+  const auto bl = bottom_levels(g, RankScheme::kAvg);
+  EXPECT_DOUBLE_EQ(bl[2], 1.0);
+  EXPECT_DOUBLE_EQ(bl[1], 5.0);
+  EXPECT_DOUBLE_EQ(bl[0], 8.0);
+}
+
+TEST(Ranking, BottomLevelsOnChainMin) {
+  const TaskGraph g = chain3();
+  const auto bl = bottom_levels(g, RankScheme::kMin);
+  EXPECT_DOUBLE_EQ(bl[2], 1.0);
+  EXPECT_DOUBLE_EQ(bl[1], 3.0);
+  EXPECT_DOUBLE_EQ(bl[0], 5.0);
+}
+
+TEST(Ranking, BottomLevelsTakeMaxOverBranches) {
+  TaskGraph g("fork");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{10.0, 10.0});
+  const TaskId c = g.add_task(Task{2.0, 2.0});
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.finalize();
+  const auto bl = bottom_levels(g, RankScheme::kAvg);
+  EXPECT_DOUBLE_EQ(bl[static_cast<std::size_t>(a)], 11.0);  // via b
+}
+
+TEST(Ranking, CriticalPathOfChain) {
+  const TaskGraph g = chain3();
+  EXPECT_DOUBLE_EQ(critical_path(g, RankScheme::kMin), 5.0);
+  EXPECT_DOUBLE_EQ(critical_path(g, RankScheme::kAvg), 8.0);
+}
+
+TEST(Ranking, CriticalPathPicksLongestEntry) {
+  TaskGraph g("two-chains");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{1.0, 1.0});
+  const TaskId c = g.add_task(Task{5.0, 5.0});
+  g.add_edge(a, b);
+  g.finalize();
+  (void)c;
+  EXPECT_DOUBLE_EQ(critical_path(g, RankScheme::kMin), 5.0);
+}
+
+TEST(Ranking, AssignPrioritiesWritesBottomLevels) {
+  TaskGraph g = chain3();
+  assign_priorities(g, RankScheme::kAvg);
+  EXPECT_DOUBLE_EQ(g.task(0).priority, 8.0);
+  EXPECT_DOUBLE_EQ(g.task(2).priority, 1.0);
+}
+
+TEST(Ranking, AssignPrioritiesFifoZeroes) {
+  TaskGraph g = chain3();
+  assign_priorities(g, RankScheme::kAvg);
+  assign_priorities(g, RankScheme::kFifo);
+  EXPECT_DOUBLE_EQ(g.task(0).priority, 0.0);
+  EXPECT_DOUBLE_EQ(g.task(1).priority, 0.0);
+}
+
+TEST(Ranking, SchemeNames) {
+  EXPECT_STREQ(rank_scheme_name(RankScheme::kAvg), "avg");
+  EXPECT_STREQ(rank_scheme_name(RankScheme::kMin), "min");
+  EXPECT_STREQ(rank_scheme_name(RankScheme::kFifo), "fifo");
+}
+
+TEST(Ranking, PriorityOfEntryDominatesInDag) {
+  // In any DAG with positive weights, an entry task's bottom level strictly
+  // exceeds each of its successors' (HEFT's rank order is topological).
+  const TaskGraph g = chain3();
+  for (RankScheme scheme : {RankScheme::kAvg, RankScheme::kMin}) {
+    const auto bl = bottom_levels(g, scheme);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      for (TaskId succ : g.successors(static_cast<TaskId>(i))) {
+        EXPECT_GT(bl[i], bl[static_cast<std::size_t>(succ)]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hp

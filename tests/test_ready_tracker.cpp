@@ -1,0 +1,78 @@
+#include "dag/ready_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(ReadyTrackerTest, ChainReleasesOneByOne) {
+  TaskGraph g("chain");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{1.0, 1.0});
+  const TaskId c = g.add_task(Task{1.0, 1.0});
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.finalize();
+
+  ReadyTracker tracker(g);
+  ASSERT_EQ(tracker.initially_ready().size(), 1u);
+  EXPECT_EQ(tracker.initially_ready()[0], a);
+  EXPECT_EQ(tracker.remaining(), 3u);
+
+  auto released = tracker.complete(a);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], b);
+  released = tracker.complete(b);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], c);
+  released = tracker.complete(c);
+  EXPECT_TRUE(released.empty());
+  EXPECT_TRUE(tracker.done());
+}
+
+TEST(ReadyTrackerTest, DiamondJoinsWaitForBothPredecessors) {
+  TaskGraph g("diamond");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{1.0, 1.0});
+  const TaskId c = g.add_task(Task{1.0, 1.0});
+  const TaskId d = g.add_task(Task{1.0, 1.0});
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.finalize();
+
+  ReadyTracker tracker(g);
+  auto released = tracker.complete(a);
+  ASSERT_EQ(released.size(), 2u);
+  released = tracker.complete(b);
+  EXPECT_TRUE(released.empty());  // d still waits for c
+  released = tracker.complete(c);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], d);
+}
+
+TEST(ReadyTrackerTest, AllIndependentInitiallyReady) {
+  TaskGraph g("independent");
+  for (int i = 0; i < 5; ++i) g.add_task(Task{1.0, 1.0});
+  g.finalize();
+  ReadyTracker tracker(g);
+  EXPECT_EQ(tracker.initially_ready().size(), 5u);
+}
+
+TEST(ReadyTrackerTest, RemainingCountsDown) {
+  TaskGraph g("two");
+  g.add_task(Task{1.0, 1.0});
+  g.add_task(Task{1.0, 1.0});
+  g.finalize();
+  ReadyTracker tracker(g);
+  EXPECT_EQ(tracker.remaining(), 2u);
+  tracker.complete(0);
+  EXPECT_EQ(tracker.remaining(), 1u);
+  EXPECT_FALSE(tracker.done());
+  tracker.complete(1);
+  EXPECT_TRUE(tracker.done());
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,196 @@
+// Differential test of the HeteroPrio engine against an independent,
+// deliberately naive re-implementation (O(T^2) re-sorting, no event queue,
+// no ordered set). Both must produce bit-identical schedules — a classic
+// simulator cross-check that catches subtle ordering bugs in the optimized
+// engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/heteroprio.hpp"
+#include "model/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+/// Naive HeteroPrio for independent tasks: time advances to the next
+/// completion; at each instant, idle workers (GPUs first) repeatedly pick
+/// from a freshly re-sorted ready vector or spoliate. Mirrors the paper's
+/// Algorithm 1 wording as directly as possible.
+Schedule naive_heteroprio(std::span<const Task> tasks,
+                          const Platform& platform) {
+  Schedule schedule(tasks.size());
+  struct Slot {
+    TaskId task = kInvalidTask;
+    double start = 0.0;
+    double finish = 0.0;
+  };
+  std::vector<Slot> running(static_cast<std::size_t>(platform.workers()));
+  std::vector<TaskId> ready(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    ready[i] = static_cast<TaskId>(i);
+  }
+  std::size_t completed = 0;
+  double now = 0.0;
+
+  auto sort_ready = [&] {
+    std::sort(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+      const Task& ta = tasks[static_cast<std::size_t>(a)];
+      const Task& tb = tasks[static_cast<std::size_t>(b)];
+      if (ta.accel() != tb.accel()) return ta.accel() > tb.accel();
+      if (ta.priority != tb.priority) {
+        return ta.accel() >= 1.0 ? ta.priority > tb.priority
+                                 : ta.priority < tb.priority;
+      }
+      return a < b;
+    });
+  };
+
+  auto idle_order = [&] {
+    std::vector<WorkerId> idle;
+    for (WorkerId w = platform.first(Resource::kGpu); w < platform.workers();
+         ++w) {
+      if (running[static_cast<std::size_t>(w)].task == kInvalidTask) {
+        idle.push_back(w);
+      }
+    }
+    for (WorkerId w = 0; w < platform.first(Resource::kGpu); ++w) {
+      if (running[static_cast<std::size_t>(w)].task == kInvalidTask) {
+        idle.push_back(w);
+      }
+    }
+    return idle;
+  };
+
+  auto dispatch = [&] {
+    bool acted = true;
+    while (acted) {
+      acted = false;
+      for (WorkerId w : idle_order()) {
+        if (running[static_cast<std::size_t>(w)].task != kInvalidTask) continue;
+        const Resource mine = platform.type_of(w);
+        if (!ready.empty()) {
+          sort_ready();
+          TaskId id;
+          if (mine == Resource::kGpu) {
+            id = ready.front();
+            ready.erase(ready.begin());
+          } else {
+            id = ready.back();
+            ready.pop_back();
+          }
+          const double dt =
+              Platform::time_on(tasks[static_cast<std::size_t>(id)], mine);
+          running[static_cast<std::size_t>(w)] = {id, now, now + dt};
+          acted = true;
+          continue;
+        }
+        // Spoliation: victims on the other type, decreasing finish, ties by
+        // priority then id.
+        std::vector<WorkerId> victims;
+        for (WorkerId v = 0; v < platform.workers(); ++v) {
+          if (platform.type_of(v) == other(mine) &&
+              running[static_cast<std::size_t>(v)].task != kInvalidTask) {
+            victims.push_back(v);
+          }
+        }
+        std::sort(victims.begin(), victims.end(), [&](WorkerId a, WorkerId b) {
+          const Slot& sa = running[static_cast<std::size_t>(a)];
+          const Slot& sb = running[static_cast<std::size_t>(b)];
+          if (sa.finish != sb.finish) return sa.finish > sb.finish;
+          const double pa = tasks[static_cast<std::size_t>(sa.task)].priority;
+          const double pb = tasks[static_cast<std::size_t>(sb.task)].priority;
+          if (pa != pb) return pa > pb;
+          return sa.task < sb.task;
+        });
+        for (WorkerId v : victims) {
+          Slot& slot = running[static_cast<std::size_t>(v)];
+          const double dt =
+              Platform::time_on(tasks[static_cast<std::size_t>(slot.task)], mine);
+          const double margin = 1e-9 * std::max(1.0, std::abs(slot.finish));
+          if (now + dt < slot.finish - margin) {
+            schedule.add_aborted(slot.task, v, slot.start, now);
+            running[static_cast<std::size_t>(w)] = {slot.task, now, now + dt};
+            slot = Slot{};
+            acted = true;
+            break;
+          }
+        }
+      }
+    }
+  };
+
+  dispatch();
+  while (completed < tasks.size()) {
+    double next = std::numeric_limits<double>::infinity();
+    for (const Slot& slot : running) {
+      if (slot.task != kInvalidTask) next = std::min(next, slot.finish);
+    }
+    if (!std::isfinite(next)) {
+      ADD_FAILURE() << "naive simulator deadlocked";
+      return schedule;
+    }
+    now = next;
+    for (WorkerId w = 0; w < platform.workers(); ++w) {
+      Slot& slot = running[static_cast<std::size_t>(w)];
+      if (slot.task != kInvalidTask && slot.finish == now) {
+        schedule.place(slot.task, w, slot.start, slot.finish);
+        slot = Slot{};
+        ++completed;
+      }
+    }
+    dispatch();
+  }
+  return schedule;
+}
+
+TEST(ReferenceImpl, MatchesEngineOnRandomInstances) {
+  util::Rng rng(424242);
+  for (int rep = 0; rep < 40; ++rep) {
+    const int cpus = 1 + static_cast<int>(rng.bounded(4));
+    const int gpus = 1 + static_cast<int>(rng.bounded(3));
+    const Platform platform(cpus, gpus);
+    UniformGenParams params;
+    params.num_tasks = 5 + rng.bounded(30);
+    Instance inst = uniform_instance(params, rng);
+    // Random priorities exercise the tie-breaking paths too.
+    for (Task& t : inst.tasks()) {
+      t.priority = static_cast<double>(rng.bounded(4));
+    }
+
+    const Schedule fast = heteroprio(inst.tasks(), platform);
+    const Schedule naive = naive_heteroprio(inst.tasks(), platform);
+
+    ASSERT_EQ(fast.aborted().size(), naive.aborted().size())
+        << "rep " << rep << " (" << cpus << "," << gpus << ")";
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      const auto id = static_cast<TaskId>(i);
+      EXPECT_EQ(fast.placement(id).worker, naive.placement(id).worker)
+          << "rep " << rep << " task " << i;
+      EXPECT_DOUBLE_EQ(fast.placement(id).start, naive.placement(id).start)
+          << "rep " << rep << " task " << i;
+      EXPECT_DOUBLE_EQ(fast.placement(id).end, naive.placement(id).end)
+          << "rep " << rep << " task " << i;
+    }
+  }
+}
+
+TEST(ReferenceImpl, MatchesEngineOnBimodalInstances) {
+  util::Rng rng(77);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Platform platform(3, 1);
+    const Instance inst = bimodal_instance(20, 0.5, rng);
+    const Schedule fast = heteroprio(inst.tasks(), platform);
+    const Schedule naive = naive_heteroprio(inst.tasks(), platform);
+    EXPECT_DOUBLE_EQ(fast.makespan(), naive.makespan()) << "rep " << rep;
+    EXPECT_EQ(fast.aborted().size(), naive.aborted().size()) << "rep " << rep;
+  }
+}
+
+}  // namespace
+}  // namespace hp

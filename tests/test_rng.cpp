@@ -1,0 +1,107 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace hp::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const std::uint64_t first = a();
+  a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.5, 7.5);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.1);
+}
+
+TEST(Rng, BoundedStrictlyBelowBound) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.bounded(13), 13u);
+}
+
+TEST(Rng, BoundedZeroIsZero) {
+  Rng rng(6);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(9);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, LognormalMedianNearExpMu) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 10001; ++i) xs.push_back(rng.lognormal(1.0, 0.3));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(1.0), 0.1);
+}
+
+TEST(Splitmix, DeterministicExpansion) {
+  std::uint64_t s1 = 99, s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace hp::util

@@ -1,0 +1,64 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(ScheduleTest, PlaceAndQuery) {
+  Schedule s(2);
+  EXPECT_FALSE(s.complete());
+  s.place(0, 1, 0.0, 2.0);
+  s.place(1, 0, 1.0, 4.0);
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.placement(0).worker, 1);
+  EXPECT_DOUBLE_EQ(s.placement(1).end, 4.0);
+}
+
+TEST(ScheduleTest, MakespanIsMaxEnd) {
+  Schedule s(3);
+  s.place(0, 0, 0.0, 5.0);
+  s.place(1, 1, 0.0, 3.0);
+  s.place(2, 0, 5.0, 6.5);
+  EXPECT_DOUBLE_EQ(s.makespan(), 6.5);
+}
+
+TEST(ScheduleTest, MakespanIncludesAbortedSegments) {
+  Schedule s(1);
+  s.place(0, 0, 0.0, 1.0);
+  s.add_aborted(0, 1, 0.0, 2.0);  // pathological but must be counted
+  EXPECT_DOUBLE_EQ(s.makespan(), 2.0);
+}
+
+TEST(ScheduleTest, UnplacedTasksIgnoredByMakespan) {
+  Schedule s(2);
+  s.place(0, 0, 0.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 3.0);
+  EXPECT_FALSE(s.complete());
+}
+
+TEST(ScheduleTest, SpoliationCount) {
+  Schedule s(2);
+  EXPECT_EQ(s.spoliation_count(), 0u);
+  s.add_aborted(0, 0, 0.0, 1.0);
+  s.add_aborted(1, 0, 1.0, 2.0);
+  EXPECT_EQ(s.spoliation_count(), 2u);
+  EXPECT_EQ(s.aborted().size(), 2u);
+}
+
+TEST(ScheduleTest, EmptyScheduleMakespanZero) {
+  const Schedule s(0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+  EXPECT_TRUE(s.complete());
+}
+
+TEST(ScheduleTest, PlacementOverwrite) {
+  Schedule s(1);
+  s.place(0, 0, 0.0, 1.0);
+  s.place(0, 1, 2.0, 3.0);
+  EXPECT_EQ(s.placement(0).worker, 1);
+  EXPECT_DOUBLE_EQ(s.placement(0).start, 2.0);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,91 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hp::util {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, GeometricMeanOfKnownValues) {
+  const std::vector<double> v{1.0, 4.0};
+  EXPECT_NEAR(geometric_mean(v), 2.0, 1e-12);
+}
+
+TEST(Stats, GeometricMeanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileClampsOutOfRange) {
+  const std::vector<double> v{3.0, 7.0};
+  EXPECT_DOUBLE_EQ(quantile(v, -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 2.0), 7.0);
+}
+
+TEST(Stats, SummarizeKnownSample) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeSingleValue) {
+  const Summary s = summarize(std::vector<double>{42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(OnlineStatsTest, MatchesBatchSummary) {
+  const std::vector<double> v{1.5, -2.0, 3.25, 0.0, 10.0, 4.5};
+  OnlineStats online;
+  for (double x : v) online.add(x);
+  const Summary batch = summarize(v);
+  EXPECT_EQ(online.count(), batch.count);
+  EXPECT_NEAR(online.mean(), batch.mean, 1e-12);
+  EXPECT_NEAR(online.stddev(), batch.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(online.min(), batch.min);
+  EXPECT_DOUBLE_EQ(online.max(), batch.max);
+}
+
+TEST(OnlineStatsTest, SingleValueVarianceZero) {
+  OnlineStats online;
+  online.add(5.0);
+  EXPECT_DOUBLE_EQ(online.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(online.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace hp::util

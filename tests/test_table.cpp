@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace hp::util {
+namespace {
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(1.5, 3), "1.5");
+  EXPECT_EQ(format_double(2.0, 3), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.995, 2), "2");  // rounds then trims
+}
+
+TEST(FormatDouble, HandlesSpecials) {
+  EXPECT_EQ(format_double(std::nan(""), 3), "nan");
+  EXPECT_EQ(format_double(INFINITY, 3), "inf");
+  EXPECT_EQ(format_double(-INFINITY, 3), "-inf");
+}
+
+TEST(TableTest, PrintsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.25);
+  t.row().cell("b").cell(100LL);
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.row().cell("short").cell("x");
+  t.row().cell("a-much-longer-cell").cell("y");
+  std::ostringstream oss;
+  t.print(oss);
+  // Every line has the same length when columns are padded.
+  std::istringstream in(oss.str());
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(in, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(TableTest, ToCsv) {
+  Table t({"x", "y"});
+  t.row().cell(1LL).cell(2LL);
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+}  // namespace
+}  // namespace hp::util

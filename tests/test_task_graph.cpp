@@ -1,0 +1,153 @@
+#include "dag/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dag/validation.hpp"
+
+namespace hp {
+namespace {
+
+TaskGraph diamond() {
+  //   a
+  //  / \
+  // b   c
+  //  \ /
+  //   d
+  TaskGraph g("diamond");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{1.0, 1.0});
+  const TaskId c = g.add_task(Task{1.0, 1.0});
+  const TaskId d = g.add_task(Task{1.0, 1.0});
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.finalize();
+  return g;
+}
+
+TEST(TaskGraphTest, SizesAndDegrees) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+}
+
+TEST(TaskGraphTest, AdjacencyContents) {
+  const TaskGraph g = diamond();
+  const auto succ = g.successors(0);
+  EXPECT_TRUE(std::find(succ.begin(), succ.end(), 1) != succ.end());
+  EXPECT_TRUE(std::find(succ.begin(), succ.end(), 2) != succ.end());
+  const auto pred = g.predecessors(3);
+  EXPECT_TRUE(std::find(pred.begin(), pred.end(), 1) != pred.end());
+  EXPECT_TRUE(std::find(pred.begin(), pred.end(), 2) != pred.end());
+}
+
+TEST(TaskGraphTest, DuplicateEdgesDeduplicated) {
+  TaskGraph g("dup");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{1.0, 1.0});
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.out_degree(a), 1u);
+}
+
+TEST(TaskGraphTest, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = i;
+  }
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(TaskGraphTest, CycleDetected) {
+  TaskGraph g("cycle");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{1.0, 1.0});
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  g.finalize();
+  EXPECT_FALSE(g.is_dag());
+  EXPECT_TRUE(g.topological_order().empty());
+}
+
+TEST(TaskGraphTest, EmptyGraphIsDag) {
+  TaskGraph g("empty");
+  g.finalize();
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(TaskGraphTest, FinalizeIdempotent) {
+  TaskGraph g = diamond();
+  g.finalize();
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(TaskGraphTest, MutationInvalidatesFinalization) {
+  TaskGraph g = diamond();
+  EXPECT_TRUE(g.finalized());
+  g.add_task(Task{1.0, 1.0});
+  EXPECT_FALSE(g.finalized());
+  g.finalize();
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.in_degree(4), 0u);
+}
+
+TEST(TaskGraphTest, ToInstanceCopiesTasks) {
+  TaskGraph g("src");
+  g.add_task(Task{2.0, 0.5});
+  g.add_task(Task{3.0, 1.5});
+  g.finalize();
+  const Instance inst = g.to_instance();
+  ASSERT_EQ(inst.size(), 2u);
+  EXPECT_DOUBLE_EQ(inst[0].cpu_time, 2.0);
+  EXPECT_DOUBLE_EQ(inst[1].gpu_time, 1.5);
+  EXPECT_EQ(inst.name(), "src");
+}
+
+TEST(GraphValidation, AcceptsWellFormedGraph) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(check_graph(g).ok);
+}
+
+TEST(GraphValidation, RejectsNonPositiveTimes) {
+  TaskGraph g("bad");
+  g.add_task(Task{0.0, 1.0});
+  g.finalize();
+  EXPECT_FALSE(check_graph(g).ok);
+}
+
+TEST(GraphValidation, RejectsCycle) {
+  TaskGraph g("cycle");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{1.0, 1.0});
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  g.finalize();
+  EXPECT_FALSE(check_graph(g).ok);
+}
+
+TEST(GraphValidation, RejectsUnfinalized) {
+  TaskGraph g("raw");
+  g.add_task(Task{1.0, 1.0});
+  EXPECT_FALSE(check_graph(g).ok);
+}
+
+}  // namespace
+}  // namespace hp

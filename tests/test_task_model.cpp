@@ -1,0 +1,52 @@
+#include "model/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hp {
+namespace {
+
+TEST(TaskModel, AccelerationFactor) {
+  const Task t{10.0, 2.5, 0.0, KernelKind::kGeneric};
+  EXPECT_DOUBLE_EQ(t.accel(), 4.0);
+}
+
+TEST(TaskModel, AccelBelowOneForCpuFriendlyTask) {
+  const Task t{1.0, 4.0, 0.0, KernelKind::kGeneric};
+  EXPECT_DOUBLE_EQ(t.accel(), 0.25);
+}
+
+TEST(TaskModel, MinMaxTime) {
+  const Task t{3.0, 7.0, 0.0, KernelKind::kGeneric};
+  EXPECT_DOUBLE_EQ(t.min_time(), 3.0);
+  EXPECT_DOUBLE_EQ(t.max_time(), 7.0);
+  const Task u{7.0, 3.0, 0.0, KernelKind::kGeneric};
+  EXPECT_DOUBLE_EQ(u.min_time(), 3.0);
+  EXPECT_DOUBLE_EQ(u.max_time(), 7.0);
+}
+
+TEST(TaskModel, KernelNamesAreUniqueAndNonEmpty) {
+  const KernelKind kinds[] = {
+      KernelKind::kGeneric, KernelKind::kPotrf, KernelKind::kTrsm,
+      KernelKind::kSyrk,    KernelKind::kGemm,  KernelKind::kGeqrt,
+      KernelKind::kOrmqr,   KernelKind::kTsqrt, KernelKind::kTsmqr,
+      KernelKind::kGetrf,   KernelKind::kGessm, KernelKind::kTstrf,
+      KernelKind::kSsssm};
+  std::set<std::string> names;
+  for (KernelKind k : kinds) {
+    const std::string name = kernel_name(k);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(TaskModel, CholeskyKernelNames) {
+  EXPECT_STREQ(kernel_name(KernelKind::kPotrf), "DPOTRF");
+  EXPECT_STREQ(kernel_name(KernelKind::kTrsm), "DTRSM");
+  EXPECT_STREQ(kernel_name(KernelKind::kSyrk), "DSYRK");
+  EXPECT_STREQ(kernel_name(KernelKind::kGemm), "DGEMM");
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,59 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp::sim {
+namespace {
+
+TEST(TimelineLogTest, DisabledLogRecordsNothing) {
+  TimelineLog log(false);
+  log.record(1.0, TraceKind::kStart, 0, 0);
+  EXPECT_FALSE(log.enabled());
+  EXPECT_TRUE(log.entries().empty());
+}
+
+TEST(TimelineLogTest, EnabledLogKeepsOrder) {
+  TimelineLog log(true);
+  log.record(0.0, TraceKind::kStart, 3, 1);
+  log.record(2.5, TraceKind::kComplete, 3, 1);
+  ASSERT_EQ(log.entries().size(), 2u);
+  EXPECT_EQ(log.entries()[0].kind, TraceKind::kStart);
+  EXPECT_EQ(log.entries()[1].kind, TraceKind::kComplete);
+  EXPECT_DOUBLE_EQ(log.entries()[1].time, 2.5);
+}
+
+TEST(TimelineLogTest, ToStringContainsEventDetails) {
+  const Platform platform(1, 1);
+  TimelineLog log(true);
+  log.record(1.25, TraceKind::kStart, 7, 1);
+  const std::string text = log.to_string(platform);
+  EXPECT_NE(text.find("t=1.25"), std::string::npos);
+  EXPECT_NE(text.find("start"), std::string::npos);
+  EXPECT_NE(text.find("task 7"), std::string::npos);
+  EXPECT_NE(text.find("GPU#1"), std::string::npos);
+}
+
+TEST(TimelineLogTest, SpoliationShowsVictim) {
+  const Platform platform(1, 1);
+  TimelineLog log(true);
+  log.record(3.0, TraceKind::kSpoliate, 2, 1, 0);
+  const std::string text = log.to_string(platform);
+  EXPECT_NE(text.find("spoliate"), std::string::npos);
+  EXPECT_NE(text.find("spoliated from CPU#0"), std::string::npos);
+}
+
+TEST(TimelineLogTest, AllKindsRender) {
+  const Platform platform(1, 1);
+  TimelineLog log(true);
+  log.record(0.0, TraceKind::kStart, 0, 0);
+  log.record(1.0, TraceKind::kAbort, 0, 0);
+  log.record(1.0, TraceKind::kSpoliate, 0, 1, 0);
+  log.record(2.0, TraceKind::kComplete, 0, 1);
+  const std::string text = log.to_string(platform);
+  for (const char* word : {"start", "abort", "spoliate", "complete"}) {
+    EXPECT_NE(text.find(word), std::string::npos) << word;
+  }
+}
+
+}  // namespace
+}  // namespace hp::sim

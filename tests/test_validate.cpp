@@ -1,0 +1,118 @@
+#include "sched/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hp {
+namespace {
+
+std::vector<Task> two_tasks() {
+  return {Task{2.0, 1.0}, Task{4.0, 2.0}};
+}
+
+TEST(Validate, AcceptsValidSchedule) {
+  const auto tasks = two_tasks();
+  const Platform platform(1, 1);
+  Schedule s(2);
+  s.place(0, 0, 0.0, 2.0);  // CPU: duration p=2
+  s.place(1, 1, 0.0, 2.0);  // GPU: duration q=2
+  const auto check = check_schedule(s, tasks, platform);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Validate, RejectsUnplacedTask) {
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 0, 0.0, 2.0);
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1)).ok);
+}
+
+TEST(Validate, RejectsWrongDuration) {
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 0, 0.0, 1.5);  // p=2 but runs 1.5
+  s.place(1, 1, 0.0, 2.0);
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1)).ok);
+}
+
+TEST(Validate, RejectsOverlapOnWorker) {
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 0, 1.0, 5.0);  // overlaps task 0 on the same CPU
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1)).ok);
+}
+
+TEST(Validate, RejectsInvalidWorker) {
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 5, 0.0, 2.0);
+  s.place(1, 1, 0.0, 2.0);
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1)).ok);
+}
+
+TEST(Validate, RejectsNegativeStart) {
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 0, -1.0, 1.0);
+  s.place(1, 1, 0.0, 2.0);
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1)).ok);
+}
+
+TEST(Validate, AcceptsAbortedSegmentShorterThanTask) {
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 1, 1.0, 3.0);
+  s.add_aborted(1, 0, 2.0, 3.0);  // task 1 ran 1.0 < p=4 on the CPU
+  const auto check = check_schedule(s, tasks, Platform(1, 1));
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Validate, RejectsAbortedSegmentLongerThanFullTime) {
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 1, 0.0, 2.0);
+  s.add_aborted(1, 1, 3.0, 6.0);  // ran 3.0 > q=2 on GPU
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1)).ok);
+}
+
+TEST(Validate, RejectsAbortedOverlapWithPlacement) {
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 1, 0.0, 2.0);
+  s.add_aborted(1, 0, 1.0, 2.5);  // overlaps task 0 on CPU 0
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1)).ok);
+}
+
+TEST(Validate, DagPrecedenceViolationDetected) {
+  TaskGraph g("chain");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{1.0, 1.0});
+  g.add_edge(a, b);
+  g.finalize();
+  const Platform platform(1, 1);
+  Schedule s(2);
+  s.place(a, 0, 0.0, 1.0);
+  s.place(b, 1, 0.5, 1.5);  // starts before predecessor ends
+  EXPECT_FALSE(check_schedule(s, g, platform).ok);
+
+  Schedule ok(2);
+  ok.place(a, 0, 0.0, 1.0);
+  ok.place(b, 1, 1.0, 2.0);
+  const auto check = check_schedule(ok, g, platform);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Validate, MismatchedTaskCountRejected) {
+  const auto tasks = two_tasks();
+  Schedule s(1);
+  s.place(0, 0, 0.0, 2.0);
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1)).ok);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,72 @@
+#include "sim/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp::sim {
+namespace {
+
+TEST(WorkerPool, StartAndRelease) {
+  WorkerPool pool(Platform{2, 1});
+  EXPECT_TRUE(pool.all_idle());
+  const double finish = pool.start(0, 7, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(finish, 4.0);
+  EXPECT_TRUE(pool.busy(0));
+  EXPECT_EQ(pool.busy_count(), 1);
+  const Running r = pool.release(0);
+  EXPECT_EQ(r.task, 7);
+  EXPECT_DOUBLE_EQ(r.start, 1.0);
+  EXPECT_DOUBLE_EQ(r.finish, 4.0);
+  EXPECT_TRUE(pool.all_idle());
+}
+
+TEST(WorkerPool, AllBusyDetection) {
+  WorkerPool pool(Platform{1, 1});
+  pool.start(0, 0, 0.0, 1.0);
+  EXPECT_FALSE(pool.all_busy());
+  pool.start(1, 1, 0.0, 1.0);
+  EXPECT_TRUE(pool.all_busy());
+}
+
+TEST(WorkerPool, IdleWorkersGpuFirstOrder) {
+  const Platform platform(3, 2);  // CPUs 0-2, GPUs 3-4
+  WorkerPool pool(platform);
+  const auto idle = pool.idle_workers_gpu_first();
+  ASSERT_EQ(idle.size(), 5u);
+  EXPECT_EQ(idle[0], 3);
+  EXPECT_EQ(idle[1], 4);
+  EXPECT_EQ(idle[2], 0);
+  EXPECT_EQ(idle[3], 1);
+  EXPECT_EQ(idle[4], 2);
+}
+
+TEST(WorkerPool, IdleWorkersSkipsBusy) {
+  WorkerPool pool(Platform{2, 2});
+  pool.start(3, 0, 0.0, 1.0);  // busy GPU
+  pool.start(0, 1, 0.0, 1.0);  // busy CPU
+  const auto idle = pool.idle_workers_gpu_first();
+  ASSERT_EQ(idle.size(), 2u);
+  EXPECT_EQ(idle[0], 2);  // remaining GPU
+  EXPECT_EQ(idle[1], 1);  // remaining CPU
+}
+
+TEST(WorkerPool, BusyWorkersByType) {
+  WorkerPool pool(Platform{2, 2});
+  pool.start(0, 0, 0.0, 1.0);
+  pool.start(3, 1, 0.0, 1.0);
+  const auto busy_cpu = pool.busy_workers(Resource::kCpu);
+  const auto busy_gpu = pool.busy_workers(Resource::kGpu);
+  ASSERT_EQ(busy_cpu.size(), 1u);
+  ASSERT_EQ(busy_gpu.size(), 1u);
+  EXPECT_EQ(busy_cpu[0], 0);
+  EXPECT_EQ(busy_gpu[0], 3);
+}
+
+TEST(WorkerPool, RunningInfoAccessible) {
+  WorkerPool pool(Platform{1, 0});
+  pool.start(0, 5, 2.0, 4.0);
+  EXPECT_EQ(pool.running(0).task, 5);
+  EXPECT_DOUBLE_EQ(pool.running(0).finish, 6.0);
+}
+
+}  // namespace
+}  // namespace hp::sim

@@ -1,0 +1,124 @@
+#include "worstcase/instances.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/area_bound.hpp"
+#include "bounds/exact_opt.hpp"
+#include "core/heteroprio.hpp"
+#include "sched/validate.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Theorem8, HeteroPrioReachesPhi) {
+  const WorstCaseInstance wc = theorem8_instance();
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  const auto check = check_schedule(s, wc.instance.tasks(), wc.platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_NEAR(s.makespan(), wc.expected_hp_makespan, 1e-9);
+  EXPECT_NEAR(s.makespan() / wc.optimal_makespan, kPhi, 1e-9);
+}
+
+TEST(Theorem8, ConstructedOptimumIsExact) {
+  const WorstCaseInstance wc = theorem8_instance();
+  EXPECT_NEAR(exact_optimal_makespan(wc.instance.tasks(), wc.platform),
+              wc.optimal_makespan, 1e-12);
+}
+
+TEST(Theorem8, RatioStaysWithinTheorem7Bound) {
+  const WorstCaseInstance wc = theorem8_instance();
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  EXPECT_LE(s.makespan(), kPhi * wc.optimal_makespan + 1e-9);
+}
+
+class Theorem11 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem11, HeteroPrioMatchesAdversarialTrace) {
+  const int m = GetParam();
+  const WorstCaseInstance wc = theorem11_instance(m, /*chunks=*/40);
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  const auto check = check_schedule(s, wc.instance.tasks(), wc.platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_NEAR(s.makespan(), wc.expected_hp_makespan, 1e-6);
+  // Ratio approaches 1 + phi from below as m grows.
+  const double ratio = s.makespan() / wc.optimal_makespan;
+  EXPECT_LE(ratio, 1.0 + kPhi + 1e-9);
+  const double x = (m - 1.0) / (m + kPhi);
+  EXPECT_NEAR(ratio, x + kPhi, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(PlatformSizes, Theorem11,
+                         ::testing::Values(2, 4, 10, 30));
+
+TEST(Theorem11Bound, RatioApproachesOnePlusPhi) {
+  const WorstCaseInstance wc = theorem11_instance(200, 20);
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  EXPECT_GT(s.makespan() / wc.optimal_makespan, 1.0 + kPhi - 0.02);
+}
+
+TEST(Theorem11Bound, AreaBoundConfirmsOptimalAtMostOne) {
+  const WorstCaseInstance wc = theorem11_instance(10, 40);
+  EXPECT_LE(opt_lower_bound(wc.instance.tasks(), wc.platform),
+            wc.optimal_makespan + 1e-9);
+}
+
+class Theorem14 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem14, HeteroPrioMatchesAdversarialTrace) {
+  const int k = GetParam();
+  const WorstCaseInstance wc = theorem14_instance(k);
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  const auto check = check_schedule(s, wc.instance.tasks(), wc.platform);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_NEAR(s.makespan(), wc.expected_hp_makespan, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Theorem14, ::testing::Values(1, 2, 3));
+
+TEST(Theorem14Properties, RSolvesDefiningEquation) {
+  for (int n : {6, 12, 48, 600}) {
+    const double r = theorem14_r(n);
+    EXPECT_NEAR(n / r + 2.0 * n - 1.0, n * r / 3.0, 1e-9 * n);
+  }
+  // r tends to 3 + 2*sqrt(3).
+  EXPECT_NEAR(theorem14_r(60000), 3.0 + 2.0 * std::sqrt(3.0), 1e-3);
+}
+
+TEST(Theorem14Properties, RatioGrowsTowardsLimit) {
+  const WorstCaseInstance k1 = theorem14_instance(1);
+  const WorstCaseInstance k3 = theorem14_instance(3);
+  const double ratio1 = k1.expected_hp_makespan / k1.optimal_makespan;
+  const double ratio3 = k3.expected_hp_makespan / k3.optimal_makespan;
+  EXPECT_GT(ratio3, ratio1);
+  EXPECT_LT(ratio3, 2.0 + 2.0 / std::sqrt(3.0));
+  EXPECT_GT(ratio3, 2.5);
+}
+
+TEST(Theorem14Properties, RatioExceedsTwoPlusSqrtTwoMinusEpsilonEventually) {
+  // The family's limit 2 + 2/sqrt(3) ~ 3.155 is below the proven upper
+  // bound 2 + sqrt(2) ~ 3.414: every instance's ratio must respect Thm 12.
+  for (int k : {1, 2, 3}) {
+    const WorstCaseInstance wc = theorem14_instance(k);
+    EXPECT_LE(wc.expected_hp_makespan / wc.optimal_makespan,
+              2.0 + std::sqrt(2.0));
+  }
+}
+
+TEST(WorstCaseInstances, SpoliationOccursInTheorem14) {
+  const WorstCaseInstance wc = theorem14_instance(1);
+  HeteroPrioStats stats;
+  (void)heteroprio(wc.instance.tasks(), wc.platform, {}, &stats);
+  // All T2 tasks except the length-n one get spoliated: 2n of them.
+  EXPECT_EQ(stats.spoliations, 2 * 6);
+}
+
+TEST(WorstCaseInstances, NamesCarryParameters) {
+  EXPECT_EQ(theorem8_instance().instance.name(), "thm8");
+  EXPECT_EQ(theorem11_instance(4, 2).instance.name(), "thm11-m4");
+  EXPECT_EQ(theorem14_instance(2).instance.name(), "thm14-k2");
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,336 @@
+// hp_sched — command-line front end to the library.
+//
+//   hp_sched generate --kind cholesky --tiles 16 --out chol16.hpg
+//   hp_sched bound    --in chol16.hpg --cpus 20 --gpus 4
+//   hp_sched schedule --in chol16.hpg --cpus 20 --gpus 4 --algo hp \
+//            [--rank min] [--gantt] [--svg out.svg] [--trace out.json]
+//
+// Files use the text formats of src/io/serialize.hpp: `.hpg` graphs carry
+// "edge" lines; instance files (independent tasks) have none. `schedule`
+// auto-detects which one it got.
+
+#include <cstring>
+#include <limits>
+#include <vector>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "baselines/online_greedy.hpp"
+#include "bounds/area_bound.hpp"
+#include "bounds/dag_lower_bound.hpp"
+#include "core/heteroprio.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "io/serialize.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/fmm.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "sched/export.hpp"
+#include "sched/gantt.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validate.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hp;
+
+struct Args {
+  std::map<std::string, std::string> options;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoi(it->second);
+  }
+};
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  hp_sched generate --kind cholesky|qr|qr-tt|lu|fmm --tiles N\n"
+      "           [--depth D] [--independent] --out FILE\n"
+      "  hp_sched info     --in FILE\n"
+      "  hp_sched bound    --in FILE --cpus M --gpus N\n"
+      "  hp_sched schedule --in FILE --cpus M --gpus N\n"
+      "           [--algo hp|hp-nospol|heft|dualhp|online-eft|online-threshold|online-balance]\n"
+      "           [--rank avg|min|fifo] [--gantt] [--svg FILE] [--trace FILE]\n";
+  return 2;
+}
+
+RankScheme parse_rank(const std::string& name) {
+  if (name == "avg") return RankScheme::kAvg;
+  if (name == "fifo") return RankScheme::kFifo;
+  return RankScheme::kMin;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string kind = args.get("kind", "cholesky");
+  const int tiles = args.get_int("tiles", 8);
+  const std::string out = args.get("out");
+  if (out.empty()) return usage();
+
+  TaskGraph graph;
+  if (kind == "cholesky") {
+    graph = cholesky_dag(tiles);
+  } else if (kind == "qr") {
+    graph = qr_dag(tiles);
+  } else if (kind == "qr-tt") {
+    graph = qr_binary_dag(tiles);
+  } else if (kind == "lu") {
+    graph = lu_dag(tiles);
+  } else if (kind == "fmm") {
+    FmmParams params;
+    params.depth = args.get_int("depth", 4);
+    graph = fmm_dag(params);
+  } else {
+    std::cerr << "unknown kind '" << kind << "'\n";
+    return 2;
+  }
+
+  const std::string text = args.options.count("independent")
+                               ? io::instance_to_text(graph.to_instance())
+                               : io::graph_to_text(graph);
+  if (!io::save_text_file(out, text)) {
+    std::cerr << "cannot write " << out << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << graph.size() << " tasks ("
+            << graph.num_edges() << " edges) to " << out << '\n';
+  return 0;
+}
+
+/// Summarize a workload file: per-kernel counts, work totals, rho spread.
+int cmd_info(const Args& args) {
+  const auto text = io::load_text_file(args.get("in"));
+  if (!text.has_value()) {
+    std::cerr << "cannot read " << args.get("in") << '\n';
+    return 1;
+  }
+  std::string error;
+  std::vector<Task> tasks;
+  std::string name;
+  std::size_t edges = 0;
+  double cp_min = 0.0;
+  if (text->find("\nedge ") != std::string::npos) {
+    const auto graph = io::graph_from_text(*text, &error);
+    if (!graph.has_value()) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    tasks.assign(graph->tasks().begin(), graph->tasks().end());
+    name = graph->name();
+    edges = graph->num_edges();
+    cp_min = critical_path(*graph, RankScheme::kMin);
+  } else {
+    const auto inst = io::instance_from_text(*text, &error);
+    if (!inst.has_value()) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    tasks.assign(inst->tasks().begin(), inst->tasks().end());
+    name = inst->name();
+  }
+
+  std::map<KernelKind, std::pair<int, double>> per_kind;  // count, cpu work
+  double cpu_work = 0.0, gpu_work = 0.0;
+  double rho_min = std::numeric_limits<double>::infinity(), rho_max = 0.0;
+  for (const Task& t : tasks) {
+    auto& entry = per_kind[t.kind];
+    ++entry.first;
+    entry.second += t.cpu_time;
+    cpu_work += t.cpu_time;
+    gpu_work += t.gpu_time;
+    rho_min = std::min(rho_min, t.accel());
+    rho_max = std::max(rho_max, t.accel());
+  }
+  std::cout << "name: " << name << "\ntasks: " << tasks.size()
+            << "\nedges: " << edges << "\ntotal cpu work: " << cpu_work
+            << "\ntotal gpu work: " << gpu_work << "\nrho range: [" << rho_min
+            << ", " << rho_max << "]\n";
+  if (cp_min > 0.0) std::cout << "critical path (min): " << cp_min << '\n';
+  util::Table table({"kernel", "count", "cpu work", "share %"}, 2);
+  for (const auto& [kind, entry] : per_kind) {
+    table.row().cell(kernel_name(kind))
+        .cell(static_cast<long long>(entry.first)).cell(entry.second)
+        .cell(100.0 * entry.second / cpu_work);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_bound(const Args& args) {
+  const auto text = io::load_text_file(args.get("in"));
+  if (!text.has_value()) {
+    std::cerr << "cannot read " << args.get("in") << '\n';
+    return 1;
+  }
+  const Platform platform(args.get_int("cpus", 20), args.get_int("gpus", 4));
+  std::string error;
+  if (text->find("\nedge ") != std::string::npos) {
+    const auto graph = io::graph_from_text(*text, &error);
+    if (!graph.has_value()) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    const DagLowerBound lb = dag_lower_bound(*graph, platform);
+    std::cout << "tasks: " << graph->size() << "\narea bound: " << lb.area
+              << "\ncritical path (min): " << lb.critical_path
+              << "\nsegmented: " << lb.segmented
+              << "\nlower bound: " << lb.value() << '\n';
+  } else {
+    const auto inst = io::instance_from_text(*text, &error);
+    if (!inst.has_value()) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    const AreaBoundResult ab = area_bound(inst->tasks(), platform);
+    std::cout << "tasks: " << inst->size() << "\narea bound: " << ab.bound
+              << "\nthreshold rho: " << ab.threshold_accel
+              << "\nlower bound: " << opt_lower_bound(inst->tasks(), platform)
+              << '\n';
+  }
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  const auto text = io::load_text_file(args.get("in"));
+  if (!text.has_value()) {
+    std::cerr << "cannot read " << args.get("in") << '\n';
+    return 1;
+  }
+  const Platform platform(args.get_int("cpus", 20), args.get_int("gpus", 4));
+  const std::string algo = args.get("algo", "hp");
+  const RankScheme rank = parse_rank(args.get("rank", "min"));
+  const bool is_graph = text->find("\nedge ") != std::string::npos;
+
+  std::string error;
+  Schedule schedule;
+  std::vector<Task> tasks;
+  double lower_bound = 0.0;
+
+  if (is_graph) {
+    auto graph = io::graph_from_text(*text, &error);
+    if (!graph.has_value()) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    assign_priorities(*graph, rank);
+    lower_bound = dag_lower_bound(*graph, platform).value();
+    if (algo == "hp") {
+      schedule = heteroprio_dag(*graph, platform);
+    } else if (algo == "hp-nospol") {
+      schedule = heteroprio_dag(*graph, platform, {.enable_spoliation = false});
+    } else if (algo == "heft") {
+      schedule = heft(*graph, platform,
+                      {.rank = rank == RankScheme::kFifo ? RankScheme::kAvg
+                                                         : rank});
+    } else if (algo == "dualhp") {
+      schedule = dualhp_dag(*graph, platform,
+                            {.fifo_order = rank == RankScheme::kFifo});
+    } else {
+      std::cerr << "algorithm '" << algo << "' needs an independent-task "
+                << "instance (or is unknown)\n";
+      return 2;
+    }
+    tasks.assign(graph->tasks().begin(), graph->tasks().end());
+    const auto check = check_schedule(schedule, *graph, platform);
+    if (!check.ok) {
+      std::cerr << "internal error: invalid schedule: " << check.message << '\n';
+      return 1;
+    }
+  } else {
+    const auto inst = io::instance_from_text(*text, &error);
+    if (!inst.has_value()) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    lower_bound = opt_lower_bound(inst->tasks(), platform);
+    if (algo == "hp") {
+      schedule = heteroprio(inst->tasks(), platform);
+    } else if (algo == "hp-nospol") {
+      schedule = heteroprio(inst->tasks(), platform,
+                            {.enable_spoliation = false});
+    } else if (algo == "heft") {
+      schedule = heft_independent(inst->tasks(), platform);
+    } else if (algo == "dualhp") {
+      schedule = dualhp(inst->tasks(), platform);
+    } else if (algo == "online-eft") {
+      schedule = online_greedy(inst->tasks(), platform, {OnlineRule::kEft, 1.0});
+    } else if (algo == "online-threshold") {
+      schedule =
+          online_greedy(inst->tasks(), platform, {OnlineRule::kThreshold, 1.0});
+    } else if (algo == "online-balance") {
+      schedule =
+          online_greedy(inst->tasks(), platform, {OnlineRule::kBalance, 1.0});
+    } else {
+      std::cerr << "unknown algorithm '" << algo << "'\n";
+      return 2;
+    }
+    tasks.assign(inst->tasks().begin(), inst->tasks().end());
+    const auto check = check_schedule(schedule, tasks, platform);
+    if (!check.ok) {
+      std::cerr << "internal error: invalid schedule: " << check.message << '\n';
+      return 1;
+    }
+  }
+
+  const ScheduleMetrics metrics = compute_metrics(schedule, tasks, platform);
+  std::cout << "algorithm: " << algo << "\ntasks: " << tasks.size()
+            << "\nmakespan: " << schedule.makespan()
+            << "\nlower bound: " << lower_bound
+            << "\nratio: " << schedule.makespan() / lower_bound
+            << "\nspoliations: " << schedule.spoliation_count()
+            << "\ncpu idle: " << metrics.cpu.idle_time
+            << "\ngpu idle: " << metrics.gpu.idle_time << '\n';
+
+  if (args.options.count("gantt")) {
+    std::cout << render_gantt(schedule, platform, {.width = 100});
+  }
+  if (const std::string svg = args.get("svg"); !svg.empty()) {
+    if (!io::save_text_file(svg, to_svg_gantt(schedule, tasks, platform))) {
+      std::cerr << "cannot write " << svg << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << svg << '\n';
+  }
+  if (const std::string trace = args.get("trace"); !trace.empty()) {
+    if (!io::save_text_file(trace,
+                            to_chrome_trace(schedule, tasks, platform))) {
+      std::cerr << "cannot write " << trace << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << trace << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return usage();
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";  // boolean flag
+    }
+  }
+  if (command == "generate") return cmd_generate(args);
+  if (command == "info") return cmd_info(args);
+  if (command == "bound") return cmd_bound(args);
+  if (command == "schedule") return cmd_schedule(args);
+  return usage();
+}
