@@ -6,7 +6,11 @@
 // Expected shape: HeteroPrio and DualHP -> 1 for large N; HeteroPrio wins
 // for N below ~20; HEFT is clearly worse throughout.
 //
-// Usage: bench_fig6_independent [kernel] [maxN]
+// The (kernel, N) grid cells are independent and deterministic, so they are
+// fanned across a thread pool; results land in pre-allocated slots, so the
+// printed tables are byte-identical to a serial run (`serial` or `-j1`).
+//
+// Usage: bench_fig6_independent [kernel] [maxN] [-jN|serial]
 
 #include <cstdlib>
 #include <iostream>
@@ -21,16 +25,23 @@
 #include "linalg/lu.hpp"
 #include "linalg/qr.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace hp;
 
   std::vector<std::string> kernels = {"cholesky", "qr", "lu"};
   std::vector<int> tile_counts = {4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 64};
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "cholesky" || arg == "qr" || arg == "lu") {
       kernels = {arg};
+    } else if (arg == "serial") {
+      threads = 1;
+    } else if (arg.rfind("-j", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 2);
+      if (threads <= 0) threads = 0;
     } else if (const int cap = std::atoi(arg.c_str()); cap > 0) {
       std::erase_if(tile_counts, [cap](int n) { return n > cap; });
     }
@@ -40,31 +51,45 @@ int main(int argc, char** argv) {
   std::cout << "== Fig 6: independent tasks, ratio to the area bound on "
                "(20 CPU, 4 GPU) ==\n";
 
-  for (const std::string& kernel : kernels) {
-    util::Table table({"N", "tasks", "HeteroPrio", "DualHP", "HEFT"}, 4);
-    for (int tiles : tile_counts) {
-      TaskGraph graph;
-      if (kernel == "cholesky") {
-        graph = cholesky_dag(tiles);
-      } else if (kernel == "qr") {
-        graph = qr_dag(tiles);
-      } else {
-        graph = lu_dag(tiles);
-      }
-      const Instance inst = graph.to_instance();
-      const double bound = area_bound_value(inst.tasks(), platform);
-
-      const double hp_ratio =
-          heteroprio(inst.tasks(), platform).makespan() / bound;
-      const double dual_ratio = dualhp(inst.tasks(), platform).makespan() / bound;
-      const double heft_ratio =
-          heft_independent(inst.tasks(), platform).makespan() / bound;
-
-      table.row().cell(static_cast<long long>(tiles))
-          .cell(static_cast<long long>(inst.size()))
-          .cell(hp_ratio).cell(dual_ratio).cell(heft_ratio);
+  struct Row {
+    int tiles = 0;
+    long long tasks = 0;
+    double hp = 0.0;
+    double dual = 0.0;
+    double heft = 0.0;
+  };
+  // One slot per (kernel, N) cell, filled in parallel, read in grid order.
+  std::vector<Row> rows(kernels.size() * tile_counts.size());
+  util::parallel_for(rows.size(), threads, [&](std::size_t cell) {
+    const std::string& kernel = kernels[cell / tile_counts.size()];
+    const int tiles = tile_counts[cell % tile_counts.size()];
+    TaskGraph graph;
+    if (kernel == "cholesky") {
+      graph = cholesky_dag(tiles);
+    } else if (kernel == "qr") {
+      graph = qr_dag(tiles);
+    } else {
+      graph = lu_dag(tiles);
     }
-    std::cout << "\n-- " << kernel << " --\n";
+    const Instance inst = graph.to_instance();
+    const double bound = area_bound_value(inst.tasks(), platform);
+
+    Row& row = rows[cell];
+    row.tiles = tiles;
+    row.tasks = static_cast<long long>(inst.size());
+    row.hp = heteroprio(inst.tasks(), platform).makespan() / bound;
+    row.dual = dualhp(inst.tasks(), platform).makespan() / bound;
+    row.heft = heft_independent(inst.tasks(), platform).makespan() / bound;
+  });
+
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    util::Table table({"N", "tasks", "HeteroPrio", "DualHP", "HEFT"}, 4);
+    for (std::size_t j = 0; j < tile_counts.size(); ++j) {
+      const Row& row = rows[k * tile_counts.size() + j];
+      table.row().cell(static_cast<long long>(row.tiles)).cell(row.tasks)
+          .cell(row.hp).cell(row.dual).cell(row.heft);
+    }
+    std::cout << "\n-- " << kernels[k] << " --\n";
     table.print(std::cout);
   }
   std::cout << "\npaper Fig 6: HeteroPrio and DualHP close to 1 for large N; "

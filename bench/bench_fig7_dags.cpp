@@ -12,7 +12,7 @@
 #include <iostream>
 #include <map>
 
-#include "dag_sweep.hpp"
+#include "sweep/dag_sweep.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {

@@ -8,8 +8,17 @@
 //
 // Reported: makespan normalized by the clairvoyant HeteroPrio makespan
 // (HeteroPrio run directly on the actual times), averaged over seeds.
+//
+// The (kernel, N, sigma) cells are independent; they are fanned across a
+// thread pool and gathered in grid order. Every perturbation seed is
+// derived from the cell coordinates (not from submission order), so the
+// output is byte-identical for any thread count (`serial` or `-jN`).
+//
+// Usage: bench_noise_robustness [-jN|serial]
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/heteroprio_dag.hpp"
@@ -23,6 +32,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -39,67 +49,105 @@ std::vector<Task> perturb(std::span<const Task> tasks, double sigma,
   return actuals;
 }
 
+struct Kernel {
+  const char* name;
+  TaskGraph (*build)(int, const TimingModel&);
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const Platform platform(20, 4);
   constexpr int kSeeds = 5;
+
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "serial") {
+      threads = 1;
+    } else if (arg.rfind("-j", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 2);
+      if (threads <= 0) threads = 0;
+    }
+  }
 
   std::cout << "== Noise robustness: decisions on estimates, execution on "
                "lognormal(sigma) actuals ==\n"
                "(values: makespan / clairvoyant-HeteroPrio makespan, mean "
                "over " << kSeeds << " seeds)\n\n";
 
+  const std::vector<Kernel> kernels = {Kernel{"cholesky", &cholesky_dag},
+                                       Kernel{"qr", &qr_dag}};
+  const std::vector<int> tile_counts = {16, 32};
+  const std::vector<double> sigmas = {0.0, 0.1, 0.2, 0.4};
+
+  struct Row {
+    double hp = 0.0;
+    double heft = 0.0;
+    double dual = 0.0;
+  };
+  std::vector<Row> rows(kernels.size() * tile_counts.size() * sigmas.size());
+  util::parallel_for(rows.size(), threads, [&](std::size_t cell) {
+    const std::size_t si = cell % sigmas.size();
+    const std::size_t ti = (cell / sigmas.size()) % tile_counts.size();
+    const std::size_t ki = cell / (sigmas.size() * tile_counts.size());
+    const Kernel& kernel = kernels[ki];
+    const int tiles = tile_counts[ti];
+    const double sigma = sigmas[si];
+
+    TaskGraph graph = kernel.build(tiles, TimingModel::chameleon_960());
+    assign_priorities(graph, RankScheme::kMin);
+    const Schedule heft_plan = heft(graph, platform, {.rank = RankScheme::kMin});
+    const Schedule dual_plan = dualhp_dag(graph, platform);
+
+    std::vector<double> hp_ratio, heft_ratio, dual_ratio;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      // Seed from the cell coordinates so every thread count draws the
+      // exact same perturbation for this (kernel, N, sigma, seed) cell.
+      const auto actuals = perturb(
+          graph.tasks(), sigma,
+          util::seed_from_cell({ki, static_cast<std::uint64_t>(tiles), si,
+                                static_cast<std::uint64_t>(seed)}));
+
+      // Clairvoyant reference: HeteroPrio with exact knowledge.
+      TaskGraph oracle = kernel.build(tiles, TimingModel::chameleon_960());
+      for (std::size_t i = 0; i < oracle.size(); ++i) {
+        oracle.task(static_cast<TaskId>(i)).cpu_time = actuals[i].cpu_time;
+        oracle.task(static_cast<TaskId>(i)).gpu_time = actuals[i].gpu_time;
+      }
+      oracle.finalize();
+      assign_priorities(oracle, RankScheme::kMin);
+      const double reference = heteroprio_dag(oracle, platform).makespan();
+
+      HeteroPrioOptions hp_options;
+      hp_options.actual_times = actuals;
+      hp_ratio.push_back(
+          heteroprio_dag(graph, platform, hp_options).makespan() /
+          reference);
+      heft_ratio.push_back(
+          execute_static_plan(heft_plan, graph, platform, actuals)
+              .makespan() /
+          reference);
+      dual_ratio.push_back(
+          execute_static_plan(dual_plan, graph, platform, actuals)
+              .makespan() /
+          reference);
+      if (sigma == 0.0) break;  // deterministic, one seed is enough
+    }
+    rows[cell] = Row{util::mean(hp_ratio), util::mean(heft_ratio),
+                     util::mean(dual_ratio)};
+  });
+
   util::Table table({"kernel", "N", "sigma", "HeteroPrio (online)",
                      "HEFT (static replay)", "DualHP (static replay)"},
                     3);
-
-  struct Kernel {
-    const char* name;
-    TaskGraph (*build)(int, const TimingModel&);
-  };
-  for (const Kernel& kernel : {Kernel{"cholesky", &cholesky_dag},
-                               Kernel{"qr", &qr_dag}}) {
-    for (int tiles : {16, 32}) {
-      TaskGraph graph = kernel.build(tiles, TimingModel::chameleon_960());
-      assign_priorities(graph, RankScheme::kMin);
-      const Schedule heft_plan = heft(graph, platform, {.rank = RankScheme::kMin});
-      const Schedule dual_plan = dualhp_dag(graph, platform);
-
-      for (double sigma : {0.0, 0.1, 0.2, 0.4}) {
-        std::vector<double> hp_ratio, heft_ratio, dual_ratio;
-        for (int seed = 1; seed <= kSeeds; ++seed) {
-          const auto actuals =
-              perturb(graph.tasks(), sigma, static_cast<std::uint64_t>(seed));
-
-          // Clairvoyant reference: HeteroPrio with exact knowledge.
-          TaskGraph oracle = kernel.build(tiles, TimingModel::chameleon_960());
-          for (std::size_t i = 0; i < oracle.size(); ++i) {
-            oracle.task(static_cast<TaskId>(i)).cpu_time = actuals[i].cpu_time;
-            oracle.task(static_cast<TaskId>(i)).gpu_time = actuals[i].gpu_time;
-          }
-          oracle.finalize();
-          assign_priorities(oracle, RankScheme::kMin);
-          const double reference = heteroprio_dag(oracle, platform).makespan();
-
-          HeteroPrioOptions hp_options;
-          hp_options.actual_times = actuals;
-          hp_ratio.push_back(
-              heteroprio_dag(graph, platform, hp_options).makespan() /
-              reference);
-          heft_ratio.push_back(
-              execute_static_plan(heft_plan, graph, platform, actuals)
-                  .makespan() /
-              reference);
-          dual_ratio.push_back(
-              execute_static_plan(dual_plan, graph, platform, actuals)
-                  .makespan() /
-              reference);
-          if (sigma == 0.0) break;  // deterministic, one seed is enough
-        }
+  std::size_t cell = 0;
+  for (const Kernel& kernel : kernels) {
+    for (int tiles : tile_counts) {
+      for (double sigma : sigmas) {
+        const Row& row = rows[cell++];
         table.row().cell(kernel.name).cell(static_cast<long long>(tiles))
-            .cell(sigma).cell(util::mean(hp_ratio))
-            .cell(util::mean(heft_ratio)).cell(util::mean(dual_ratio));
+            .cell(sigma).cell(row.hp).cell(row.heft).cell(row.dual);
       }
     }
   }

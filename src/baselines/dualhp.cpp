@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "bounds/area_bound.hpp"
@@ -19,9 +20,11 @@ namespace detail {
 namespace {
 
 /// Min-heap of (load, worker index) used for least-loaded placement.
+/// Reusable: reset() refills it from a load vector without reallocating.
 class LoadHeap {
  public:
-  explicit LoadHeap(std::span<const double> initial) {
+  void reset(std::span<const double> initial) {
+    heap_.clear();
     for (std::size_t i = 0; i < initial.size(); ++i) {
       heap_.emplace_back(initial[i], static_cast<int>(i));
     }
@@ -44,34 +47,52 @@ class LoadHeap {
   std::vector<std::pair<double, int>> heap_;
 };
 
-}  // namespace
+/// Scratch buffers of one dual-approximation solve, hoisted out of the
+/// per-lambda attempt: dual_try runs once per bisection step and — in the
+/// DAG scheduler — the whole bisection reruns every time a task becomes
+/// ready, so per-call vector churn dominated the profile.
+struct DualScratch {
+  LoadHeap cpu;
+  LoadHeap gpu;
+  std::vector<std::size_t> forced_cpu;
+  std::vector<std::size_t> forced_gpu;
+  std::vector<std::size_t> flexible;
+};
 
-DualTry dual_try(std::span<const Task> tasks,
-                 std::span<const TaskId> candidates, double lambda,
-                 std::span<const double> cpu_loads,
-                 std::span<const double> gpu_loads) {
-  DualTry result;
+/// dual_try with caller-owned scratch and result buffers (the allocation-free
+/// hot path; the public dual_try wraps it).
+void dual_try_into(std::span<const Task> tasks,
+                   std::span<const TaskId> candidates, double lambda,
+                   std::span<const double> cpu_loads,
+                   std::span<const double> gpu_loads, DualScratch& scratch,
+                   DualTry& result) {
+  result.feasible = false;
   result.side.assign(candidates.size(), Resource::kCpu);
   const double cap = 2.0 * lambda;
   const bool has_cpu = !cpu_loads.empty();
   const bool has_gpu = !gpu_loads.empty();
 
-  LoadHeap cpu(cpu_loads);
-  LoadHeap gpu(gpu_loads);
+  scratch.cpu.reset(cpu_loads);
+  scratch.gpu.reset(gpu_loads);
 
   // Pass 1: forced assignments (task longer than lambda on one resource).
   // Forced tasks are placed by decreasing duration for tighter packing.
-  std::vector<std::size_t> forced_cpu, forced_gpu, flexible;
+  auto& forced_cpu = scratch.forced_cpu;
+  auto& forced_gpu = scratch.forced_gpu;
+  auto& flexible = scratch.flexible;
+  forced_cpu.clear();
+  forced_gpu.clear();
+  flexible.clear();
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const Task& t = tasks[static_cast<std::size_t>(candidates[i])];
     const bool cpu_over = t.cpu_time > lambda;
     const bool gpu_over = t.gpu_time > lambda;
-    if (cpu_over && gpu_over) return result;  // lambda < OPT
+    if (cpu_over && gpu_over) return;  // lambda < OPT
     if (cpu_over) {
-      if (!has_gpu) return result;
+      if (!has_gpu) return;
       forced_gpu.push_back(i);
     } else if (gpu_over) {
-      if (!has_cpu) return result;
+      if (!has_cpu) return;
       forced_cpu.push_back(i);
     } else {
       flexible.push_back(i);
@@ -91,12 +112,12 @@ DualTry dual_try(std::span<const Task> tasks,
   std::sort(forced_cpu.begin(), forced_cpu.end(), by_duration_desc(Resource::kCpu));
   for (std::size_t i : forced_gpu) {
     const Task& t = tasks[static_cast<std::size_t>(candidates[i])];
-    if (gpu.push_least(t.gpu_time) > cap) return result;
+    if (scratch.gpu.push_least(t.gpu_time) > cap) return;
     result.side[i] = Resource::kGpu;
   }
   for (std::size_t i : forced_cpu) {
     const Task& t = tasks[static_cast<std::size_t>(candidates[i])];
-    if (cpu.push_least(t.cpu_time) > cap) return result;
+    if (scratch.cpu.push_least(t.cpu_time) > cap) return;
     result.side[i] = Resource::kCpu;
   }
 
@@ -107,11 +128,11 @@ DualTry dual_try(std::span<const Task> tasks,
   for (std::size_t j = 0; j < flexible.size(); ++j) {
     const std::size_t i = flexible[j];
     const Task& t = tasks[static_cast<std::size_t>(candidates[i])];
-    if (!has_gpu || gpu.min_load() + t.gpu_time > cap) {
+    if (!has_gpu || scratch.gpu.min_load() + t.gpu_time > cap) {
       spill_from = j;
       break;
     }
-    gpu.push_least(t.gpu_time);
+    scratch.gpu.push_least(t.gpu_time);
     result.side[i] = Resource::kGpu;
   }
 
@@ -119,10 +140,22 @@ DualTry dual_try(std::span<const Task> tasks,
   for (std::size_t j = spill_from; j < flexible.size(); ++j) {
     const std::size_t i = flexible[j];
     const Task& t = tasks[static_cast<std::size_t>(candidates[i])];
-    if (!has_cpu || cpu.push_least(t.cpu_time) > cap) return result;
+    if (!has_cpu || scratch.cpu.push_least(t.cpu_time) > cap) return;
     result.side[i] = Resource::kCpu;
   }
   result.feasible = true;
+}
+
+}  // namespace
+
+DualTry dual_try(std::span<const Task> tasks,
+                 std::span<const TaskId> candidates, double lambda,
+                 std::span<const double> cpu_loads,
+                 std::span<const double> gpu_loads) {
+  DualScratch scratch;
+  DualTry result;
+  dual_try_into(tasks, candidates, lambda, cpu_loads, gpu_loads, scratch,
+                result);
   return result;
 }
 
@@ -138,28 +171,31 @@ void sort_by_accel(std::span<const Task> tasks, std::vector<TaskId>& ids) {
   });
 }
 
-/// Binary search for the smallest feasible lambda; returns the best feasible
-/// assignment found. `warm` seeds the upper-bound search.
-DualTry search_lambda(std::span<const Task> tasks,
-                      std::span<const TaskId> candidates,
-                      std::span<const double> cpu_loads,
-                      std::span<const double> gpu_loads, double lower_bound,
-                      double warm, int iters, double* best_lambda) {
+/// Binary search for the smallest feasible lambda; writes the best feasible
+/// assignment found into `best`. `warm` seeds the upper-bound search.
+/// `scratch` and the two DualTry buffers are reused across all attempts.
+void search_lambda(std::span<const Task> tasks,
+                   std::span<const TaskId> candidates,
+                   std::span<const double> cpu_loads,
+                   std::span<const double> gpu_loads, double lower_bound,
+                   double warm, int iters, double* best_lambda,
+                   DualScratch& scratch, DualTry& best, DualTry& attempt) {
   double lo = std::max(lower_bound, 0.0);
   double hi = std::max({warm, lo, 1e-12});
-  DualTry best = dual_try(tasks, candidates, hi, cpu_loads, gpu_loads);
+  dual_try_into(tasks, candidates, hi, cpu_loads, gpu_loads, scratch, best);
   int guard = 0;
   while (!best.feasible && guard++ < 200) {
     hi *= 1.5;
-    best = dual_try(tasks, candidates, hi, cpu_loads, gpu_loads);
+    dual_try_into(tasks, candidates, hi, cpu_loads, gpu_loads, scratch, best);
   }
   assert(best.feasible && "dual approximation upper bound search failed");
   double best_l = hi;
   for (int it = 0; it < iters; ++it) {
     const double mid = 0.5 * (lo + hi);
-    DualTry attempt = dual_try(tasks, candidates, mid, cpu_loads, gpu_loads);
+    dual_try_into(tasks, candidates, mid, cpu_loads, gpu_loads, scratch,
+                  attempt);
     if (attempt.feasible) {
-      best = std::move(attempt);
+      std::swap(best, attempt);
       best_l = mid;
       hi = mid;
     } else {
@@ -167,7 +203,6 @@ DualTry search_lambda(std::span<const Task> tasks,
     }
   }
   if (best_lambda != nullptr) *best_lambda = best_l;
-  return best;
 }
 
 }  // namespace
@@ -194,13 +229,17 @@ Schedule dualhp(std::span<const Task> tasks, const Platform& platform,
   double lb = 0.0;
   for (const Task& t : tasks) lb = std::max(lb, t.min_time());
   const double warm = opt_lower_bound(tasks, platform);
-  const detail::DualTry best = detail::search_lambda(
-      tasks, candidates, cpu_loads, gpu_loads, lb, warm,
-      options.bisection_iters, nullptr);
+  detail::DualScratch scratch;
+  detail::DualTry best, attempt;
+  detail::search_lambda(tasks, candidates, cpu_loads, gpu_loads, lb, warm,
+                        options.bisection_iters, nullptr, scratch, best,
+                        attempt);
 
   // Concretize: within each resource type, dispatch tasks by priority (or id
   // order for fifo) onto the least-loaded worker.
   std::vector<TaskId> cpu_tasks, gpu_tasks;
+  cpu_tasks.reserve(candidates.size());
+  gpu_tasks.reserve(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     (best.side[i] == Resource::kCpu ? cpu_tasks : gpu_tasks)
         .push_back(candidates[i]);
@@ -252,6 +291,7 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
   ReadyTracker tracker(graph);
 
   std::vector<TaskId> ready;  // in becoming-ready order
+  ready.reserve(tasks.size());
   std::vector<std::int64_t> ready_seq(tasks.size(), -1);
   std::int64_t next_seq = 0;
   for (TaskId id : tracker.initially_ready()) {
@@ -270,17 +310,30 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
   std::vector<Resource> assigned_side(tasks.size(), Resource::kCpu);
   bool ready_changed = true;
 
+  // Hoisted scratch for the dispatch hot loop: the residual-load vectors,
+  // the bisection buffers and the per-type dispatch lists are reused across
+  // every ready-set change instead of being reallocated per event.
+  detail::DualScratch scratch;
+  detail::DualTry best, attempt;
+  std::vector<double> cpu_loads, gpu_loads;
+  std::vector<TaskId> candidates;
+  candidates.reserve(tasks.size());
+  std::vector<TaskId> by_type[2];
+  by_type[0].reserve(tasks.size());
+  by_type[1].reserve(tasks.size());
+  std::vector<TaskId> started;
+  started.reserve(static_cast<std::size_t>(platform.workers()));
+  std::vector<WorkerId> idle;
+
   auto dispatch = [&] {
     if (ready.empty()) return;
-    const std::vector<WorkerId> idle = pool.idle_workers_gpu_first();
+    pool.idle_workers_gpu_first(idle);
     if (idle.empty()) return;
 
     if (ready_changed) {
       // Residual loads of each worker at `now`.
-      std::vector<double> cpu_loads(static_cast<std::size_t>(platform.cpus()),
-                                    0.0);
-      std::vector<double> gpu_loads(static_cast<std::size_t>(platform.gpus()),
-                                    0.0);
+      cpu_loads.assign(static_cast<std::size_t>(platform.cpus()), 0.0);
+      gpu_loads.assign(static_cast<std::size_t>(platform.gpus()), 0.0);
       double max_residual = 0.0;
       for (WorkerId w = 0; w < platform.workers(); ++w) {
         if (!pool.busy(w)) continue;
@@ -294,16 +347,16 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
         }
       }
 
-      std::vector<TaskId> candidates = ready;
+      candidates.assign(ready.begin(), ready.end());
       detail::sort_by_accel(tasks, candidates);
 
       double lb = 0.5 * max_residual;
       for (TaskId id : candidates) {
         lb = std::max(lb, tasks[static_cast<std::size_t>(id)].min_time());
       }
-      const detail::DualTry best = detail::search_lambda(
-          tasks, candidates, cpu_loads, gpu_loads, lb, warm_lambda,
-          options.bisection_iters, &warm_lambda);
+      detail::search_lambda(tasks, candidates, cpu_loads, gpu_loads, lb,
+                            warm_lambda, options.bisection_iters, &warm_lambda,
+                            scratch, best, attempt);
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         assigned_side[static_cast<std::size_t>(candidates[i])] = best.side[i];
       }
@@ -311,7 +364,8 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
     }
 
     // Dispatch per resource type in priority (or ready) order.
-    std::vector<TaskId> by_type[2];
+    by_type[0].clear();
+    by_type[1].clear();
     for (TaskId id : ready) {
       by_type[static_cast<std::size_t>(
           assigned_side[static_cast<std::size_t>(id)])].push_back(id);
@@ -330,7 +384,7 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
     order_tasks(by_type[0]);
     order_tasks(by_type[1]);
 
-    std::vector<TaskId> started;
+    started.clear();
     std::size_t next_of_type[2] = {0, 0};
     for (WorkerId w : idle) {
       auto& cursor = next_of_type[static_cast<std::size_t>(platform.type_of(w))];

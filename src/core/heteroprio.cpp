@@ -19,11 +19,11 @@ namespace detail {
 
 namespace {
 
-/// Queue order: *begin() is the task an idle GPU takes, *rbegin() the task
-/// an idle CPU takes. Primary key: acceleration factor, non-increasing.
-/// Tie-break (§2.2): for rho >= 1 the highest-priority task comes first;
-/// for rho < 1 the highest-priority task comes last, i.e. nearest the CPU
-/// end. Final tie: task id (determinism).
+/// Queue order: the GPU end holds the task an idle GPU takes, the CPU end
+/// the task an idle CPU takes. Primary key: acceleration factor,
+/// non-increasing. Tie-break (§2.2): for rho >= 1 the highest-priority task
+/// comes first; for rho < 1 the highest-priority task comes last, i.e.
+/// nearest the CPU end. Final tie: task id (determinism).
 struct QueueOrder {
   std::span<const Task> tasks;
 
@@ -40,9 +40,144 @@ struct QueueOrder {
   }
 };
 
+/// Double-ended ready structure. Independent mode knows the whole task set
+/// up front, so it presorts once into a flat vector and pops from the two
+/// ends with cursors — O(n log n) total instead of n ordered-set inserts
+/// interleaved with dispatch, and O(1) per pop with no rebalancing. DAG mode
+/// receives tasks incrementally and keeps the ordered set.
+class ReadyQueue {
+ public:
+  explicit ReadyQueue(std::span<const Task> tasks)
+      : order_{tasks}, set_{order_} {}
+
+  /// Independent mode: make every task ready and presort once. The sort
+  /// keys (acceleration factor, priority) are materialized up front so the
+  /// comparator runs without per-comparison divisions or task-array loads.
+  void presort_all(std::size_t n) {
+    flat_ = true;
+    struct Key {
+      double accel;
+      double priority;
+      TaskId id;
+    };
+    std::vector<Key> keys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Task& t = order_.tasks[i];
+      keys[i] = Key{t.accel(), t.priority, static_cast<TaskId>(i)};
+    }
+    std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+      if (a.accel != b.accel) return a.accel > b.accel;
+      if (a.priority != b.priority) {
+        return a.accel >= 1.0 ? a.priority > b.priority
+                              : a.priority < b.priority;
+      }
+      return a.id < b.id;
+    });
+    sorted_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) sorted_[i] = keys[i].id;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  /// DAG mode: a dependency release made `id` ready.
+  void insert(TaskId id) {
+    assert(!flat_);
+    set_.insert(id);
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return flat_ ? head_ == tail_ : set_.empty();
+  }
+
+  /// Most GPU-friendly ready task (an idle GPU takes this end).
+  TaskId pop_gpu_end() {
+    if (flat_) return sorted_[head_++];
+    const auto it = set_.begin();
+    const TaskId id = *it;
+    set_.erase(it);
+    return id;
+  }
+
+  /// Most CPU-friendly ready task (an idle CPU takes this end).
+  TaskId pop_cpu_end() {
+    if (flat_) return sorted_[--tail_];
+    const auto it = std::prev(set_.end());
+    const TaskId id = *it;
+    set_.erase(it);
+    return id;
+  }
+
+ private:
+  QueueOrder order_;
+  std::set<TaskId, QueueOrder> set_;
+  std::vector<TaskId> sorted_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  bool flat_ = false;
+};
+
 struct CompletionEvent {
   WorkerId worker;
   std::uint64_t generation;  ///< stale-event filter after spoliation aborts
+};
+
+/// Cached spoliation-scan key of one running task. `finish` is the believed
+/// completion time (start + *estimated* duration), computed once at start
+/// instead of re-deriving Platform::time_on per comparison.
+struct VictimKey {
+  double finish = 0.0;
+  double priority = 0.0;
+  TaskId task = kInvalidTask;
+  WorkerId worker = -1;
+};
+
+/// Scan order of Algorithm 1 / §6.2: decreasing believed completion time
+/// with priority tie-break (independent), or decreasing priority with
+/// completion-time tie-break (DAGs). Final tie: task id, so the order is
+/// total and the incremental set reproduces the reference sort exactly.
+struct VictimLess {
+  bool priority_first = false;
+
+  bool operator()(const VictimKey& a, const VictimKey& b) const noexcept {
+    if (priority_first) {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      if (a.finish != b.finish) return a.finish > b.finish;
+    } else {
+      if (a.finish != b.finish) return a.finish > b.finish;
+      if (a.priority != b.priority) return a.priority > b.priority;
+    }
+    return a.task < b.task;
+  }
+};
+
+/// The per-resource running set, ordered by VictimLess. A flat sorted vector
+/// rather than a node-based set: the capacity is bounded by the worker count
+/// of one resource, so a binary-search insert plus a short memmove is both
+/// O(log W) in comparisons and allocation-free — the std::set node churn was
+/// measurable at 2 ops per scheduled task.
+class RunningSet {
+ public:
+  RunningSet(VictimLess less, std::size_t max_workers) : less_(less) {
+    keys_.reserve(max_workers);
+  }
+
+  void insert(const VictimKey& key) {
+    keys_.insert(std::lower_bound(keys_.begin(), keys_.end(), key, less_),
+                 key);
+  }
+
+  void erase(const VictimKey& key) {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), key, less_);
+    assert(it != keys_.end() && it->worker == key.worker);
+    keys_.erase(it);
+  }
+
+  [[nodiscard]] auto begin() const noexcept { return keys_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return keys_.end(); }
+
+ private:
+  VictimLess less_;
+  std::vector<VictimKey> keys_;
 };
 
 /// Strict-improvement test with a small relative margin, so that the exact
@@ -75,30 +210,14 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   std::vector<std::uint64_t> generation(
       static_cast<std::size_t>(platform.workers()), 0);
 
-  std::set<TaskId, QueueOrder> queue{QueueOrder{tasks}};
+  ReadyQueue queue(tasks);
   std::optional<ReadyTracker> tracker;
   if (graph != nullptr) {
     tracker.emplace(*graph);
     for (TaskId id : tracker->initially_ready()) queue.insert(id);
   } else {
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      queue.insert(static_cast<TaskId>(i));
-    }
+    queue.presort_all(tasks.size());
   }
-
-  std::size_t completed = 0;
-  double now = 0.0;
-
-  auto start_task = [&](WorkerId w, TaskId id) {
-    const double dt = Platform::time_on(actuals[static_cast<std::size_t>(id)],
-                                        platform.type_of(w));
-    const double finish = pool.start(w, id, now, dt);
-    ++generation[static_cast<std::size_t>(w)];
-    events.push(finish, CompletionEvent{w, generation[static_cast<std::size_t>(w)]});
-    if (options.log != nullptr) {
-      options.log->record(now, sim::TraceKind::kStart, id, w);
-    }
-  };
 
   VictimOrder victim_order = options.victim_order;
   if (victim_order == VictimOrder::kAuto) {
@@ -106,46 +225,56 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
                                     : VictimOrder::kPriority;
   }
 
-  // Attempt a spoliation by idle worker `w`: scan the tasks running on the
-  // other resource type — in decreasing expected completion time for
-  // independent tasks (Algorithm 1), in decreasing priority for DAGs
-  // (§6.2) — and steal the first one `w` would finish strictly earlier.
-  // Returns true if a task was stolen.
-  // Expected completion time as the *scheduler* sees it: start time plus
-  // the estimated duration (equals the event time when estimates are exact).
-  auto believed_finish = [&](WorkerId w) {
-    const sim::Running& r = pool.running(w);
-    return r.start + Platform::time_on(tasks[static_cast<std::size_t>(r.task)],
-                                       platform.type_of(w));
+  // Incremental per-resource running sets in spoliation-scan order, updated
+  // on start/release in O(log W) — replaces collecting and sorting the busy
+  // workers of the other type on every spoliation attempt.
+  const VictimLess victim_less{victim_order == VictimOrder::kPriority};
+  RunningSet running_set[2] = {
+      RunningSet(victim_less, static_cast<std::size_t>(platform.cpus())),
+      RunningSet(victim_less, static_cast<std::size_t>(platform.gpus()))};
+  std::vector<VictimKey> victim_key(
+      static_cast<std::size_t>(platform.workers()));
+
+  std::size_t completed = 0;
+  double now = 0.0;
+
+  auto start_task = [&](WorkerId w, TaskId id) {
+    const Resource res = platform.type_of(w);
+    const double dt = Platform::time_on(actuals[static_cast<std::size_t>(id)],
+                                        res);
+    const double finish = pool.start(w, id, now, dt);
+    ++generation[static_cast<std::size_t>(w)];
+    events.push(finish, CompletionEvent{w, generation[static_cast<std::size_t>(w)]});
+    const Task& estimate = tasks[static_cast<std::size_t>(id)];
+    const VictimKey key{now + Platform::time_on(estimate, res),
+                        estimate.priority, id, w};
+    victim_key[static_cast<std::size_t>(w)] = key;
+    running_set[static_cast<std::size_t>(res)].insert(key);
+    if (options.log != nullptr) {
+      options.log->record(now, sim::TraceKind::kStart, id, w);
+    }
   };
 
+  auto release_worker = [&](WorkerId w) -> sim::Running {
+    running_set[static_cast<std::size_t>(platform.type_of(w))].erase(
+        victim_key[static_cast<std::size_t>(w)]);
+    return pool.release(w);
+  };
+
+  // Attempt a spoliation by idle worker `w`: walk the running set of the
+  // other resource type in scan order and steal the first task `w` would
+  // finish strictly earlier. Returns true if a task was stolen.
   auto try_spoliate = [&](WorkerId w) -> bool {
     ++local_stats.spoliation_attempts;
     const Resource mine = platform.type_of(w);
-    std::vector<WorkerId> victims = pool.busy_workers(other(mine));
-    std::sort(victims.begin(), victims.end(), [&](WorkerId a, WorkerId b) {
-      const double fa = believed_finish(a);
-      const double fb = believed_finish(b);
-      const double pa =
-          tasks[static_cast<std::size_t>(pool.running(a).task)].priority;
-      const double pb =
-          tasks[static_cast<std::size_t>(pool.running(b).task)].priority;
-      if (victim_order == VictimOrder::kPriority) {
-        if (pa != pb) return pa > pb;
-        if (fa != fb) return fa > fb;
-      } else {
-        if (fa != fb) return fa > fb;
-        if (pa != pb) return pa > pb;
-      }
-      return pool.running(a).task < pool.running(b).task;
-    });
-    for (WorkerId victim : victims) {
-      const sim::Running& r = pool.running(victim);
+    const auto& candidates = running_set[static_cast<std::size_t>(other(mine))];
+    for (const VictimKey& key : candidates) {
       const double dt =
-          Platform::time_on(tasks[static_cast<std::size_t>(r.task)], mine);
-      if (!strictly_better(now + dt, believed_finish(victim))) continue;
+          Platform::time_on(tasks[static_cast<std::size_t>(key.task)], mine);
+      if (!strictly_better(now + dt, key.finish)) continue;
       // Abort the victim's execution; its progress is lost.
-      const sim::Running aborted = pool.release(victim);
+      const WorkerId victim = key.worker;
+      const sim::Running aborted = release_worker(victim);
       ++generation[static_cast<std::size_t>(victim)];  // stale its event
       schedule.add_aborted(aborted.task, victim, aborted.start, now);
       ++local_stats.spoliations;
@@ -163,27 +292,31 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   // Offer work to every idle worker (GPUs first) until a full pass changes
   // nothing. Spoliation can idle a worker of the other type mid-pass, hence
   // the outer repeat.
+  std::vector<WorkerId> idle_scratch;
   auto dispatch_idle = [&] {
     bool acted = true;
     while (acted) {
       acted = false;
-      for (WorkerId w : pool.idle_workers_gpu_first()) {
+      pool.idle_workers_gpu_first(idle_scratch);
+      for (WorkerId w : idle_scratch) {
         if (pool.busy(w)) continue;  // filled earlier in this pass
         if (!queue.empty()) {
-          TaskId id;
-          if (platform.type_of(w) == Resource::kGpu) {
-            id = *queue.begin();
-            queue.erase(queue.begin());
-          } else {
-            id = *std::prev(queue.end());
-            queue.erase(std::prev(queue.end()));
-          }
+          const TaskId id = platform.type_of(w) == Resource::kGpu
+                                ? queue.pop_gpu_end()
+                                : queue.pop_cpu_end();
           start_task(w, id);
           acted = true;
         } else {
           local_stats.first_idle_time =
               std::min(local_stats.first_idle_time, now);
-          if (options.enable_spoliation && try_spoliate(w)) acted = true;
+          if (!options.enable_spoliation) continue;
+          // No victim can exist while the other resource is fully idle;
+          // skip the scan outright (the common case once the queue drains).
+          if (pool.busy_count(other(platform.type_of(w))) == 0) {
+            ++local_stats.spoliation_skips;
+          } else if (try_spoliate(w)) {
+            acted = true;
+          }
         }
       }
     }
@@ -203,7 +336,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
         continue;  // stale: the task was spoliated away
       }
       if (!pool.busy(w)) continue;
-      const sim::Running done = pool.release(w);
+      const sim::Running done = release_worker(w);
       schedule.place(done.task, w, done.start, done.finish);
       ++completed;
       if (options.log != nullptr) {

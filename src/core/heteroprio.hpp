@@ -53,6 +53,9 @@ struct HeteroPrioStats {
   double first_idle_time = 0.0;
   int spoliations = 0;          ///< successful spoliations
   int spoliation_attempts = 0;  ///< idle scans that looked for a victim
+  /// Idle scans skipped outright because no worker of the other resource
+  /// type was busy (no victim could exist). Not counted as attempts.
+  int spoliation_skips = 0;
 };
 
 /// Schedule `tasks` on `platform` with HeteroPrio. Deterministic.

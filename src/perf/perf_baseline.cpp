@@ -1,0 +1,292 @@
+#include "perf/perf_baseline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "core/heteroprio.hpp"
+#include "core/heteroprio_ref.hpp"
+#include "model/generators.hpp"
+#include "sweep/dag_sweep.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hp::perf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Best-of-`reps` wall time of one schedule construction.
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+Instance make_instance(std::size_t n) {
+  util::Rng rng(util::seed_from_cell({static_cast<std::uint64_t>(n)}));
+  UniformGenParams params;
+  params.num_tasks = n;
+  return uniform_instance(params, rng);
+}
+
+void append_json_series(std::ostringstream& out, const PerfSeries& s,
+                        bool first) {
+  if (!first) out << ",";
+  out << "\n    {\"algorithm\": \"" << s.algorithm << "\", "
+      << "\"workload\": \"independent-uniform\", "
+      << "\"n\": " << s.n << ", "
+      << "\"seconds\": " << s.seconds << ", "
+      << "\"tasks_per_sec\": " << s.tasks_per_sec << "}";
+}
+
+// ---- minimal JSON field scanning for the validator ----------------------
+
+/// Find `"key"` in `obj` and return the character position just after the
+/// following ':' (skipping whitespace), or npos.
+std::size_t field_value_pos(const std::string& obj, const std::string& key) {
+  const std::string quoted = "\"" + key + "\"";
+  std::size_t at = obj.find(quoted);
+  if (at == std::string::npos) return std::string::npos;
+  at += quoted.size();
+  while (at < obj.size() && (obj[at] == ' ' || obj[at] == '\t')) ++at;
+  if (at >= obj.size() || obj[at] != ':') return std::string::npos;
+  ++at;
+  while (at < obj.size() && (obj[at] == ' ' || obj[at] == '\t')) ++at;
+  return at;
+}
+
+std::optional<std::string> string_field(const std::string& obj,
+                                        const std::string& key) {
+  std::size_t at = field_value_pos(obj, key);
+  if (at == std::string::npos || at >= obj.size() || obj[at] != '"') {
+    return std::nullopt;
+  }
+  const std::size_t end = obj.find('"', at + 1);
+  if (end == std::string::npos) return std::nullopt;
+  return obj.substr(at + 1, end - at - 1);
+}
+
+std::optional<double> number_field(const std::string& obj,
+                                   const std::string& key) {
+  const std::size_t at = field_value_pos(obj, key);
+  if (at == std::string::npos) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(obj.c_str() + at, &end);
+  if (end == obj.c_str() + at) return std::nullopt;
+  return value;
+}
+
+/// Structural sanity: quotes close, braces/brackets balance and never go
+/// negative. Catches truncated or garbled files without a full JSON parser.
+bool balanced_json(const std::string& text, std::string* error) {
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) {
+        if (error != nullptr) *error = "unbalanced braces/brackets";
+        return false;
+      }
+    }
+  }
+  if (in_string || depth != 0) {
+    if (error != nullptr) *error = "truncated document";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PerfBaseline run_perf_baseline(const PerfBaselineOptions& options) {
+  PerfBaseline out;
+  out.platform = options.platform;
+  // At least one repetition, or every series would report an infinite
+  // best-of-zero time (and `inf` is not valid JSON).
+  out.repetitions = std::max(1, options.repetitions);
+
+  const auto note = [&](const std::string& line) {
+    if (options.verbose) std::cerr << "[perf] " << line << '\n';
+  };
+
+  double hp_best_rate = 0.0;
+  double ref_best_rate = 0.0;
+  std::size_t largest_n = 0;
+  for (const std::size_t n : options.sizes) {
+    const Instance inst = make_instance(n);
+    const auto tasks = inst.tasks();
+    const auto measure = [&](const std::string& algo, auto&& run) {
+      const double secs = time_best(out.repetitions, run);
+      const double rate = static_cast<double>(n) / secs;
+      out.series.push_back(PerfSeries{algo, n, secs, rate});
+      note(algo + " n=" + std::to_string(n) + ": " +
+           std::to_string(rate / 1e6) + "M tasks/s");
+      return rate;
+    };
+
+    const double hp_rate = measure("HeteroPrio", [&] {
+      (void)heteroprio(tasks, options.platform);
+    });
+    measure("DualHP", [&] { (void)dualhp(tasks, options.platform); });
+    measure("HEFT", [&] { (void)heft_independent(tasks, options.platform); });
+    if (n >= largest_n) {
+      largest_n = n;
+      hp_best_rate = hp_rate;
+    }
+    if (options.include_reference) {
+      const double ref_rate = measure("HeteroPrio-ref", [&] {
+        (void)heteroprio_reference(tasks, options.platform);
+      });
+      if (n == largest_n) ref_best_rate = ref_rate;
+    }
+  }
+  if (options.include_reference && ref_best_rate > 0.0) {
+    out.speedup_n = largest_n;
+    out.speedup_vs_reference = hp_best_rate / ref_best_rate;
+  }
+
+  if (options.include_sweep) {
+    bench::SweepOptions sweep;
+    sweep.platform = options.platform;
+    sweep.tile_counts = options.sweep_tiles;
+    sweep.threads = options.sweep_threads;
+    sweep.verbose = false;
+    const auto start = Clock::now();
+    const std::vector<bench::SweepRow> rows = bench::run_dag_sweep(sweep);
+    out.sweep_wall_seconds = seconds_since(start);
+    out.sweep_rows = static_cast<int>(rows.size());
+    out.sweep_threads = static_cast<int>(util::resolve_threads(sweep.threads));
+    note("sweep: " + std::to_string(out.sweep_rows) + " rows in " +
+         std::to_string(out.sweep_wall_seconds) + "s on " +
+         std::to_string(out.sweep_threads) + " threads");
+  }
+  return out;
+}
+
+std::string perf_baseline_to_json(const PerfBaseline& baseline) {
+  std::ostringstream out;
+  out.precision(10);
+  out << "{\n"
+      << "  \"schema\": \"hp-bench-core/v1\",\n"
+      << "  \"platform\": {\"cpus\": " << baseline.platform.cpus()
+      << ", \"gpus\": " << baseline.platform.gpus() << "},\n"
+      << "  \"repetitions\": " << baseline.repetitions << ",\n"
+      << "  \"series\": [";
+  for (std::size_t i = 0; i < baseline.series.size(); ++i) {
+    append_json_series(out, baseline.series[i], i == 0);
+  }
+  out << "\n  ]";
+  if (baseline.speedup_n != 0) {
+    out << ",\n  \"speedup_vs_reference\": {\"n\": " << baseline.speedup_n
+        << ", \"value\": " << baseline.speedup_vs_reference << "}";
+  }
+  if (baseline.sweep_wall_seconds >= 0.0) {
+    out << ",\n  \"sweep\": {\"rows\": " << baseline.sweep_rows
+        << ", \"threads\": " << baseline.sweep_threads
+        << ", \"wall_seconds\": " << baseline.sweep_wall_seconds << "}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+bool write_perf_baseline_json(const PerfBaseline& baseline,
+                              const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << perf_baseline_to_json(baseline);
+  return static_cast<bool>(file);
+}
+
+bool validate_perf_baseline_json(const std::string& json_text,
+                                 const std::vector<std::size_t>& sizes,
+                                 std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!balanced_json(json_text, error)) return false;
+  if (string_field(json_text, "schema").value_or("") != "hp-bench-core/v1") {
+    return fail("missing or wrong schema tag");
+  }
+  const std::size_t series_at = field_value_pos(json_text, "series");
+  if (series_at == std::string::npos || json_text[series_at] != '[') {
+    return fail("missing series array");
+  }
+
+  // Walk the series array object by object and tick off expected entries.
+  struct Expected {
+    std::string algorithm;
+    std::size_t n;
+    bool seen = false;
+  };
+  std::vector<Expected> expected;
+  for (const char* algo : {"HeteroPrio", "DualHP", "HEFT"}) {
+    for (const std::size_t n : sizes) expected.push_back({algo, n, false});
+  }
+
+  std::size_t at = series_at + 1;
+  while (at < json_text.size() && json_text[at] != ']') {
+    const std::size_t open = json_text.find('{', at);
+    if (open == std::string::npos) break;
+    const std::size_t close = json_text.find('}', open);
+    if (close == std::string::npos) return fail("unterminated series entry");
+    const std::string obj = json_text.substr(open, close - open + 1);
+    const std::string algo = string_field(obj, "algorithm").value_or("");
+    const std::optional<double> n = number_field(obj, "n");
+    const std::optional<double> rate = number_field(obj, "tasks_per_sec");
+    if (algo.empty() || !n.has_value()) {
+      return fail("series entry without algorithm/n");
+    }
+    if (!rate.has_value() || *rate <= 0.0) {
+      return fail("series entry for " + algo + " has no positive tasks_per_sec");
+    }
+    for (Expected& e : expected) {
+      if (e.algorithm == algo && static_cast<double>(e.n) == *n) e.seen = true;
+    }
+    at = close + 1;
+    // The series array ends at the first ']' after the last object; any
+    // nested objects would have been consumed above.
+    const std::size_t next_obj = json_text.find('{', at);
+    const std::size_t array_end = json_text.find(']', at);
+    if (array_end != std::string::npos &&
+        (next_obj == std::string::npos || array_end < next_obj)) {
+      break;
+    }
+  }
+
+  for (const Expected& e : expected) {
+    if (!e.seen) {
+      return fail("missing series: " + e.algorithm + " at n=" +
+                  std::to_string(e.n));
+    }
+  }
+  return true;
+}
+
+}  // namespace hp::perf

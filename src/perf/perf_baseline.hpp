@@ -1,0 +1,73 @@
+#pragma once
+// Core performance baseline: schedule-construction throughput of the main
+// schedulers on large independent instances, the optimized-vs-reference
+// HeteroPrio speedup, and the end-to-end wall-clock of the parallel DAG
+// sweep. Emitted as BENCH_core.json (schema documented in
+// docs/benchmarks.md) so the performance trajectory of the repo can be
+// tracked PR over PR and compared against any prior baseline file.
+
+#include <string>
+#include <vector>
+
+#include "model/platform.hpp"
+
+namespace hp::perf {
+
+struct PerfBaselineOptions {
+  /// Independent-instance sizes to measure (tasks per instance).
+  std::vector<std::size_t> sizes = {1000, 10000, 100000};
+  /// Timed repetitions per (algorithm, n); the best one is reported.
+  int repetitions = 3;
+  Platform platform{20, 4};
+  /// Also time the pre-optimization reference engine (heteroprio_reference)
+  /// and report the speedup of the optimized engine at the largest n.
+  bool include_reference = true;
+  /// Also run a small DAG sweep end-to-end and report its wall-clock.
+  bool include_sweep = true;
+  int sweep_threads = 0;          ///< 1 = serial, <= 0 = all cores
+  std::vector<int> sweep_tiles = {4, 8, 12, 16};
+  bool verbose = false;           ///< progress lines on stderr
+};
+
+/// One measured point: schedule construction for `n` independent tasks.
+struct PerfSeries {
+  std::string algorithm;  // HeteroPrio | DualHP | HEFT | HeteroPrio-ref
+  std::size_t n = 0;
+  double seconds = 0.0;        ///< best-of-repetitions wall time
+  double tasks_per_sec = 0.0;  ///< n / seconds
+};
+
+struct PerfBaseline {
+  Platform platform{20, 4};
+  int repetitions = 0;
+  std::vector<PerfSeries> series;
+  /// Optimized / reference tasks-per-sec at the largest measured n
+  /// (0 when the reference was not measured).
+  std::size_t speedup_n = 0;
+  double speedup_vs_reference = 0.0;
+  /// End-to-end parallel sweep (negative when not run).
+  double sweep_wall_seconds = -1.0;
+  int sweep_rows = 0;
+  int sweep_threads = 0;
+};
+
+/// Run all measurements. Deterministic instances (seeded from n), wall-clock
+/// timings via steady_clock.
+[[nodiscard]] PerfBaseline run_perf_baseline(const PerfBaselineOptions& options);
+
+/// Serialize to the BENCH_core.json document (schema "hp-bench-core/v1").
+[[nodiscard]] std::string perf_baseline_to_json(const PerfBaseline& baseline);
+
+/// Write the JSON document to `path`. Returns false on I/O failure.
+bool write_perf_baseline_json(const PerfBaseline& baseline,
+                              const std::string& path);
+
+/// Validate an emitted BENCH_core.json: the document must parse, carry the
+/// expected schema tag, and contain a series entry with a positive
+/// tasks_per_sec for every (algorithm in {HeteroPrio, DualHP, HEFT}, n in
+/// `sizes`) pair. On failure returns false and explains in `*error`.
+bool validate_perf_baseline_json(const std::string& json_text,
+                                 const std::vector<std::size_t>& sizes,
+                                 std::string* error);
+
+}  // namespace hp::perf

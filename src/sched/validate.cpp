@@ -69,8 +69,13 @@ ScheduleCheck check_core(const Schedule& schedule, std::span<const Task> tasks,
           << ", full time is " << full;
       return {false, fail(oss)};
     }
-    by_worker[static_cast<std::size_t>(a.worker)].push_back(
-        Segment{a.start, a.abort_time, a.task});
+    // A zero-length segment (task spoliated at the very instant it started)
+    // occupies no time on the worker; keeping it would falsely trip the
+    // overlap scan against a real segment sharing the same start.
+    if (ran > tol) {
+      by_worker[static_cast<std::size_t>(a.worker)].push_back(
+          Segment{a.start, a.abort_time, a.task});
+    }
   }
 
   for (std::size_t w = 0; w < by_worker.size(); ++w) {

@@ -4,6 +4,12 @@ namespace hp::sim {
 
 std::vector<WorkerId> WorkerPool::idle_workers_gpu_first() const {
   std::vector<WorkerId> out;
+  idle_workers_gpu_first(out);
+  return out;
+}
+
+void WorkerPool::idle_workers_gpu_first(std::vector<WorkerId>& out) const {
+  out.clear();
   out.reserve(static_cast<std::size_t>(platform_.workers() - busy_count_));
   for (WorkerId w = platform_.first(Resource::kGpu); w < platform_.workers();
        ++w) {
@@ -12,11 +18,11 @@ std::vector<WorkerId> WorkerPool::idle_workers_gpu_first() const {
   for (WorkerId w = 0; w < platform_.first(Resource::kGpu); ++w) {
     if (!busy(w)) out.push_back(w);
   }
-  return out;
 }
 
 std::vector<WorkerId> WorkerPool::busy_workers(Resource r) const {
   std::vector<WorkerId> out;
+  out.reserve(static_cast<std::size_t>(busy_count(r)));
   const WorkerId lo = platform_.first(r);
   const WorkerId hi = lo + platform_.count(r);
   for (WorkerId w = lo; w < hi; ++w) {

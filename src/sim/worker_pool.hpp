@@ -46,6 +46,7 @@ class WorkerPool {
     r.start = now;
     r.finish = now + duration;
     ++busy_count_;
+    ++busy_by_type_[static_cast<std::size_t>(platform_.type_of(w))];
     return r.finish;
   }
 
@@ -56,10 +57,17 @@ class WorkerPool {
     Running out = r;
     r = Running{};
     --busy_count_;
+    --busy_by_type_[static_cast<std::size_t>(platform_.type_of(w))];
     return out;
   }
 
   [[nodiscard]] int busy_count() const noexcept { return busy_count_; }
+
+  /// Busy workers of one resource type, O(1). Lets schedulers skip a
+  /// spoliation scan outright when the other resource is fully idle.
+  [[nodiscard]] int busy_count(Resource r) const noexcept {
+    return busy_by_type_[static_cast<std::size_t>(r)];
+  }
   [[nodiscard]] bool all_busy() const noexcept {
     return busy_count_ == platform_.workers();
   }
@@ -70,6 +78,10 @@ class WorkerPool {
   /// a GPU when both types are idle — see DESIGN.md.)
   [[nodiscard]] std::vector<WorkerId> idle_workers_gpu_first() const;
 
+  /// Allocation-free variant for scheduler hot loops: clears and refills
+  /// `out` with the same contents as idle_workers_gpu_first().
+  void idle_workers_gpu_first(std::vector<WorkerId>& out) const;
+
   /// Busy workers of type `r`, increasing id.
   [[nodiscard]] std::vector<WorkerId> busy_workers(Resource r) const;
 
@@ -77,6 +89,7 @@ class WorkerPool {
   Platform platform_;
   std::vector<Running> running_;
   int busy_count_ = 0;
+  int busy_by_type_[2] = {0, 0};
 };
 
 }  // namespace hp::sim

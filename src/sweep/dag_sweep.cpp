@@ -1,0 +1,157 @@
+#include "sweep/dag_sweep.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "bounds/dag_lower_bound.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+
+namespace hp::bench {
+
+namespace {
+
+TaskGraph build_kernel(const std::string& kernel, int tiles) {
+  if (kernel == "cholesky") return cholesky_dag(tiles);
+  if (kernel == "qr") return qr_dag(tiles);
+  if (kernel == "lu") return lu_dag(tiles);
+  std::cerr << "unknown kernel " << kernel << '\n';
+  std::exit(1);
+}
+
+/// All seven algorithm rows of one (kernel, tiles) grid cell. Self-contained
+/// and deterministic, so cells can run on any worker thread in any order.
+std::vector<SweepRow> run_sweep_cell(const std::string& kernel, int tiles,
+                                     const SweepOptions& options) {
+  std::vector<SweepRow> rows;
+  rows.reserve(7);
+  TaskGraph graph = build_kernel(kernel, tiles);
+  const double lb = dag_lower_bound(graph, options.platform).value();
+
+  auto record = [&](const std::string& algo, const Schedule& s,
+                    int spoliations) {
+    SweepRow row;
+    row.kernel = kernel;
+    row.tiles = tiles;
+    row.algorithm = algo;
+    row.makespan = s.makespan();
+    row.lower_bound = lb;
+    row.ratio = s.makespan() / lb;
+    row.spoliations = spoliations;
+    row.metrics = compute_metrics(s, graph.tasks(), options.platform);
+    row.platform = options.platform;
+    rows.push_back(std::move(row));
+  };
+
+  for (RankScheme scheme : {RankScheme::kAvg, RankScheme::kMin}) {
+    assign_priorities(graph, scheme);
+    const std::string suffix = rank_scheme_name(scheme);
+    HeteroPrioStats stats;
+    record("HeteroPrio-" + suffix,
+           heteroprio_dag(graph, options.platform, {}, &stats),
+           stats.spoliations);
+    record("HEFT-" + suffix, heft(graph, options.platform, {.rank = scheme}),
+           0);
+    record("DualHP-" + suffix, dualhp_dag(graph, options.platform), 0);
+  }
+  assign_priorities(graph, RankScheme::kFifo);
+  record("DualHP-fifo",
+         dualhp_dag(graph, options.platform, {.fifo_order = true}), 0);
+  return rows;
+}
+
+}  // namespace
+
+std::vector<SweepRow> run_dag_sweep(const SweepOptions& options) {
+  struct Cell {
+    const std::string* kernel;
+    int tiles;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(options.kernels.size() * options.tile_counts.size());
+  for (const std::string& kernel : options.kernels) {
+    for (int tiles : options.tile_counts) {
+      cells.push_back(Cell{&kernel, tiles});
+    }
+  }
+
+  // Every cell writes into its own pre-allocated slot; the final
+  // concatenation is in grid order no matter which worker ran what.
+  std::vector<std::vector<SweepRow>> per_cell(cells.size());
+  util::parallel_for(cells.size(), options.threads, [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    per_cell[i] = run_sweep_cell(*cell.kernel, cell.tiles, options);
+    if (options.verbose) {
+      std::cerr << "[sweep] " + *cell.kernel + " N=" +
+                       std::to_string(cell.tiles) + "\n";
+    }
+  });
+
+  std::vector<SweepRow> rows;
+  rows.reserve(cells.size() * 7);
+  for (std::vector<SweepRow>& cell_rows : per_cell) {
+    for (SweepRow& row : cell_rows) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+bool maybe_write_sweep_csv(const std::vector<SweepRow>& rows,
+                           const std::string& name) {
+  const char* dir = std::getenv("HP_BENCH_CSV");
+  if (dir == nullptr || rows.empty()) return false;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  util::CsvWriter csv(path,
+                      {"kernel", "tiles", "algorithm", "makespan",
+                       "lower_bound", "ratio", "spoliations", "cpu_idle",
+                       "gpu_idle", "a_cpu", "a_gpu"});
+  if (!csv.ok()) {
+    std::cerr << "[sweep] cannot write " << path << '\n';
+    return false;
+  }
+  for (const SweepRow& row : rows) {
+    csv.write_row({row.kernel, std::to_string(row.tiles), row.algorithm,
+                   util::format_double(row.makespan, 6),
+                   util::format_double(row.lower_bound, 6),
+                   util::format_double(row.ratio, 6),
+                   std::to_string(row.spoliations),
+                   util::format_double(row.metrics.cpu.idle_time, 6),
+                   util::format_double(row.metrics.gpu.idle_time, 6),
+                   util::format_double(row.metrics.cpu.equivalent_accel, 6),
+                   util::format_double(row.metrics.gpu.equivalent_accel, 6)});
+  }
+  std::cerr << "[sweep] wrote " << path << '\n';
+  return true;
+}
+
+SweepOptions sweep_options_from_args(int argc, char** argv) {
+  SweepOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "cholesky" || arg == "qr" || arg == "lu") {
+      options.kernels = {arg};
+    } else if (arg == "serial") {
+      options.threads = 1;
+    } else if (arg.rfind("-j", 0) == 0) {
+      options.threads = std::atoi(arg.c_str() + 2);
+      if (options.threads <= 0) options.threads = 0;  // "-j" alone: auto
+    } else {
+      const int cap = std::atoi(arg.c_str());
+      if (cap > 0) {
+        std::erase_if(options.tile_counts, [cap](int n) { return n > cap; });
+      }
+    }
+  }
+  return options;
+}
+
+}  // namespace hp::bench

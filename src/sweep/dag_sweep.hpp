@@ -3,6 +3,12 @@
 // seven scheduler variants of §6.2 over the three kernels and a sweep of
 // tile counts on the paper's platform (20 CPUs, 4 GPUs), collecting
 // makespans, lower bounds and the Fig 8/9 metrics.
+//
+// The (kernel × tiles) grid cells are independent, so the runner fans them
+// across a util::ThreadPool. Results are gathered into their original grid
+// order and every cell is self-seeded, so the emitted rows (and therefore
+// the CSV/table output) are byte-identical to a serial run — set
+// SweepOptions::threads = 1 to force the serial reference path.
 
 #include <string>
 #include <vector>
@@ -29,13 +35,18 @@ struct SweepOptions {
   std::vector<int> tile_counts = {4, 8, 12, 16, 20, 24, 32, 40, 48, 64};
   Platform platform{20, 4};
   bool verbose = true;  ///< progress lines on stderr
+  /// Worker threads for the cell fan-out: 1 = serial (reference path),
+  /// <= 0 = all hardware threads, otherwise the given count.
+  int threads = 0;
 };
 
-/// Run the sweep; one row per (kernel, tiles, algorithm).
+/// Run the sweep; one row per (kernel, tiles, algorithm), in grid order
+/// regardless of thread count.
 [[nodiscard]] std::vector<SweepRow> run_dag_sweep(const SweepOptions& options);
 
-/// Parse bench CLI args: an optional max tile count (caps the sweep) and an
-/// optional comma-free kernel name filter.
+/// Parse bench CLI args: an optional max tile count (caps the sweep), an
+/// optional comma-free kernel name filter, `-jN` (thread count) and
+/// `serial` (equivalent to -j1).
 [[nodiscard]] SweepOptions sweep_options_from_args(int argc, char** argv);
 
 /// If the environment variable HP_BENCH_CSV names a directory, dump the

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 
 namespace hp::util {
@@ -21,6 +22,24 @@ namespace hp::util {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// Deterministic RNG seed for one cell of an experiment grid, mixed from the
+/// cell's coordinates (kernel index, tile count, sigma index, repetition, …).
+/// The seed depends only on the coordinate values — never on submission or
+/// execution order — so a sweep fanned across a thread pool draws exactly
+/// the random numbers the serial sweep draws. Coordinate order matters;
+/// distinct coordinate tuples give (overwhelmingly) distinct seeds.
+[[nodiscard]] constexpr std::uint64_t seed_from_cell(
+    std::initializer_list<std::uint64_t> coords,
+    std::uint64_t salt = 0) noexcept {
+  std::uint64_t state = salt ^ 0xa0761d6478bd642fULL;
+  std::uint64_t seed = splitmix64(state);
+  for (const std::uint64_t c : coords) {
+    state ^= c;
+    seed = splitmix64(state);
+  }
+  return seed;
 }
 
 /// xoshiro256** engine. Satisfies UniformRandomBitGenerator.

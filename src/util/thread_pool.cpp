@@ -1,0 +1,93 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace hp::util {
+
+unsigned resolve_threads(int requested) noexcept {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads = std::max(1u, threads);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_ != nullptr) {
+    const std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to drain
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop();
+    ++active_;
+    lock.unlock();
+    try {
+      job();
+    } catch (...) {
+      lock.lock();
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+      lock.unlock();
+    }
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& body) {
+  const unsigned n_threads = resolve_threads(threads);
+  if (n_threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(std::min<std::size_t>(n_threads, count));
+  // One chasing job per worker instead of one per index: the atomic cursor
+  // keeps cell granularity while bounding queue traffic to the worker count.
+  std::atomic<std::size_t> next{0};
+  for (unsigned t = 0; t < pool.size(); ++t) {
+    pool.submit([&next, count, &body] {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        body(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace hp::util

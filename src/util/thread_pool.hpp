@@ -1,0 +1,68 @@
+#pragma once
+// Fixed-size thread pool for fanning experiment grids across cores.
+//
+// The sweep engines submit one job per grid cell; each cell derives its RNG
+// seed from its own coordinates (util::seed_from_cell), never from
+// submission or execution order, and writes its result into a
+// pre-allocated slot indexed by cell position. Together this makes the
+// parallel output bit-identical to the serial run — parallelism only
+// changes wall-clock time, never results.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hp::util {
+
+/// Resolve a thread-count request: <= 0 means "all hardware threads"
+/// (at least 1), anything else is taken as given.
+[[nodiscard]] unsigned resolve_threads(int requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a job. Jobs may be submitted from any thread, including from
+  /// inside a running job.
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and no job is running. If any job threw,
+  /// rethrows the first captured exception (the remaining jobs still ran).
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(0..count-1), fanned over `threads` workers (see resolve_threads;
+/// threads == 1 executes serially, in index order, on the calling thread —
+/// the reference path for determinism checks). Each index runs exactly once;
+/// the assignment of indices to workers is unspecified in parallel mode, so
+/// bodies must not depend on execution order. Rethrows the first exception.
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace hp::util

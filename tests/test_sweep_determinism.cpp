@@ -1,0 +1,99 @@
+// Determinism of the parallel experiment engine: run_dag_sweep must emit
+// rows that are field-for-field identical (bitwise, for the doubles) no
+// matter how many threads fan the (kernel, tiles) cells out. Each cell is
+// self-seeded from its coordinates and writes into a pre-allocated slot, so
+// parallelism may only change wall-clock time, never results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sweep/dag_sweep.hpp"
+
+namespace hp::bench {
+namespace {
+
+SweepOptions small_sweep(int threads) {
+  SweepOptions options;
+  options.kernels = {"cholesky", "qr"};
+  options.tile_counts = {4, 8};
+  options.verbose = false;
+  options.threads = threads;
+  return options;
+}
+
+// Bitwise double equality: the contract is "byte-identical to serial", not
+// "approximately equal". NaN == NaN under this comparison.
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_rows_identical(const std::vector<SweepRow>& serial,
+                           const std::vector<SweepRow>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i) + " (" + serial[i].kernel + " N=" +
+                 std::to_string(serial[i].tiles) + " " +
+                 serial[i].algorithm + ")");
+    const SweepRow& a = serial[i];
+    const SweepRow& b = parallel[i];
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.tiles, b.tiles);
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_TRUE(same_bits(a.makespan, b.makespan))
+        << a.makespan << " vs " << b.makespan;
+    EXPECT_TRUE(same_bits(a.lower_bound, b.lower_bound));
+    EXPECT_TRUE(same_bits(a.ratio, b.ratio));
+    EXPECT_EQ(a.spoliations, b.spoliations);
+    for (Resource r : {Resource::kCpu, Resource::kGpu}) {
+      const ResourceMetrics& ma = a.metrics.of(r);
+      const ResourceMetrics& mb = b.metrics.of(r);
+      EXPECT_TRUE(same_bits(ma.busy_time, mb.busy_time));
+      EXPECT_TRUE(same_bits(ma.aborted_time, mb.aborted_time));
+      EXPECT_TRUE(same_bits(ma.idle_time, mb.idle_time));
+      EXPECT_EQ(ma.tasks_completed, mb.tasks_completed);
+      // equivalent_accel is NaN when a resource completed nothing; NaN must
+      // appear (or not) identically on both sides.
+      EXPECT_TRUE(same_bits(ma.equivalent_accel, mb.equivalent_accel) ||
+                  (std::isnan(ma.equivalent_accel) &&
+                   std::isnan(mb.equivalent_accel)));
+    }
+  }
+}
+
+TEST(SweepDeterminism, ParallelRowsIdenticalToSerial) {
+  const std::vector<SweepRow> serial = run_dag_sweep(small_sweep(1));
+  const std::vector<SweepRow> parallel = run_dag_sweep(small_sweep(4));
+  expect_rows_identical(serial, parallel);
+}
+
+TEST(SweepDeterminism, ParallelRunsAgreeWithEachOther) {
+  // Two parallel runs with different worker counts must also agree: cell
+  // results depend only on cell coordinates, never on scheduling of cells.
+  const std::vector<SweepRow> two = run_dag_sweep(small_sweep(2));
+  const std::vector<SweepRow> three = run_dag_sweep(small_sweep(3));
+  expect_rows_identical(two, three);
+}
+
+TEST(SweepDeterminism, CoversAllSchedulersInGridOrder) {
+  const std::vector<SweepRow> rows = run_dag_sweep(small_sweep(4));
+  // 2 kernels x 2 tile counts x 7 scheduler variants, in grid order.
+  ASSERT_EQ(rows.size(), 2u * 2u * 7u);
+  std::size_t i = 0;
+  for (const char* kernel : {"cholesky", "qr"}) {
+    for (int tiles : {4, 8}) {
+      for (std::size_t v = 0; v < 7; ++v, ++i) {
+        EXPECT_EQ(rows[i].kernel, kernel);
+        EXPECT_EQ(rows[i].tiles, tiles);
+        EXPECT_GT(rows[i].makespan, 0.0);
+        EXPECT_GE(rows[i].ratio, 1.0 - 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hp::bench

@@ -1,0 +1,150 @@
+// Tests for util/thread_pool: the fan-out engine behind the parallel
+// experiment sweeps. The determinism-critical contracts are that every
+// submitted job / every parallel_for index runs exactly once, that
+// exceptions propagate to the caller, and that threads == 1 is a true
+// serial reference path executing indices in order on the calling thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace hp::util {
+namespace {
+
+TEST(ResolveThreads, PositiveIsTakenVerbatim) {
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_EQ(resolve_threads(17), 17u);
+}
+
+TEST(ResolveThreads, NonPositiveMeansAllHardwareThreads) {
+  const unsigned resolved = resolve_threads(0);
+  EXPECT_GE(resolved, 1u);
+  if (std::thread::hardware_concurrency() > 0) {
+    EXPECT_EQ(resolved, std::thread::hardware_concurrency());
+  }
+  EXPECT_EQ(resolve_threads(-5), resolved);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 1);
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ThreadPool, JobsMaySubmitMoreJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] {
+      done.fetch_add(1);
+      pool.submit([&done] { done.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([] { throw std::runtime_error("job failed"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The failure did not cancel the remaining jobs.
+  EXPECT_EQ(done.load(), 8);
+  // The error is not re-reported on the next wait.
+  pool.submit([&done] { done.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(done.load(), 9);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, 4,
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, SerialPathRunsInIndexOrderOnCallingThread) {
+  std::vector<std::size_t> order;  // no lock: serial contract
+  const std::thread::id caller = std::this_thread::get_id();
+  parallel_for(20, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingletonRanges) {
+  int calls = 0;
+  parallel_for(0, 4, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&calls](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, 16, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  std::atomic<int> done{0};
+  EXPECT_THROW(
+      parallel_for(64, 4,
+                   [&done](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("cell failed");
+                     done.fetch_add(1);
+                   }),
+      std::runtime_error);
+  EXPECT_EQ(done.load(), 63);
+}
+
+TEST(ParallelFor, SerialExceptionStopsAtThrowingIndex) {
+  std::vector<std::size_t> order;
+  EXPECT_THROW(parallel_for(10, 1,
+                            [&order](std::size_t i) {
+                              if (i == 4) throw std::runtime_error("stop");
+                              order.push_back(i);
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace hp::util

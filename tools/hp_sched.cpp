@@ -29,6 +29,7 @@
 #include "linalg/fmm.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/qr.hpp"
+#include "perf/perf_baseline.hpp"
 #include "sched/export.hpp"
 #include "sched/gantt.hpp"
 #include "sched/metrics.hpp"
@@ -61,7 +62,9 @@ int usage() {
       "  hp_sched bound    --in FILE --cpus M --gpus N\n"
       "  hp_sched schedule --in FILE --cpus M --gpus N\n"
       "           [--algo hp|hp-nospol|heft|dualhp|online-eft|online-threshold|online-balance]\n"
-      "           [--rank avg|min|fifo] [--gantt] [--svg FILE] [--trace FILE]\n";
+      "           [--rank avg|min|fifo] [--gantt] [--svg FILE] [--trace FILE]\n"
+      "  hp_sched perf     --out FILE [--quick] [--reps K] [--threads N]\n"
+      "  hp_sched perf-check --in FILE [--quick]\n";
   return 2;
 }
 
@@ -312,6 +315,55 @@ int cmd_schedule(const Args& args) {
   return 0;
 }
 
+/// Measure the core perf baseline and emit BENCH_core.json. `--quick` is the
+/// CI smoke configuration (n=1000, tiny sweep; seconds of runtime).
+int cmd_perf(const Args& args) {
+  perf::PerfBaselineOptions options;
+  if (args.options.count("quick")) {
+    options.sizes = {1000};
+    options.repetitions = 2;
+    options.sweep_tiles = {4, 8};
+  }
+  options.repetitions = args.get_int("reps", options.repetitions);
+  options.sweep_threads = args.get_int("threads", options.sweep_threads);
+  const std::string out = args.get("out", "BENCH_core.json");
+
+  const perf::PerfBaseline baseline = perf::run_perf_baseline(options);
+  if (!perf::write_perf_baseline_json(baseline, out)) {
+    std::cerr << "cannot write " << out << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << out << " (" << baseline.series.size()
+            << " series";
+  if (baseline.speedup_n != 0) {
+    std::cout << ", speedup vs reference at n=" << baseline.speedup_n << ": "
+              << baseline.speedup_vs_reference << "x";
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
+/// Validate an emitted BENCH_core.json: parses, right schema, and every
+/// expected (algorithm, n) series present with a positive throughput.
+int cmd_perf_check(const Args& args) {
+  const auto text = io::load_text_file(args.get("in"));
+  if (!text.has_value()) {
+    std::cerr << "cannot read " << args.get("in") << '\n';
+    return 1;
+  }
+  const std::vector<std::size_t> sizes =
+      args.options.count("quick") ? std::vector<std::size_t>{1000}
+                                  : std::vector<std::size_t>{1000, 10000,
+                                                             100000};
+  std::string error;
+  if (!perf::validate_perf_baseline_json(*text, sizes, &error)) {
+    std::cerr << "invalid baseline: " << error << '\n';
+    return 1;
+  }
+  std::cout << args.get("in") << ": ok\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -332,5 +384,7 @@ int main(int argc, char** argv) {
   if (command == "info") return cmd_info(args);
   if (command == "bound") return cmd_bound(args);
   if (command == "schedule") return cmd_schedule(args);
+  if (command == "perf") return cmd_perf(args);
+  if (command == "perf-check") return cmd_perf_check(args);
   return usage();
 }
