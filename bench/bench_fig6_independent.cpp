@@ -10,9 +10,10 @@
 // fanned across a thread pool; results land in pre-allocated slots, so the
 // printed tables are byte-identical to a serial run (`serial` or `-j1`).
 //
-// Usage: bench_fig6_independent [kernel] [maxN] [-jN|serial]
+// Usage: bench_fig6_independent [kernel] [maxN] [-jN|serial] [--trace FILE]
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/qr.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/recorder.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -33,10 +36,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> kernels = {"cholesky", "qr", "lu"};
   std::vector<int> tile_counts = {4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 64};
   int threads = 0;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "cholesky" || arg == "qr" || arg == "lu") {
       kernels = {arg};
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (arg == "serial") {
       threads = 1;
     } else if (arg.rfind("-j", 0) == 0) {
@@ -94,5 +100,28 @@ int main(int argc, char** argv) {
   }
   std::cout << "\npaper Fig 6: HeteroPrio and DualHP close to 1 for large N; "
                "HeteroPrio better for N < 20; HEFT worst.\n";
+
+  if (!trace_path.empty()) {
+    // Representative cell: first kernel, largest N, HeteroPrio with a live
+    // event recorder.
+    const int tiles = tile_counts.back();
+    TaskGraph graph = kernels.front() == "cholesky" ? cholesky_dag(tiles)
+                      : kernels.front() == "qr"    ? qr_dag(tiles)
+                                                   : lu_dag(tiles);
+    const Instance inst = graph.to_instance();
+    obs::EventRecorder recorder;
+    HeteroPrioOptions hp_options;
+    hp_options.sink = &recorder;
+    (void)heteroprio(inst.tasks(), platform, hp_options);
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << trace_path << '\n';
+      return 1;
+    }
+    out << obs::chrome_trace_from_events(recorder.events(), platform,
+                                         inst.tasks());
+    std::cerr << "wrote trace " << trace_path << " (" << recorder.size()
+              << " events)\n";
+  }
   return 0;
 }

@@ -7,7 +7,7 @@
 // middle range HeteroPrio (especially -min) stays within ~30% of the bound
 // while each other algorithm degrades on at least one kernel.
 //
-// Usage: bench_fig7_dags [kernel] [maxN]
+// Usage: bench_fig7_dags [kernel] [maxN] [-jN|serial] [--trace FILE]
 
 #include <iostream>
 #include <map>
@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const SweepOptions options = sweep_options_from_args(argc, argv);
   const std::vector<SweepRow> rows = run_dag_sweep(options);
   maybe_write_sweep_csv(rows, "fig7");
+  maybe_write_sweep_trace(options);
 
   const std::vector<std::string> algos = {
       "HeteroPrio-avg", "HeteroPrio-min", "HEFT-avg", "HEFT-min",

@@ -14,12 +14,16 @@
 // derived from the cell coordinates (not from submission order), so the
 // output is byte-identical for any thread count (`serial` or `-jN`).
 //
-// Usage: bench_noise_robustness [-jN|serial]
+// Usage: bench_noise_robustness [-jN|serial] [--trace FILE]
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "obs/export_chrome.hpp"
+#include "obs/recorder.hpp"
 
 #include "core/heteroprio_dag.hpp"
 #include "dag/ranking.hpp"
@@ -61,10 +65,13 @@ int main(int argc, char** argv) {
   constexpr int kSeeds = 5;
 
   int threads = 0;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "serial") {
       threads = 1;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (arg.rfind("-j", 0) == 0) {
       threads = std::atoi(arg.c_str() + 2);
       if (threads <= 0) threads = 0;
@@ -155,5 +162,27 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected: the online scheduler stays near the clairvoyant "
                "reference as sigma grows,\nwhile static replays degrade — "
                "the paper's argument for dynamic runtime scheduling.\n";
+
+  if (!trace_path.empty()) {
+    // Representative noisy online run: Cholesky N=16, sigma=0.4, seed 1.
+    TaskGraph graph = cholesky_dag(16, TimingModel::chameleon_960());
+    assign_priorities(graph, RankScheme::kMin);
+    const auto actuals =
+        perturb(graph.tasks(), 0.4, util::seed_from_cell({0, 16, 3, 1}));
+    obs::EventRecorder recorder;
+    HeteroPrioOptions hp_options;
+    hp_options.actual_times = actuals;
+    hp_options.sink = &recorder;
+    (void)heteroprio_dag(graph, platform, hp_options);
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << trace_path << '\n';
+      return 1;
+    }
+    out << obs::chrome_trace_from_events(recorder.events(), platform,
+                                         graph.tasks());
+    std::cerr << "wrote trace " << trace_path << " (" << recorder.size()
+              << " events)\n";
+  }
   return 0;
 }

@@ -8,6 +8,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/replay.hpp"
+
 namespace hp {
 
 namespace {
@@ -214,6 +216,7 @@ Schedule dualdp(std::span<const Task> tasks, const Platform& platform,
 
   lpt_pack(tasks, best.cpu_side, platform, Resource::kCpu, &schedule);
   lpt_pack(tasks, best.gpu_side, platform, Resource::kGpu, &schedule);
+  obs::replay_schedule_to(schedule, platform, options.sink);
   return schedule;
 }
 

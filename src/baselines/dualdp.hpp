@@ -20,6 +20,7 @@
 #include <span>
 
 #include "model/platform.hpp"
+#include "obs/event.hpp"
 #include "sched/schedule.hpp"
 
 namespace hp {
@@ -27,6 +28,9 @@ namespace hp {
 struct DualDpOptions {
   int bisection_iters = 16;  ///< binary-search steps on lambda
   int capacity_grid = 512;   ///< knapsack discretization cells
+  /// Receives the finished schedule replayed as an event stream
+  /// (obs::replay_schedule).
+  obs::EventSink* sink = nullptr;
 };
 
 /// Schedule independent tasks. Deterministic.

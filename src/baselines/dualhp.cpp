@@ -10,6 +10,7 @@
 
 #include "bounds/area_bound.hpp"
 #include "dag/ready_tracker.hpp"
+#include "obs/replay.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/worker_pool.hpp"
 
@@ -276,6 +277,7 @@ Schedule dualhp(std::span<const Task> tasks, const Platform& platform,
   };
   lay_out(cpu_tasks, Resource::kCpu);
   lay_out(gpu_tasks, Resource::kGpu);
+  obs::replay_schedule_to(schedule, platform, options.sink);
   return schedule;
 }
 
@@ -422,6 +424,7 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
     }
     dispatch();
   }
+  obs::replay_schedule_to(schedule, platform, options.sink);
   return schedule;
 }
 

@@ -23,6 +23,7 @@
 
 #include "dag/task_graph.hpp"
 #include "model/platform.hpp"
+#include "obs/event.hpp"
 #include "sched/schedule.hpp"
 
 namespace hp {
@@ -30,6 +31,9 @@ namespace hp {
 struct DualHpOptions {
   bool fifo_order = false;   ///< ignore priorities; dispatch in ready order
   int bisection_iters = 16;  ///< binary-search refinement steps on lambda
+  /// Receives the finished schedule replayed as an event stream
+  /// (obs::replay_schedule).
+  obs::EventSink* sink = nullptr;
 };
 
 /// DualHP for independent tasks.

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/replay.hpp"
+
 namespace hp {
 
 namespace {
@@ -111,7 +113,9 @@ Schedule heft(const TaskGraph& graph, const Platform& platform,
     return topo_pos[static_cast<std::size_t>(a)] <
            topo_pos[static_cast<std::size_t>(b)];
   });
-  return heft_run(graph.tasks(), &graph, platform, options, order);
+  Schedule schedule = heft_run(graph.tasks(), &graph, platform, options, order);
+  obs::replay_schedule_to(schedule, platform, options.sink);
+  return schedule;
 }
 
 Schedule heft_independent(std::span<const Task> tasks, const Platform& platform,
@@ -127,7 +131,9 @@ Schedule heft_independent(std::span<const Task> tasks, const Platform& platform,
     if (ra != rb) return ra > rb;
     return a < b;
   });
-  return heft_run(tasks, nullptr, platform, options, order);
+  Schedule schedule = heft_run(tasks, nullptr, platform, options, order);
+  obs::replay_schedule_to(schedule, platform, options.sink);
+  return schedule;
 }
 
 }  // namespace hp

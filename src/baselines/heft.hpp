@@ -13,6 +13,7 @@
 #include "dag/ranking.hpp"
 #include "dag/task_graph.hpp"
 #include "model/platform.hpp"
+#include "obs/event.hpp"
 #include "sched/schedule.hpp"
 
 namespace hp {
@@ -20,6 +21,10 @@ namespace hp {
 struct HeftOptions {
   RankScheme rank = RankScheme::kAvg;  ///< avg or min (§6.2); kFifo invalid
   bool insertion = true;  ///< insertion-based placement (classic HEFT)
+  /// Receives the finished schedule replayed as an event stream
+  /// (obs::replay_schedule), so static planners feed the same exporters
+  /// and counters as the dynamic schedulers.
+  obs::EventSink* sink = nullptr;
 };
 
 /// HEFT on a DAG. Graph must be finalized and acyclic.

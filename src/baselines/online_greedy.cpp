@@ -5,6 +5,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/replay.hpp"
+
 namespace hp {
 
 const char* online_rule_name(OnlineRule rule) noexcept {
@@ -78,6 +80,7 @@ Schedule online_greedy(std::span<const Task> tasks, const Platform& platform,
       }
     }
   }
+  obs::replay_schedule_to(schedule, platform, options.sink);
   return schedule;
 }
 

@@ -16,6 +16,7 @@
 #include <span>
 
 #include "model/platform.hpp"
+#include "obs/event.hpp"
 #include "sched/schedule.hpp"
 
 namespace hp {
@@ -31,6 +32,9 @@ enum class OnlineRule {
 struct OnlineGreedyOptions {
   OnlineRule rule = OnlineRule::kEft;
   double threshold = 1.0;  ///< rho cutoff for OnlineRule::kThreshold
+  /// Receives the finished schedule replayed as an event stream
+  /// (obs::replay_schedule).
+  obs::EventSink* sink = nullptr;
 };
 
 /// Schedule independent tasks in id order with the chosen rule.

@@ -89,6 +89,10 @@ class ReadyQueue {
     return flat_ ? head_ == tail_ : set_.empty();
   }
 
+  [[nodiscard]] std::size_t size() const noexcept {
+    return flat_ ? tail_ - head_ : set_.size();
+  }
+
   /// Most GPU-friendly ready task (an idle GPU takes this end).
   TaskId pop_gpu_end() {
     if (flat_) return sorted_[head_++];
@@ -205,7 +209,23 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   HeteroPrioStats local_stats;
   local_stats.first_idle_time = std::numeric_limits<double>::infinity();
 
+  // Route events through a stack fanout only when both a scheduler sink and
+  // an enabled legacy log are present; otherwise the probe points straight
+  // at whichever is live, keeping the hot path at one pointer test.
+  sim::TimelineLog* log =
+      (options.log != nullptr && options.log->enabled()) ? options.log
+                                                         : nullptr;
+  obs::FanoutSink fanout(options.sink, log);
+  obs::EventSink* sink = options.sink;
+  if (sink != nullptr && log != nullptr) {
+    sink = &fanout;
+  } else if (sink == nullptr) {
+    sink = log;
+  }
+  const obs::Probe probe(sink);
+
   sim::WorkerPool pool(platform);
+  pool.attach_sink(sink);
   sim::EventQueue<CompletionEvent> events;
   std::vector<std::uint64_t> generation(
       static_cast<std::size_t>(platform.workers()), 0);
@@ -214,9 +234,17 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   std::optional<ReadyTracker> tracker;
   if (graph != nullptr) {
     tracker.emplace(*graph);
-    for (TaskId id : tracker->initially_ready()) queue.insert(id);
+    for (TaskId id : tracker->initially_ready()) {
+      queue.insert(id);
+      probe.ready(0.0, id);
+    }
   } else {
     queue.presort_all(tasks.size());
+    if (probe) {
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        probe.ready(0.0, static_cast<TaskId>(i));
+      }
+    }
   }
 
   VictimOrder victim_order = options.victim_order;
@@ -250,15 +278,13 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
                         estimate.priority, id, w};
     victim_key[static_cast<std::size_t>(w)] = key;
     running_set[static_cast<std::size_t>(res)].insert(key);
-    if (options.log != nullptr) {
-      options.log->record(now, sim::TraceKind::kStart, id, w);
-    }
+    probe.start(now, id, w);
   };
 
   auto release_worker = [&](WorkerId w) -> sim::Running {
     running_set[static_cast<std::size_t>(platform.type_of(w))].erase(
         victim_key[static_cast<std::size_t>(w)]);
-    return pool.release(w);
+    return pool.release_at(w, now);
   };
 
   // Attempt a spoliation by idle worker `w`: walk the running set of the
@@ -266,6 +292,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   // finish strictly earlier. Returns true if a task was stolen.
   auto try_spoliate = [&](WorkerId w) -> bool {
     ++local_stats.spoliation_attempts;
+    probe.spoliate_attempt(now, w);
     const Resource mine = platform.type_of(w);
     const auto& candidates = running_set[static_cast<std::size_t>(other(mine))];
     for (const VictimKey& key : candidates) {
@@ -278,11 +305,8 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
       ++generation[static_cast<std::size_t>(victim)];  // stale its event
       schedule.add_aborted(aborted.task, victim, aborted.start, now);
       ++local_stats.spoliations;
-      if (options.log != nullptr) {
-        options.log->record(now, sim::TraceKind::kAbort, aborted.task, victim);
-        options.log->record(now, sim::TraceKind::kSpoliate, aborted.task, w,
-                            victim);
-      }
+      probe.abort(now, aborted.task, victim);
+      probe.spoliate_commit(now, aborted.task, w, victim);
       start_task(w, aborted.task);
       return true;
     }
@@ -314,6 +338,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
           // skip the scan outright (the common case once the queue drains).
           if (pool.busy_count(other(platform.type_of(w))) == 0) {
             ++local_stats.spoliation_skips;
+            probe.spoliate_skip(now, w);
           } else if (try_spoliate(w)) {
             acted = true;
           }
@@ -322,7 +347,15 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
     }
   };
 
-  dispatch_idle();
+  // Queue-depth samples bracket every dispatch: the pre-sample captures the
+  // peak after a ready burst, the post-sample the steady-state backlog.
+  auto dispatch_and_sample = [&] {
+    probe.queue_depth(now, queue.size());
+    dispatch_idle();
+    probe.queue_depth(now, queue.size());
+  };
+
+  dispatch_and_sample();
 
   while (completed < tasks.size()) {
     assert(!events.empty() && "deadlock: no events but tasks incomplete");
@@ -339,16 +372,15 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
       const sim::Running done = release_worker(w);
       schedule.place(done.task, w, done.start, done.finish);
       ++completed;
-      if (options.log != nullptr) {
-        options.log->record(now, sim::TraceKind::kComplete, done.task, w);
-      }
+      probe.complete(now, done.task, w);
       if (tracker.has_value()) {
         for (TaskId released : tracker->complete(done.task)) {
           queue.insert(released);
+          probe.ready(now, released);
         }
       }
     }
-    dispatch_idle();
+    dispatch_and_sample();
   }
 
   if (stats != nullptr) {

@@ -19,6 +19,7 @@
 
 #include "model/platform.hpp"
 #include "model/task.hpp"
+#include "obs/event.hpp"
 #include "sched/schedule.hpp"
 #include "sim/trace.hpp"
 
@@ -44,6 +45,11 @@ struct HeteroPrioOptions {
   /// but tasks *run* for their actual times, modeling a runtime system
   /// whose duration estimates are imperfect (§1). Empty: actual = estimate.
   std::span<const Task> actual_times = {};
+  /// Structured event stream (obs/): ready, start, complete, abort,
+  /// spoliate-attempt/skip/commit, queue-depth samples and idle intervals.
+  /// Null keeps the hot path at a single pointer test per decision (and
+  /// -DHP_OBS_OFF removes even that).
+  obs::EventSink* sink = nullptr;
 };
 
 /// Observability counters of one HeteroPrio run.

@@ -1,0 +1,151 @@
+#include "obs/counters.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace hp::obs {
+
+SchedulerCounters counters_from_events(std::span<const Event> events,
+                                       const Platform& platform) {
+  SchedulerCounters c;
+  // Open execution per worker: start time, or NaN when the worker is free.
+  std::vector<double> open(static_cast<std::size_t>(platform.workers()),
+                           std::numeric_limits<double>::quiet_NaN());
+
+  for (const Event& e : events) {
+    if (e.time > c.makespan) c.makespan = e.time;
+    switch (e.kind) {
+      case EventKind::kReady:
+        ++c.tasks_ready;
+        break;
+      case EventKind::kStart:
+        if (e.worker >= 0) open[static_cast<std::size_t>(e.worker)] = e.time;
+        break;
+      case EventKind::kComplete:
+      case EventKind::kAbort: {
+        if (e.kind == EventKind::kComplete) {
+          ++c.tasks_completed;
+        } else {
+          ++c.aborts;
+        }
+        if (e.worker < 0) break;
+        double& started = open[static_cast<std::size_t>(e.worker)];
+        if (std::isnan(started)) break;  // unpaired (merged/partial stream)
+        const auto r =
+            static_cast<std::size_t>(platform.type_of(e.worker));
+        (e.kind == EventKind::kComplete ? c.busy_time : c.aborted_time)[r] +=
+            e.time - started;
+        started = std::numeric_limits<double>::quiet_NaN();
+        break;
+      }
+      case EventKind::kSpoliateAttempt:
+        ++c.spoliation_attempts;
+        break;
+      case EventKind::kSpoliateSkip:
+        ++c.spoliation_skips;
+        break;
+      case EventKind::kSpoliateCommit:
+        ++c.spoliation_commits;
+        break;
+      case EventKind::kQueueDepth:
+        if (static_cast<long long>(e.value) > c.peak_ready_depth) {
+          c.peak_ready_depth = static_cast<long long>(e.value);
+        }
+        break;
+      case EventKind::kIdleBegin:
+        break;
+      case EventKind::kIdleEnd:
+        ++c.idle_intervals;
+        break;
+      case EventKind::kBoundViolation:
+        ++c.bound_violations;
+        break;
+    }
+  }
+
+  for (Resource r : {Resource::kCpu, Resource::kGpu}) {
+    const auto i = static_cast<std::size_t>(r);
+    const double capacity = platform.count(r) * c.makespan;
+    // Aborted work counts as idle, per the §6.2 footnote (and matching
+    // ScheduleMetrics::idle_time).
+    c.idle_fraction[i] =
+        capacity > 0.0 ? (capacity - c.busy_time[i]) / capacity : 0.0;
+  }
+  return c;
+}
+
+void CounterRegistry::set(const std::string& name, double value) {
+  for (auto& [key, val] : entries_) {
+    if (key == name) {
+      val = value;
+      return;
+    }
+  }
+  entries_.emplace_back(name, value);
+}
+
+void CounterRegistry::incr(const std::string& name, double delta) {
+  for (auto& [key, val] : entries_) {
+    if (key == name) {
+      val += delta;
+      return;
+    }
+  }
+  entries_.emplace_back(name, delta);
+}
+
+double CounterRegistry::get(const std::string& name) const noexcept {
+  for (const auto& [key, val] : entries_) {
+    if (key == name) return val;
+  }
+  return 0.0;
+}
+
+bool CounterRegistry::contains(const std::string& name) const noexcept {
+  for (const auto& [key, val] : entries_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::string CounterRegistry::to_string() const {
+  util::Table table({"counter", "value"}, 6);
+  for (const auto& [name, value] : entries_) {
+    auto& row = table.row().cell(name);
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+      row.cell(static_cast<long long>(value));
+    } else {
+      row.cell(value);
+    }
+  }
+  std::ostringstream oss;
+  table.print(oss);
+  return oss.str();
+}
+
+CounterRegistry registry_from(const SchedulerCounters& c) {
+  CounterRegistry reg;
+  reg.set("tasks_ready", static_cast<double>(c.tasks_ready));
+  reg.set("tasks_completed", static_cast<double>(c.tasks_completed));
+  reg.set("spoliation_attempts", static_cast<double>(c.spoliation_attempts));
+  reg.set("spoliation_commits", static_cast<double>(c.spoliation_commits));
+  reg.set("spoliation_skips", static_cast<double>(c.spoliation_skips));
+  reg.set("aborts", static_cast<double>(c.aborts));
+  reg.set("bound_violations", static_cast<double>(c.bound_violations));
+  reg.set("peak_ready_depth", static_cast<double>(c.peak_ready_depth));
+  reg.set("idle_intervals", static_cast<double>(c.idle_intervals));
+  reg.set("cpu_busy_time", c.busy_time[0]);
+  reg.set("gpu_busy_time", c.busy_time[1]);
+  reg.set("cpu_aborted_time", c.aborted_time[0]);
+  reg.set("gpu_aborted_time", c.aborted_time[1]);
+  reg.set("cpu_idle_fraction", c.idle_fraction[0]);
+  reg.set("gpu_idle_fraction", c.idle_fraction[1]);
+  reg.set("makespan", c.makespan);
+  return reg;
+}
+
+}  // namespace hp::obs

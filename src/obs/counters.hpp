@@ -1,0 +1,74 @@
+#pragma once
+// Counter/gauge registry derived from an event stream.
+//
+// SchedulerCounters is the fixed set of counters the evaluation cares about
+// (§6.2 reasons about idle time, spoliation behaviour and queue pressure);
+// CounterRegistry is the generic named view used by the CLI report and the
+// bench JSON, so new counters can be surfaced without touching consumers.
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace hp::obs {
+
+/// Aggregate counters of one scheduler run, derived from its event stream.
+struct SchedulerCounters {
+  long long tasks_ready = 0;
+  long long tasks_completed = 0;
+  long long spoliation_attempts = 0;  ///< idle scans that looked for a victim
+  long long spoliation_commits = 0;   ///< scans that stole a task
+  long long spoliation_skips = 0;     ///< scans skipped (no possible victim)
+  long long aborts = 0;               ///< partial executions killed
+  long long bound_violations = 0;     ///< watchdog exceedance events
+  long long peak_ready_depth = 0;     ///< max ready-queue depth sample
+  long long idle_intervals = 0;       ///< completed idle intervals (kIdleEnd)
+  double busy_time[2] = {0.0, 0.0};     ///< completed work per resource type
+  double aborted_time[2] = {0.0, 0.0};  ///< work lost to spoliation
+  double idle_fraction[2] = {0.0, 0.0};  ///< idle / (count * makespan);
+                                         ///< aborted work counts as idle,
+                                         ///< matching ScheduleMetrics
+  double makespan = 0.0;  ///< latest event time
+
+  friend bool operator==(const SchedulerCounters&,
+                         const SchedulerCounters&) = default;
+};
+
+/// Derive all counters from a run's events. Start/complete/abort pairing is
+/// per worker; the stream must be a single run's (time-ordered, balanced).
+[[nodiscard]] SchedulerCounters counters_from_events(
+    std::span<const Event> events, const Platform& platform);
+
+/// Ordered name -> value registry (insertion order preserved, so reports
+/// are stable). Values are doubles; integral counters print without
+/// decimals.
+class CounterRegistry {
+ public:
+  /// Set `name` to `value`, creating it if needed.
+  void set(const std::string& name, double value);
+  /// Add `delta` to `name` (creates at 0 first).
+  void incr(const std::string& name, double delta = 1.0);
+  /// Value of `name`, or 0 if absent.
+  [[nodiscard]] double get(const std::string& name) const noexcept;
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  /// Two-column text table ("counter  value") for terminal reports.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Registry view of the fixed counters (names are the glossary of
+/// docs/observability.md: "spoliation_attempts", "cpu_idle_fraction", ...).
+[[nodiscard]] CounterRegistry registry_from(const SchedulerCounters& counters);
+
+}  // namespace hp::obs

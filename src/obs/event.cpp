@@ -1,0 +1,33 @@
+#include "obs/event.hpp"
+
+#include <cstring>
+
+namespace hp::obs {
+
+namespace {
+constexpr const char* kKindNames[kNumEventKinds] = {
+    "ready",           "start",
+    "complete",        "abort",
+    "spoliate-attempt", "spoliate-skip",
+    "spoliate-commit", "queue-depth",
+    "idle-begin",      "idle-end",
+    "bound-violation",
+};
+}  // namespace
+
+const char* event_kind_name(EventKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kNumEventKinds ? kKindNames[i] : "?";
+}
+
+bool event_kind_from_name(const char* name, EventKind* out) noexcept {
+  for (std::size_t i = 0; i < kNumEventKinds; ++i) {
+    if (std::strcmp(name, kKindNames[i]) == 0) {
+      *out = static_cast<EventKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,160 @@
+#pragma once
+// Typed scheduler events — the core of the observability layer.
+//
+// Schedulers emit Events into an EventSink as decisions happen: a task
+// becomes ready, starts, completes, is aborted by spoliation; an idle scan
+// is attempted, skipped or commits a victim; the ready-queue depth changes;
+// a worker enters or leaves an idle interval; the bound watchdog detects a
+// makespan above the paper's proven approximation ratio.
+//
+// The hot-path contract is zero overhead when disabled: schedulers emit
+// through a Probe, a pointer-sized wrapper whose emit methods reduce to a
+// single null test (and compile to nothing entirely under -DHP_OBS_OFF).
+// sim::TimelineLog implements EventSink, so the pre-existing human-readable
+// log is one sink among others rather than a parallel mechanism.
+
+#include <cstdint>
+
+#include "model/platform.hpp"
+#include "model/task.hpp"
+
+namespace hp::obs {
+
+enum class EventKind : std::uint8_t {
+  kReady,            ///< task entered the ready queue
+  kStart,            ///< task started on `worker`
+  kComplete,         ///< task completed on `worker`
+  kAbort,            ///< task's partial execution on `worker` was killed
+  kSpoliateAttempt,  ///< idle `worker` scanned the other resource for a victim
+  kSpoliateSkip,     ///< scan skipped outright (other resource fully idle)
+  kSpoliateCommit,   ///< `worker` stole `task` from `victim`
+  kQueueDepth,       ///< ready-queue depth sample; depth in `value`
+  kIdleBegin,        ///< `worker` became idle
+  kIdleEnd,          ///< `worker` got work; idle-interval length in `value`
+  kBoundViolation,   ///< makespan/lower-bound ratio in `value` exceeds the
+                     ///< proven bound for the platform shape
+};
+
+inline constexpr std::size_t kNumEventKinds =
+    static_cast<std::size_t>(EventKind::kBoundViolation) + 1;
+
+/// Printable name, e.g. "spoliate-commit".
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+
+/// Inverse of event_kind_name; false if `name` is unknown.
+[[nodiscard]] bool event_kind_from_name(const char* name,
+                                        EventKind* out) noexcept;
+
+/// One scheduler event. Fields not meaningful for a kind stay at their
+/// defaults (task/worker/victim -1, value 0).
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kReady;
+  TaskId task = kInvalidTask;
+  WorkerId worker = -1;
+  WorkerId victim = -1;  ///< kSpoliateCommit: worker losing the task
+  double value = 0.0;    ///< kQueueDepth: depth; kIdleEnd: idle length;
+                         ///< kBoundViolation: measured ratio
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Consumer of scheduler events. Implementations must tolerate events
+/// arriving in simulation-time order per run (monotone non-decreasing).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Forwards every event to up to two downstream sinks (scheduler sink plus
+/// legacy TimelineLog, typically). Null slots are skipped.
+class FanoutSink final : public EventSink {
+ public:
+  FanoutSink() = default;
+  FanoutSink(EventSink* a, EventSink* b) : a_(a), b_(b) {}
+
+  void on_event(const Event& event) override {
+    if (a_ != nullptr) a_->on_event(event);
+    if (b_ != nullptr) b_->on_event(event);
+  }
+
+ private:
+  EventSink* a_ = nullptr;
+  EventSink* b_ = nullptr;
+};
+
+/// The scheduler-side emitter. Holds a (possibly null) sink; every emit
+/// method is a guarded single call. `if (probe)` lets callers skip even the
+/// argument computation of an emit. Under -DHP_OBS_OFF all methods compile
+/// to nothing, removing the null test from the hot path entirely.
+class Probe {
+ public:
+  Probe() = default;
+  explicit Probe(EventSink* sink) : sink_(sink) {}
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+#ifdef HP_OBS_OFF
+    return false;
+#else
+    return sink_ != nullptr;
+#endif
+  }
+
+  void emit(const Event& event) const {
+#ifdef HP_OBS_OFF
+    (void)event;
+#else
+    if (sink_ != nullptr) sink_->on_event(event);
+#endif
+  }
+
+  void ready(double t, TaskId task) const {
+    emit({.time = t, .kind = EventKind::kReady, .task = task});
+  }
+  void start(double t, TaskId task, WorkerId w) const {
+    emit({.time = t, .kind = EventKind::kStart, .task = task, .worker = w});
+  }
+  void complete(double t, TaskId task, WorkerId w) const {
+    emit({.time = t, .kind = EventKind::kComplete, .task = task, .worker = w});
+  }
+  void abort(double t, TaskId task, WorkerId w) const {
+    emit({.time = t, .kind = EventKind::kAbort, .task = task, .worker = w});
+  }
+  void spoliate_attempt(double t, WorkerId w) const {
+    emit({.time = t, .kind = EventKind::kSpoliateAttempt, .worker = w});
+  }
+  void spoliate_skip(double t, WorkerId w) const {
+    emit({.time = t, .kind = EventKind::kSpoliateSkip, .worker = w});
+  }
+  void spoliate_commit(double t, TaskId task, WorkerId thief,
+                       WorkerId victim) const {
+    emit({.time = t,
+          .kind = EventKind::kSpoliateCommit,
+          .task = task,
+          .worker = thief,
+          .victim = victim});
+  }
+  void queue_depth(double t, std::size_t depth) const {
+    emit({.time = t,
+          .kind = EventKind::kQueueDepth,
+          .value = static_cast<double>(depth)});
+  }
+  void idle_begin(double t, WorkerId w) const {
+    emit({.time = t, .kind = EventKind::kIdleBegin, .worker = w});
+  }
+  void idle_end(double t, WorkerId w, double idle_length) const {
+    emit({.time = t,
+          .kind = EventKind::kIdleEnd,
+          .worker = w,
+          .value = idle_length});
+  }
+  void bound_violation(double t, double ratio) const {
+    emit({.time = t, .kind = EventKind::kBoundViolation, .value = ratio});
+  }
+
+ private:
+  EventSink* sink_ = nullptr;
+};
+
+}  // namespace hp::obs

@@ -1,0 +1,196 @@
+#include "obs/export_chrome.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace hp::obs {
+
+namespace {
+
+/// Slice/marker label for a task-carrying event.
+std::string task_label(TaskId task, std::span<const Task> tasks) {
+  if (task >= 0 && static_cast<std::size_t>(task) < tasks.size()) {
+    return kernel_name(tasks[static_cast<std::size_t>(task)].kind);
+  }
+  return "task " + std::to_string(task);
+}
+
+}  // namespace
+
+std::string chrome_trace_from_events(std::span<const Event> events,
+                                     const Platform& platform,
+                                     std::span<const Task> tasks,
+                                     const ChromeTraceOptions& options) {
+  std::ostringstream oss;
+  oss << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) oss << ',';
+    first = false;
+  };
+  auto ts = [&](double t) { return util::format_double(t * options.time_scale, 3); };
+
+  // Open execution per worker, for pairing starts with completes/aborts.
+  struct OpenSlice {
+    TaskId task = kInvalidTask;
+    double start = 0.0;
+  };
+  std::vector<OpenSlice> open(static_cast<std::size_t>(platform.workers()));
+
+  auto emit_slice = [&](const Event& e, const OpenSlice& slice, bool aborted) {
+    sep();
+    oss << "{\"name\":\"" << task_label(slice.task, tasks)
+        << (aborted ? " (aborted)" : "") << "\",\"cat\":\""
+        << (aborted ? "aborted" : "task") << "\",\"ph\":\"X\",\"pid\":0,"
+        << "\"tid\":" << e.worker << ",\"ts\":" << ts(slice.start)
+        << ",\"dur\":" << ts(e.time - slice.start) << ",\"args\":{\"task\":"
+        << slice.task << "}}";
+  };
+  auto emit_instant = [&](const Event& e, const char* name) {
+    sep();
+    oss << "{\"name\":\"" << name << "\",\"cat\":\"spoliation\",\"ph\":\"i\","
+        << "\"s\":\"t\",\"pid\":0,\"tid\":" << e.worker
+        << ",\"ts\":" << ts(e.time) << ",\"args\":{\"task\":" << e.task;
+    if (e.victim >= 0) oss << ",\"victim\":" << e.victim;
+    oss << "}}";
+  };
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kStart:
+        if (e.worker >= 0) {
+          open[static_cast<std::size_t>(e.worker)] = {e.task, e.time};
+        }
+        break;
+      case EventKind::kComplete:
+      case EventKind::kAbort: {
+        if (e.worker < 0) break;
+        OpenSlice& slice = open[static_cast<std::size_t>(e.worker)];
+        if (slice.task == kInvalidTask) break;  // unpaired
+        emit_slice(e, slice, e.kind == EventKind::kAbort);
+        slice = OpenSlice{};
+        break;
+      }
+      case EventKind::kSpoliateCommit:
+        emit_instant(e, "spoliate-commit");
+        break;
+      case EventKind::kSpoliateAttempt:
+        if (options.attempt_markers) emit_instant(e, "spoliate-attempt");
+        break;
+      case EventKind::kSpoliateSkip:
+        if (options.attempt_markers) emit_instant(e, "spoliate-skip");
+        break;
+      case EventKind::kQueueDepth:
+        if (options.counter_tracks) {
+          sep();
+          oss << "{\"name\":\"ready_queue_depth\",\"cat\":\"counters\","
+              << "\"ph\":\"C\",\"pid\":0,\"ts\":" << ts(e.time)
+              << ",\"args\":{\"depth\":"
+              << util::format_double(e.value, 0) << "}}";
+        }
+        break;
+      case EventKind::kBoundViolation:
+        sep();
+        oss << "{\"name\":\"bound-violation\",\"cat\":\"watchdog\","
+            << "\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"ts\":" << ts(e.time)
+            << ",\"args\":{\"ratio\":" << util::format_double(e.value, 6)
+            << "}}";
+        break;
+      case EventKind::kReady:
+      case EventKind::kIdleBegin:
+      case EventKind::kIdleEnd:
+        // Lifecyle details that would only add noise as trace entries; the
+        // CSV exporter and the counters carry them.
+        break;
+    }
+  }
+
+  // One named track per worker.
+  for (WorkerId w = 0; w < platform.workers(); ++w) {
+    sep();
+    oss << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << w
+        << ",\"args\":{\"name\":\"" << resource_name(platform.type_of(w))
+        << ' ' << w << "\"}}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+bool validate_chrome_trace(const std::string& json_text,
+                           const std::optional<Platform>& platform,
+                           std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+
+  JsonValue doc;
+  std::string parse_error;
+  if (!json_parse(json_text, &doc, &parse_error)) {
+    return fail("not valid JSON: " + parse_error);
+  }
+  if (!doc.is_object()) return fail("document is not an object");
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("missing traceEvents array");
+  }
+
+  std::multiset<double> named_tids;  // tids carrying a thread_name meta
+  std::size_t index = 0;
+  for (const JsonValue& entry : events->as_array()) {
+    const std::string where = "traceEvents[" + std::to_string(index++) + "]";
+    if (!entry.is_object()) return fail(where + " is not an object");
+    const JsonValue* name = entry.find("name");
+    const JsonValue* ph = entry.find("ph");
+    if (name == nullptr || !name->is_string()) {
+      return fail(where + " has no string name");
+    }
+    if (ph == nullptr || !ph->is_string() || ph->as_string().size() != 1) {
+      return fail(where + " has no phase");
+    }
+    const char phase = ph->as_string()[0];
+    const JsonValue* ts_field = entry.find("ts");
+    if (phase != 'M' && (ts_field == nullptr || !ts_field->is_number())) {
+      return fail(where + " has no numeric ts");
+    }
+    if (phase == 'X') {
+      const JsonValue* dur = entry.find("dur");
+      if (dur == nullptr || !dur->is_number() || dur->as_number() < 0.0) {
+        return fail(where + " X slice has no non-negative dur");
+      }
+      const JsonValue* tid = entry.find("tid");
+      if (tid == nullptr || !tid->is_number()) {
+        return fail(where + " X slice has no tid");
+      }
+    }
+    if (phase == 'M' && name->as_string() == "thread_name") {
+      const JsonValue* tid = entry.find("tid");
+      const JsonValue* args = entry.find("args");
+      if (tid == nullptr || !tid->is_number()) {
+        return fail(where + " thread_name has no tid");
+      }
+      if (args == nullptr || args->find("name") == nullptr) {
+        return fail(where + " thread_name has no args.name");
+      }
+      named_tids.insert(tid->as_number());
+    }
+  }
+
+  if (platform.has_value()) {
+    for (WorkerId w = 0; w < platform->workers(); ++w) {
+      const auto count = named_tids.count(static_cast<double>(w));
+      if (count != 1) {
+        return fail("worker " + std::to_string(w) + " has " +
+                    std::to_string(count) + " thread_name records, want 1");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,27 @@
+#pragma once
+// CSV timeseries exporter for scheduler event streams, with an exact
+// round-trip parser (times and values are written with max_digits10
+// significant digits, so emit -> parse -> emit is the identity).
+//
+// Columns: time,kind,task,worker,victim,value — one row per event, in
+// stream order. This is the plotting/diffing companion of the Chrome
+// exporter: trivially loadable in pandas/gnuplot, and the format the
+// round-trip tests rely on.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace hp::obs {
+
+/// Render `events` as a CSV document (header + one row per event).
+[[nodiscard]] std::string csv_from_events(std::span<const Event> events);
+
+/// Parse a document produced by csv_from_events. On failure returns false
+/// and explains (with line number) in `*error`.
+bool events_from_csv(const std::string& text, std::vector<Event>* out,
+                     std::string* error);
+
+}  // namespace hp::obs

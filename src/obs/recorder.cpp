@@ -1,0 +1,21 @@
+#include "obs/recorder.hpp"
+
+namespace hp::obs {
+
+std::size_t EventRecorder::count(EventKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+double EventRecorder::last_time() const noexcept {
+  double t = 0.0;
+  for (const Event& e : events_) {
+    if (e.time > t) t = e.time;
+  }
+  return t;
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,34 @@
+#pragma once
+// In-memory event sink: stores every event in arrival order. The standard
+// way to capture a run for export, counter derivation or test assertions.
+
+#include <span>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace hp::obs {
+
+class EventRecorder final : public EventSink {
+ public:
+  void on_event(const Event& event) override { events_.push_back(event); }
+
+  [[nodiscard]] std::span<const Event> events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+  /// Number of recorded events of one kind.
+  [[nodiscard]] std::size_t count(EventKind kind) const noexcept;
+
+  /// Latest event time (0 for an empty recording). Event streams are
+  /// time-ordered, but this scans anyway so merged recordings stay correct.
+  [[nodiscard]] double last_time() const noexcept;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace hp::obs

@@ -1,0 +1,78 @@
+#include "obs/replay.hpp"
+
+#include <algorithm>
+
+namespace hp::obs {
+
+namespace {
+
+/// Tie rank at equal times: free the worker (abort/complete) before
+/// re-occupying it (start), with markers and ready events in between.
+int tie_rank(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kAbort:
+    case EventKind::kComplete: return 0;
+    case EventKind::kSpoliateCommit: return 1;
+    case EventKind::kReady: return 2;
+    case EventKind::kStart: return 3;
+    default: return 4;
+  }
+}
+
+}  // namespace
+
+std::vector<Event> replay_schedule(const Schedule& schedule,
+                                   const Platform& platform) {
+  (void)platform;  // shape is implicit in worker ids; kept for symmetry
+  std::vector<Event> events;
+  events.reserve(3 * schedule.num_tasks() + 3 * schedule.aborted().size());
+
+  for (std::size_t i = 0; i < schedule.num_tasks(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    const Placement& p = schedule.placement(id);
+    if (!p.placed()) continue;
+    // The decision time is not recorded in a Schedule; the replayed ready
+    // instant is approximated by the start time.
+    events.push_back({.time = p.start, .kind = EventKind::kReady, .task = id});
+    events.push_back(
+        {.time = p.start, .kind = EventKind::kStart, .task = id, .worker = p.worker});
+    events.push_back(
+        {.time = p.end, .kind = EventKind::kComplete, .task = id, .worker = p.worker});
+  }
+  for (const AbortedSegment& a : schedule.aborted()) {
+    events.push_back(
+        {.time = a.start, .kind = EventKind::kStart, .task = a.task, .worker = a.worker});
+    events.push_back({.time = a.abort_time,
+                      .kind = EventKind::kAbort,
+                      .task = a.task,
+                      .worker = a.worker});
+    const Placement& final = schedule.placement(a.task);
+    if (final.placed()) {
+      events.push_back({.time = a.abort_time,
+                        .kind = EventKind::kSpoliateCommit,
+                        .task = a.task,
+                        .worker = final.worker,
+                        .victim = a.worker});
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& x, const Event& y) {
+                     if (x.time != y.time) return x.time < y.time;
+                     const int rx = tie_rank(x.kind);
+                     const int ry = tie_rank(y.kind);
+                     if (rx != ry) return rx < ry;
+                     return x.task < y.task;
+                   });
+  return events;
+}
+
+void replay_schedule_to(const Schedule& schedule, const Platform& platform,
+                        EventSink* sink) {
+  if (sink == nullptr) return;
+  for (const Event& e : replay_schedule(schedule, platform)) {
+    sink->on_event(e);
+  }
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,31 @@
+#pragma once
+// Synthesize an event stream from a finished Schedule.
+//
+// The dynamic schedulers (HeteroPrio) emit events natively as decisions
+// happen; static planners (HEFT, DualHP, DualDP, the online rules) only
+// produce the Schedule artifact. replay_schedule() reconstructs the
+// time-ordered ready/start/abort/spoliate-commit/complete stream from the
+// placements and aborted segments, so every scheduler in the library feeds
+// the same exporters and counters.
+
+#include <span>
+#include <vector>
+
+#include "model/platform.hpp"
+#include "obs/event.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp::obs {
+
+/// Event stream of `schedule`, sorted by time (ties: aborts and completes
+/// before starts, then task id, so per-worker slices pair correctly). A
+/// spoliated task contributes an abort on the victim worker and a
+/// spoliate-commit on the worker of its final placement.
+[[nodiscard]] std::vector<Event> replay_schedule(const Schedule& schedule,
+                                                 const Platform& platform);
+
+/// Convenience: replay into a sink (no-op when `sink` is null).
+void replay_schedule_to(const Schedule& schedule, const Platform& platform,
+                        EventSink* sink);
+
+}  // namespace hp::obs

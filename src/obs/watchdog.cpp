@@ -1,0 +1,81 @@
+#include "obs/watchdog.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/table.hpp"
+#include "worstcase/instances.hpp"
+
+namespace hp::obs {
+
+const char* shape_name(PlatformShape shape) noexcept {
+  switch (shape) {
+    case PlatformShape::kSingleSingle: return "1+1";
+    case PlatformShape::kManyPlusOne: return "m+1";
+    case PlatformShape::kGeneral: return "m+n";
+    case PlatformShape::kHomogeneous: return "homogeneous";
+  }
+  return "?";
+}
+
+PlatformShape platform_shape(const Platform& platform) noexcept {
+  const int m = platform.cpus();
+  const int n = platform.gpus();
+  if (m == 0 || n == 0) return PlatformShape::kHomogeneous;
+  if (m == 1 && n == 1) return PlatformShape::kSingleSingle;
+  if (m == 1 || n == 1) return PlatformShape::kManyPlusOne;
+  return PlatformShape::kGeneral;
+}
+
+double proven_bound(const Platform& platform) noexcept {
+  switch (platform_shape(platform)) {
+    case PlatformShape::kSingleSingle: return kPhi;            // Theorem 7
+    case PlatformShape::kManyPlusOne: return 1.0 + kPhi;       // Theorem 9
+    case PlatformShape::kGeneral: return 2.0 + std::sqrt(2.0); // Theorem 12
+    case PlatformShape::kHomogeneous:
+      // One resource class: HeteroPrio degenerates to list scheduling,
+      // Graham's (2 - 1/w) bound applies.
+      return 2.0 - 1.0 / platform.workers();
+  }
+  return 2.0 + std::sqrt(2.0);
+}
+
+BoundCheck check_makespan_bound(double makespan, double lower_bound,
+                                const Platform& platform,
+                                const WatchdogOptions& options) {
+  BoundCheck check;
+  check.shape = platform_shape(platform);
+  check.bound = proven_bound(platform);
+  check.makespan = makespan;
+  check.lower_bound = lower_bound;
+  check.advisory = options.dag;
+  if (lower_bound > 0.0) {
+    check.ratio = makespan / lower_bound;
+    check.violated = check.ratio > check.bound * (1.0 + options.tolerance);
+  }
+  if (check.violated && options.sink != nullptr) {
+    options.sink->on_event({.time = makespan,
+                            .kind = EventKind::kBoundViolation,
+                            .value = check.ratio});
+  }
+  return check;
+}
+
+BoundCheck check_schedule_bound(const Schedule& schedule, double lower_bound,
+                                const Platform& platform,
+                                const WatchdogOptions& options) {
+  return check_makespan_bound(schedule.makespan(), lower_bound, platform,
+                              options);
+}
+
+std::string describe(const BoundCheck& check) {
+  std::ostringstream oss;
+  oss << "makespan/lower-bound ratio " << util::format_double(check.ratio, 4)
+      << (check.violated ? " EXCEEDS " : " <= ")
+      << util::format_double(check.bound, 4) << " (shape "
+      << shape_name(check.shape) << ')';
+  if (check.advisory) oss << " [advisory: DAG run, theorem covers independent tasks]";
+  return oss.str();
+}
+
+}  // namespace hp::obs

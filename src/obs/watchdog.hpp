@@ -1,0 +1,79 @@
+#pragma once
+// Bound-violation watchdog — the paper's approximation theorems as a
+// runtime assertion.
+//
+// Theorems 7, 9 and 12 prove worst-case makespan ratios for HeteroPrio on
+// independent tasks: phi on (1 CPU, 1 GPU), 1+phi with a single worker on
+// one side, 2+sqrt(2) on general (m, n). The watchdog takes a finished
+// schedule's makespan and a lower bound on the optimal makespan, picks the
+// proven bound for the platform shape, and flags any exceedance as a
+// first-class observability event.
+//
+// Semantics to keep in mind when reading a verdict:
+//   * The check compares against a LOWER BOUND on OPT, not OPT itself. A
+//     tight lower bound (area bound; or a known optimal makespan) makes the
+//     check sharp; a loose one can only make the watchdog fire where the
+//     theorem still holds against true OPT — a violation is therefore a
+//     "investigate this run" signal, and a pass is a proof-consistent run.
+//   * The theorems cover independent tasks. For DAG schedules the verdict
+//     is advisory (`advisory` is set): no constant ratio is proven, but a
+//     DAG run far above 2+sqrt(2) times its lower bound is still worth a
+//     look.
+
+#include "model/platform.hpp"
+#include "obs/event.hpp"
+#include "sched/schedule.hpp"
+
+namespace hp::obs {
+
+/// Platform shapes with distinct proven bounds.
+enum class PlatformShape {
+  kSingleSingle,  ///< (1, 1): phi (Theorem 7)
+  kManyPlusOne,   ///< (m, 1) or (1, n): 1 + phi (Theorem 9)
+  kGeneral,       ///< (m, n), both > 1: 2 + sqrt(2) (Theorem 12)
+  kHomogeneous,   ///< one resource class only: Graham's 2 - 1/w list bound
+};
+
+[[nodiscard]] const char* shape_name(PlatformShape shape) noexcept;
+
+/// Shape of a platform and the paper's proven HeteroPrio ratio for it.
+[[nodiscard]] PlatformShape platform_shape(const Platform& platform) noexcept;
+[[nodiscard]] double proven_bound(const Platform& platform) noexcept;
+
+struct WatchdogOptions {
+  /// Relative slack on the bound: a ratio within bound * (1 + tolerance)
+  /// does not fire (floating-point and lower-bound quantization headroom).
+  double tolerance = 1e-6;
+  /// The schedule came from a DAG run; the theorems do not apply, the
+  /// verdict is advisory.
+  bool dag = false;
+  /// When set, a violation is emitted as an EventKind::kBoundViolation at
+  /// the makespan instant.
+  EventSink* sink = nullptr;
+};
+
+/// Verdict of one check.
+struct BoundCheck {
+  PlatformShape shape = PlatformShape::kGeneral;
+  double bound = 0.0;        ///< proven ratio for the shape
+  double makespan = 0.0;
+  double lower_bound = 0.0;  ///< the caller's lower bound on OPT
+  double ratio = 0.0;        ///< makespan / lower_bound (0 if bound <= 0)
+  bool violated = false;     ///< ratio > bound * (1 + tolerance)
+  bool advisory = false;     ///< DAG run: theorem does not formally apply
+};
+
+/// Check a makespan against the proven bound for `platform`'s shape.
+[[nodiscard]] BoundCheck check_makespan_bound(
+    double makespan, double lower_bound, const Platform& platform,
+    const WatchdogOptions& options = {});
+
+/// Convenience overload on a finished schedule.
+[[nodiscard]] BoundCheck check_schedule_bound(
+    const Schedule& schedule, double lower_bound, const Platform& platform,
+    const WatchdogOptions& options = {});
+
+/// One-line human-readable verdict ("ratio 1.42 <= 3.41 (2+sqrt(2), m+n) ok").
+[[nodiscard]] std::string describe(const BoundCheck& check);
+
+}  // namespace hp::obs

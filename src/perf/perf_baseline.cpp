@@ -14,6 +14,7 @@
 #include "core/heteroprio.hpp"
 #include "core/heteroprio_ref.hpp"
 #include "model/generators.hpp"
+#include "obs/recorder.hpp"
 #include "sweep/dag_sweep.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -171,6 +172,22 @@ PerfBaseline run_perf_baseline(const PerfBaselineOptions& options) {
     out.speedup_vs_reference = hp_best_rate / ref_best_rate;
   }
 
+  if (largest_n != 0) {
+    // One untimed instrumented run: the counters travel with the throughput
+    // numbers they describe, without perturbing the timed loops above.
+    const Instance inst = make_instance(largest_n);
+    obs::EventRecorder recorder;
+    HeteroPrioOptions hp_options;
+    hp_options.sink = &recorder;
+    (void)heteroprio(inst.tasks(), options.platform, hp_options);
+    out.counters_n = largest_n;
+    out.counters = obs::counters_from_events(recorder.events(),
+                                             options.platform);
+    note("counters n=" + std::to_string(largest_n) + ": " +
+         std::to_string(out.counters.spoliation_commits) + " spoliations, " +
+         std::to_string(out.counters.peak_ready_depth) + " peak ready depth");
+  }
+
   if (options.include_sweep) {
     bench::SweepOptions sweep;
     sweep.platform = options.platform;
@@ -210,6 +227,18 @@ std::string perf_baseline_to_json(const PerfBaseline& baseline) {
     out << ",\n  \"sweep\": {\"rows\": " << baseline.sweep_rows
         << ", \"threads\": " << baseline.sweep_threads
         << ", \"wall_seconds\": " << baseline.sweep_wall_seconds << "}";
+  }
+  if (baseline.counters_n != 0) {
+    const obs::SchedulerCounters& c = baseline.counters;
+    out << ",\n  \"counters\": {\"n\": " << baseline.counters_n
+        << ", \"tasks_completed\": " << c.tasks_completed
+        << ", \"spoliation_attempts\": " << c.spoliation_attempts
+        << ", \"spoliation_commits\": " << c.spoliation_commits
+        << ", \"spoliation_skips\": " << c.spoliation_skips
+        << ", \"aborts\": " << c.aborts
+        << ", \"peak_ready_depth\": " << c.peak_ready_depth
+        << ", \"cpu_idle_fraction\": " << c.idle_fraction[0]
+        << ", \"gpu_idle_fraction\": " << c.idle_fraction[1] << "}";
   }
   out << "\n}\n";
   return out.str();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "model/platform.hpp"
+#include "obs/counters.hpp"
 
 namespace hp::perf {
 
@@ -49,6 +50,12 @@ struct PerfBaseline {
   double sweep_wall_seconds = -1.0;
   int sweep_rows = 0;
   int sweep_threads = 0;
+  /// Scheduler counters of one instrumented (untimed) HeteroPrio run at the
+  /// largest measured n — spoliation behaviour and idle fractions of the
+  /// exact workload the throughput numbers describe. counters_n == 0 when
+  /// no sizes were measured.
+  std::size_t counters_n = 0;
+  obs::SchedulerCounters counters{};
 };
 
 /// Run all measurements. Deterministic instances (seeded from n), wall-clock

@@ -4,7 +4,9 @@
 
 #include "baselines/dualhp.hpp"
 #include "baselines/heft.hpp"
+#include "bounds/dag_lower_bound.hpp"
 #include "core/heteroprio_dag.hpp"
+#include "obs/replay.hpp"
 #include "sched/executor.hpp"
 
 namespace hp::runtime {
@@ -82,6 +84,7 @@ double StfRuntime::run() {
     case SchedulerPolicy::kHeteroPrio: {
       HeteroPrioOptions hp_options;
       hp_options.actual_times = actuals_;
+      hp_options.sink = options_.sink;
       schedule_ = heteroprio_dag(graph_, platform_, hp_options, &stats_);
       break;
     }
@@ -91,6 +94,8 @@ double StfRuntime::run() {
           options_.rank == RankScheme::kFifo ? RankScheme::kAvg : options_.rank;
       const Schedule plan = heft(graph_, platform_, heft_options);
       schedule_ = execute_static_plan(plan, graph_, platform_, actuals_);
+      // Replay the *realized* schedule, not the estimate-time plan.
+      obs::replay_schedule_to(schedule_, platform_, options_.sink);
       break;
     }
     case SchedulerPolicy::kDualHp: {
@@ -98,10 +103,22 @@ double StfRuntime::run() {
       dual_options.fifo_order = options_.rank == RankScheme::kFifo;
       const Schedule plan = dualhp_dag(graph_, platform_, dual_options);
       schedule_ = execute_static_plan(plan, graph_, platform_, actuals_);
+      obs::replay_schedule_to(schedule_, platform_, options_.sink);
       break;
     }
   }
   ran_ = true;
+
+  bound_check_ = obs::BoundCheck{};
+  if (options_.check_bounds) {
+    // The lower bound uses the estimate-time graph; with noisy actuals the
+    // verdict is doubly advisory (DAG run + approximate bound).
+    obs::WatchdogOptions wd;
+    wd.dag = true;
+    wd.sink = options_.sink;
+    bound_check_ = obs::check_schedule_bound(
+        schedule_, dag_lower_bound(graph_, platform_).value(), platform_, wd);
+  }
   return schedule_.makespan();
 }
 

@@ -24,6 +24,8 @@
 #include "dag/ranking.hpp"
 #include "dag/task_graph.hpp"
 #include "model/platform.hpp"
+#include "obs/event.hpp"
+#include "obs/watchdog.hpp"
 #include "runtime/data.hpp"
 #include "sched/schedule.hpp"
 #include "util/rng.hpp"
@@ -46,6 +48,13 @@ struct RuntimeOptions {
   /// 0 = estimates are exact.
   double noise_sigma = 0.0;
   std::uint64_t noise_seed = 1;
+  /// Structured event stream of the run: HeteroPrio emits natively as
+  /// decisions happen; static policies replay the realized schedule.
+  obs::EventSink* sink = nullptr;
+  /// Run the bound watchdog after the run: compares the realized makespan
+  /// against dag_lower_bound times the proven ratio for the platform shape
+  /// (advisory for DAGs — see obs/watchdog.hpp). Result via bound_check().
+  bool check_bounds = false;
 };
 
 class StfRuntime {
@@ -78,6 +87,11 @@ class StfRuntime {
   }
   /// HeteroPrio statistics of the last run() (zero for static policies).
   [[nodiscard]] const HeteroPrioStats& stats() const noexcept { return stats_; }
+  /// Watchdog verdict of the last run() (only meaningful when
+  /// options.check_bounds was set).
+  [[nodiscard]] const obs::BoundCheck& bound_check() const noexcept {
+    return bound_check_;
+  }
 
  private:
   struct DataState {
@@ -93,6 +107,7 @@ class StfRuntime {
   std::vector<Task> actuals_;
   Schedule schedule_;
   HeteroPrioStats stats_;
+  obs::BoundCheck bound_check_;
   bool ran_ = false;
 };
 

@@ -10,9 +10,14 @@ namespace hp {
 
 namespace {
 char task_letter(TaskId id) {
+  // 62 letters + digits, with the alphabet rotated by one on each wrap
+  // (index = id + id/62): consecutive ids always differ, and so do ids a
+  // plain modulus would alias (id and id+62 land one position apart). Only
+  // ids 62*63 = 3906 apart repeat a glyph.
   constexpr const char* kAlphabet =
-      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
-  return kAlphabet[static_cast<std::size_t>(id) % 52];
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const auto i = static_cast<std::size_t>(id);
+  return kAlphabet[(i + i / 62) % 62];
 }
 }  // namespace
 

@@ -40,6 +40,22 @@ ScheduleMetrics compute_metrics(const Schedule& schedule,
       cpu_q > 0.0 ? cpu_p / cpu_q : std::numeric_limits<double>::quiet_NaN();
   m.gpu.equivalent_accel =
       gpu_q > 0.0 ? gpu_p / gpu_q : std::numeric_limits<double>::quiet_NaN();
+
+  // The schedule-derivable subset of the observability counters; event-level
+  // ones (attempts, skips, queue depth) need a live sink and stay 0 here.
+  obs::SchedulerCounters& c = m.counters;
+  c.tasks_ready = c.tasks_completed =
+      m.cpu.tasks_completed + m.gpu.tasks_completed;
+  c.aborts = static_cast<long long>(schedule.aborted().size());
+  c.spoliation_commits = static_cast<long long>(schedule.spoliation_count());
+  c.makespan = m.makespan;
+  for (const Resource r : {Resource::kCpu, Resource::kGpu}) {
+    const auto idx = static_cast<std::size_t>(r);
+    c.busy_time[idx] = m.of(r).busy_time;
+    c.aborted_time[idx] = m.of(r).aborted_time;
+    const double capacity = platform.count(r) * m.makespan;
+    c.idle_fraction[idx] = capacity > 0.0 ? m.of(r).idle_time / capacity : 0.0;
+  }
   return m;
 }
 

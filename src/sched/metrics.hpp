@@ -5,6 +5,7 @@
 
 #include "model/instance.hpp"
 #include "model/platform.hpp"
+#include "obs/counters.hpp"
 #include "sched/schedule.hpp"
 
 namespace hp {
@@ -25,6 +26,11 @@ struct ScheduleMetrics {
   double makespan = 0.0;
   ResourceMetrics cpu;
   ResourceMetrics gpu;
+  /// Scheduler counters (spoliation attempts/skips, queue pressure, idle
+  /// fractions). compute_metrics fills the schedule-derivable subset; runs
+  /// with a live event stream overwrite it with counters_from_events for
+  /// the full set.
+  obs::SchedulerCounters counters{};
 
   [[nodiscard]] const ResourceMetrics& of(Resource r) const noexcept {
     return r == Resource::kCpu ? cpu : gpu;

@@ -10,6 +10,7 @@
 
 #include "model/platform.hpp"
 #include "model/task.hpp"
+#include "obs/event.hpp"
 
 namespace hp::sim {
 
@@ -23,7 +24,7 @@ struct TraceEntry {
   WorkerId victim_worker;  ///< for kSpoliate: the worker losing the task
 };
 
-class TimelineLog {
+class TimelineLog : public obs::EventSink {
  public:
   /// When disabled, record() is a no-op; schedulers can always call it.
   explicit TimelineLog(bool enabled = false) : enabled_(enabled) {}
@@ -32,6 +33,29 @@ class TimelineLog {
               WorkerId victim_worker = -1) {
     if (!enabled_) return;
     entries_.push_back({time, kind, task, worker, victim_worker});
+  }
+
+  /// EventSink: project the typed stream onto the legacy entries. Only the
+  /// kinds this log has always rendered are kept (start / complete / abort
+  /// and committed spoliations); attempts, queue depths and idle intervals
+  /// pass through silently.
+  void on_event(const obs::Event& e) override {
+    switch (e.kind) {
+      case obs::EventKind::kStart:
+        record(e.time, TraceKind::kStart, e.task, e.worker);
+        break;
+      case obs::EventKind::kComplete:
+        record(e.time, TraceKind::kComplete, e.task, e.worker);
+        break;
+      case obs::EventKind::kAbort:
+        record(e.time, TraceKind::kAbort, e.task, e.worker);
+        break;
+      case obs::EventKind::kSpoliateCommit:
+        record(e.time, TraceKind::kSpoliate, e.task, e.worker, e.victim);
+        break;
+      default:
+        break;
+    }
   }
 
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }

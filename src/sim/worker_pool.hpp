@@ -11,6 +11,7 @@
 
 #include "model/platform.hpp"
 #include "model/task.hpp"
+#include "obs/event.hpp"
 
 namespace hp::sim {
 
@@ -25,9 +26,16 @@ class WorkerPool {
  public:
   explicit WorkerPool(const Platform& platform)
       : platform_(platform),
-        running_(static_cast<std::size_t>(platform.workers())) {}
+        running_(static_cast<std::size_t>(platform.workers())),
+        idle_since_(static_cast<std::size_t>(platform.workers()), 0.0) {}
 
   [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
+
+  /// Attach an event sink; the pool then emits idle-interval events: an
+  /// idle-end on every start (with the interval length in `value`) and an
+  /// idle-begin on every release. Workers begin idle at t = 0; that first
+  /// interval has no explicit begin event.
+  void attach_sink(obs::EventSink* sink) noexcept { probe_ = obs::Probe(sink); }
 
   [[nodiscard]] bool busy(WorkerId w) const noexcept {
     return running_[static_cast<std::size_t>(w)].task != kInvalidTask;
@@ -47,17 +55,30 @@ class WorkerPool {
     r.finish = now + duration;
     ++busy_count_;
     ++busy_by_type_[static_cast<std::size_t>(platform_.type_of(w))];
+    if (probe_) {
+      probe_.idle_end(now, w, now - idle_since_[static_cast<std::size_t>(w)]);
+    }
     return r.finish;
   }
 
-  /// Mark worker `w` idle (task completed or aborted). Returns what ran.
+  /// Mark worker `w` idle at the task's expected finish time (normal
+  /// completion). Returns what ran.
   Running release(WorkerId w) {
+    assert(busy(w));
+    return release_at(w, running_[static_cast<std::size_t>(w)].finish);
+  }
+
+  /// Mark worker `w` idle at an explicit instant (a spoliation abort frees
+  /// the victim before its finish time). Returns what ran.
+  Running release_at(WorkerId w, double now) {
     assert(busy(w));
     auto& r = running_[static_cast<std::size_t>(w)];
     Running out = r;
     r = Running{};
     --busy_count_;
     --busy_by_type_[static_cast<std::size_t>(platform_.type_of(w))];
+    idle_since_[static_cast<std::size_t>(w)] = now;
+    if (probe_) probe_.idle_begin(now, w);
     return out;
   }
 
@@ -88,6 +109,8 @@ class WorkerPool {
  private:
   Platform platform_;
   std::vector<Running> running_;
+  std::vector<double> idle_since_;
+  obs::Probe probe_;
   int busy_count_ = 0;
   int busy_by_type_[2] = {0, 0};
 };

@@ -2,8 +2,11 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
+#include "obs/export_chrome.hpp"
+#include "obs/recorder.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -60,6 +63,10 @@ std::vector<SweepRow> run_sweep_cell(const std::string& kernel, int tiles,
     record("HeteroPrio-" + suffix,
            heteroprio_dag(graph, options.platform, {}, &stats),
            stats.spoliations);
+    // compute_metrics only sees the schedule; graft the event-level
+    // spoliation counters the engine tracked.
+    rows.back().metrics.counters.spoliation_attempts = stats.spoliation_attempts;
+    rows.back().metrics.counters.spoliation_skips = stats.spoliation_skips;
     record("HEFT-" + suffix, heft(graph, options.platform, {.rank = scheme}),
            0);
     record("DualHP-" + suffix, dualhp_dag(graph, options.platform), 0);
@@ -133,12 +140,38 @@ bool maybe_write_sweep_csv(const std::vector<SweepRow>& rows,
   return true;
 }
 
+bool maybe_write_sweep_trace(const SweepOptions& options) {
+  if (options.trace_path.empty()) return false;
+  const std::string& kernel = options.kernels.front();
+  const int tiles =
+      options.tile_counts.empty() ? 16 : options.tile_counts.back();
+  TaskGraph graph = build_kernel(kernel, tiles);
+  assign_priorities(graph, RankScheme::kMin);
+  obs::EventRecorder recorder;
+  HeteroPrioOptions hp_options;
+  hp_options.sink = &recorder;
+  (void)heteroprio_dag(graph, options.platform, hp_options);
+
+  std::ofstream out(options.trace_path);
+  if (!out) {
+    std::cerr << "[sweep] cannot write " << options.trace_path << '\n';
+    return false;
+  }
+  out << obs::chrome_trace_from_events(recorder.events(), options.platform,
+                                       graph.tasks());
+  std::cerr << "[sweep] wrote trace " << options.trace_path << " (" << kernel
+            << " N=" << tiles << ", " << recorder.size() << " events)\n";
+  return true;
+}
+
 SweepOptions sweep_options_from_args(int argc, char** argv) {
   SweepOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "cholesky" || arg == "qr" || arg == "lu") {
       options.kernels = {arg};
+    } else if (arg == "--trace" && i + 1 < argc) {
+      options.trace_path = argv[++i];
     } else if (arg == "serial") {
       options.threads = 1;
     } else if (arg.rfind("-j", 0) == 0) {

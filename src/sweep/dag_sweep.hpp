@@ -38,6 +38,9 @@ struct SweepOptions {
   /// Worker threads for the cell fan-out: 1 = serial (reference path),
   /// <= 0 = all hardware threads, otherwise the given count.
   int threads = 0;
+  /// `--trace FILE`: write a Chrome trace-event JSON of one representative
+  /// HeteroPrio cell (first kernel, largest tile count) to FILE.
+  std::string trace_path;
 };
 
 /// Run the sweep; one row per (kernel, tiles, algorithm), in grid order
@@ -55,5 +58,11 @@ struct SweepOptions {
 /// Returns true if a file was written.
 bool maybe_write_sweep_csv(const std::vector<SweepRow>& rows,
                            const std::string& name);
+
+/// If SweepOptions::trace_path is set, re-run the representative cell
+/// (first kernel, largest tile count) under HeteroPrio-min with a live
+/// event recorder and write the Chrome trace-event JSON (Perfetto-loadable)
+/// to that path. Returns true if a file was written.
+bool maybe_write_sweep_trace(const SweepOptions& options);
 
 }  // namespace hp::bench

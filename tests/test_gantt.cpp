@@ -45,5 +45,25 @@ TEST(Gantt, TaskLettersAppear) {
   EXPECT_NE(out.find('b'), std::string::npos);
 }
 
+TEST(Gantt, LetterCyclingKeepsAdjacentTasksDistinct) {
+  // Task ids 52 apart collided under the old 52-letter modulus; ids 62
+  // apart would collide under a plain 62-glyph modulus. The rotating
+  // alphabet keeps both pairs distinct.
+  const Platform platform(1, 0);
+  for (const int delta : {52, 62}) {
+    Schedule s(static_cast<std::size_t>(delta) + 1);
+    s.place(0, 0, 0.0, 1.0);
+    s.place(static_cast<TaskId>(delta), 0, 1.0, 2.0);
+    const std::string out = render_gantt(s, platform, {.width = 20});
+    const std::size_t lo = out.find('|');
+    const std::size_t hi = out.rfind('|');
+    ASSERT_NE(lo, std::string::npos);
+    const std::string row = out.substr(lo + 1, hi - lo - 1);
+    ASSERT_EQ(row.size(), 20u);
+    EXPECT_NE(row[2], row[17]) << "ids 0 and " << delta
+                               << " render with the same glyph";
+  }
+}
+
 }  // namespace
 }  // namespace hp

@@ -1,0 +1,118 @@
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/heteroprio.hpp"
+#include "obs/recorder.hpp"
+#include "worstcase/instances.hpp"
+
+namespace hp {
+namespace {
+
+using obs::PlatformShape;
+
+TEST(ObsWatchdog, ShapeAndBoundTable) {
+  EXPECT_EQ(obs::platform_shape(Platform(1, 1)), PlatformShape::kSingleSingle);
+  EXPECT_EQ(obs::platform_shape(Platform(3, 1)), PlatformShape::kManyPlusOne);
+  EXPECT_EQ(obs::platform_shape(Platform(1, 4)), PlatformShape::kManyPlusOne);
+  EXPECT_EQ(obs::platform_shape(Platform(3, 2)), PlatformShape::kGeneral);
+  EXPECT_EQ(obs::platform_shape(Platform(4, 0)), PlatformShape::kHomogeneous);
+  EXPECT_EQ(obs::platform_shape(Platform(0, 3)), PlatformShape::kHomogeneous);
+
+  EXPECT_DOUBLE_EQ(obs::proven_bound(Platform(1, 1)), kPhi);          // Thm 7
+  EXPECT_DOUBLE_EQ(obs::proven_bound(Platform(3, 1)), 1.0 + kPhi);    // Thm 9
+  EXPECT_DOUBLE_EQ(obs::proven_bound(Platform(1, 4)), 1.0 + kPhi);
+  EXPECT_DOUBLE_EQ(obs::proven_bound(Platform(3, 2)),
+                   2.0 + std::sqrt(2.0));                             // Thm 12
+  EXPECT_DOUBLE_EQ(obs::proven_bound(Platform(4, 0)), 2.0 - 1.0 / 4.0);
+}
+
+TEST(ObsWatchdog, FiresOnAViolatingMakespan) {
+  obs::EventRecorder rec;
+  obs::WatchdogOptions options;
+  options.sink = &rec;
+  const obs::BoundCheck check =
+      obs::check_makespan_bound(10.0, 1.0, Platform(1, 1), options);
+  EXPECT_TRUE(check.violated);
+  EXPECT_FALSE(check.advisory);
+  EXPECT_DOUBLE_EQ(check.ratio, 10.0);
+  EXPECT_DOUBLE_EQ(check.bound, kPhi);
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec.events()[0].kind, obs::EventKind::kBoundViolation);
+  EXPECT_DOUBLE_EQ(rec.events()[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(rec.events()[0].time, 10.0);
+}
+
+TEST(ObsWatchdog, SilentAtOrBelowTheBound) {
+  obs::EventRecorder rec;
+  obs::WatchdogOptions options;
+  options.sink = &rec;
+  // Exactly at the bound: the tolerance absorbs float noise.
+  EXPECT_FALSE(
+      obs::check_makespan_bound(kPhi, 1.0, Platform(1, 1), options).violated);
+  EXPECT_FALSE(
+      obs::check_makespan_bound(1.2, 1.0, Platform(1, 1), options).violated);
+  EXPECT_TRUE(rec.empty());
+}
+
+TEST(ObsWatchdog, NonPositiveLowerBoundNeverFires) {
+  const obs::BoundCheck check =
+      obs::check_makespan_bound(5.0, 0.0, Platform(2, 2));
+  EXPECT_FALSE(check.violated);
+  EXPECT_DOUBLE_EQ(check.ratio, 0.0);
+}
+
+TEST(ObsWatchdog, DagVerdictIsAdvisory) {
+  obs::WatchdogOptions options;
+  options.dag = true;
+  const obs::BoundCheck check =
+      obs::check_makespan_bound(100.0, 1.0, Platform(2, 2), options);
+  EXPECT_TRUE(check.violated);
+  EXPECT_TRUE(check.advisory);
+  EXPECT_NE(obs::describe(check).find("advisory"), std::string::npos);
+}
+
+TEST(ObsWatchdog, DescribeNamesTheShape) {
+  const obs::BoundCheck check =
+      obs::check_makespan_bound(1.0, 1.0, Platform(3, 2));
+  const std::string line = obs::describe(check);
+  EXPECT_NE(line.find("m+n"), std::string::npos);
+}
+
+// The adversarial instances realize the worst proven ratios; HeteroPrio on
+// them must still stay within the theorems' bounds when checked against the
+// constructed optimum (the sharpest possible lower bound).
+TEST(ObsWatchdog, SilentOnTheorem8WorstCase) {
+  const WorstCaseInstance wc = theorem8_instance();
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  const obs::BoundCheck check =
+      obs::check_schedule_bound(s, wc.optimal_makespan, wc.platform);
+  EXPECT_FALSE(check.violated) << obs::describe(check);
+  EXPECT_EQ(check.shape, PlatformShape::kSingleSingle);
+  // The family attains the bound: the measured ratio is close to phi.
+  EXPECT_NEAR(check.ratio, kPhi, 0.05);
+}
+
+TEST(ObsWatchdog, SilentOnTheorem11WorstCase) {
+  const WorstCaseInstance wc = theorem11_instance(4, 8);
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  const obs::BoundCheck check =
+      obs::check_schedule_bound(s, wc.optimal_makespan, wc.platform);
+  EXPECT_FALSE(check.violated) << obs::describe(check);
+  EXPECT_EQ(check.shape, PlatformShape::kManyPlusOne);
+  EXPECT_GT(check.ratio, 1.5);  // adversarial, well above trivial
+}
+
+TEST(ObsWatchdog, SilentOnTheorem14WorstCase) {
+  const WorstCaseInstance wc = theorem14_instance(1);
+  const Schedule s = heteroprio(wc.instance.tasks(), wc.platform);
+  const obs::BoundCheck check =
+      obs::check_schedule_bound(s, wc.optimal_makespan, wc.platform);
+  EXPECT_FALSE(check.violated) << obs::describe(check);
+  EXPECT_EQ(check.shape, PlatformShape::kGeneral);
+}
+
+}  // namespace
+}  // namespace hp

@@ -4,13 +4,17 @@
 //   hp_sched bound    --in chol16.hpg --cpus 20 --gpus 4
 //   hp_sched schedule --in chol16.hpg --cpus 20 --gpus 4 --algo hp \
 //            [--rank min] [--gantt] [--svg out.svg] [--trace out.json]
+//   hp_sched trace    --in chol16.hpg --cpus 20 --gpus 4 --out out.json \
+//            [--csv out.csv]
+//   hp_sched report   --in chol16.hpg --cpus 20 --gpus 4
 //
 // Files use the text formats of src/io/serialize.hpp: `.hpg` graphs carry
-// "edge" lines; instance files (independent tasks) have none. `schedule`
-// auto-detects which one it got.
+// "edge" lines; instance files (independent tasks) have none. `schedule`,
+// `trace` and `report` auto-detect which one they got.
 
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <vector>
 #include <iostream>
 #include <map>
@@ -29,6 +33,11 @@
 #include "linalg/fmm.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/qr.hpp"
+#include "obs/counters.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/export_csv.hpp"
+#include "obs/recorder.hpp"
+#include "obs/watchdog.hpp"
 #include "perf/perf_baseline.hpp"
 #include "sched/export.hpp"
 #include "sched/gantt.hpp"
@@ -63,6 +72,9 @@ int usage() {
       "  hp_sched schedule --in FILE --cpus M --gpus N\n"
       "           [--algo hp|hp-nospol|heft|dualhp|online-eft|online-threshold|online-balance]\n"
       "           [--rank avg|min|fifo] [--gantt] [--svg FILE] [--trace FILE]\n"
+      "  hp_sched trace    --in FILE --cpus M --gpus N [--algo ...] [--rank ...]\n"
+      "           [--out FILE.json] [--csv FILE.csv]\n"
+      "  hp_sched report   --in FILE --cpus M --gpus N [--algo ...] [--rank ...]\n"
       "  hp_sched perf     --out FILE [--quick] [--reps K] [--threads N]\n"
       "  hp_sched perf-check --in FILE [--quick]\n";
   return 2;
@@ -203,87 +215,132 @@ int cmd_bound(const Args& args) {
   return 0;
 }
 
-int cmd_schedule(const Args& args) {
-  const auto text = io::load_text_file(args.get("in"));
-  if (!text.has_value()) {
-    std::cerr << "cannot read " << args.get("in") << '\n';
-    return 1;
-  }
-  const Platform platform(args.get_int("cpus", 20), args.get_int("gpus", 4));
-  const std::string algo = args.get("algo", "hp");
-  const RankScheme rank = parse_rank(args.get("rank", "min"));
-  const bool is_graph = text->find("\nedge ") != std::string::npos;
-
-  std::string error;
+/// One scheduler run of the CLI: loaded workload, validated schedule and
+/// the event stream the run emitted (native for HeteroPrio, replayed for
+/// the static planners).
+struct RunResult {
   Schedule schedule;
   std::vector<Task> tasks;
   double lower_bound = 0.0;
+  bool is_graph = false;
+  obs::EventRecorder events;
+};
 
-  if (is_graph) {
+/// Load `--in`, run `--algo` with an event recorder attached and validate
+/// the schedule. On failure prints the error and sets `exit_code`.
+std::optional<RunResult> run_algorithm(const Args& args,
+                                       const Platform& platform,
+                                       int* exit_code) {
+  const auto text = io::load_text_file(args.get("in"));
+  if (!text.has_value()) {
+    std::cerr << "cannot read " << args.get("in") << '\n';
+    *exit_code = 1;
+    return std::nullopt;
+  }
+  const std::string algo = args.get("algo", "hp");
+  const RankScheme rank = parse_rank(args.get("rank", "min"));
+
+  RunResult result;
+  result.is_graph = text->find("\nedge ") != std::string::npos;
+  obs::EventSink* sink = &result.events;
+  std::string error;
+
+  if (result.is_graph) {
     auto graph = io::graph_from_text(*text, &error);
     if (!graph.has_value()) {
       std::cerr << error << '\n';
-      return 1;
+      *exit_code = 1;
+      return std::nullopt;
     }
     assign_priorities(*graph, rank);
-    lower_bound = dag_lower_bound(*graph, platform).value();
+    result.lower_bound = dag_lower_bound(*graph, platform).value();
     if (algo == "hp") {
-      schedule = heteroprio_dag(*graph, platform);
+      HeteroPrioOptions hp_options;
+      hp_options.sink = sink;
+      result.schedule = heteroprio_dag(*graph, platform, hp_options);
     } else if (algo == "hp-nospol") {
-      schedule = heteroprio_dag(*graph, platform, {.enable_spoliation = false});
+      HeteroPrioOptions hp_options;
+      hp_options.enable_spoliation = false;
+      hp_options.sink = sink;
+      result.schedule = heteroprio_dag(*graph, platform, hp_options);
     } else if (algo == "heft") {
-      schedule = heft(*graph, platform,
-                      {.rank = rank == RankScheme::kFifo ? RankScheme::kAvg
-                                                         : rank});
+      result.schedule = heft(
+          *graph, platform,
+          {.rank = rank == RankScheme::kFifo ? RankScheme::kAvg : rank,
+           .sink = sink});
     } else if (algo == "dualhp") {
-      schedule = dualhp_dag(*graph, platform,
-                            {.fifo_order = rank == RankScheme::kFifo});
+      result.schedule =
+          dualhp_dag(*graph, platform,
+                     {.fifo_order = rank == RankScheme::kFifo, .sink = sink});
     } else {
       std::cerr << "algorithm '" << algo << "' needs an independent-task "
                 << "instance (or is unknown)\n";
-      return 2;
+      *exit_code = 2;
+      return std::nullopt;
     }
-    tasks.assign(graph->tasks().begin(), graph->tasks().end());
-    const auto check = check_schedule(schedule, *graph, platform);
+    result.tasks.assign(graph->tasks().begin(), graph->tasks().end());
+    const auto check = check_schedule(result.schedule, *graph, platform);
     if (!check.ok) {
       std::cerr << "internal error: invalid schedule: " << check.message << '\n';
-      return 1;
+      *exit_code = 1;
+      return std::nullopt;
     }
   } else {
     const auto inst = io::instance_from_text(*text, &error);
     if (!inst.has_value()) {
       std::cerr << error << '\n';
-      return 1;
+      *exit_code = 1;
+      return std::nullopt;
     }
-    lower_bound = opt_lower_bound(inst->tasks(), platform);
+    result.lower_bound = opt_lower_bound(inst->tasks(), platform);
     if (algo == "hp") {
-      schedule = heteroprio(inst->tasks(), platform);
+      HeteroPrioOptions hp_options;
+      hp_options.sink = sink;
+      result.schedule = heteroprio(inst->tasks(), platform, hp_options);
     } else if (algo == "hp-nospol") {
-      schedule = heteroprio(inst->tasks(), platform,
-                            {.enable_spoliation = false});
+      HeteroPrioOptions hp_options;
+      hp_options.enable_spoliation = false;
+      hp_options.sink = sink;
+      result.schedule = heteroprio(inst->tasks(), platform, hp_options);
     } else if (algo == "heft") {
-      schedule = heft_independent(inst->tasks(), platform);
+      result.schedule =
+          heft_independent(inst->tasks(), platform, {.sink = sink});
     } else if (algo == "dualhp") {
-      schedule = dualhp(inst->tasks(), platform);
+      result.schedule = dualhp(inst->tasks(), platform, {.sink = sink});
     } else if (algo == "online-eft") {
-      schedule = online_greedy(inst->tasks(), platform, {OnlineRule::kEft, 1.0});
+      result.schedule = online_greedy(inst->tasks(), platform,
+                                      {OnlineRule::kEft, 1.0, sink});
     } else if (algo == "online-threshold") {
-      schedule =
-          online_greedy(inst->tasks(), platform, {OnlineRule::kThreshold, 1.0});
+      result.schedule = online_greedy(inst->tasks(), platform,
+                                      {OnlineRule::kThreshold, 1.0, sink});
     } else if (algo == "online-balance") {
-      schedule =
-          online_greedy(inst->tasks(), platform, {OnlineRule::kBalance, 1.0});
+      result.schedule = online_greedy(inst->tasks(), platform,
+                                      {OnlineRule::kBalance, 1.0, sink});
     } else {
       std::cerr << "unknown algorithm '" << algo << "'\n";
-      return 2;
+      *exit_code = 2;
+      return std::nullopt;
     }
-    tasks.assign(inst->tasks().begin(), inst->tasks().end());
-    const auto check = check_schedule(schedule, tasks, platform);
+    result.tasks.assign(inst->tasks().begin(), inst->tasks().end());
+    const auto check = check_schedule(result.schedule, result.tasks, platform);
     if (!check.ok) {
       std::cerr << "internal error: invalid schedule: " << check.message << '\n';
-      return 1;
+      *exit_code = 1;
+      return std::nullopt;
     }
   }
+  return result;
+}
+
+int cmd_schedule(const Args& args) {
+  const Platform platform(args.get_int("cpus", 20), args.get_int("gpus", 4));
+  int exit_code = 0;
+  auto run = run_algorithm(args, platform, &exit_code);
+  if (!run.has_value()) return exit_code;
+  const std::string algo = args.get("algo", "hp");
+  const Schedule& schedule = run->schedule;
+  const std::vector<Task>& tasks = run->tasks;
+  const double lower_bound = run->lower_bound;
 
   const ScheduleMetrics metrics = compute_metrics(schedule, tasks, platform);
   std::cout << "algorithm: " << algo << "\ntasks: " << tasks.size()
@@ -305,14 +362,82 @@ int cmd_schedule(const Args& args) {
     std::cout << "wrote " << svg << '\n';
   }
   if (const std::string trace = args.get("trace"); !trace.empty()) {
+    // Event-based exporter: carries spoliation markers and counter tracks
+    // the placement-only to_chrome_trace cannot reconstruct.
     if (!io::save_text_file(trace,
-                            to_chrome_trace(schedule, tasks, platform))) {
+                            obs::chrome_trace_from_events(
+                                run->events.events(), platform, tasks))) {
       std::cerr << "cannot write " << trace << '\n';
       return 1;
     }
     std::cout << "wrote " << trace << '\n';
   }
   return 0;
+}
+
+/// Export the run's event stream: Chrome trace-event JSON (`--out`, loadable
+/// in Perfetto / chrome://tracing) and/or the flat event CSV (`--csv`).
+int cmd_trace(const Args& args) {
+  const Platform platform(args.get_int("cpus", 20), args.get_int("gpus", 4));
+  const std::string out = args.get("out");
+  const std::string csv = args.get("csv");
+  if (out.empty() && csv.empty()) {
+    std::cerr << "trace: need --out FILE and/or --csv FILE\n";
+    return usage();
+  }
+  int exit_code = 0;
+  const auto run = run_algorithm(args, platform, &exit_code);
+  if (!run.has_value()) return exit_code;
+
+  if (!out.empty()) {
+    const std::string json =
+        obs::chrome_trace_from_events(run->events.events(), platform,
+                                      run->tasks);
+    std::string error;
+    if (!obs::validate_chrome_trace(json, platform, &error)) {
+      std::cerr << "internal error: emitted trace is invalid: " << error
+                << '\n';
+      return 1;
+    }
+    if (!io::save_text_file(out, json)) {
+      std::cerr << "cannot write " << out << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << out << " (" << run->events.size()
+              << " events)\n";
+  }
+  if (!csv.empty()) {
+    if (!io::save_text_file(csv, obs::csv_from_events(run->events.events()))) {
+      std::cerr << "cannot write " << csv << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << csv << " (" << run->events.size()
+              << " events)\n";
+  }
+  return 0;
+}
+
+/// Counter report plus bound-watchdog verdict of one run.
+int cmd_report(const Args& args) {
+  const Platform platform(args.get_int("cpus", 20), args.get_int("gpus", 4));
+  int exit_code = 0;
+  const auto run = run_algorithm(args, platform, &exit_code);
+  if (!run.has_value()) return exit_code;
+
+  const obs::SchedulerCounters counters =
+      obs::counters_from_events(run->events.events(), platform);
+  std::cout << "algorithm: " << args.get("algo", "hp")
+            << "\ntasks: " << run->tasks.size()
+            << "\nmakespan: " << run->schedule.makespan()
+            << "\nlower bound: " << run->lower_bound << "\n\n"
+            << obs::registry_from(counters).to_string() << '\n';
+
+  obs::WatchdogOptions wd;
+  wd.dag = run->is_graph;
+  const obs::BoundCheck check = obs::check_schedule_bound(
+      run->schedule, run->lower_bound, platform, wd);
+  std::cout << "watchdog: " << obs::describe(check) << '\n';
+  return check.violated && !check.advisory ? 3 : 0;
 }
 
 /// Measure the core perf baseline and emit BENCH_core.json. `--quick` is the
@@ -384,6 +509,8 @@ int main(int argc, char** argv) {
   if (command == "info") return cmd_info(args);
   if (command == "bound") return cmd_bound(args);
   if (command == "schedule") return cmd_schedule(args);
+  if (command == "trace") return cmd_trace(args);
+  if (command == "report") return cmd_report(args);
   if (command == "perf") return cmd_perf(args);
   if (command == "perf-check") return cmd_perf_check(args);
   return usage();
