@@ -14,7 +14,14 @@
 // derived from the cell coordinates (not from submission order), so the
 // output is byte-identical for any thread count (`serial` or `-jN`).
 //
-// Usage: bench_noise_robustness [-jN|serial] [--trace FILE]
+// With `--faults SPEC` (a fault::parse_spec string, e.g.
+// "crashes=1,taskfail=0.02,retries=3") a deterministic fault plan is
+// injected on top of the noise in every cell: HeteroPrio recovers online in
+// the engine, the static plans go through the failover replay. The horizon
+// and seed of each cell's plan are derived from the cell coordinates, so
+// determinism across thread counts is preserved.
+//
+// Usage: bench_noise_robustness [-jN|serial] [--trace FILE] [--faults SPEC]
 
 #include <cstdlib>
 #include <fstream>
@@ -27,6 +34,8 @@
 
 #include "core/heteroprio_dag.hpp"
 #include "dag/ranking.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/replay.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
 #include "runtime/stf_runtime.hpp"
@@ -66,12 +75,21 @@ int main(int argc, char** argv) {
 
   int threads = 0;
   std::string trace_path;
+  fault::FaultSpec fault_spec;
+  bool with_faults = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "serial") {
       threads = 1;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--faults" && i + 1 < argc) {
+      std::string error;
+      if (!fault::parse_spec(argv[++i], &fault_spec, &error)) {
+        std::cerr << "--faults: " << error << '\n';
+        return 2;
+      }
+      with_faults = true;
     } else if (arg.rfind("-j", 0) == 0) {
       threads = std::atoi(arg.c_str() + 2);
       if (threads <= 0) threads = 0;
@@ -126,20 +144,43 @@ int main(int argc, char** argv) {
       assign_priorities(oracle, RankScheme::kMin);
       const double reference = heteroprio_dag(oracle, platform).makespan();
 
+      fault::FaultPlan plan;
+      if (with_faults) {
+        fault::FaultSpec spec = fault_spec;
+        spec.horizon = reference;
+        spec.seed = util::seed_from_cell(
+            {ki, static_cast<std::uint64_t>(tiles), si,
+             static_cast<std::uint64_t>(seed)},
+            /*salt=*/0x6661756c74ULL);  // "fault"
+        plan = fault::FaultPlan::generate(spec, platform);
+      }
+
       HeteroPrioOptions hp_options;
       hp_options.actual_times = actuals;
+      if (with_faults) hp_options.faults = &plan;
       hp_ratio.push_back(
           heteroprio_dag(graph, platform, hp_options).makespan() /
           reference);
-      heft_ratio.push_back(
-          execute_static_plan(heft_plan, graph, platform, actuals)
-              .makespan() /
-          reference);
-      dual_ratio.push_back(
-          execute_static_plan(dual_plan, graph, platform, actuals)
-              .makespan() /
-          reference);
-      if (sigma == 0.0) break;  // deterministic, one seed is enough
+      if (with_faults) {
+        heft_ratio.push_back(fault::execute_plan_with_faults(
+                                 heft_plan, graph, platform, plan, actuals)
+                                 .schedule.makespan() /
+                             reference);
+        dual_ratio.push_back(fault::execute_plan_with_faults(
+                                 dual_plan, graph, platform, plan, actuals)
+                                 .schedule.makespan() /
+                             reference);
+      } else {
+        heft_ratio.push_back(
+            execute_static_plan(heft_plan, graph, platform, actuals)
+                .makespan() /
+            reference);
+        dual_ratio.push_back(
+            execute_static_plan(dual_plan, graph, platform, actuals)
+                .makespan() /
+            reference);
+      }
+      if (sigma == 0.0 && !with_faults) break;  // deterministic single seed
     }
     rows[cell] = Row{util::mean(hp_ratio), util::mean(heft_ratio),
                      util::mean(dual_ratio)};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <set>
@@ -120,9 +121,22 @@ class ReadyQueue {
   bool flat_ = false;
 };
 
-struct CompletionEvent {
-  WorkerId worker;
-  std::uint64_t generation;  ///< stale-event filter after spoliation aborts
+/// Simulation event. kCompletion is the only kind of a fault-free run; the
+/// fault kinds are pushed up front from the plan (crashes, straggler window
+/// edges) or during recovery (delayed retries).
+struct EngineEvent {
+  enum class Kind : std::uint8_t {
+    kCompletion,  ///< a worker's running task reaches its end (or fail point)
+    kCrash,       ///< permanent loss of `worker`
+    kSlowBegin,   ///< straggler window opens on `worker` (`value` = slowdown)
+    kSlowEnd,     ///< straggler window closes on `worker`
+    kRetry,       ///< backoff elapsed: `task` re-enters the ready queue
+  };
+  Kind kind = Kind::kCompletion;
+  WorkerId worker = -1;
+  TaskId task = kInvalidTask;
+  std::uint64_t generation = 0;  ///< stale-event filter after aborts
+  double value = 0.0;
 };
 
 /// Cached spoliation-scan key of one running task. `finish` is the believed
@@ -224,11 +238,41 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   }
   const obs::Probe probe(sink);
 
+  // Fault injection is entirely gated on `faulty`: with no plan (or an
+  // empty one) not a single extra event is pushed, no extra state is
+  // allocated and every branch below folds to its pre-fault form, keeping
+  // the run bitwise identical — the regression-tested no-op guarantee.
+  const fault::FaultPlan* plan = options.faults;
+  const bool faulty = plan != nullptr && !plan->empty();
+
   sim::WorkerPool pool(platform);
   pool.attach_sink(sink);
-  sim::EventQueue<CompletionEvent> events;
+  sim::EventQueue<EngineEvent> events;
   std::vector<std::uint64_t> generation(
       static_cast<std::size_t>(platform.workers()), 0);
+
+  // Per-worker flag: the attempt currently running on the worker will abort
+  // at its (already shortened) completion event. Per-task failed-attempt
+  // counts drive the retry budget. Both exist only on faulty runs.
+  std::vector<char> pending_fail;
+  std::vector<int> failed_attempts;
+  if (faulty) {
+    pending_fail.assign(static_cast<std::size_t>(platform.workers()), 0);
+    failed_attempts.assign(tasks.size(), 0);
+    for (const fault::CrashEvent& c : plan->crashes()) {
+      if (c.worker < 0 || c.worker >= platform.workers()) continue;
+      events.push(c.time, EngineEvent{EngineEvent::Kind::kCrash, c.worker,
+                                      kInvalidTask, 0, 0.0});
+    }
+    for (const fault::StragglerWindow& win : plan->stragglers()) {
+      if (win.worker < 0 || win.worker >= platform.workers()) continue;
+      events.push(win.begin,
+                  EngineEvent{EngineEvent::Kind::kSlowBegin, win.worker,
+                              kInvalidTask, 0, win.slowdown});
+      events.push(win.end, EngineEvent{EngineEvent::Kind::kSlowEnd, win.worker,
+                                       kInvalidTask, 0, 0.0});
+    }
+  }
 
   ReadyQueue queue(tasks);
   std::optional<ReadyTracker> tracker;
@@ -237,6 +281,14 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
     for (TaskId id : tracker->initially_ready()) {
       queue.insert(id);
       probe.ready(0.0, id);
+    }
+  } else if (faulty) {
+    // Crash re-enqueues and retries re-insert into the ready structure, so
+    // the flat presorted form (pop-only) cannot be used; the ordered set
+    // yields the same queue order with O(log n) inserts.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      queue.insert(static_cast<TaskId>(i));
+      probe.ready(0.0, static_cast<TaskId>(i));
     }
   } else {
     queue.presort_all(tasks.size());
@@ -268,11 +320,25 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
 
   auto start_task = [&](WorkerId w, TaskId id) {
     const Resource res = platform.type_of(w);
-    const double dt = Platform::time_on(actuals[static_cast<std::size_t>(id)],
-                                        res);
+    double dt = Platform::time_on(actuals[static_cast<std::size_t>(id)], res);
+    if (faulty) {
+      // The injected reality: a pre-drawn failure truncates the attempt's
+      // work, and straggler windows stretch wall-clock time around it. The
+      // believed VictimKey below still uses the plain estimate — the
+      // scheduler never reads the plan.
+      const fault::AttemptOutcome outcome = plan->attempt_outcome(
+          id, failed_attempts[static_cast<std::size_t>(id)]);
+      if (outcome.fails) {
+        dt *= outcome.fail_fraction;
+        pending_fail[static_cast<std::size_t>(w)] = 1;
+      }
+      dt = plan->finish_time(w, now, dt) - now;
+    }
     const double finish = pool.start(w, id, now, dt);
     ++generation[static_cast<std::size_t>(w)];
-    events.push(finish, CompletionEvent{w, generation[static_cast<std::size_t>(w)]});
+    events.push(finish,
+                EngineEvent{EngineEvent::Kind::kCompletion, w, id,
+                            generation[static_cast<std::size_t>(w)], 0.0});
     const Task& estimate = tasks[static_cast<std::size_t>(id)];
     const VictimKey key{now + Platform::time_on(estimate, res),
                         estimate.priority, id, w};
@@ -284,6 +350,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   auto release_worker = [&](WorkerId w) -> sim::Running {
     running_set[static_cast<std::size_t>(platform.type_of(w))].erase(
         victim_key[static_cast<std::size_t>(w)]);
+    if (faulty) pending_fail[static_cast<std::size_t>(w)] = 0;
     return pool.release_at(w, now);
   };
 
@@ -298,7 +365,18 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
     for (const VictimKey& key : candidates) {
       const double dt =
           Platform::time_on(tasks[static_cast<std::size_t>(key.task)], mine);
-      if (!strictly_better(now + dt, key.finish)) continue;
+      double believed_finish = key.finish;
+      if (faulty && believed_finish <= now) {
+        // The victim is overdue — a straggler window stretched it past its
+        // believed finish. Re-believe from the estimate as if it restarted
+        // now, so a healthy worker can still rescue the task; otherwise
+        // "candidate < past instant" never holds and stragglers hold their
+        // work hostage forever.
+        believed_finish =
+            now + Platform::time_on(
+                      tasks[static_cast<std::size_t>(key.task)], other(mine));
+      }
+      if (!strictly_better(now + dt, believed_finish)) continue;
       // Abort the victim's execution; its progress is lost.
       const WorkerId victim = key.worker;
       const sim::Running aborted = release_worker(victim);
@@ -355,32 +433,121 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
     probe.queue_depth(now, queue.size());
   };
 
+  // One completed attempt popped from the event queue. On a fault-free run
+  // every valid completion places the task; on a faulty run the attempt may
+  // instead be an injected failure — the progress is recorded as an aborted
+  // segment and the task retried (after the plan's backoff) until its
+  // attempt budget runs out.
+  auto handle_completion = [&](const EngineEvent& ev) {
+    const WorkerId w = ev.worker;
+    if (ev.generation != generation[static_cast<std::size_t>(w)]) {
+      return;  // stale: the task was spoliated or crashed away
+    }
+    if (!pool.busy(w)) return;
+    const bool attempt_failed =
+        faulty && pending_fail[static_cast<std::size_t>(w)] != 0;
+    const sim::Running done = release_worker(w);
+    if (attempt_failed) {
+      schedule.add_aborted(done.task, w, done.start, now);
+      const int failures = ++failed_attempts[static_cast<std::size_t>(done.task)];
+      ++local_stats.recovery.task_failures;
+      probe.task_fail(now, done.task, w, failures - 1);
+      if (failures >= plan->max_attempts()) {
+        ++local_stats.recovery.tasks_abandoned;
+        return;  // budget exhausted: the task stays unfinished
+      }
+      ++local_stats.recovery.task_retries;
+      const double delay = plan->backoff_delay(failures);
+      if (delay > 0.0) {
+        events.push(now + delay, EngineEvent{EngineEvent::Kind::kRetry, -1,
+                                             done.task, 0, 0.0});
+      } else {
+        probe.task_retry(now, done.task, failures);
+        queue.insert(done.task);
+        probe.ready(now, done.task);
+      }
+      return;
+    }
+    schedule.place(done.task, w, done.start, done.finish);
+    ++completed;
+    probe.complete(now, done.task, w);
+    if (tracker.has_value()) {
+      for (TaskId released : tracker->complete(done.task)) {
+        queue.insert(released);
+        probe.ready(now, released);
+      }
+    }
+  };
+
+  // Permanent loss of a worker: abort whatever it runs (re-enqueued with no
+  // charge against the task's retry budget — the task did nothing wrong)
+  // and remove the worker from the pool, so dispatch and spoliation see
+  // only the surviving platform from here on.
+  auto handle_crash = [&](WorkerId w) {
+    if (pool.failed(w)) return;
+    ++local_stats.recovery.worker_crashes;
+    if (pool.busy(w)) {
+      const sim::Running victim = release_worker(w);
+      ++generation[static_cast<std::size_t>(w)];  // stale its completion
+      schedule.add_aborted(victim.task, w, victim.start, now);
+      probe.abort(now, victim.task, w);
+      queue.insert(victim.task);
+      probe.ready(now, victim.task);
+      ++local_stats.recovery.crash_requeues;
+    }
+    pool.mark_failed(w);
+    probe.worker_crash(now, w);
+  };
+
   dispatch_and_sample();
 
   while (completed < tasks.size()) {
-    assert(!events.empty() && "deadlock: no events but tasks incomplete");
-    // Pop the batch of simultaneous valid completions.
+    if (events.empty()) {
+      // Only reachable under faults: every remaining task lost its workers
+      // or its retry budget. Fault-free runs always hold an event per
+      // incomplete task's worker.
+      assert(faulty && "deadlock: no events but tasks incomplete");
+      break;
+    }
+    // Pop the batch of simultaneous valid events. Within a batch, queue
+    // order (push sequence) decides: a crash pushed at init pops before a
+    // completion at the same instant, so crash-vs-finish ties go to the
+    // crash, deterministically.
     const double t = events.top().time;
     now = t;
     while (!events.empty() && events.top().time == t) {
       const auto ev = events.pop();
-      const WorkerId w = ev.payload.worker;
-      if (ev.payload.generation != generation[static_cast<std::size_t>(w)]) {
-        continue;  // stale: the task was spoliated away
-      }
-      if (!pool.busy(w)) continue;
-      const sim::Running done = release_worker(w);
-      schedule.place(done.task, w, done.start, done.finish);
-      ++completed;
-      probe.complete(now, done.task, w);
-      if (tracker.has_value()) {
-        for (TaskId released : tracker->complete(done.task)) {
-          queue.insert(released);
-          probe.ready(now, released);
-        }
+      switch (ev.payload.kind) {
+        case EngineEvent::Kind::kCompletion:
+          handle_completion(ev.payload);
+          break;
+        case EngineEvent::Kind::kCrash:
+          handle_crash(ev.payload.worker);
+          break;
+        case EngineEvent::Kind::kSlowBegin:
+          ++local_stats.recovery.straggler_windows;
+          probe.worker_slow_begin(now, ev.payload.worker, ev.payload.value);
+          break;
+        case EngineEvent::Kind::kSlowEnd:
+          probe.worker_slow_end(now, ev.payload.worker);
+          break;
+        case EngineEvent::Kind::kRetry:
+          probe.task_retry(
+              now, ev.payload.task,
+              failed_attempts[static_cast<std::size_t>(ev.payload.task)]);
+          queue.insert(ev.payload.task);
+          probe.ready(now, ev.payload.task);
+          break;
       }
     }
     dispatch_and_sample();
+  }
+
+  if (completed < tasks.size()) {
+    local_stats.recovery.tasks_unfinished =
+        static_cast<int>(tasks.size() - completed);
+    local_stats.recovery.degraded = true;
+    probe.run_degraded(now, local_stats.recovery.tasks_unfinished);
   }
 
   if (stats != nullptr) {

@@ -17,6 +17,7 @@
 
 #include <span>
 
+#include "fault/fault_plan.hpp"
 #include "model/platform.hpp"
 #include "model/task.hpp"
 #include "obs/event.hpp"
@@ -50,6 +51,13 @@ struct HeteroPrioOptions {
   /// Null keeps the hot path at a single pointer test per decision (and
   /// -DHP_OBS_OFF removes even that).
   obs::EventSink* sink = nullptr;
+  /// Fault plan to inject (crashes, stragglers, task failures); the engine
+  /// recovers online — aborts and re-enqueues in-flight work of crashed
+  /// workers, retries failed attempts up to the plan's budget, and declares
+  /// the run degraded when work cannot finish. Null or empty plans are a
+  /// strict no-op: the run is bitwise identical to one without the option.
+  /// The plan outlives the call; the scheduler never reads it for decisions.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 /// Observability counters of one HeteroPrio run.
@@ -62,6 +70,9 @@ struct HeteroPrioStats {
   /// Idle scans skipped outright because no worker of the other resource
   /// type was busy (no victim could exist). Not counted as attempts.
   int spoliation_skips = 0;
+  /// Online-recovery outcome when HeteroPrioOptions::faults was set;
+  /// default-initialized (all zero, not degraded) otherwise.
+  fault::RecoveryReport recovery;
 };
 
 /// Schedule `tasks` on `platform` with HeteroPrio. Deterministic.

@@ -1,0 +1,325 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace hp::fault {
+
+namespace {
+
+// Salts separating the independent random purposes of one plan seed.
+constexpr std::uint64_t kCrashSalt = 0x6372617368ULL;      // "crash"
+constexpr std::uint64_t kStragglerSalt = 0x736c6f77ULL;    // "slow"
+constexpr std::uint64_t kAttemptSalt = 0x6661696cULL;      // "fail"
+
+}  // namespace
+
+bool parse_spec(const std::string& text, FaultSpec* spec, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return fail("expected key=value in '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    char* end = nullptr;
+    const double num = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size() || value.empty()) {
+      return fail("bad value for '" + key + "': '" + value + "'");
+    }
+    if (key == "crashes") {
+      spec->crashes = static_cast<int>(num);
+    } else if (key == "stragglers") {
+      spec->stragglers = static_cast<int>(num);
+    } else if (key == "taskfail") {
+      spec->task_fail_prob = num;
+    } else if (key == "slow") {
+      spec->slowdown_min = spec->slowdown_max = num;
+    } else if (key == "retries") {
+      // "retries" counts re-attempts; attempts = first try + retries.
+      spec->max_attempts = static_cast<int>(num) + 1;
+    } else if (key == "backoff") {
+      spec->retry_backoff = num;
+    } else if (key == "seed") {
+      spec->seed = static_cast<std::uint64_t>(num);
+    } else if (key == "horizon") {
+      spec->horizon = num;
+    } else {
+      return fail("unknown fault-spec key '" + key + "'");
+    }
+  }
+  return true;
+}
+
+FaultPlan FaultPlan::generate(const FaultSpec& spec, const Platform& platform) {
+  FaultPlan plan;
+  plan.task_fail_prob_ = std::clamp(spec.task_fail_prob, 0.0, 1.0);
+  plan.max_attempts_ = std::max(1, spec.max_attempts);
+  plan.retry_backoff_ = std::max(0.0, spec.retry_backoff);
+  plan.seed_ = spec.seed;
+  const double horizon = spec.horizon > 0.0 ? spec.horizon : 1.0;
+  const int workers = platform.workers();
+
+  // Crashes: distinct workers; instants drawn from the satellite
+  // exponential (rate 2/horizon => mean horizon/2, so most crashes land
+  // well inside the run they were scaled to).
+  {
+    util::Rng rng(util::seed_from_cell({spec.seed}, kCrashSalt));
+    std::vector<WorkerId> pool(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool[static_cast<std::size_t>(w)] = w;
+    const int count = std::min(spec.crashes, workers);
+    for (int k = 0; k < count; ++k) {
+      const auto pick = static_cast<std::size_t>(
+          rng.bounded(static_cast<std::uint64_t>(pool.size())));
+      const WorkerId victim = pool[pick];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      plan.crashes_.push_back(
+          CrashEvent{victim, rng.exponential(2.0 / horizon)});
+    }
+  }
+
+  // Straggler windows: uniform begin, exponential length, uniform slowdown.
+  {
+    util::Rng rng(util::seed_from_cell({spec.seed}, kStragglerSalt));
+    for (int k = 0; k < spec.stragglers; ++k) {
+      const auto w = static_cast<WorkerId>(
+          rng.bounded(static_cast<std::uint64_t>(workers)));
+      const double begin = rng.uniform(0.0, horizon);
+      const double length = rng.exponential(4.0 / horizon);
+      const double slowdown =
+          spec.slowdown_min >= spec.slowdown_max
+              ? spec.slowdown_min
+              : rng.uniform(spec.slowdown_min, spec.slowdown_max);
+      plan.windows_.push_back(
+          StragglerWindow{w, begin, begin + length, std::max(1.0, slowdown)});
+    }
+  }
+
+  plan.normalize();
+  return plan;
+}
+
+void FaultPlan::add_crash(WorkerId worker, double time) {
+  crashes_.push_back(CrashEvent{worker, time});
+  normalize();
+}
+
+void FaultPlan::add_straggler(WorkerId worker, double begin, double end,
+                              double slowdown) {
+  windows_.push_back(StragglerWindow{worker, begin, end, std::max(1.0, slowdown)});
+  normalize();
+}
+
+void FaultPlan::set_task_faults(double fail_prob, int max_attempts,
+                                double retry_backoff, std::uint64_t seed) {
+  task_fail_prob_ = std::clamp(fail_prob, 0.0, 1.0);
+  max_attempts_ = std::max(1, max_attempts);
+  retry_backoff_ = std::max(0.0, retry_backoff);
+  seed_ = seed;
+}
+
+void FaultPlan::normalize() {
+  std::sort(crashes_.begin(), crashes_.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.worker < b.worker;
+            });
+  // One crash per worker: the earliest wins.
+  std::vector<CrashEvent> unique;
+  for (const CrashEvent& c : crashes_) {
+    const bool seen = std::any_of(
+        unique.begin(), unique.end(),
+        [&](const CrashEvent& u) { return u.worker == c.worker; });
+    if (!seen) unique.push_back(c);
+  }
+  crashes_ = std::move(unique);
+
+  std::sort(windows_.begin(), windows_.end(),
+            [](const StragglerWindow& a, const StragglerWindow& b) {
+              if (a.worker != b.worker) return a.worker < b.worker;
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end < b.end;
+            });
+  // Merge overlapping windows of one worker (max slowdown wins), so
+  // finish_time can walk them as disjoint intervals.
+  std::vector<StragglerWindow> merged;
+  for (const StragglerWindow& w : windows_) {
+    if (w.end <= w.begin) continue;
+    if (!merged.empty() && merged.back().worker == w.worker &&
+        w.begin < merged.back().end) {
+      merged.back().end = std::max(merged.back().end, w.end);
+      merged.back().slowdown = std::max(merged.back().slowdown, w.slowdown);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  windows_ = std::move(merged);
+}
+
+const CrashEvent* FaultPlan::crash_of(WorkerId worker) const noexcept {
+  for (const CrashEvent& c : crashes_) {
+    if (c.worker == worker) return &c;
+  }
+  return nullptr;
+}
+
+double FaultPlan::finish_time(WorkerId worker, double start,
+                              double duration) const noexcept {
+  double t = start;
+  double remaining = duration;  // work units at speed 1
+  for (const StragglerWindow& w : windows_) {
+    if (w.worker != worker || w.end <= t) continue;
+    if (remaining <= 0.0) break;
+    if (w.begin > t) {
+      const double step = std::min(remaining, w.begin - t);
+      t += step;
+      remaining -= step;
+      if (remaining <= 0.0) break;
+    }
+    // Inside [max(t, begin), end): speed 1/slowdown.
+    const double capacity = (w.end - t) / w.slowdown;
+    if (remaining <= capacity) {
+      t += remaining * w.slowdown;
+      remaining = 0.0;
+      break;
+    }
+    remaining -= capacity;
+    t = w.end;
+  }
+  return t + remaining;
+}
+
+AttemptOutcome FaultPlan::attempt_outcome(TaskId task,
+                                          int attempt) const noexcept {
+  AttemptOutcome out;
+  if (task_fail_prob_ <= 0.0) return out;
+  util::Rng rng(util::seed_from_cell({static_cast<std::uint64_t>(task),
+                                      static_cast<std::uint64_t>(attempt)},
+                                     seed_ ^ kAttemptSalt));
+  out.fails = rng.bernoulli(task_fail_prob_);
+  // Always drawn so the stream shape is attempt-independent; the fraction
+  // keeps failures strictly inside the attempt (a zero-length abort would
+  // be indistinguishable from never starting).
+  out.fail_fraction = rng.uniform(0.05, 0.95);
+  return out;
+}
+
+double FaultPlan::backoff_delay(int failed_attempts) const noexcept {
+  if (retry_backoff_ <= 0.0 || failed_attempts <= 0) return 0.0;
+  return retry_backoff_ * std::ldexp(1.0, failed_attempts - 1);
+}
+
+int FaultPlan::crashed_before(double time, Resource type,
+                              const Platform& platform) const noexcept {
+  int count = 0;
+  for (const CrashEvent& c : crashes_) {
+    if (c.time <= time && c.worker >= 0 && c.worker < platform.workers() &&
+        platform.type_of(c.worker) == type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string FaultPlan::to_text() const {
+  std::ostringstream oss;
+  oss.precision(std::numeric_limits<double>::max_digits10);
+  oss << "faultplan v1\n";
+  oss << "seed " << seed_ << '\n';
+  oss << "task-fail-prob " << task_fail_prob_ << '\n';
+  oss << "max-attempts " << max_attempts_ << '\n';
+  oss << "retry-backoff " << retry_backoff_ << '\n';
+  for (const CrashEvent& c : crashes_) {
+    oss << "crash " << c.worker << ' ' << c.time << '\n';
+  }
+  for (const StragglerWindow& w : windows_) {
+    oss << "slow " << w.worker << ' ' << w.begin << ' ' << w.end << ' '
+        << w.slowdown << '\n';
+  }
+  return oss.str();
+}
+
+bool FaultPlan::from_text(const std::string& text, FaultPlan* out,
+                          std::string* error) {
+  const auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+  *out = FaultPlan{};
+  std::istringstream iss(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(iss, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (line_no == 1) {
+      std::string version;
+      fields >> version;
+      if (key != "faultplan" || version != "v1") {
+        return fail(line_no, "expected 'faultplan v1' header");
+      }
+      continue;
+    }
+    if (key == "seed") {
+      if (!(fields >> out->seed_)) return fail(line_no, "bad seed");
+    } else if (key == "task-fail-prob") {
+      if (!(fields >> out->task_fail_prob_)) return fail(line_no, "bad prob");
+    } else if (key == "max-attempts") {
+      if (!(fields >> out->max_attempts_)) return fail(line_no, "bad attempts");
+    } else if (key == "retry-backoff") {
+      if (!(fields >> out->retry_backoff_)) return fail(line_no, "bad backoff");
+    } else if (key == "crash") {
+      CrashEvent c;
+      if (!(fields >> c.worker >> c.time)) return fail(line_no, "bad crash");
+      out->crashes_.push_back(c);
+    } else if (key == "slow") {
+      StragglerWindow w;
+      if (!(fields >> w.worker >> w.begin >> w.end >> w.slowdown)) {
+        return fail(line_no, "bad slow window");
+      }
+      out->windows_.push_back(w);
+    } else {
+      return fail(line_no, "unknown directive '" + key + "'");
+    }
+  }
+  if (line_no == 0) return fail(0, "empty document");
+  out->normalize();
+  return true;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream oss;
+  oss << "fault plan: " << crashes_.size() << " crash(es), "
+      << windows_.size() << " straggler window(s), task-fail p="
+      << task_fail_prob_ << " (max " << max_attempts_ << " attempts, backoff "
+      << retry_backoff_ << ")\n";
+  for (const CrashEvent& c : crashes_) {
+    oss << "  crash worker " << c.worker << " at t=" << c.time << '\n';
+  }
+  for (const StragglerWindow& w : windows_) {
+    oss << "  slow worker " << w.worker << " x" << w.slowdown << " in ["
+        << w.begin << ", " << w.end << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace hp::fault

@@ -1,0 +1,177 @@
+#pragma once
+// Deterministic fault plans for fault-injection experiments.
+//
+// A FaultPlan describes everything that will go wrong during one simulated
+// run: permanent worker crashes at fixed instants, transient straggler
+// windows that scale a worker's speed, and a per-task-attempt failure
+// probability. The plan is fixed before the run starts and the schedulers
+// never read it — they only observe its consequences (a completion that
+// never arrives, a task that takes longer than estimated, an attempt that
+// aborts) and react online. That separation keeps the paper's premise
+// intact: decisions use estimates, the clock uses reality.
+//
+// Determinism: every random choice is derived from the plan seed and the
+// coordinates of the thing it affects (worker id, task id, attempt index)
+// via util::seed_from_cell, never from a shared stream. Two runs with the
+// same plan — or the same plan rebuilt in another thread of a bench grid —
+// inject byte-identical faults.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/platform.hpp"
+#include "model/task.hpp"
+
+namespace hp::fault {
+
+/// Permanent loss of one worker: at `time` it aborts whatever it is running
+/// and never accepts work again.
+struct CrashEvent {
+  WorkerId worker = -1;
+  double time = 0.0;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+/// Transient slowdown of one worker: during [begin, end) it processes work
+/// at 1/slowdown of its normal speed (slowdown >= 1).
+struct StragglerWindow {
+  WorkerId worker = -1;
+  double begin = 0.0;
+  double end = 0.0;
+  double slowdown = 1.0;
+
+  friend bool operator==(const StragglerWindow&,
+                         const StragglerWindow&) = default;
+};
+
+/// What one attempt of one task does.
+struct AttemptOutcome {
+  bool fails = false;
+  /// Fraction of the attempt's (effective) duration that elapses before the
+  /// failure aborts it. Meaningless when `fails` is false.
+  double fail_fraction = 0.0;
+};
+
+/// Generation parameters for FaultPlan::generate(). `horizon` sets the time
+/// scale of the drawn instants; pass (an estimate of) the fault-free
+/// makespan so injected faults actually land inside the run.
+struct FaultSpec {
+  int crashes = 0;           ///< number of distinct workers to crash
+  int stragglers = 0;        ///< number of straggler windows
+  double task_fail_prob = 0.0;  ///< per-attempt failure probability
+  double slowdown_min = 2.0;    ///< straggler slowdown factor range
+  double slowdown_max = 6.0;
+  double horizon = 1.0;      ///< time scale of drawn instants (> 0)
+  int max_attempts = 4;      ///< attempts per task before it is abandoned
+  double retry_backoff = 0.0;  ///< base delay before retry k is re-enqueued
+                               ///< (doubles per extra failed attempt)
+  std::uint64_t seed = 1;
+};
+
+/// Parse a comma-separated spec string into `spec` (missing keys keep their
+/// current values): "crashes=2,stragglers=1,taskfail=0.05,slow=4,
+/// retries=3,backoff=0.1,seed=7,horizon=12.5". "slow=X" sets both ends of
+/// the slowdown range. Returns false (with a message in `*error`) on an
+/// unknown key or a malformed value.
+bool parse_spec(const std::string& text, FaultSpec* spec, std::string* error);
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Draw a plan from `spec` for `platform`: crash instants are exponential
+  /// (satellite util::Rng::exponential) around the horizon, straggler
+  /// windows uniform within it, and per-attempt failures Bernoulli draws
+  /// re-derived from (seed, task, attempt) at query time.
+  [[nodiscard]] static FaultPlan generate(const FaultSpec& spec,
+                                          const Platform& platform);
+
+  /// Hand-built plans (tests, CLI files). normalize() is called internally:
+  /// crashes sort by time, windows sort per worker, overlapping windows of
+  /// one worker are merged (max slowdown wins).
+  void add_crash(WorkerId worker, double time);
+  void add_straggler(WorkerId worker, double begin, double end,
+                     double slowdown);
+  void set_task_faults(double fail_prob, int max_attempts,
+                       double retry_backoff, std::uint64_t seed);
+
+  /// True when the plan injects nothing; engines treat this exactly like a
+  /// null plan (the regression-tested no-op guarantee).
+  [[nodiscard]] bool empty() const noexcept {
+    return crashes_.empty() && windows_.empty() && task_fail_prob_ <= 0.0;
+  }
+
+  [[nodiscard]] std::span<const CrashEvent> crashes() const noexcept {
+    return crashes_;
+  }
+  [[nodiscard]] std::span<const StragglerWindow> stragglers() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] double task_fail_prob() const noexcept {
+    return task_fail_prob_;
+  }
+  [[nodiscard]] int max_attempts() const noexcept { return max_attempts_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Crash record of `worker`, or nullptr if it never crashes.
+  [[nodiscard]] const CrashEvent* crash_of(WorkerId worker) const noexcept;
+
+  /// Wall-clock completion instant of `duration` units of work started at
+  /// `start` on `worker`, integrating the worker's straggler windows
+  /// (speed 1 outside a window, 1/slowdown inside).
+  [[nodiscard]] double finish_time(WorkerId worker, double start,
+                                   double duration) const noexcept;
+
+  /// Outcome of the `attempt`-th (0-based) attempt of `task`. Pure in
+  /// (seed, task, attempt): independent of time, worker and query order.
+  [[nodiscard]] AttemptOutcome attempt_outcome(TaskId task,
+                                               int attempt) const noexcept;
+
+  /// Delay before the attempt after `failed_attempts` failures re-enters
+  /// the ready queue: retry_backoff * 2^(failed_attempts - 1).
+  [[nodiscard]] double backoff_delay(int failed_attempts) const noexcept;
+
+  /// Workers of `platform` (per type) whose crash time is <= `time`.
+  [[nodiscard]] int crashed_before(double time, Resource type,
+                                   const Platform& platform) const noexcept;
+
+  /// Text round-trip (the `.hpf` format of docs/robustness.md).
+  [[nodiscard]] std::string to_text() const;
+  static bool from_text(const std::string& text, FaultPlan* out,
+                        std::string* error);
+
+  /// Human-readable multi-line summary.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+ private:
+  void normalize();
+
+  std::vector<CrashEvent> crashes_;        // sorted by (time, worker)
+  std::vector<StragglerWindow> windows_;   // sorted by (worker, begin)
+  double task_fail_prob_ = 0.0;
+  int max_attempts_ = 4;
+  double retry_backoff_ = 0.0;
+  std::uint64_t seed_ = 1;
+};
+
+/// Online-recovery outcome of one faulty run (engine or faulty replay).
+struct RecoveryReport {
+  int worker_crashes = 0;    ///< crash events applied before the run ended
+  int crash_requeues = 0;    ///< in-flight tasks re-enqueued after a crash
+  int straggler_windows = 0; ///< windows that opened before the run ended
+  int task_failures = 0;     ///< attempts aborted by an injected fault
+  int task_retries = 0;      ///< re-enqueues after a failed attempt
+  int tasks_abandoned = 0;   ///< tasks whose retry budget ran out
+  int tasks_unfinished = 0;  ///< tasks without a final placement at the end
+  bool degraded = false;     ///< tasks_unfinished > 0
+
+  friend bool operator==(const RecoveryReport&,
+                         const RecoveryReport&) = default;
+};
+
+}  // namespace hp::fault

@@ -64,6 +64,23 @@ SchedulerCounters counters_from_events(std::span<const Event> events,
       case EventKind::kBoundViolation:
         ++c.bound_violations;
         break;
+      case EventKind::kWorkerCrash:
+        ++c.worker_crashes;
+        break;
+      case EventKind::kWorkerSlowBegin:
+        ++c.straggler_windows;
+        break;
+      case EventKind::kWorkerSlowEnd:
+        break;
+      case EventKind::kTaskFail:
+        ++c.task_failures;
+        break;
+      case EventKind::kTaskRetry:
+        ++c.task_retries;
+        break;
+      case EventKind::kRunDegraded:
+        ++c.degraded_runs;
+        break;
     }
   }
 
@@ -136,6 +153,11 @@ CounterRegistry registry_from(const SchedulerCounters& c) {
   reg.set("spoliation_skips", static_cast<double>(c.spoliation_skips));
   reg.set("aborts", static_cast<double>(c.aborts));
   reg.set("bound_violations", static_cast<double>(c.bound_violations));
+  reg.set("worker_crashes", static_cast<double>(c.worker_crashes));
+  reg.set("straggler_windows", static_cast<double>(c.straggler_windows));
+  reg.set("task_failures", static_cast<double>(c.task_failures));
+  reg.set("task_retries", static_cast<double>(c.task_retries));
+  reg.set("degraded_runs", static_cast<double>(c.degraded_runs));
   reg.set("peak_ready_depth", static_cast<double>(c.peak_ready_depth));
   reg.set("idle_intervals", static_cast<double>(c.idle_intervals));
   reg.set("cpu_busy_time", c.busy_time[0]);

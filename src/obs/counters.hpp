@@ -26,6 +26,11 @@ struct SchedulerCounters {
   long long bound_violations = 0;     ///< watchdog exceedance events
   long long peak_ready_depth = 0;     ///< max ready-queue depth sample
   long long idle_intervals = 0;       ///< completed idle intervals (kIdleEnd)
+  long long worker_crashes = 0;       ///< workers permanently lost
+  long long straggler_windows = 0;    ///< straggler windows opened
+  long long task_failures = 0;        ///< attempts aborted by injected faults
+  long long task_retries = 0;         ///< re-enqueues after failed attempts
+  long long degraded_runs = 0;        ///< kRunDegraded events (0 or 1 per run)
   double busy_time[2] = {0.0, 0.0};     ///< completed work per resource type
   double aborted_time[2] = {0.0, 0.0};  ///< work lost to spoliation
   double idle_fraction[2] = {0.0, 0.0};  ///< idle / (count * makespan);

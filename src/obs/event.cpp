@@ -11,7 +11,10 @@ constexpr const char* kKindNames[kNumEventKinds] = {
     "spoliate-attempt", "spoliate-skip",
     "spoliate-commit", "queue-depth",
     "idle-begin",      "idle-end",
-    "bound-violation",
+    "bound-violation", "worker-crash",
+    "worker-slow-begin", "worker-slow-end",
+    "task-fail",       "task-retry",
+    "run-degraded",
 };
 }  // namespace
 

@@ -33,10 +33,19 @@ enum class EventKind : std::uint8_t {
   kIdleEnd,          ///< `worker` got work; idle-interval length in `value`
   kBoundViolation,   ///< makespan/lower-bound ratio in `value` exceeds the
                      ///< proven bound for the platform shape
+  kWorkerCrash,      ///< `worker` permanently lost (fault injection)
+  kWorkerSlowBegin,  ///< `worker` entered a straggler window; slowdown factor
+                     ///< in `value`
+  kWorkerSlowEnd,    ///< `worker` left a straggler window
+  kTaskFail,         ///< an attempt of `task` on `worker` aborted with an
+                     ///< injected fault; 0-based attempt index in `value`
+  kTaskRetry,        ///< `task` re-entered the ready queue after a failed
+                     ///< attempt; 0-based index of the new attempt in `value`
+  kRunDegraded,      ///< run ended with unfinished tasks; count in `value`
 };
 
 inline constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::kBoundViolation) + 1;
+    static_cast<std::size_t>(EventKind::kRunDegraded) + 1;
 
 /// Printable name, e.g. "spoliate-commit".
 [[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
@@ -151,6 +160,36 @@ class Probe {
   }
   void bound_violation(double t, double ratio) const {
     emit({.time = t, .kind = EventKind::kBoundViolation, .value = ratio});
+  }
+  void worker_crash(double t, WorkerId w) const {
+    emit({.time = t, .kind = EventKind::kWorkerCrash, .worker = w});
+  }
+  void worker_slow_begin(double t, WorkerId w, double slowdown) const {
+    emit({.time = t,
+          .kind = EventKind::kWorkerSlowBegin,
+          .worker = w,
+          .value = slowdown});
+  }
+  void worker_slow_end(double t, WorkerId w) const {
+    emit({.time = t, .kind = EventKind::kWorkerSlowEnd, .worker = w});
+  }
+  void task_fail(double t, TaskId task, WorkerId w, int attempt) const {
+    emit({.time = t,
+          .kind = EventKind::kTaskFail,
+          .task = task,
+          .worker = w,
+          .value = static_cast<double>(attempt)});
+  }
+  void task_retry(double t, TaskId task, int attempt) const {
+    emit({.time = t,
+          .kind = EventKind::kTaskRetry,
+          .task = task,
+          .value = static_cast<double>(attempt)});
+  }
+  void run_degraded(double t, std::size_t unfinished) const {
+    emit({.time = t,
+          .kind = EventKind::kRunDegraded,
+          .value = static_cast<double>(unfinished)});
   }
 
  private:

@@ -51,9 +51,11 @@ std::string chrome_trace_from_events(std::span<const Event> events,
         << ",\"dur\":" << ts(e.time - slice.start) << ",\"args\":{\"task\":"
         << slice.task << "}}";
   };
-  auto emit_instant = [&](const Event& e, const char* name) {
+  auto emit_instant = [&](const Event& e, const char* name,
+                          const char* cat = "spoliation") {
     sep();
-    oss << "{\"name\":\"" << name << "\",\"cat\":\"spoliation\",\"ph\":\"i\","
+    oss << "{\"name\":\"" << name << "\",\"cat\":\"" << cat
+        << "\",\"ph\":\"i\","
         << "\"s\":\"t\",\"pid\":0,\"tid\":" << e.worker
         << ",\"ts\":" << ts(e.time) << ",\"args\":{\"task\":" << e.task;
     if (e.victim >= 0) oss << ",\"victim\":" << e.victim;
@@ -99,6 +101,35 @@ std::string chrome_trace_from_events(std::span<const Event> events,
         oss << "{\"name\":\"bound-violation\",\"cat\":\"watchdog\","
             << "\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"ts\":" << ts(e.time)
             << ",\"args\":{\"ratio\":" << util::format_double(e.value, 6)
+            << "}}";
+        break;
+      case EventKind::kWorkerCrash:
+        emit_instant(e, "worker-crash", "fault");
+        break;
+      case EventKind::kTaskFail:
+        emit_instant(e, "task-fail", "fault");
+        break;
+      case EventKind::kTaskRetry:
+        emit_instant(e, "task-retry", "fault");
+        break;
+      case EventKind::kWorkerSlowBegin:
+      case EventKind::kWorkerSlowEnd: {
+        // Straggler windows render as an on/off counter track per worker so
+        // the slowdown span is visible against the worker's slices.
+        sep();
+        oss << "{\"name\":\"slowdown_w" << e.worker
+            << "\",\"cat\":\"fault\",\"ph\":\"C\",\"pid\":0,\"ts\":"
+            << ts(e.time) << ",\"args\":{\"factor\":"
+            << util::format_double(
+                   e.kind == EventKind::kWorkerSlowBegin ? e.value : 0.0, 3)
+            << "}}";
+        break;
+      }
+      case EventKind::kRunDegraded:
+        sep();
+        oss << "{\"name\":\"run-degraded\",\"cat\":\"fault\",\"ph\":\"i\","
+            << "\"s\":\"g\",\"pid\":0,\"ts\":" << ts(e.time)
+            << ",\"args\":{\"unfinished\":" << util::format_double(e.value, 0)
             << "}}";
         break;
       case EventKind::kReady:

@@ -1,6 +1,7 @@
 #include "obs/watchdog.hpp"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/table.hpp"
@@ -18,34 +19,41 @@ const char* shape_name(PlatformShape shape) noexcept {
   return "?";
 }
 
-PlatformShape platform_shape(const Platform& platform) noexcept {
-  const int m = platform.cpus();
-  const int n = platform.gpus();
-  if (m == 0 || n == 0) return PlatformShape::kHomogeneous;
-  if (m == 1 && n == 1) return PlatformShape::kSingleSingle;
-  if (m == 1 || n == 1) return PlatformShape::kManyPlusOne;
+PlatformShape platform_shape(int cpus, int gpus) noexcept {
+  if (cpus == 0 || gpus == 0) return PlatformShape::kHomogeneous;
+  if (cpus == 1 && gpus == 1) return PlatformShape::kSingleSingle;
+  if (cpus == 1 || gpus == 1) return PlatformShape::kManyPlusOne;
   return PlatformShape::kGeneral;
 }
 
-double proven_bound(const Platform& platform) noexcept {
-  switch (platform_shape(platform)) {
+PlatformShape platform_shape(const Platform& platform) noexcept {
+  return platform_shape(platform.cpus(), platform.gpus());
+}
+
+double proven_bound(int cpus, int gpus) noexcept {
+  switch (platform_shape(cpus, gpus)) {
     case PlatformShape::kSingleSingle: return kPhi;            // Theorem 7
     case PlatformShape::kManyPlusOne: return 1.0 + kPhi;       // Theorem 9
     case PlatformShape::kGeneral: return 2.0 + std::sqrt(2.0); // Theorem 12
     case PlatformShape::kHomogeneous:
       // One resource class: HeteroPrio degenerates to list scheduling,
-      // Graham's (2 - 1/w) bound applies.
-      return 2.0 - 1.0 / platform.workers();
+      // Graham's (2 - 1/w) bound applies. Zero surviving workers have no
+      // bound to violate.
+      if (cpus + gpus == 0) return std::numeric_limits<double>::infinity();
+      return 2.0 - 1.0 / (cpus + gpus);
   }
   return 2.0 + std::sqrt(2.0);
 }
 
-BoundCheck check_makespan_bound(double makespan, double lower_bound,
-                                const Platform& platform,
-                                const WatchdogOptions& options) {
+double proven_bound(const Platform& platform) noexcept {
+  return proven_bound(platform.cpus(), platform.gpus());
+}
+
+BoundCheck check_makespan_bound(double makespan, double lower_bound, int cpus,
+                                int gpus, const WatchdogOptions& options) {
   BoundCheck check;
-  check.shape = platform_shape(platform);
-  check.bound = proven_bound(platform);
+  check.shape = platform_shape(cpus, gpus);
+  check.bound = proven_bound(cpus, gpus);
   check.makespan = makespan;
   check.lower_bound = lower_bound;
   check.advisory = options.dag;
@@ -59,6 +67,13 @@ BoundCheck check_makespan_bound(double makespan, double lower_bound,
                             .value = check.ratio});
   }
   return check;
+}
+
+BoundCheck check_makespan_bound(double makespan, double lower_bound,
+                                const Platform& platform,
+                                const WatchdogOptions& options) {
+  return check_makespan_bound(makespan, lower_bound, platform.cpus(),
+                              platform.gpus(), options);
 }
 
 BoundCheck check_schedule_bound(const Schedule& schedule, double lower_bound,

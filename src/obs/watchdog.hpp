@@ -40,6 +40,13 @@ enum class PlatformShape {
 [[nodiscard]] PlatformShape platform_shape(const Platform& platform) noexcept;
 [[nodiscard]] double proven_bound(const Platform& platform) noexcept;
 
+/// Count-based overloads for platforms that shrink mid-run (worker crashes):
+/// a Platform object cannot represent zero workers, but a degraded run can
+/// end with none. (0, 0) is kHomogeneous with an infinite bound — nothing
+/// finished on nothing violates nothing.
+[[nodiscard]] PlatformShape platform_shape(int cpus, int gpus) noexcept;
+[[nodiscard]] double proven_bound(int cpus, int gpus) noexcept;
+
 struct WatchdogOptions {
   /// Relative slack on the bound: a ratio within bound * (1 + tolerance)
   /// does not fire (floating-point and lower-bound quantization headroom).
@@ -66,6 +73,14 @@ struct BoundCheck {
 /// Check a makespan against the proven bound for `platform`'s shape.
 [[nodiscard]] BoundCheck check_makespan_bound(
     double makespan, double lower_bound, const Platform& platform,
+    const WatchdogOptions& options = {});
+
+/// Count-based overload: check against the bound for the shape of a
+/// (possibly degraded) platform with `cpus` + `gpus` surviving workers. Use
+/// after a faulty run so the verdict matches what actually survived, not
+/// the constructor-time shape.
+[[nodiscard]] BoundCheck check_makespan_bound(
+    double makespan, double lower_bound, int cpus, int gpus,
     const WatchdogOptions& options = {});
 
 /// Convenience overload on a finished schedule.

@@ -1,11 +1,13 @@
 #include "runtime/stf_runtime.hpp"
 
 #include <cassert>
+#include <utility>
 
 #include "baselines/dualhp.hpp"
 #include "baselines/heft.hpp"
 #include "bounds/dag_lower_bound.hpp"
 #include "core/heteroprio_dag.hpp"
+#include "fault/replay.hpp"
 #include "obs/replay.hpp"
 #include "sched/executor.hpp"
 
@@ -79,12 +81,31 @@ double StfRuntime::run() {
     }
   }
 
+  const fault::FaultPlan* faults = options_.faults;
+  const bool faulty = faults != nullptr && !faults->empty();
+
+  // Run a static plan under the actual durations: the exact fault-free
+  // replay, or the failover replay when a fault plan is live.
+  auto run_static_plan = [&](const Schedule& plan) {
+    if (faulty) {
+      fault::FaultyReplayResult replayed = fault::execute_plan_with_faults(
+          plan, graph_, platform_, *faults, actuals_, options_.sink);
+      schedule_ = std::move(replayed.schedule);
+      stats_.recovery = replayed.recovery;
+      return;
+    }
+    schedule_ = execute_static_plan(plan, graph_, platform_, actuals_);
+    // Replay the *realized* schedule, not the estimate-time plan.
+    obs::replay_schedule_to(schedule_, platform_, options_.sink);
+  };
+
   stats_ = HeteroPrioStats{};
   switch (options_.policy) {
     case SchedulerPolicy::kHeteroPrio: {
       HeteroPrioOptions hp_options;
       hp_options.actual_times = actuals_;
       hp_options.sink = options_.sink;
+      hp_options.faults = options_.faults;
       schedule_ = heteroprio_dag(graph_, platform_, hp_options, &stats_);
       break;
     }
@@ -92,18 +113,13 @@ double StfRuntime::run() {
       HeftOptions heft_options;
       heft_options.rank =
           options_.rank == RankScheme::kFifo ? RankScheme::kAvg : options_.rank;
-      const Schedule plan = heft(graph_, platform_, heft_options);
-      schedule_ = execute_static_plan(plan, graph_, platform_, actuals_);
-      // Replay the *realized* schedule, not the estimate-time plan.
-      obs::replay_schedule_to(schedule_, platform_, options_.sink);
+      run_static_plan(heft(graph_, platform_, heft_options));
       break;
     }
     case SchedulerPolicy::kDualHp: {
       DualHpOptions dual_options;
       dual_options.fifo_order = options_.rank == RankScheme::kFifo;
-      const Schedule plan = dualhp_dag(graph_, platform_, dual_options);
-      schedule_ = execute_static_plan(plan, graph_, platform_, actuals_);
-      obs::replay_schedule_to(schedule_, platform_, options_.sink);
+      run_static_plan(dualhp_dag(graph_, platform_, dual_options));
       break;
     }
   }
@@ -116,8 +132,21 @@ double StfRuntime::run() {
     obs::WatchdogOptions wd;
     wd.dag = true;
     wd.sink = options_.sink;
-    bound_check_ = obs::check_schedule_bound(
-        schedule_, dag_lower_bound(graph_, platform_).value(), platform_, wd);
+    const double lb = dag_lower_bound(graph_, platform_).value();
+    if (faulty) {
+      // Judge the bound shape against what survived to the end of the run;
+      // a platform that shrank to one class (or nothing) is checked against
+      // the degenerate-shape bound, not the constructor-time one.
+      const double end = schedule_.makespan();
+      const int cpus = platform_.cpus() - faults->crashed_before(
+                                              end, Resource::kCpu, platform_);
+      const int gpus = platform_.gpus() - faults->crashed_before(
+                                              end, Resource::kGpu, platform_);
+      bound_check_ =
+          obs::check_makespan_bound(schedule_.makespan(), lb, cpus, gpus, wd);
+    } else {
+      bound_check_ = obs::check_schedule_bound(schedule_, lb, platform_, wd);
+    }
   }
   return schedule_.makespan();
 }

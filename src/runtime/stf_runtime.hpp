@@ -54,7 +54,14 @@ struct RuntimeOptions {
   /// Run the bound watchdog after the run: compares the realized makespan
   /// against dag_lower_bound times the proven ratio for the platform shape
   /// (advisory for DAGs — see obs/watchdog.hpp). Result via bound_check().
+  /// Under faults, the shape is re-evaluated against the workers that
+  /// survived to the end of the run.
   bool check_bounds = false;
+  /// Fault plan to inject. HeteroPrio recovers online in the engine; the
+  /// static policies replay their plan through
+  /// fault::execute_plan_with_faults. Outcome via recovery(). The plan must
+  /// outlive the run.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 class StfRuntime {
@@ -87,6 +94,10 @@ class StfRuntime {
   }
   /// HeteroPrio statistics of the last run() (zero for static policies).
   [[nodiscard]] const HeteroPrioStats& stats() const noexcept { return stats_; }
+  /// Online-recovery outcome of the last run() (all zero without faults).
+  [[nodiscard]] const fault::RecoveryReport& recovery() const noexcept {
+    return stats_.recovery;
+  }
   /// Watchdog verdict of the last run() (only meaningful when
   /// options.check_bounds was set).
   [[nodiscard]] const obs::BoundCheck& bound_check() const noexcept {

@@ -31,6 +31,7 @@ ScheduleMetrics compute_metrics(const Schedule& schedule,
     const Resource r = platform.type_of(a.worker);
     ResourceMetrics& rm = r == Resource::kCpu ? m.cpu : m.gpu;
     rm.aborted_time += a.abort_time - a.start;
+    ++rm.attempts_aborted;
   }
 
   m.cpu.idle_time = platform.cpus() * m.makespan - m.cpu.busy_time;

@@ -17,6 +17,10 @@ struct ResourceMetrics {
   double idle_time = 0.0;     ///< count(r)*makespan - busy_time (aborted work
                               ///< counts as idle, per the §6.2 footnote)
   int tasks_completed = 0;
+  /// Aborted attempts charged to this resource type (spoliation victims,
+  /// injected task failures, crash aborts). Each attempt's time is in
+  /// aborted_time, attributed to the worker that actually ran it.
+  int attempts_aborted = 0;
   /// Equivalent acceleration factor A_r = sum(p_i)/sum(q_i) over tasks
   /// completed on this resource type (Fig 8). NaN when no task completed.
   double equivalent_accel = 0.0;

@@ -18,7 +18,9 @@ struct Segment {
 std::string fail(const std::ostringstream& oss) { return oss.str(); }
 
 ScheduleCheck check_core(const Schedule& schedule, std::span<const Task> tasks,
-                         const Platform& platform, double tol) {
+                         const Platform& platform,
+                         const ScheduleCheckOptions& options) {
+  const double tol = options.tol;
   std::ostringstream oss;
   if (schedule.num_tasks() != tasks.size()) {
     oss << "schedule covers " << schedule.num_tasks() << " tasks, instance has "
@@ -33,6 +35,7 @@ ScheduleCheck check_core(const Schedule& schedule, std::span<const Task> tasks,
     const auto id = static_cast<TaskId>(i);
     const Placement& p = schedule.placement(id);
     if (!p.placed()) {
+      if (!options.require_complete) continue;
       oss << "task " << id << " not placed";
       return {false, fail(oss)};
     }
@@ -40,10 +43,17 @@ ScheduleCheck check_core(const Schedule& schedule, std::span<const Task> tasks,
       oss << "task " << id << " on invalid worker " << p.worker;
       return {false, fail(oss)};
     }
-    const double expected = Platform::time_on(tasks[i], platform.type_of(p.worker));
-    if (std::abs((p.end - p.start) - expected) > tol) {
-      oss << "task " << id << " duration " << (p.end - p.start) << " != "
-          << expected << " on " << resource_name(platform.type_of(p.worker));
+    if (options.exact_durations) {
+      const double expected =
+          Platform::time_on(tasks[i], platform.type_of(p.worker));
+      if (std::abs((p.end - p.start) - expected) > tol) {
+        oss << "task " << id << " duration " << (p.end - p.start) << " != "
+            << expected << " on " << resource_name(platform.type_of(p.worker));
+        return {false, fail(oss)};
+      }
+    } else if (p.end < p.start - tol) {
+      oss << "task " << id << " ends at " << p.end << " before its start "
+          << p.start;
       return {false, fail(oss)};
     }
     if (p.start < -tol) {
@@ -64,7 +74,7 @@ ScheduleCheck check_core(const Schedule& schedule, std::span<const Task> tasks,
         Platform::time_on(tasks[static_cast<std::size_t>(a.task)],
                           platform.type_of(a.worker));
     const double ran = a.abort_time - a.start;
-    if (ran < -tol || ran > full + tol) {
+    if (ran < -tol || (options.exact_durations && ran > full + tol)) {
       oss << "aborted segment of task " << a.task << " ran " << ran
           << ", full time is " << full;
       return {false, fail(oss)};
@@ -99,19 +109,36 @@ ScheduleCheck check_core(const Schedule& schedule, std::span<const Task> tasks,
 ScheduleCheck check_schedule(const Schedule& schedule,
                              std::span<const Task> tasks,
                              const Platform& platform, double tol) {
-  return check_core(schedule, tasks, platform, tol);
+  return check_core(schedule, tasks, platform, ScheduleCheckOptions{.tol = tol});
+}
+
+ScheduleCheck check_schedule(const Schedule& schedule,
+                             std::span<const Task> tasks,
+                             const Platform& platform,
+                             const ScheduleCheckOptions& options) {
+  return check_core(schedule, tasks, platform, options);
 }
 
 ScheduleCheck check_schedule(const Schedule& schedule, const TaskGraph& graph,
-                             const Platform& platform, double tol) {
-  ScheduleCheck core = check_core(schedule, graph.tasks(), platform, tol);
+                             const Platform& platform,
+                             const ScheduleCheckOptions& options) {
+  ScheduleCheck core = check_core(schedule, graph.tasks(), platform, options);
   if (!core.ok) return core;
   for (std::size_t i = 0; i < graph.size(); ++i) {
     const auto id = static_cast<TaskId>(i);
     const Placement& p = schedule.placement(id);
     for (TaskId pred : graph.predecessors(id)) {
       const Placement& pp = schedule.placement(pred);
-      if (p.start < pp.end - tol) {
+      if (!p.placed()) continue;  // allowed only when !require_complete
+      if (!pp.placed()) {
+        // A task cannot have run when a dependency never finished,
+        // regardless of completeness relaxation.
+        std::ostringstream oss;
+        oss << "task " << id << " placed but predecessor " << pred
+            << " is not";
+        return {false, oss.str()};
+      }
+      if (p.start < pp.end - options.tol) {
         std::ostringstream oss;
         oss << "task " << id << " starts at " << p.start
             << " before predecessor " << pred << " ends at " << pp.end;
@@ -120,6 +147,12 @@ ScheduleCheck check_schedule(const Schedule& schedule, const TaskGraph& graph,
     }
   }
   return {};
+}
+
+ScheduleCheck check_schedule(const Schedule& schedule, const TaskGraph& graph,
+                             const Platform& platform, double tol) {
+  return check_schedule(schedule, graph, platform,
+                        ScheduleCheckOptions{.tol = tol});
 }
 
 }  // namespace hp

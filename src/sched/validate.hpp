@@ -24,11 +24,29 @@ struct ScheduleCheck {
   std::string message;  ///< first violation found, empty when ok
 };
 
+/// Relaxations for schedules produced under fault injection.
+struct ScheduleCheckOptions {
+  double tol = 1e-9;
+  /// Allow unplaced tasks (a degraded run abandoned them). Exclusivity and
+  /// precedence still apply to everything that did run — and a *placed*
+  /// successor of an unplaced predecessor is always a violation.
+  bool require_complete = true;
+  /// Require each placement's length to equal Platform::time_on (and each
+  /// aborted segment to be no longer). Disable for runs whose wall-clock
+  /// durations were stretched by straggler windows; segments must still be
+  /// non-negative and non-overlapping.
+  bool exact_durations = true;
+};
+
 /// Validate a schedule of an independent-task instance.
 [[nodiscard]] ScheduleCheck check_schedule(const Schedule& schedule,
                                            std::span<const Task> tasks,
                                            const Platform& platform,
                                            double tol = 1e-9);
+[[nodiscard]] ScheduleCheck check_schedule(const Schedule& schedule,
+                                           std::span<const Task> tasks,
+                                           const Platform& platform,
+                                           const ScheduleCheckOptions& options);
 
 /// Validate a schedule of a DAG (all independent-instance checks plus
 /// precedence).
@@ -36,5 +54,9 @@ struct ScheduleCheck {
                                            const TaskGraph& graph,
                                            const Platform& platform,
                                            double tol = 1e-9);
+[[nodiscard]] ScheduleCheck check_schedule(const Schedule& schedule,
+                                           const TaskGraph& graph,
+                                           const Platform& platform,
+                                           const ScheduleCheckOptions& options);
 
 }  // namespace hp

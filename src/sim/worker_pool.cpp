@@ -13,10 +13,10 @@ void WorkerPool::idle_workers_gpu_first(std::vector<WorkerId>& out) const {
   out.reserve(static_cast<std::size_t>(platform_.workers() - busy_count_));
   for (WorkerId w = platform_.first(Resource::kGpu); w < platform_.workers();
        ++w) {
-    if (!busy(w)) out.push_back(w);
+    if (!busy(w) && !failed(w)) out.push_back(w);
   }
   for (WorkerId w = 0; w < platform_.first(Resource::kGpu); ++w) {
-    if (!busy(w)) out.push_back(w);
+    if (!busy(w) && !failed(w)) out.push_back(w);
   }
 }
 

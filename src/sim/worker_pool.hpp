@@ -41,6 +41,31 @@ class WorkerPool {
     return running_[static_cast<std::size_t>(w)].task != kInvalidTask;
   }
 
+  /// Permanently remove `w` from service (fault injection: a crash). The
+  /// worker must already be released; it stops appearing in
+  /// idle_workers_gpu_first() and the alive counts shrink.
+  void mark_failed(WorkerId w) {
+    assert(!busy(w));
+    if (failed_.empty()) {
+      failed_.assign(static_cast<std::size_t>(platform_.workers()), 0);
+    }
+    if (failed_[static_cast<std::size_t>(w)]) return;
+    failed_[static_cast<std::size_t>(w)] = 1;
+    ++failed_by_type_[static_cast<std::size_t>(platform_.type_of(w))];
+  }
+
+  [[nodiscard]] bool failed(WorkerId w) const noexcept {
+    return !failed_.empty() && failed_[static_cast<std::size_t>(w)] != 0;
+  }
+
+  /// Surviving (never-crashed) workers of one resource type.
+  [[nodiscard]] int alive_count(Resource r) const noexcept {
+    return platform_.count(r) - failed_by_type_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int alive_count() const noexcept {
+    return alive_count(Resource::kCpu) + alive_count(Resource::kGpu);
+  }
+
   [[nodiscard]] const Running& running(WorkerId w) const noexcept {
     return running_[static_cast<std::size_t>(w)];
   }
@@ -113,6 +138,8 @@ class WorkerPool {
   obs::Probe probe_;
   int busy_count_ = 0;
   int busy_by_type_[2] = {0, 0};
+  std::vector<char> failed_;  ///< lazily sized; empty means no crashes yet
+  int failed_by_type_[2] = {0, 0};
 };
 
 }  // namespace hp::sim

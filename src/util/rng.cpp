@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace hp::util {
 
@@ -19,6 +20,19 @@ std::uint64_t Rng::bounded(std::uint64_t bound) noexcept {
     }
   }
   return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  const double u = uniform01();
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return u < p;
+}
+
+double Rng::exponential(double rate) noexcept {
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  // uniform01() is in [0, 1); flip to (0, 1] so log() never sees zero.
+  return -std::log(1.0 - uniform01()) / rate;
 }
 
 double Rng::normal() noexcept {

@@ -84,6 +84,16 @@ class Rng {
   /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
   std::uint64_t bounded(std::uint64_t bound) noexcept;
 
+  /// Bernoulli trial: true with probability `p` (clamped to [0, 1]).
+  /// Always consumes exactly one draw, so downstream values stay aligned
+  /// across different probabilities.
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential deviate with the given rate (mean 1/rate). Used for
+  /// fault-plan inter-arrival times (crash instants, straggler windows).
+  /// rate <= 0 returns +infinity (the event never happens).
+  double exponential(double rate) noexcept;
+
   /// Standard normal deviate (Marsaglia polar method).
   double normal() noexcept;
 

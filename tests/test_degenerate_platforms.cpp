@@ -4,12 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baselines/dualhp.hpp"
 #include "baselines/heft.hpp"
 #include "core/heteroprio.hpp"
 #include "core/heteroprio_dag.hpp"
 #include "dag/ranking.hpp"
+#include "fault/fault_plan.hpp"
 #include "linalg/cholesky.hpp"
+#include "obs/watchdog.hpp"
 #include "sched/validate.hpp"
 
 namespace hp {
@@ -81,6 +85,84 @@ TEST(DegeneratePlatforms, SingleTaskEveryPlatformShape) {
           << "(" << cpus << "," << gpus << ")";
     }
   }
+}
+
+TEST(DegeneratePlatforms, CrashShrinksHeterogeneousNodeToHomogeneous) {
+  // A (2, 1) node loses its only GPU immediately: the run must degenerate
+  // to CPU-only list scheduling without deadlock or spoliation targets.
+  TaskGraph g = cholesky_dag(5);
+  assign_priorities(g, RankScheme::kMin);
+  const Platform platform(2, 1);
+  fault::FaultPlan plan;
+  plan.add_crash(platform.first(Resource::kGpu), 0.0);
+
+  HeteroPrioOptions options;
+  options.faults = &plan;
+  HeteroPrioStats stats;
+  const Schedule s = heteroprio_dag(g, platform, options, &stats);
+  const ScheduleCheckOptions relaxed{.require_complete = false,
+                                     .exact_durations = false};
+  const auto check = check_schedule(s, g, platform, relaxed);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_TRUE(s.complete());
+  for (const Placement& p : s.placements()) {
+    EXPECT_EQ(platform.type_of(p.worker), Resource::kCpu);
+  }
+}
+
+TEST(DegeneratePlatforms, CrashShrinksNodeToASingleWorker) {
+  const std::vector<Task> tasks{Task{2.0, 1.0}, Task{1.0, 2.0},
+                                Task{3.0, 3.0}};
+  const Platform platform(2, 1);
+  fault::FaultPlan plan;
+  plan.add_crash(0, 0.0);
+  plan.add_crash(2, 0.0);  // only CPU 1 survives
+
+  HeteroPrioOptions options;
+  options.faults = &plan;
+  HeteroPrioStats stats;
+  const Schedule s = heteroprio(tasks, platform, options, &stats);
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(stats.recovery.worker_crashes, 2);
+  double cpu_work = 0.0;
+  for (const Task& t : tasks) cpu_work += t.cpu_time;
+  EXPECT_NEAR(s.makespan(), cpu_work, 1e-9);  // everything serialized
+  for (const Placement& p : s.placements()) EXPECT_EQ(p.worker, 1);
+}
+
+TEST(DegeneratePlatforms, WatchdogShapesForShrunkenWorkerCounts) {
+  using obs::PlatformShape;
+  // The count-based overloads cover shapes a Platform object cannot reach.
+  EXPECT_EQ(obs::platform_shape(1, 1), PlatformShape::kSingleSingle);
+  EXPECT_EQ(obs::platform_shape(3, 1), PlatformShape::kManyPlusOne);
+  EXPECT_EQ(obs::platform_shape(1, 4), PlatformShape::kManyPlusOne);
+  EXPECT_EQ(obs::platform_shape(2, 2), PlatformShape::kGeneral);
+  EXPECT_EQ(obs::platform_shape(3, 0), PlatformShape::kHomogeneous);
+  EXPECT_EQ(obs::platform_shape(0, 2), PlatformShape::kHomogeneous);
+  EXPECT_EQ(obs::platform_shape(0, 0), PlatformShape::kHomogeneous);
+
+  // Counts must agree with the Platform overload where both exist.
+  EXPECT_EQ(obs::platform_shape(4, 2), obs::platform_shape(Platform(4, 2)));
+  EXPECT_DOUBLE_EQ(obs::proven_bound(4, 2),
+                   obs::proven_bound(Platform(4, 2)));
+
+  // Graham's 2 - 1/w for homogeneous survivors; infinity for none.
+  EXPECT_DOUBLE_EQ(obs::proven_bound(3, 0), 2.0 - 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(obs::proven_bound(0, 1), 1.0);
+  EXPECT_TRUE(std::isinf(obs::proven_bound(0, 0)));
+}
+
+TEST(DegeneratePlatforms, WatchdogNeverFiresOnAFullyCrashedNode) {
+  // A degraded run can end with zero survivors: any makespan over any
+  // lower bound must pass (nothing finished on nothing violates nothing).
+  const auto check = obs::check_makespan_bound(100.0, 1.0, 0, 0);
+  EXPECT_FALSE(check.violated);
+  EXPECT_TRUE(std::isinf(check.bound));
+
+  // One survivor is a real shape again: Graham's bound for w=1 is 1.0, so
+  // a ratio of 10/9 against the lower bound must fire.
+  EXPECT_TRUE(obs::check_makespan_bound(10.0, 9.0, 0, 1).violated);
+  EXPECT_FALSE(obs::check_makespan_bound(9.0, 9.0, 0, 1).violated);
 }
 
 }  // namespace

@@ -1,0 +1,279 @@
+// FaultPlan unit tests: deterministic generation, the piecewise straggler
+// clock, pure per-attempt draws, normalization and the .hpf text format.
+
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hp::fault {
+namespace {
+
+TEST(FaultSpecParse, AcceptsEveryKey) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec(
+      "crashes=2,stragglers=3,taskfail=0.05,slow=4,retries=3,backoff=0.1,"
+      "seed=7,horizon=12.5",
+      &spec, &error))
+      << error;
+  EXPECT_EQ(spec.crashes, 2);
+  EXPECT_EQ(spec.stragglers, 3);
+  EXPECT_DOUBLE_EQ(spec.task_fail_prob, 0.05);
+  EXPECT_DOUBLE_EQ(spec.slowdown_min, 4.0);
+  EXPECT_DOUBLE_EQ(spec.slowdown_max, 4.0);
+  EXPECT_EQ(spec.max_attempts, 4);  // retries=3 -> first try + 3 retries
+  EXPECT_DOUBLE_EQ(spec.retry_backoff, 0.1);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_DOUBLE_EQ(spec.horizon, 12.5);
+}
+
+TEST(FaultSpecParse, MissingKeysKeepDefaults) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec("crashes=1", &spec, &error)) << error;
+  EXPECT_EQ(spec.crashes, 1);
+  EXPECT_EQ(spec.stragglers, 0);
+  EXPECT_EQ(spec.max_attempts, 4);
+  EXPECT_DOUBLE_EQ(spec.task_fail_prob, 0.0);
+}
+
+TEST(FaultSpecParse, RejectsUnknownKeyAndBadValue) {
+  FaultSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_spec("bogus=1", &spec, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  EXPECT_FALSE(parse_spec("crashes=abc", &spec, &error));
+  EXPECT_FALSE(parse_spec("crashes", &spec, &error));
+}
+
+TEST(FaultPlan, GenerateIsDeterministic) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec("crashes=2,stragglers=3,taskfail=0.1,seed=42",
+                         &spec, &error));
+  spec.horizon = 10.0;
+  const Platform platform(4, 2);
+  const FaultPlan a = FaultPlan::generate(spec, platform);
+  const FaultPlan b = FaultPlan::generate(spec, platform);
+  EXPECT_EQ(a, b);
+  spec.seed = 43;
+  const FaultPlan c = FaultPlan::generate(spec, platform);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultPlan, GenerateRespectsSpec) {
+  FaultSpec spec;
+  spec.crashes = 3;
+  spec.stragglers = 4;
+  spec.slowdown_min = 2.0;
+  spec.slowdown_max = 6.0;
+  spec.horizon = 20.0;
+  spec.seed = 5;
+  const Platform platform(4, 2);
+  const FaultPlan plan = FaultPlan::generate(spec, platform);
+  EXPECT_EQ(plan.crashes().size(), 3u);
+  for (const CrashEvent& c : plan.crashes()) {
+    EXPECT_GE(c.worker, 0);
+    EXPECT_LT(c.worker, platform.workers());
+    EXPECT_GE(c.time, 0.0);
+  }
+  // Crashed workers are distinct.
+  for (std::size_t i = 0; i < plan.crashes().size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.crashes().size(); ++j) {
+      EXPECT_NE(plan.crashes()[i].worker, plan.crashes()[j].worker);
+    }
+  }
+  for (const StragglerWindow& w : plan.stragglers()) {
+    EXPECT_GE(w.worker, 0);
+    EXPECT_LT(w.worker, platform.workers());
+    EXPECT_LT(w.begin, w.end);
+    EXPECT_GE(w.slowdown, 2.0);
+    EXPECT_LE(w.slowdown, 6.0);
+  }
+}
+
+TEST(FaultPlan, CrashCountNeverExceedsWorkers) {
+  FaultSpec spec;
+  spec.crashes = 100;
+  spec.horizon = 5.0;
+  const FaultPlan plan = FaultPlan::generate(spec, Platform(2, 1));
+  EXPECT_EQ(plan.crashes().size(), 3u);
+}
+
+TEST(FaultPlan, EmptySemantics) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.set_task_faults(0.0, 4, 0.1, 9);  // p = 0 still injects nothing
+  EXPECT_TRUE(plan.empty());
+  plan.add_crash(0, 1.0);
+  EXPECT_FALSE(plan.empty());
+
+  FaultPlan fails_only;
+  fails_only.set_task_faults(0.5, 4, 0.0, 9);
+  EXPECT_FALSE(fails_only.empty());
+}
+
+TEST(FaultPlan, NormalizeKeepsEarliestCrashPerWorker) {
+  FaultPlan plan;
+  plan.add_crash(1, 5.0);
+  plan.add_crash(0, 3.0);
+  plan.add_crash(1, 2.0);  // earlier crash of worker 1 wins
+  ASSERT_EQ(plan.crashes().size(), 2u);
+  EXPECT_EQ(plan.crashes()[0].worker, 1);
+  EXPECT_DOUBLE_EQ(plan.crashes()[0].time, 2.0);
+  EXPECT_EQ(plan.crashes()[1].worker, 0);
+  EXPECT_DOUBLE_EQ(plan.crashes()[1].time, 3.0);
+  ASSERT_NE(plan.crash_of(1), nullptr);
+  EXPECT_DOUBLE_EQ(plan.crash_of(1)->time, 2.0);
+  EXPECT_EQ(plan.crash_of(2), nullptr);
+}
+
+TEST(FaultPlan, NormalizeMergesOverlappingWindows) {
+  FaultPlan plan;
+  plan.add_straggler(0, 1.0, 3.0, 2.0);
+  plan.add_straggler(0, 2.0, 5.0, 4.0);  // overlaps: merged, max slowdown
+  plan.add_straggler(1, 2.0, 4.0, 3.0);  // other worker: untouched
+  plan.add_straggler(0, 7.0, 7.0, 9.0);  // empty window: dropped
+  ASSERT_EQ(plan.stragglers().size(), 2u);
+  EXPECT_EQ(plan.stragglers()[0].worker, 0);
+  EXPECT_DOUBLE_EQ(plan.stragglers()[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(plan.stragglers()[0].end, 5.0);
+  EXPECT_DOUBLE_EQ(plan.stragglers()[0].slowdown, 4.0);
+  EXPECT_EQ(plan.stragglers()[1].worker, 1);
+}
+
+TEST(FaultPlan, FinishTimeWithoutWindowsIsStartPlusDuration) {
+  const FaultPlan plan;
+  EXPECT_DOUBLE_EQ(plan.finish_time(0, 1.5, 2.5), 4.0);
+}
+
+TEST(FaultPlan, FinishTimeStretchesInsideWindow) {
+  FaultPlan plan;
+  plan.add_straggler(0, 2.0, 4.0, 2.0);
+  // 2 work units at speed 1 until t=2, remaining 1 unit at speed 1/2 -> 4.
+  EXPECT_DOUBLE_EQ(plan.finish_time(0, 0.0, 3.0), 4.0);
+  // Work ending exactly at the window start is not stretched.
+  EXPECT_DOUBLE_EQ(plan.finish_time(0, 0.0, 2.0), 2.0);
+  // Work starting inside the window: [3,4) holds 0.5 units at speed 1/2,
+  // the remaining 0.5 run at full speed after the window closes.
+  EXPECT_DOUBLE_EQ(plan.finish_time(0, 3.0, 1.0), 4.5);
+  // Other workers are unaffected.
+  EXPECT_DOUBLE_EQ(plan.finish_time(1, 0.0, 3.0), 3.0);
+}
+
+TEST(FaultPlan, FinishTimeWalksMultipleWindows) {
+  FaultPlan plan;
+  plan.add_straggler(0, 1.0, 2.0, 2.0);
+  plan.add_straggler(0, 3.0, 4.0, 4.0);
+  // [0,1): 1 unit; [1,2): 0.5 units; [2,3): 1 unit; [3,4): 0.25 units at
+  // speed 1/4; the last 0.25 run at full speed -> finish at 4.25.
+  EXPECT_DOUBLE_EQ(plan.finish_time(0, 0.0, 3.0), 4.25);
+}
+
+TEST(FaultPlan, AttemptOutcomeIsPureInSeedTaskAttempt) {
+  FaultPlan plan;
+  plan.set_task_faults(0.5, 4, 0.0, 77);
+  const AttemptOutcome first = plan.attempt_outcome(3, 0);
+  // Query order and repetition do not change the draw.
+  (void)plan.attempt_outcome(9, 2);
+  const AttemptOutcome again = plan.attempt_outcome(3, 0);
+  EXPECT_EQ(first.fails, again.fails);
+  EXPECT_DOUBLE_EQ(first.fail_fraction, again.fail_fraction);
+  EXPECT_GE(first.fail_fraction, 0.05);
+  EXPECT_LE(first.fail_fraction, 0.95);
+}
+
+TEST(FaultPlan, AttemptOutcomeRatesMatchProbability) {
+  FaultPlan never;
+  never.set_task_faults(0.0, 4, 0.0, 1);
+  FaultPlan always;
+  always.set_task_faults(1.0, 4, 0.0, 1);
+  FaultPlan half;
+  half.set_task_faults(0.5, 4, 0.0, 1);
+  int failures = 0;
+  for (TaskId t = 0; t < 2000; ++t) {
+    EXPECT_FALSE(never.attempt_outcome(t, 0).fails);
+    EXPECT_TRUE(always.attempt_outcome(t, 0).fails);
+    failures += half.attempt_outcome(t, 0).fails;
+  }
+  EXPECT_NEAR(failures / 2000.0, 0.5, 0.05);
+}
+
+TEST(FaultPlan, BackoffDoublesPerFailedAttempt) {
+  FaultPlan plan;
+  plan.set_task_faults(0.5, 8, 0.1, 1);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(1), 0.1);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(2), 0.2);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(3), 0.4);
+
+  const FaultPlan no_backoff;
+  EXPECT_DOUBLE_EQ(no_backoff.backoff_delay(3), 0.0);
+}
+
+TEST(FaultPlan, CrashedBeforeCountsPerType) {
+  const Platform platform(2, 2);  // workers 0,1 CPU; 2,3 GPU
+  FaultPlan plan;
+  plan.add_crash(0, 1.0);
+  plan.add_crash(2, 2.0);
+  plan.add_crash(3, 5.0);
+  EXPECT_EQ(plan.crashed_before(0.5, Resource::kCpu, platform), 0);
+  EXPECT_EQ(plan.crashed_before(1.0, Resource::kCpu, platform), 1);
+  EXPECT_EQ(plan.crashed_before(3.0, Resource::kGpu, platform), 1);
+  EXPECT_EQ(plan.crashed_before(10.0, Resource::kGpu, platform), 2);
+}
+
+TEST(FaultPlan, TextRoundTrip) {
+  FaultPlan plan;
+  plan.add_crash(3, 1.25);
+  plan.add_crash(0, 0.5);
+  plan.add_straggler(1, 2.0, 4.5, 3.0);
+  plan.set_task_faults(0.125, 5, 0.0625, 12345);
+
+  const std::string text = plan.to_text();
+  EXPECT_NE(text.find("faultplan v1"), std::string::npos);
+
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::from_text(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, plan);
+}
+
+TEST(FaultPlan, FromTextRejectsMalformedDocuments) {
+  FaultPlan parsed;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::from_text("", &parsed, &error));
+  EXPECT_FALSE(FaultPlan::from_text("not a plan\n", &parsed, &error));
+  EXPECT_FALSE(
+      FaultPlan::from_text("faultplan v1\nwat 3\n", &parsed, &error));
+  EXPECT_NE(error.find("wat"), std::string::npos);
+  EXPECT_FALSE(
+      FaultPlan::from_text("faultplan v1\ncrash 0\n", &parsed, &error));
+}
+
+TEST(FaultPlan, FromTextSkipsCommentsAndBlankLines) {
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::from_text(
+      "faultplan v1\n# a comment\n\ncrash 1 2.5\n", &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.crashes().size(), 1u);
+  EXPECT_EQ(parsed.crashes()[0].worker, 1);
+  EXPECT_DOUBLE_EQ(parsed.crashes()[0].time, 2.5);
+}
+
+TEST(FaultPlan, DescribeMentionsEveryIngredient) {
+  FaultPlan plan;
+  plan.add_crash(2, 1.0);
+  plan.add_straggler(0, 1.0, 2.0, 3.0);
+  plan.set_task_faults(0.25, 4, 0.1, 1);
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("crash worker 2"), std::string::npos);
+  EXPECT_NE(text.find("slow worker 0"), std::string::npos);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hp::fault

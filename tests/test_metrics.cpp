@@ -40,6 +40,39 @@ TEST(Metrics, AbortedWorkCountsAsIdle) {
   EXPECT_DOUBLE_EQ(m.gpu.busy_time, 1.0);
 }
 
+TEST(Metrics, MultiAttemptTimeChargedToTheWorkerThatRanIt) {
+  // A faulty run: task 0 failed on CPU 0 and again on CPU 1 before finishing
+  // on the GPU; task 1 lost a crash-aborted attempt on the GPU. Each
+  // attempt's time lands on the resource that actually ran it.
+  const std::vector<Task> tasks{Task{4.0, 2.0}, Task{3.0, 1.0}};
+  const Platform platform(2, 1);
+  Schedule s(2);
+  s.add_aborted(0, 0, 0.0, 1.0);  // attempt 0: 1.0 lost on a CPU
+  s.add_aborted(0, 1, 1.0, 2.5);  // attempt 1: 1.5 lost on the other CPU
+  s.place(0, 2, 2.5, 4.5);        // attempt 2 completed on the GPU
+  s.add_aborted(1, 2, 0.0, 0.5);  // crash-aborted GPU attempt
+  s.place(1, 0, 1.0, 4.0);        // completed on a CPU
+  const ScheduleMetrics m = compute_metrics(s, tasks, platform);
+  EXPECT_EQ(m.cpu.attempts_aborted, 2);
+  EXPECT_EQ(m.gpu.attempts_aborted, 1);
+  EXPECT_DOUBLE_EQ(m.cpu.aborted_time, 2.5);
+  EXPECT_DOUBLE_EQ(m.gpu.aborted_time, 0.5);
+  EXPECT_DOUBLE_EQ(m.cpu.busy_time, 3.0);
+  EXPECT_DOUBLE_EQ(m.gpu.busy_time, 2.0);
+  EXPECT_EQ(m.cpu.tasks_completed, 1);
+  EXPECT_EQ(m.gpu.tasks_completed, 1);
+}
+
+TEST(Metrics, AttemptsAbortedZeroWithoutFaultsOrSpoliation) {
+  const std::vector<Task> tasks{Task{2.0, 1.0}};
+  const Platform platform(1, 1);
+  Schedule s(1);
+  s.place(0, 0, 0.0, 2.0);
+  const ScheduleMetrics m = compute_metrics(s, tasks, platform);
+  EXPECT_EQ(m.cpu.attempts_aborted, 0);
+  EXPECT_EQ(m.gpu.attempts_aborted, 0);
+}
+
 TEST(Metrics, EquivalentAccelerationFactor) {
   // A_r = sum(p_i) / sum(q_i) over tasks completed on r (Fig 8).
   const std::vector<Task> tasks{Task{10.0, 1.0}, Task{6.0, 3.0},

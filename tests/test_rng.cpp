@@ -97,6 +97,43 @@ TEST(Rng, LognormalMedianNearExpMu) {
   EXPECT_NEAR(xs[xs.size() / 2], std::exp(1.0), 0.1);
 }
 
+TEST(Rng, BernoulliHitRateNearP) {
+  Rng rng(12);
+  constexpr int kSamples = 50000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanNearInverseRate) {
+  Rng rng(14);
+  constexpr int kSamples = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(0.25), 0.0);
+}
+
+TEST(Rng, ExponentialNonPositiveRateIsInfinite) {
+  Rng rng(16);
+  EXPECT_TRUE(std::isinf(rng.exponential(0.0)));
+  EXPECT_TRUE(std::isinf(rng.exponential(-3.0)));
+}
+
 TEST(Splitmix, DeterministicExpansion) {
   std::uint64_t s1 = 99, s2 = 99;
   EXPECT_EQ(splitmix64(s1), splitmix64(s2));

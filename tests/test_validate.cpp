@@ -107,6 +107,88 @@ TEST(Validate, DagPrecedenceViolationDetected) {
   EXPECT_TRUE(check.ok) << check.message;
 }
 
+TEST(Validate, MultiAttemptRetrySegmentsAccepted) {
+  // A faulty run: task 1 failed once on the GPU, was retried on the same
+  // worker and completed. The aborted and final segments must not be
+  // flagged as an overlap.
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 0, 0.0, 2.0);
+  s.add_aborted(1, 1, 0.0, 1.0);  // attempt 0, killed after 1.0 < q=2
+  s.place(1, 1, 1.5, 3.5);        // attempt 1 after a 0.5 backoff
+  const auto check = check_schedule(s, tasks, Platform(1, 1));
+  EXPECT_TRUE(check.ok) << check.message;
+
+  // Attempts of one task still may not overlap each other.
+  Schedule bad(2);
+  bad.place(0, 0, 0.0, 2.0);
+  bad.add_aborted(1, 1, 0.0, 1.0);
+  bad.place(1, 1, 0.5, 2.5);
+  EXPECT_FALSE(check_schedule(bad, tasks, Platform(1, 1)).ok);
+}
+
+TEST(Validate, RelaxedCompletenessAllowsUnplacedTasks) {
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 0, 0.0, 2.0);  // task 1 abandoned by a degraded run
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1)).ok);
+  const ScheduleCheckOptions degraded{.require_complete = false};
+  const auto check = check_schedule(s, tasks, Platform(1, 1), degraded);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Validate, RelaxedCompletenessStillChecksWhatRan) {
+  const auto tasks = two_tasks();
+  const ScheduleCheckOptions degraded{.require_complete = false};
+  Schedule s(2);
+  s.place(0, 5, 0.0, 2.0);  // invalid worker is a violation regardless
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1), degraded).ok);
+}
+
+TEST(Validate, PlacedSuccessorOfUnplacedPredecessorRejected) {
+  TaskGraph g("chain");
+  const TaskId a = g.add_task(Task{1.0, 1.0});
+  const TaskId b = g.add_task(Task{1.0, 1.0});
+  g.add_edge(a, b);
+  g.finalize();
+  const ScheduleCheckOptions degraded{.require_complete = false};
+
+  Schedule s(2);
+  s.place(b, 1, 0.0, 1.0);  // b ran although its predecessor never did
+  EXPECT_FALSE(check_schedule(s, g, Platform(1, 1), degraded).ok);
+
+  Schedule ok(2);
+  ok.place(a, 0, 0.0, 1.0);  // b abandoned: fine under the relaxation
+  const auto check = check_schedule(ok, g, Platform(1, 1), degraded);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Validate, RelaxedDurationsAcceptStretchedSegments) {
+  // A straggler window stretched task 0's wall-clock duration beyond its
+  // nominal p=2; exact_durations=false accepts it, the default rejects it.
+  const auto tasks = two_tasks();
+  Schedule s(2);
+  s.place(0, 0, 0.0, 3.0);
+  s.place(1, 1, 0.0, 2.0);
+  EXPECT_FALSE(check_schedule(s, tasks, Platform(1, 1)).ok);
+  const ScheduleCheckOptions stretched{.exact_durations = false};
+  const auto check = check_schedule(s, tasks, Platform(1, 1), stretched);
+  EXPECT_TRUE(check.ok) << check.message;
+
+  // Aborted segments longer than the full time are fine when stretched...
+  Schedule aborted(2);
+  aborted.place(0, 0, 0.0, 3.0);
+  aborted.place(1, 1, 4.0, 6.0);
+  aborted.add_aborted(1, 1, 0.0, 3.5);  // ran 3.5 > q=2
+  EXPECT_TRUE(check_schedule(aborted, tasks, Platform(1, 1), stretched).ok);
+
+  // ...but negative-length segments never are.
+  Schedule negative(2);
+  negative.place(0, 0, 2.0, 1.0);
+  negative.place(1, 1, 0.0, 2.0);
+  EXPECT_FALSE(check_schedule(negative, tasks, Platform(1, 1), stretched).ok);
+}
+
 TEST(Validate, MismatchedTaskCountRejected) {
   const auto tasks = two_tasks();
   Schedule s(1);

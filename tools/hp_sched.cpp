@@ -28,6 +28,8 @@
 #include "core/heteroprio.hpp"
 #include "core/heteroprio_dag.hpp"
 #include "dag/ranking.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/replay.hpp"
 #include "io/serialize.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/fmm.hpp"
@@ -60,6 +62,11 @@ struct Args {
     const auto it = options.find(key);
     return it == options.end() ? fallback : std::stoi(it->second);
   }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
 };
 
 int usage() {
@@ -75,6 +82,11 @@ int usage() {
       "  hp_sched trace    --in FILE --cpus M --gpus N [--algo ...] [--rank ...]\n"
       "           [--out FILE.json] [--csv FILE.csv]\n"
       "  hp_sched report   --in FILE --cpus M --gpus N [--algo ...] [--rank ...]\n"
+      "  hp_sched faults   --in FILE --cpus M --gpus N [--algo hp|hp-nospol|heft|dualhp]\n"
+      "           [--rank ...] [--crashes K] [--stragglers K] [--task-fail P]\n"
+      "           [--slow X] [--retries K] [--backoff B] [--seed S] [--horizon H]\n"
+      "           [--plan FILE.hpf] [--save-plan FILE.hpf] [--trace FILE.json]\n"
+      "           [--csv FILE.csv]\n"
       "  hp_sched perf     --out FILE [--quick] [--reps K] [--threads N]\n"
       "  hp_sched perf-check --in FILE [--quick]\n";
   return 2;
@@ -440,6 +452,173 @@ int cmd_report(const Args& args) {
   return check.violated && !check.advisory ? 3 : 0;
 }
 
+/// Fault-injection run: build (or load) a deterministic fault plan, run the
+/// chosen scheduler through it, and report the recovery outcome, surviving-
+/// platform watchdog verdict and counters.
+int cmd_faults(const Args& args) {
+  const auto text = io::load_text_file(args.get("in"));
+  if (!text.has_value()) {
+    std::cerr << "cannot read " << args.get("in") << '\n';
+    return 1;
+  }
+  const Platform platform(args.get_int("cpus", 20), args.get_int("gpus", 4));
+  const std::string algo = args.get("algo", "hp");
+  const RankScheme rank = parse_rank(args.get("rank", "min"));
+
+  // Load the workload; an independent-task instance becomes an edge-free
+  // graph so one code path (and the static faulty replay) serves both.
+  std::string error;
+  TaskGraph graph;
+  if (text->find("\nedge ") != std::string::npos) {
+    auto parsed = io::graph_from_text(*text, &error);
+    if (!parsed.has_value()) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    graph = std::move(*parsed);
+  } else {
+    const auto inst = io::instance_from_text(*text, &error);
+    if (!inst.has_value()) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    for (const Task& t : inst->tasks()) graph.add_task(t);
+    graph.finalize();
+  }
+  assign_priorities(graph, rank);
+  const double lower_bound = dag_lower_bound(graph, platform).value();
+
+  // The fault plan: from a file, or generated around the fault-free
+  // HeteroPrio makespan so injected instants land inside the run.
+  fault::FaultPlan plan;
+  if (const std::string plan_file = args.get("plan"); !plan_file.empty()) {
+    const auto plan_text = io::load_text_file(plan_file);
+    if (!plan_text.has_value()) {
+      std::cerr << "cannot read " << plan_file << '\n';
+      return 1;
+    }
+    if (!fault::FaultPlan::from_text(*plan_text, &plan, &error)) {
+      std::cerr << plan_file << ": " << error << '\n';
+      return 1;
+    }
+  } else {
+    fault::FaultSpec spec;
+    spec.crashes = args.get_int("crashes", 0);
+    spec.stragglers = args.get_int("stragglers", 0);
+    spec.task_fail_prob = args.get_double("task-fail", 0.0);
+    if (args.options.count("slow")) {
+      spec.slowdown_min = spec.slowdown_max = args.get_double("slow", 4.0);
+    }
+    spec.max_attempts = args.get_int("retries", 3) + 1;
+    spec.retry_backoff = args.get_double("backoff", 0.0);
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    spec.horizon = args.get_double("horizon", 0.0);
+    if (spec.horizon <= 0.0) {
+      spec.horizon = heteroprio_dag(graph, platform).makespan();
+    }
+    plan = fault::FaultPlan::generate(spec, platform);
+  }
+  std::cout << plan.describe();
+  if (const std::string save = args.get("save-plan"); !save.empty()) {
+    if (!io::save_text_file(save, plan.to_text())) {
+      std::cerr << "cannot write " << save << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << save << '\n';
+  }
+
+  obs::EventRecorder events;
+  Schedule schedule;
+  fault::RecoveryReport recovery;
+  if (algo == "hp" || algo == "hp-nospol") {
+    HeteroPrioOptions hp_options;
+    hp_options.enable_spoliation = algo == "hp";
+    hp_options.sink = &events;
+    hp_options.faults = &plan;
+    HeteroPrioStats stats;
+    schedule = heteroprio_dag(graph, platform, hp_options, &stats);
+    recovery = stats.recovery;
+  } else if (algo == "heft" || algo == "dualhp") {
+    const Schedule planned =
+        algo == "heft"
+            ? heft(graph, platform,
+                   {.rank = rank == RankScheme::kFifo ? RankScheme::kAvg
+                                                      : rank})
+            : dualhp_dag(graph, platform,
+                         {.fifo_order = rank == RankScheme::kFifo});
+    auto replayed = fault::execute_plan_with_faults(planned, graph, platform,
+                                                    plan, {}, &events);
+    schedule = std::move(replayed.schedule);
+    recovery = replayed.recovery;
+  } else {
+    std::cerr << "unknown algorithm '" << algo << "' (faults supports "
+              << "hp|hp-nospol|heft|dualhp)\n";
+    return 2;
+  }
+
+  // Straggler windows stretch wall-clock durations and a degraded run may
+  // leave tasks unplaced; everything that ran must still be exclusive and
+  // dependency-ordered.
+  const auto check = check_schedule(
+      schedule, graph, platform,
+      ScheduleCheckOptions{.require_complete = false,
+                           .exact_durations = plan.stragglers().empty() &&
+                                              plan.task_fail_prob() <= 0.0 &&
+                                              plan.crashes().empty()});
+  if (!check.ok) {
+    std::cerr << "internal error: invalid schedule: " << check.message << '\n';
+    return 1;
+  }
+
+  const double makespan = schedule.makespan();
+  std::cout << "\nalgorithm: " << algo << "\ntasks: " << graph.size()
+            << "\nmakespan: " << makespan << "\nlower bound: " << lower_bound
+            << "\nratio: " << makespan / lower_bound
+            << "\nworker crashes: " << recovery.worker_crashes
+            << "\ncrash requeues: " << recovery.crash_requeues
+            << "\nstraggler windows: " << recovery.straggler_windows
+            << "\ntask failures: " << recovery.task_failures
+            << "\ntask retries: " << recovery.task_retries
+            << "\ntasks abandoned: " << recovery.tasks_abandoned
+            << "\ntasks unfinished: " << recovery.tasks_unfinished
+            << "\ndegraded: " << (recovery.degraded ? "yes" : "no") << '\n';
+
+  // Watchdog against the platform that survived to the end of the run.
+  const int cpus =
+      platform.cpus() - plan.crashed_before(makespan, Resource::kCpu, platform);
+  const int gpus =
+      platform.gpus() - plan.crashed_before(makespan, Resource::kGpu, platform);
+  obs::WatchdogOptions wd;
+  wd.dag = graph.num_edges() > 0;
+  const obs::BoundCheck bound_check =
+      obs::check_makespan_bound(makespan, lower_bound, cpus, gpus, wd);
+  std::cout << "surviving platform: " << cpus << " cpu + " << gpus
+            << " gpu\nwatchdog: " << obs::describe(bound_check) << '\n';
+
+  if (const std::string trace = args.get("trace"); !trace.empty()) {
+    const std::string json = obs::chrome_trace_from_events(
+        events.events(), platform, graph.tasks());
+    if (!obs::validate_chrome_trace(json, platform, &error)) {
+      std::cerr << "internal error: emitted trace is invalid: " << error
+                << '\n';
+      return 1;
+    }
+    if (!io::save_text_file(trace, json)) {
+      std::cerr << "cannot write " << trace << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << trace << " (" << events.size() << " events)\n";
+  }
+  if (const std::string csv = args.get("csv"); !csv.empty()) {
+    if (!io::save_text_file(csv, obs::csv_from_events(events.events()))) {
+      std::cerr << "cannot write " << csv << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << csv << " (" << events.size() << " events)\n";
+  }
+  return 0;
+}
+
 /// Measure the core perf baseline and emit BENCH_core.json. `--quick` is the
 /// CI smoke configuration (n=1000, tiny sweep; seconds of runtime).
 int cmd_perf(const Args& args) {
@@ -511,6 +690,7 @@ int main(int argc, char** argv) {
   if (command == "schedule") return cmd_schedule(args);
   if (command == "trace") return cmd_trace(args);
   if (command == "report") return cmd_report(args);
+  if (command == "faults") return cmd_faults(args);
   if (command == "perf") return cmd_perf(args);
   if (command == "perf-check") return cmd_perf_check(args);
   return usage();
