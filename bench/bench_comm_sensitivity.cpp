@@ -8,8 +8,17 @@
 // transfers into every EFT decision) stays almost flat and overtakes it
 // around realistic PCIe bandwidths. This is exactly the locality gap later
 // HeteroPrio work (LAHeteroPrio) addresses.
+//
+// Usage: bench_comm_sensitivity [-jN|serial]
+//
+// The (kernel, bandwidth) cells fan out over a thread pool; every cell
+// computes its row into a pre-allocated slot from nothing but its
+// coordinates, so the output is byte-identical to a serial run.
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bounds/dag_lower_bound.hpp"
 #include "comm/comm_sched.hpp"
@@ -18,10 +27,22 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hp;
   const Platform platform(20, 4);
+
+  int threads = 0;  // all cores
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "serial") {
+      threads = 1;
+    } else if (arg.rfind("-j", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 2);
+      if (threads <= 0) threads = 0;  // "-j" alone: auto
+    }
+  }
 
   std::cout << "== Communication sensitivity: Cholesky/QR N=24, tile payload "
                "7.03 MB, ratio to the\n   zero-communication lower bound ==\n";
@@ -33,34 +54,48 @@ int main() {
     const char* name;
     TaskGraph (*build)(int, const TimingModel&);
   };
-  for (const Kernel& kernel :
-       {Kernel{"cholesky", &cholesky_dag}, Kernel{"qr", &qr_dag}}) {
+  const std::vector<Kernel> kernels = {{"cholesky", &cholesky_dag},
+                                       {"qr", &qr_dag}};
+  const std::vector<double> bandwidths = {1e9, 48.0, 12.0, 3.0, 1.0};
+
+  struct Row {
+    double hp_ratio, transfer_ms, la_ratio, heft_ratio;
+  };
+  std::vector<Row> rows(kernels.size() * bandwidths.size());
+  util::parallel_for(rows.size(), threads, [&](std::size_t idx) {
+    const Kernel& kernel = kernels[idx / bandwidths.size()];
+    const double bandwidth = bandwidths[idx % bandwidths.size()];
     TaskGraph graph = kernel.build(24, TimingModel::chameleon_960());
     assign_priorities(graph, RankScheme::kMin);
     const auto payloads = uniform_payloads(graph);
     const double lb = dag_lower_bound(graph, platform).value();
 
-    for (double bandwidth : {1e9, 48.0, 12.0, 3.0, 1.0}) {
-      CommModel comm;
-      comm.bandwidth_mb_per_ms = bandwidth;
-      comm.latency_ms = bandwidth >= 1e9 ? 0.0 : 0.02;
-      HeteroPrioCommStats stats;
-      const double hp_ms =
-          heteroprio_comm(graph, platform, comm, payloads, &stats).makespan();
-      const double la_ms =
-          heteroprio_comm(graph, platform, comm, payloads, nullptr,
-                          {.locality_window = 8})
-              .makespan();
-      const double heft_ms =
-          heft_comm(graph, platform, comm, payloads,
-                    {.rank = RankScheme::kMin})
-              .makespan();
-      table.row().cell(kernel.name)
-          .cell(bandwidth >= 1e9 ? std::string("inf")
-                                 : util::format_double(bandwidth, 0))
-          .cell(hp_ms / lb).cell(stats.transfer_time_total)
-          .cell(la_ms / lb).cell(heft_ms / lb);
-    }
+    CommModel comm;
+    comm.bandwidth_mb_per_ms = bandwidth;
+    comm.latency_ms = bandwidth >= 1e9 ? 0.0 : 0.02;
+    HeteroPrioCommStats stats;
+    const double hp_ms =
+        heteroprio_comm(graph, platform, comm, payloads, &stats).makespan();
+    const double la_ms =
+        heteroprio_comm(graph, platform, comm, payloads, nullptr,
+                        {.locality_window = 8})
+            .makespan();
+    const double heft_ms =
+        heft_comm(graph, platform, comm, payloads, {.rank = RankScheme::kMin})
+            .makespan();
+    rows[idx] =
+        Row{hp_ms / lb, stats.transfer_time_total, la_ms / lb, heft_ms / lb};
+  });
+
+  for (std::size_t idx = 0; idx < rows.size(); ++idx) {
+    const Kernel& kernel = kernels[idx / bandwidths.size()];
+    const double bandwidth = bandwidths[idx % bandwidths.size()];
+    const Row& row = rows[idx];
+    table.row().cell(kernel.name)
+        .cell(bandwidth >= 1e9 ? std::string("inf")
+                               : util::format_double(bandwidth, 0))
+        .cell(row.hp_ratio).cell(row.transfer_ms)
+        .cell(row.la_ratio).cell(row.heft_ratio);
   }
   table.print(std::cout);
   std::cout << "\nWith free communication HeteroPrio wins (the paper's "

@@ -5,8 +5,17 @@
 // artifact of one shape: HeteroPrio stays closest to the bound throughout,
 // and the gap to HEFT widens as the platform gets more heterogeneous
 // (more CPUs per GPU = more affinity decisions to get right).
+//
+// Usage: bench_platform_sweep [-jN|serial]
+//
+// The shapes fan out over a thread pool; every shape computes its own row
+// into a pre-allocated slot from nothing but its coordinates, so the output
+// is byte-identical to a serial run.
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "baselines/dualhp.hpp"
 #include "baselines/heft.hpp"
@@ -17,10 +26,22 @@
 #include "dag/ranking.hpp"
 #include "linalg/cholesky.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hp;
   const int tiles = 20;
+
+  int threads = 0;  // all cores
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "serial") {
+      threads = 1;
+    } else if (arg.rfind("-j", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 2);
+      if (threads <= 0) threads = 0;  // "-j" alone: auto
+    }
+  }
 
   std::cout << "== Platform sweep: Cholesky N=" << tiles
             << ", ratios to the lower bound ==\n";
@@ -28,9 +49,15 @@ int main() {
                      "HP (indep)", "DualHP (indep)", "HEFT (indep)"},
                     3);
 
-  const std::pair<int, int> shapes[] = {{1, 1},  {4, 1},  {8, 1}, {8, 2},
-                                        {20, 4}, {40, 4}, {16, 8}, {60, 12}};
-  for (const auto& [cpus, gpus] : shapes) {
+  const std::vector<std::pair<int, int>> shapes = {
+      {1, 1}, {4, 1}, {8, 1}, {8, 2}, {20, 4}, {40, 4}, {16, 8}, {60, 12}};
+
+  struct Row {
+    double hp_dag, heft_dag, dual_dag, hp_ind, dual_ind, heft_ind;
+  };
+  std::vector<Row> rows(shapes.size());
+  util::parallel_for(shapes.size(), threads, [&](std::size_t idx) {
+    const auto& [cpus, gpus] = shapes[idx];
     const Platform platform(cpus, gpus);
     TaskGraph graph = cholesky_dag(tiles);
     assign_priorities(graph, RankScheme::kMin);
@@ -47,11 +74,18 @@ int main() {
     const double dual_ind = dualhp(inst.tasks(), platform).makespan();
     const double heft_ind = heft_independent(inst.tasks(), platform).makespan();
 
+    rows[idx] = Row{hp_dag / dag_lb,  heft_dag / dag_lb, dual_dag / dag_lb,
+                    hp_ind / indep_lb, dual_ind / indep_lb,
+                    heft_ind / indep_lb};
+  });
+
+  for (std::size_t idx = 0; idx < shapes.size(); ++idx) {
+    const auto& [cpus, gpus] = shapes[idx];
+    const Row& row = rows[idx];
     table.row()
         .cell("(" + std::to_string(cpus) + "," + std::to_string(gpus) + ")")
-        .cell(hp_dag / dag_lb).cell(heft_dag / dag_lb).cell(dual_dag / dag_lb)
-        .cell(hp_ind / indep_lb).cell(dual_ind / indep_lb)
-        .cell(heft_ind / indep_lb);
+        .cell(row.hp_dag).cell(row.heft_dag).cell(row.dual_dag)
+        .cell(row.hp_ind).cell(row.dual_ind).cell(row.heft_ind);
   }
   table.print(std::cout);
   std::cout << "\nHeteroPrio's guarantees cover every row (phi for (1,1), "

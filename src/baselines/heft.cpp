@@ -1,9 +1,15 @@
 #include "baselines/heft.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cassert>
+#include <cmath>
+#include <cstdint>
 #include <limits>
+#include <map>
 #include <numeric>
+#include <set>
 #include <vector>
 
 #include "obs/replay.hpp"
@@ -12,45 +18,111 @@ namespace hp {
 
 namespace {
 
-/// Busy intervals of one worker, kept sorted by start time.
+/// Free-gap index of one worker's timeline.
+///
+/// The seed implementation (kept as heft_ref) stores busy segments and scans
+/// them per query, which is O(n * segments) per worker and dominated the
+/// whole pipeline at n = 1e5. This class stores the *complement*: the end of
+/// the last busy segment (`last_finish_`, the append fast path — the only
+/// case that ever occurs for independent tasks, whose ready time is 0) plus
+/// the maximal free gaps, indexed twice:
+///
+///  - `gaps_`: start -> end, ordered by start, to find the unique gap
+///    straddling `ready` and the gap a placement lands in;
+///  - `buckets_[b]`: the gaps whose length has binary exponent ~b, each
+///    bucket ordered by start, with a bitmask of non-empty buckets. A fit
+///    query for duration `dt` only probes buckets that can hold a gap of
+///    length >= dt; in every bucket above the boundary bucket the first gap
+///    at/after `ready` fits by construction, so the scan is O(1) there and
+///    only the boundary bucket pays a (short, length-checked) walk.
+///
+/// earliest_start() returns exactly the minimum feasible start >= ready, the
+/// same double the reference's monotone gap walk returns, so schedules stay
+/// bitwise identical (tests/test_heft_regression.cpp).
 class WorkerTimeline {
  public:
   /// Earliest start >= ready for a block of length `dt`.
-  /// With insertion, scans the gaps that end after `ready`; otherwise
-  /// appends after the last segment.
   [[nodiscard]] double earliest_start(double ready, double dt,
                                       bool insertion) const {
-    if (segments_.empty()) return ready;
-    if (!insertion) return std::max(ready, segments_.back().end);
-    // First segment that could bound a usable gap: binary search on end.
-    auto it = std::lower_bound(
-        segments_.begin(), segments_.end(), ready,
-        [](const Segment& s, double t) { return s.end <= t; });
-    // Gap before *it (between previous segment / ready and it->start).
-    double candidate = ready;
-    if (it != segments_.begin()) candidate = std::max(ready, std::prev(it)->end);
-    while (it != segments_.end()) {
-      if (candidate + dt <= it->start) return candidate;
-      candidate = std::max(candidate, it->end);
-      ++it;
+    const double append = std::max(ready, last_finish_);
+    if (!insertion || gaps_.empty()) return append;
+    // The unique gap with start <= ready < end, if any: its candidate is
+    // `ready` itself, which no later gap and no append can beat.
+    auto at = gaps_.upper_bound(ready);
+    if (at != gaps_.begin()) {
+      const auto& [gap_start, gap_end] = *std::prev(at);
+      if (ready < gap_end && ready + dt <= gap_end) return ready;
     }
-    return candidate;
+    // Gaps starting at/after ready, by length bucket.
+    double best = append;
+    const std::uint64_t candidates =
+        nonempty_ & (~std::uint64_t{0} << bucket_of(dt));
+    for (std::uint64_t mask = candidates; mask != 0; mask &= mask - 1) {
+      const auto& bucket = buckets_[std::countr_zero(mask)];
+      for (auto it = bucket.lower_bound({ready, 0.0}); it != bucket.end();
+           ++it) {
+        if (it->first >= best) break;  // cannot improve on the current best
+        if (it->first + dt <= it->second) {
+          best = it->first;
+          break;
+        }
+      }
+    }
+    return best;
   }
 
   void insert(double start, double end) {
-    Segment seg{start, end};
-    auto it = std::lower_bound(
-        segments_.begin(), segments_.end(), seg,
-        [](const Segment& a, const Segment& b) { return a.start < b.start; });
-    segments_.insert(it, seg);
+    if (start >= last_finish_) {
+      // Append: the idle stretch between the old horizon and the new block
+      // becomes a gap.
+      add_gap(last_finish_, start);
+      last_finish_ = end;
+      return;
+    }
+    // The block was placed at a feasible start, so it lies inside one
+    // existing gap; split it.
+    assert(!gaps_.empty());
+    auto it = gaps_.upper_bound(start);
+    assert(it != gaps_.begin());
+    --it;
+    const double gap_start = it->first;
+    const double gap_end = it->second;
+    assert(gap_start <= start && end <= gap_end);
+    remove_gap(it);
+    add_gap(gap_start, start);
+    add_gap(end, gap_end);
   }
 
  private:
-  struct Segment {
-    double start;
-    double end;
-  };
-  std::vector<Segment> segments_;
+  using Gap = std::pair<double, double>;  // (start, end), ordered by start
+
+  /// Length buckets cover binary exponents [-32, 31] of the gap length,
+  /// clamped at both ends; boundary buckets are handled by the per-gap
+  /// length check in earliest_start().
+  static int bucket_of(double length) noexcept {
+    return std::clamp(std::ilogb(length) + 32, 0, 63);
+  }
+
+  void add_gap(double start, double end) {
+    if (!(end > start)) return;
+    gaps_.emplace(start, end);
+    const int b = bucket_of(end - start);
+    buckets_[static_cast<std::size_t>(b)].emplace(start, end);
+    nonempty_ |= std::uint64_t{1} << b;
+  }
+
+  void remove_gap(std::map<double, double>::iterator it) {
+    const int b = bucket_of(it->second - it->first);
+    auto& bucket = buckets_[static_cast<std::size_t>(b)];
+    bucket.erase({it->first, it->second});
+    if (bucket.empty()) nonempty_ &= ~(std::uint64_t{1} << b);
+    gaps_.erase(it);
+  }
+
+  double last_finish_ = 0.0;
+  std::map<double, double> gaps_;
+  std::array<std::set<Gap>, 64> buckets_;
+  std::uint64_t nonempty_ = 0;
 };
 
 Schedule heft_run(std::span<const Task> tasks, const TaskGraph* graph,
@@ -99,9 +171,9 @@ Schedule heft(const TaskGraph& graph, const Platform& platform,
   std::iota(order.begin(), order.end(), TaskId{0});
   // Decreasing upward rank. With strictly positive weights this is a
   // topological order (a predecessor's rank strictly exceeds its
-  // successors'); break rank ties topologically via a stable sort on a
-  // topological baseline.
-  const std::vector<TaskId> topo = graph.topological_order();
+  // successors'); break rank ties topologically via a stable sort on the
+  // topological baseline cached by finalize().
+  const std::span<const TaskId> topo = graph.topo_order();
   std::vector<std::size_t> topo_pos(graph.size());
   for (std::size_t i = 0; i < topo.size(); ++i) {
     topo_pos[static_cast<std::size_t>(topo[i])] = i;

@@ -1,0 +1,28 @@
+#pragma once
+// Reference HEFT: the straightforward implementation kept as a behavioral
+// oracle for the gap-indexed engine in baselines/heft.cpp.
+//
+// This is the pre-optimization code path: earliest_start() walks every
+// busy segment of a worker looking for a usable gap, so placing n tasks is
+// O(n * segments) per worker — quadratic overall and ~150x slower than the
+// HeteroPrio hot path at n = 1e5. The optimized heft()/heft_independent()
+// must produce bitwise-identical schedules; tests/test_heft_regression.cpp
+// enforces that, and src/perf/perf_dag.cpp reports the speedup.
+
+#include <span>
+
+#include "baselines/heft.hpp"
+
+namespace hp {
+
+/// Reference HEFT on a DAG. Same contract as heft().
+[[nodiscard]] Schedule heft_ref(const TaskGraph& graph,
+                                const Platform& platform,
+                                const HeftOptions& options = {});
+
+/// Reference HEFT on independent tasks. Same contract as heft_independent().
+[[nodiscard]] Schedule heft_independent_ref(std::span<const Task> tasks,
+                                            const Platform& platform,
+                                            const HeftOptions& options = {});
+
+}  // namespace hp

@@ -9,15 +9,27 @@ namespace hp {
 
 namespace {
 
+/// Scratch buffers shared by the forward and backward segmented passes, so
+/// one dag_lower_bound call allocates each of them once instead of per
+/// direction (the sweep evaluates the bound for every cell).
+struct SegmentedScratch {
+  std::vector<double> sorted;
+  std::vector<double> candidates;
+  std::vector<Task> subset;
+};
+
 /// max over candidate thresholds T of (T + AreaBound({tasks with key >= T})).
 /// `keys` must be a per-task value such that every task with key >= T runs
 /// entirely within a window of length (Cmax - T).
 double segmented_direction(const TaskGraph& graph, const Platform& platform,
-                           const std::vector<double>& keys, int thresholds) {
-  std::vector<double> sorted(keys.begin(), keys.end());
+                           const std::vector<double>& keys, int thresholds,
+                           SegmentedScratch& scratch) {
+  std::vector<double>& sorted = scratch.sorted;
+  sorted.assign(keys.begin(), keys.end());
   std::sort(sorted.begin(), sorted.end());
   // Candidate thresholds: quantiles of the positive keys.
-  std::vector<double> candidates;
+  std::vector<double>& candidates = scratch.candidates;
+  candidates.clear();
   const auto first_pos =
       std::upper_bound(sorted.begin(), sorted.end(), 0.0) - sorted.begin();
   const std::size_t positives = sorted.size() - static_cast<std::size_t>(first_pos);
@@ -34,7 +46,7 @@ double segmented_direction(const TaskGraph& graph, const Platform& platform,
                    candidates.end());
 
   double best = 0.0;
-  std::vector<Task> subset;
+  std::vector<Task>& subset = scratch.subset;
   for (double threshold : candidates) {
     subset.clear();
     for (std::size_t i = 0; i < graph.size(); ++i) {
@@ -52,26 +64,31 @@ DagLowerBound dag_lower_bound(const TaskGraph& graph, const Platform& platform,
                               const DagLowerBoundOptions& options) {
   DagLowerBound lb;
   lb.area = area_bound_value(graph.tasks(), platform);
-  lb.critical_path = critical_path(graph, RankScheme::kMin);
+  // One min-weight bottom-level pass serves both the critical path (its
+  // maximum) and the backward segmented keys below.
+  std::vector<double> tails = bottom_levels(graph, RankScheme::kMin);
+  for (const double level : tails) {
+    lb.critical_path = std::max(lb.critical_path, level);
+  }
   for (const Task& t : graph.tasks()) {
     lb.max_min_time = std::max(lb.max_min_time, t.min_time());
   }
 
   if (options.segment_thresholds > 0 && !graph.empty()) {
+    SegmentedScratch scratch;
     // Forward: tasks whose min-weight top level is >= T cannot start
     // before T, so they fit in (Cmax - T) and Cmax >= T + AreaBound(them).
     const std::vector<double> tops = top_levels(graph, RankScheme::kMin);
     lb.segmented = segmented_direction(graph, platform, tops,
-                                       options.segment_thresholds);
+                                       options.segment_thresholds, scratch);
     // Backward: a task followed by a min-weight chain of length B =
     // bottom_level - own weight must finish B before Cmax.
-    std::vector<double> tails = bottom_levels(graph, RankScheme::kMin);
     for (std::size_t i = 0; i < tails.size(); ++i) {
       tails[i] -= rank_weight(graph.task(static_cast<TaskId>(i)), RankScheme::kMin);
     }
     lb.segmented = std::max(
         lb.segmented, segmented_direction(graph, platform, tails,
-                                          options.segment_thresholds));
+                                          options.segment_thresholds, scratch));
   }
   return lb;
 }

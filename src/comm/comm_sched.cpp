@@ -33,7 +33,7 @@ std::vector<double> comm_ranks(const TaskGraph& graph, const Platform& platform,
                                const CommModel& comm,
                                std::span<const double> payloads,
                                RankScheme scheme) {
-  const std::vector<TaskId> order = graph.topological_order();
+  const std::span<const TaskId> order = graph.topo_order();
   std::vector<double> rank(graph.size(), 0.0);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const TaskId id = *it;
@@ -96,7 +96,7 @@ Schedule heft_comm(const TaskGraph& graph, const Platform& platform,
       comm_ranks(graph, platform, comm, payloads, options.rank);
   std::vector<TaskId> order(graph.size());
   std::iota(order.begin(), order.end(), TaskId{0});
-  const std::vector<TaskId> topo = graph.topological_order();
+  const std::span<const TaskId> topo = graph.topo_order();
   std::vector<std::size_t> topo_pos(graph.size());
   for (std::size_t i = 0; i < topo.size(); ++i) {
     topo_pos[static_cast<std::size_t>(topo[i])] = i;

@@ -20,105 +20,88 @@ namespace detail {
 
 namespace {
 
-/// Queue order: the GPU end holds the task an idle GPU takes, the CPU end
-/// the task an idle CPU takes. Primary key: acceleration factor,
+/// Double-ended ready structure, a flat sorted vector in both modes. The
+/// order: the GPU end (front) holds the task an idle GPU takes, the CPU end
+/// (back) the task an idle CPU takes. Primary key: acceleration factor,
 /// non-increasing. Tie-break (§2.2): for rho >= 1 the highest-priority task
 /// comes first; for rho < 1 the highest-priority task comes last, i.e.
 /// nearest the CPU end. Final tie: task id (determinism).
-struct QueueOrder {
-  std::span<const Task> tasks;
-
-  bool operator()(TaskId a, TaskId b) const noexcept {
-    const Task& ta = tasks[static_cast<std::size_t>(a)];
-    const Task& tb = tasks[static_cast<std::size_t>(b)];
-    const double ra = ta.accel();
-    const double rb = tb.accel();
-    if (ra != rb) return ra > rb;
-    if (ta.priority != tb.priority) {
-      return ra >= 1.0 ? ta.priority > tb.priority : ta.priority < tb.priority;
-    }
-    return a < b;
-  }
-};
-
-/// Double-ended ready structure. Independent mode knows the whole task set
-/// up front, so it presorts once into a flat vector and pops from the two
-/// ends with cursors — O(n log n) total instead of n ordered-set inserts
-/// interleaved with dispatch, and O(1) per pop with no rebalancing. DAG mode
-/// receives tasks incrementally and keeps the ordered set.
+///
+/// Independent mode knows the whole task set up front, so it presorts once
+/// and pops from the two ends with cursors — O(n log n) total and O(1) per
+/// pop. Incremental mode (DAG releases, crash re-enqueues, retries) used to
+/// keep a std::set re-deriving both sort keys per comparison; it now
+/// binary-searches the same flat vector with keys materialized once per
+/// insert — no node allocation, no per-comparison divisions, and the ready
+/// width of real DAGs stays far below n so the insert memmove is short. The
+/// comparator is identical either way, so the pop order (and therefore the
+/// schedule) is bitwise identical to the set-based implementation.
 class ReadyQueue {
  public:
-  explicit ReadyQueue(std::span<const Task> tasks)
-      : order_{tasks}, set_{order_} {}
+  explicit ReadyQueue(std::span<const Task> tasks) : tasks_(tasks) {}
 
-  /// Independent mode: make every task ready and presort once. The sort
-  /// keys (acceleration factor, priority) are materialized up front so the
-  /// comparator runs without per-comparison divisions or task-array loads.
+  /// Independent mode: make every task ready and presort once.
   void presort_all(std::size_t n) {
-    flat_ = true;
-    struct Key {
-      double accel;
-      double priority;
-      TaskId id;
-    };
-    std::vector<Key> keys(n);
+    buf_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const Task& t = order_.tasks[i];
-      keys[i] = Key{t.accel(), t.priority, static_cast<TaskId>(i)};
+      buf_[i] = make_key(static_cast<TaskId>(i));
     }
-    std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
-      if (a.accel != b.accel) return a.accel > b.accel;
-      if (a.priority != b.priority) {
-        return a.accel >= 1.0 ? a.priority > b.priority
-                              : a.priority < b.priority;
-      }
-      return a.id < b.id;
-    });
-    sorted_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) sorted_[i] = keys[i].id;
+    std::sort(buf_.begin(), buf_.end(), before);
     head_ = 0;
-    tail_ = n;
   }
 
-  /// DAG mode: a dependency release made `id` ready.
+  /// Incremental mode: a dependency release (or re-enqueue) made `id` ready.
   void insert(TaskId id) {
-    assert(!flat_);
-    set_.insert(id);
+    const Key key = make_key(id);
+    const auto first = buf_.begin() + static_cast<std::ptrdiff_t>(head_);
+    const auto at = std::lower_bound(first, buf_.end(), key, before);
+    if (at == first && head_ > 0) {
+      buf_[--head_] = key;  // reuse the space freed by GPU-end pops
+    } else {
+      buf_.insert(at, key);
+    }
   }
 
-  [[nodiscard]] bool empty() const noexcept {
-    return flat_ ? head_ == tail_ : set_.empty();
-  }
+  [[nodiscard]] bool empty() const noexcept { return head_ == buf_.size(); }
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return flat_ ? tail_ - head_ : set_.size();
+    return buf_.size() - head_;
   }
 
   /// Most GPU-friendly ready task (an idle GPU takes this end).
-  TaskId pop_gpu_end() {
-    if (flat_) return sorted_[head_++];
-    const auto it = set_.begin();
-    const TaskId id = *it;
-    set_.erase(it);
-    return id;
-  }
+  TaskId pop_gpu_end() { return buf_[head_++].id; }
 
   /// Most CPU-friendly ready task (an idle CPU takes this end).
   TaskId pop_cpu_end() {
-    if (flat_) return sorted_[--tail_];
-    const auto it = std::prev(set_.end());
-    const TaskId id = *it;
-    set_.erase(it);
+    const TaskId id = buf_.back().id;
+    buf_.pop_back();
     return id;
   }
 
  private:
-  QueueOrder order_;
-  std::set<TaskId, QueueOrder> set_;
-  std::vector<TaskId> sorted_;
+  struct Key {
+    double accel;
+    double priority;
+    TaskId id;
+  };
+
+  static bool before(const Key& a, const Key& b) noexcept {
+    if (a.accel != b.accel) return a.accel > b.accel;
+    if (a.priority != b.priority) {
+      return a.accel >= 1.0 ? a.priority > b.priority
+                            : a.priority < b.priority;
+    }
+    return a.id < b.id;
+  }
+
+  [[nodiscard]] Key make_key(TaskId id) const noexcept {
+    const Task& t = tasks_[static_cast<std::size_t>(id)];
+    return Key{t.accel(), t.priority, id};
+  }
+
+  std::span<const Task> tasks_;
+  std::vector<Key> buf_;     ///< live range: [head_, buf_.size())
   std::size_t head_ = 0;
-  std::size_t tail_ = 0;
-  bool flat_ = false;
 };
 
 /// Simulation event. kCompletion is the only kind of a fault-free run; the

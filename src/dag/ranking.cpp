@@ -24,7 +24,7 @@ double rank_weight(const Task& task, RankScheme scheme) noexcept {
 }
 
 std::vector<double> bottom_levels(const TaskGraph& graph, RankScheme scheme) {
-  const std::vector<TaskId> order = graph.topological_order();
+  const std::span<const TaskId> order = graph.topo_order();
   assert(graph.empty() || !order.empty());
   std::vector<double> level(graph.size(), 0.0);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -40,7 +40,7 @@ std::vector<double> bottom_levels(const TaskGraph& graph, RankScheme scheme) {
 }
 
 std::vector<double> top_levels(const TaskGraph& graph, RankScheme scheme) {
-  const std::vector<TaskId> order = graph.topological_order();
+  const std::span<const TaskId> order = graph.topo_order();
   assert(graph.empty() || !order.empty());
   std::vector<double> level(graph.size(), 0.0);
   for (TaskId id : order) {

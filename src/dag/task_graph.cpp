@@ -45,30 +45,35 @@ void TaskGraph::finalize() {
     pred_[pred_fill[static_cast<std::size_t>(to)]++] = from;
   }
   finalized_ = true;
+
+  // Cache the topological order (iterative Kahn) so ranking, bounds,
+  // validation and HEFT share one traversal instead of re-deriving it.
+  topo_order_.clear();
+  topo_order_.reserve(n);
+  std::vector<std::size_t> indeg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    indeg[i] = in_degree(static_cast<TaskId>(i));
+    if (indeg[i] == 0) topo_order_.push_back(static_cast<TaskId>(i));
+  }
+  // `topo_order_` doubles as the work queue.
+  for (std::size_t head = 0; head < topo_order_.size(); ++head) {
+    for (TaskId succ : successors(topo_order_[head])) {
+      if (--indeg[static_cast<std::size_t>(succ)] == 0) {
+        topo_order_.push_back(succ);
+      }
+    }
+  }
+  if (topo_order_.size() != n) topo_order_.clear();  // cycle
 }
 
 std::vector<TaskId> TaskGraph::topological_order() const {
   assert(finalized_);
-  const std::size_t n = tasks_.size();
-  std::vector<std::size_t> indeg(n);
-  std::vector<TaskId> order;
-  order.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    indeg[i] = in_degree(static_cast<TaskId>(i));
-    if (indeg[i] == 0) order.push_back(static_cast<TaskId>(i));
-  }
-  // Kahn's algorithm; `order` doubles as the work queue.
-  for (std::size_t head = 0; head < order.size(); ++head) {
-    for (TaskId succ : successors(order[head])) {
-      if (--indeg[static_cast<std::size_t>(succ)] == 0) order.push_back(succ);
-    }
-  }
-  if (order.size() != n) order.clear();  // cycle
-  return order;
+  return {topo_order_.begin(), topo_order_.end()};
 }
 
 bool TaskGraph::is_dag() const {
-  return empty() || !topological_order().empty();
+  assert(finalized_);
+  return empty() || !topo_order_.empty();
 }
 
 Instance TaskGraph::to_instance() const {

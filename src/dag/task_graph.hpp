@@ -69,11 +69,18 @@ class TaskGraph {
     return successors(id).size();
   }
 
-  /// Topological order (Kahn). Empty result if the graph has a cycle and is
-  /// non-empty. Requires finalize().
+  /// Topological order (Kahn), computed once at finalize() and cached. Empty
+  /// if the graph has a cycle and is non-empty. Requires finalize(). The span
+  /// stays valid until the next finalize().
+  [[nodiscard]] std::span<const TaskId> topo_order() const noexcept {
+    assert(finalized_);
+    return topo_order_;
+  }
+
+  /// Copying variant of topo_order(), kept for callers that need ownership.
   [[nodiscard]] std::vector<TaskId> topological_order() const;
 
-  /// True iff acyclic. Requires finalize().
+  /// True iff acyclic. O(1): the verdict is cached by finalize().
   [[nodiscard]] bool is_dag() const;
 
   /// Copy the tasks into an independent-task Instance (drops edges).
@@ -92,6 +99,7 @@ class TaskGraph {
   std::vector<TaskId> succ_;
   std::vector<std::size_t> pred_offset_;
   std::vector<TaskId> pred_;
+  std::vector<TaskId> topo_order_;  ///< empty iff cyclic (and non-empty)
 };
 
 }  // namespace hp

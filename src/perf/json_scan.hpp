@@ -1,0 +1,77 @@
+#pragma once
+// Minimal JSON field scanning shared by the BENCH_*.json validators
+// (perf_baseline.cpp, perf_dag.cpp). Not a parser: the validators only need
+// to locate named fields inside the documents this repo itself emits and to
+// reject truncated or garbled files.
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace hp::perf::jsonscan {
+
+/// Find `"key"` in `obj` and return the character position just after the
+/// following ':' (skipping whitespace), or npos.
+inline std::size_t field_value_pos(const std::string& obj,
+                                   const std::string& key) {
+  const std::string quoted = "\"" + key + "\"";
+  std::size_t at = obj.find(quoted);
+  if (at == std::string::npos) return std::string::npos;
+  at += quoted.size();
+  while (at < obj.size() && (obj[at] == ' ' || obj[at] == '\t')) ++at;
+  if (at >= obj.size() || obj[at] != ':') return std::string::npos;
+  ++at;
+  while (at < obj.size() && (obj[at] == ' ' || obj[at] == '\t')) ++at;
+  return at;
+}
+
+inline std::optional<std::string> string_field(const std::string& obj,
+                                               const std::string& key) {
+  std::size_t at = field_value_pos(obj, key);
+  if (at == std::string::npos || at >= obj.size() || obj[at] != '"') {
+    return std::nullopt;
+  }
+  const std::size_t end = obj.find('"', at + 1);
+  if (end == std::string::npos) return std::nullopt;
+  return obj.substr(at + 1, end - at - 1);
+}
+
+inline std::optional<double> number_field(const std::string& obj,
+                                          const std::string& key) {
+  const std::size_t at = field_value_pos(obj, key);
+  if (at == std::string::npos) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(obj.c_str() + at, &end);
+  if (end == obj.c_str() + at) return std::nullopt;
+  return value;
+}
+
+/// Structural sanity: quotes close, braces/brackets balance and never go
+/// negative. Catches truncated or garbled files without a full JSON parser.
+inline bool balanced_json(const std::string& text, std::string* error) {
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) {
+        if (error != nullptr) *error = "unbalanced braces/brackets";
+        return false;
+      }
+    }
+  }
+  if (in_string || depth != 0) {
+    if (error != nullptr) *error = "truncated document";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hp::perf::jsonscan

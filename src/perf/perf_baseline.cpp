@@ -15,6 +15,7 @@
 #include "core/heteroprio_ref.hpp"
 #include "model/generators.hpp"
 #include "obs/recorder.hpp"
+#include "perf/json_scan.hpp"
 #include "sweep/dag_sweep.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -56,71 +57,6 @@ void append_json_series(std::ostringstream& out, const PerfSeries& s,
       << "\"n\": " << s.n << ", "
       << "\"seconds\": " << s.seconds << ", "
       << "\"tasks_per_sec\": " << s.tasks_per_sec << "}";
-}
-
-// ---- minimal JSON field scanning for the validator ----------------------
-
-/// Find `"key"` in `obj` and return the character position just after the
-/// following ':' (skipping whitespace), or npos.
-std::size_t field_value_pos(const std::string& obj, const std::string& key) {
-  const std::string quoted = "\"" + key + "\"";
-  std::size_t at = obj.find(quoted);
-  if (at == std::string::npos) return std::string::npos;
-  at += quoted.size();
-  while (at < obj.size() && (obj[at] == ' ' || obj[at] == '\t')) ++at;
-  if (at >= obj.size() || obj[at] != ':') return std::string::npos;
-  ++at;
-  while (at < obj.size() && (obj[at] == ' ' || obj[at] == '\t')) ++at;
-  return at;
-}
-
-std::optional<std::string> string_field(const std::string& obj,
-                                        const std::string& key) {
-  std::size_t at = field_value_pos(obj, key);
-  if (at == std::string::npos || at >= obj.size() || obj[at] != '"') {
-    return std::nullopt;
-  }
-  const std::size_t end = obj.find('"', at + 1);
-  if (end == std::string::npos) return std::nullopt;
-  return obj.substr(at + 1, end - at - 1);
-}
-
-std::optional<double> number_field(const std::string& obj,
-                                   const std::string& key) {
-  const std::size_t at = field_value_pos(obj, key);
-  if (at == std::string::npos) return std::nullopt;
-  char* end = nullptr;
-  const double value = std::strtod(obj.c_str() + at, &end);
-  if (end == obj.c_str() + at) return std::nullopt;
-  return value;
-}
-
-/// Structural sanity: quotes close, braces/brackets balance and never go
-/// negative. Catches truncated or garbled files without a full JSON parser.
-bool balanced_json(const std::string& text, std::string* error) {
-  long depth = 0;
-  bool in_string = false;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (in_string) {
-      if (c == '\\') ++i;
-      else if (c == '"') in_string = false;
-      continue;
-    }
-    if (c == '"') in_string = true;
-    else if (c == '{' || c == '[') ++depth;
-    else if (c == '}' || c == ']') {
-      if (--depth < 0) {
-        if (error != nullptr) *error = "unbalanced braces/brackets";
-        return false;
-      }
-    }
-  }
-  if (in_string || depth != 0) {
-    if (error != nullptr) *error = "truncated document";
-    return false;
-  }
-  return true;
 }
 
 }  // namespace
@@ -259,11 +195,11 @@ bool validate_perf_baseline_json(const std::string& json_text,
     if (error != nullptr) *error = why;
     return false;
   };
-  if (!balanced_json(json_text, error)) return false;
-  if (string_field(json_text, "schema").value_or("") != "hp-bench-core/v1") {
+  if (!jsonscan::balanced_json(json_text, error)) return false;
+  if (jsonscan::string_field(json_text, "schema").value_or("") != "hp-bench-core/v1") {
     return fail("missing or wrong schema tag");
   }
-  const std::size_t series_at = field_value_pos(json_text, "series");
+  const std::size_t series_at = jsonscan::field_value_pos(json_text, "series");
   if (series_at == std::string::npos || json_text[series_at] != '[') {
     return fail("missing series array");
   }
@@ -286,9 +222,9 @@ bool validate_perf_baseline_json(const std::string& json_text,
     const std::size_t close = json_text.find('}', open);
     if (close == std::string::npos) return fail("unterminated series entry");
     const std::string obj = json_text.substr(open, close - open + 1);
-    const std::string algo = string_field(obj, "algorithm").value_or("");
-    const std::optional<double> n = number_field(obj, "n");
-    const std::optional<double> rate = number_field(obj, "tasks_per_sec");
+    const std::string algo = jsonscan::string_field(obj, "algorithm").value_or("");
+    const std::optional<double> n = jsonscan::number_field(obj, "n");
+    const std::optional<double> rate = jsonscan::number_field(obj, "tasks_per_sec");
     if (algo.empty() || !n.has_value()) {
       return fail("series entry without algorithm/n");
     }

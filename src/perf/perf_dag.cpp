@@ -1,0 +1,236 @@
+#include "perf/perf_dag.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "baselines/dualhp.hpp"
+#include "baselines/heft.hpp"
+#include "baselines/heft_ref.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "core/heteroprio_ref.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "perf/json_scan.hpp"
+
+namespace hp::perf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TaskGraph build_kernel(const std::string& kernel, int tiles) {
+  if (kernel == "cholesky") return cholesky_dag(tiles);
+  if (kernel == "qr") return qr_dag(tiles);
+  if (kernel == "lu") return lu_dag(tiles);
+  std::cerr << "perf_dag: unknown kernel '" << kernel << "'\n";
+  std::abort();
+}
+
+void append_json_series(std::ostringstream& out, const PerfDagSeries& s,
+                        bool first) {
+  if (!first) out << ",";
+  out << "\n    {\"kernel\": \"" << s.kernel << "\", "
+      << "\"algorithm\": \"" << s.algorithm << "\", "
+      << "\"tiles\": " << s.tiles << ", "
+      << "\"n\": " << s.n << ", "
+      << "\"seconds\": " << s.seconds << ", "
+      << "\"tasks_per_sec\": " << s.tasks_per_sec << ", "
+      << "\"makespan\": " << s.makespan << "}";
+}
+
+}  // namespace
+
+PerfDagBaseline run_perf_dag(const PerfDagOptions& options) {
+  PerfDagBaseline out;
+  out.platform = options.platform;
+  out.repetitions = std::max(1, options.repetitions);
+
+  const auto note = [&](const std::string& line) {
+    if (options.verbose) std::cerr << "[perf-dag] " << line << '\n';
+  };
+
+  for (const std::string& kernel : options.kernels) {
+    const int largest =
+        options.tile_counts.empty()
+            ? 0
+            : *std::max_element(options.tile_counts.begin(),
+                                options.tile_counts.end());
+    for (const int tiles : options.tile_counts) {
+      TaskGraph graph = build_kernel(kernel, tiles);
+      assign_priorities(graph, RankScheme::kAvg);
+      const std::size_t n = graph.size();
+
+      // Best-of-reps wall time; the last run's makespan records the
+      // schedule quality (identical across reps — all policies are
+      // deterministic).
+      const auto measure = [&](const std::string& algo, auto&& run) {
+        double best = std::numeric_limits<double>::infinity();
+        double makespan = 0.0;
+        for (int r = 0; r < out.repetitions; ++r) {
+          const auto start = Clock::now();
+          const Schedule schedule = run();
+          best = std::min(best, seconds_since(start));
+          makespan = schedule.makespan();
+        }
+        const double rate = static_cast<double>(n) / best;
+        out.series.push_back(
+            PerfDagSeries{kernel, algo, tiles, n, best, rate, makespan});
+        note(kernel + " N=" + std::to_string(tiles) + " " + algo + ": " +
+             std::to_string(rate / 1e3) + "k tasks/s");
+        return rate;
+      };
+
+      const double hp_rate = measure("HeteroPrio", [&] {
+        return heteroprio_dag(graph, options.platform);
+      });
+      const double heft_rate = measure("HEFT", [&] {
+        return heft(graph, options.platform);
+      });
+      measure("DualHP", [&] { return dualhp_dag(graph, options.platform); });
+
+      if (options.include_reference && tiles == largest) {
+        const double hp_ref = measure("HeteroPrio-ref", [&] {
+          return heteroprio_dag_reference(graph, options.platform);
+        });
+        const double heft_ref_rate = measure("HEFT-ref", [&] {
+          return heft_ref(graph, options.platform);
+        });
+        out.speedups.push_back(
+            PerfDagSpeedup{kernel, "HeteroPrio", tiles, n, hp_rate / hp_ref});
+        out.speedups.push_back(PerfDagSpeedup{kernel, "HEFT", tiles, n,
+                                              heft_rate / heft_ref_rate});
+      }
+    }
+  }
+  return out;
+}
+
+std::string perf_dag_to_json(const PerfDagBaseline& baseline) {
+  std::ostringstream out;
+  out.precision(10);
+  out << "{\n"
+      << "  \"schema\": \"hp-bench-dag/v1\",\n"
+      << "  \"platform\": {\"cpus\": " << baseline.platform.cpus()
+      << ", \"gpus\": " << baseline.platform.gpus() << "},\n"
+      << "  \"repetitions\": " << baseline.repetitions << ",\n"
+      << "  \"series\": [";
+  for (std::size_t i = 0; i < baseline.series.size(); ++i) {
+    append_json_series(out, baseline.series[i], i == 0);
+  }
+  out << "\n  ]";
+  if (!baseline.speedups.empty()) {
+    out << ",\n  \"speedups_vs_reference\": [";
+    for (std::size_t i = 0; i < baseline.speedups.size(); ++i) {
+      const PerfDagSpeedup& s = baseline.speedups[i];
+      if (i != 0) out << ",";
+      out << "\n    {\"kernel\": \"" << s.kernel << "\", "
+          << "\"algorithm\": \"" << s.algorithm << "\", "
+          << "\"tiles\": " << s.tiles << ", "
+          << "\"n\": " << s.n << ", "
+          << "\"value\": " << s.value << "}";
+    }
+    out << "\n  ]";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+bool write_perf_dag_json(const PerfDagBaseline& baseline,
+                         const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << perf_dag_to_json(baseline);
+  return static_cast<bool>(file);
+}
+
+bool validate_perf_dag_json(const std::string& json_text,
+                            const std::vector<std::string>& kernels,
+                            const std::vector<int>& tile_counts,
+                            std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!jsonscan::balanced_json(json_text, error)) return false;
+  if (jsonscan::string_field(json_text, "schema").value_or("") !=
+      "hp-bench-dag/v1") {
+    return fail("missing or wrong schema tag");
+  }
+  const std::size_t series_at =
+      jsonscan::field_value_pos(json_text, "series");
+  if (series_at == std::string::npos || json_text[series_at] != '[') {
+    return fail("missing series array");
+  }
+
+  struct Expected {
+    std::string kernel;
+    std::string algorithm;
+    int tiles;
+    bool seen = false;
+  };
+  std::vector<Expected> expected;
+  for (const std::string& kernel : kernels) {
+    for (const int tiles : tile_counts) {
+      for (const char* algo : {"HeteroPrio", "HEFT", "DualHP"}) {
+        expected.push_back({kernel, algo, tiles, false});
+      }
+    }
+  }
+
+  std::size_t at = series_at + 1;
+  while (at < json_text.size() && json_text[at] != ']') {
+    const std::size_t open = json_text.find('{', at);
+    if (open == std::string::npos) break;
+    const std::size_t close = json_text.find('}', open);
+    if (close == std::string::npos) return fail("unterminated series entry");
+    const std::string obj = json_text.substr(open, close - open + 1);
+    const std::string kernel =
+        jsonscan::string_field(obj, "kernel").value_or("");
+    const std::string algo =
+        jsonscan::string_field(obj, "algorithm").value_or("");
+    const std::optional<double> tiles = jsonscan::number_field(obj, "tiles");
+    const std::optional<double> rate =
+        jsonscan::number_field(obj, "tasks_per_sec");
+    if (kernel.empty() || algo.empty() || !tiles.has_value()) {
+      return fail("series entry without kernel/algorithm/tiles");
+    }
+    if (!rate.has_value() || *rate <= 0.0) {
+      return fail("series entry for " + kernel + "/" + algo +
+                  " has no positive tasks_per_sec");
+    }
+    for (Expected& e : expected) {
+      if (e.kernel == kernel && e.algorithm == algo &&
+          static_cast<double>(e.tiles) == *tiles) {
+        e.seen = true;
+      }
+    }
+    at = close + 1;
+    const std::size_t next_obj = json_text.find('{', at);
+    const std::size_t array_end = json_text.find(']', at);
+    if (array_end != std::string::npos &&
+        (next_obj == std::string::npos || array_end < next_obj)) {
+      break;
+    }
+  }
+
+  for (const Expected& e : expected) {
+    if (!e.seen) {
+      return fail("missing series: " + e.kernel + "/" + e.algorithm +
+                  " at N=" + std::to_string(e.tiles));
+    }
+  }
+  return true;
+}
+
+}  // namespace hp::perf

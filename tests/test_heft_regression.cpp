@@ -1,0 +1,116 @@
+// Regression harness for the gap-indexed HEFT engine: the free-gap index
+// (baselines/heft.cpp) must produce bitwise-identical schedules to the
+// segment-scanning reference it replaced (baselines/heft_ref.cpp) — same
+// workers, same start/finish doubles, same makespans — on independent
+// instances, random layered DAGs and tiled Cholesky, across rank schemes
+// and with insertion on and off.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "baselines/heft.hpp"
+#include "baselines/heft_ref.hpp"
+#include "dag/random_graphs.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "model/generators.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_identical(const Schedule& optimized, const Schedule& reference) {
+  ASSERT_EQ(optimized.num_tasks(), reference.num_tasks());
+  for (std::size_t t = 0; t < reference.num_tasks(); ++t) {
+    SCOPED_TRACE("task " + std::to_string(t));
+    const Placement& a = optimized.placement(static_cast<TaskId>(t));
+    const Placement& b = reference.placement(static_cast<TaskId>(t));
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_TRUE(same_bits(a.start, b.start)) << a.start << " vs " << b.start;
+    EXPECT_TRUE(same_bits(a.end, b.end)) << a.end << " vs " << b.end;
+  }
+  EXPECT_TRUE(same_bits(optimized.makespan(), reference.makespan()));
+}
+
+/// The option grid every workload is checked under: both rank schemes,
+/// insertion on and off.
+void expect_matches_reference_on_dag(const TaskGraph& graph,
+                                     const Platform& platform) {
+  for (const RankScheme scheme : {RankScheme::kAvg, RankScheme::kMin}) {
+    for (const bool insertion : {true, false}) {
+      SCOPED_TRACE("rank=" + std::to_string(static_cast<int>(scheme)) +
+                   " insertion=" + std::to_string(insertion));
+      HeftOptions options;
+      options.rank = scheme;
+      options.insertion = insertion;
+      const Schedule optimized = heft(graph, platform, options);
+      expect_identical(optimized, heft_ref(graph, platform, options));
+      EXPECT_TRUE(check_schedule(optimized, graph, platform).ok);
+    }
+  }
+}
+
+// Independent tasks never wait on predecessors (ready == 0), so the gap
+// index degenerates to the pure append fast path — this pins that down.
+TEST(HeftRegression, IndependentUniformMatchesReference) {
+  for (int inst_idx = 0; inst_idx < 20; ++inst_idx) {
+    const Platform platform(2 + inst_idx % 7, 1 + inst_idx % 3);
+    UniformGenParams params;
+    params.num_tasks = 10 + static_cast<std::size_t>(inst_idx) * 37;
+    params.accel_lo = (inst_idx % 2 == 0) ? 0.2 : 0.05;
+    params.accel_hi = 5.0 + 5.0 * (inst_idx % 5);
+    util::Rng rng(util::seed_from_cell(
+        {static_cast<std::uint64_t>(inst_idx)}, /*salt=*/0x4ef7));
+    const Instance inst = uniform_instance(params, rng);
+    for (const RankScheme scheme : {RankScheme::kAvg, RankScheme::kMin}) {
+      for (const bool insertion : {true, false}) {
+        SCOPED_TRACE("instance " + std::to_string(inst_idx) + " rank=" +
+                     std::to_string(static_cast<int>(scheme)) +
+                     " insertion=" + std::to_string(insertion));
+        HeftOptions options;
+        options.rank = scheme;
+        options.insertion = insertion;
+        expect_identical(
+            heft_independent(inst.tasks(), platform, options),
+            heft_independent_ref(inst.tasks(), platform, options));
+      }
+    }
+  }
+}
+
+// Random layered DAGs exercise real gap creation and splitting: successors
+// become ready mid-timeline, so placements land inside earlier idle
+// stretches.
+TEST(HeftRegression, RandomLayeredDagsMatchReference) {
+  for (int inst_idx = 0; inst_idx < 15; ++inst_idx) {
+    const Platform platform(2 + inst_idx % 5, 1 + inst_idx % 3);
+    util::Rng rng(util::seed_from_cell(
+        {static_cast<std::uint64_t>(inst_idx)}, /*salt=*/0x6aff));
+    LayeredDagParams params;
+    params.layers = 4 + inst_idx % 5;
+    params.width = 4 + inst_idx % 7;
+    const TaskGraph graph = random_layered_dag(params, rng);
+    SCOPED_TRACE("dag " + std::to_string(inst_idx));
+    expect_matches_reference_on_dag(graph, platform);
+  }
+}
+
+// The paper's workload shape: wide trailing updates behind a narrow
+// critical path, at a tile count big enough for thousands of gap queries.
+TEST(HeftRegression, CholeskyMatchesReference) {
+  const Platform platform(20, 4);
+  for (const int tiles : {6, 12}) {
+    SCOPED_TRACE("tiles " + std::to_string(tiles));
+    expect_matches_reference_on_dag(cholesky_dag(tiles), platform);
+  }
+}
+
+}  // namespace
+}  // namespace hp

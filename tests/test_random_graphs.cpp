@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "baselines/dualhp.hpp"
 #include "baselines/heft.hpp"
 #include "bounds/dag_lower_bound.hpp"
@@ -52,6 +55,44 @@ TEST(RandomSparse, AcyclicAndWithinWindow) {
     for (TaskId succ : g.successors(static_cast<TaskId>(i))) {
       EXPECT_GT(succ, static_cast<TaskId>(i));
       EXPECT_LE(succ, static_cast<TaskId>(i) + params.window);
+    }
+  }
+}
+
+// The CSR predecessor arrays are built by mirroring the successor edges at
+// finalize(); on a big sparse graph every edge must appear in both
+// directions, the degree sums must both equal num_edges, and the cached
+// topological order must schedule predecessors first.
+TEST(RandomSparse, CsrMirrorsConsistentAndTopoCached) {
+  util::Rng rng(4);
+  SparseDagParams params;
+  params.num_tasks = 1500;
+  params.avg_out_degree = 4.0;
+  const TaskGraph g = random_sparse_dag(params, rng);
+
+  std::size_t out_sum = 0;
+  std::size_t in_sum = 0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    const TaskId id = static_cast<TaskId>(v);
+    out_sum += g.out_degree(id);
+    in_sum += g.in_degree(id);
+    for (const TaskId succ : g.successors(id)) {
+      const auto pred = g.predecessors(succ);
+      EXPECT_TRUE(std::find(pred.begin(), pred.end(), id) != pred.end());
+    }
+  }
+  EXPECT_EQ(out_sum, g.num_edges());
+  EXPECT_EQ(in_sum, g.num_edges());
+
+  const auto order = g.topo_order();
+  ASSERT_EQ(order.size(), g.size());
+  std::vector<std::size_t> pos(g.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = i;
+  }
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (const TaskId succ : g.successors(static_cast<TaskId>(v))) {
+      EXPECT_LT(pos[v], pos[static_cast<std::size_t>(succ)]);
     }
   }
 }

@@ -18,7 +18,7 @@ namespace {
 
 SweepOptions small_sweep(int threads) {
   SweepOptions options;
-  options.kernels = {"cholesky", "qr"};
+  options.kernels = {"cholesky", "qr", "lu"};
   options.tile_counts = {4, 8};
   options.verbose = false;
   options.threads = threads;
@@ -80,10 +80,10 @@ TEST(SweepDeterminism, ParallelRunsAgreeWithEachOther) {
 
 TEST(SweepDeterminism, CoversAllSchedulersInGridOrder) {
   const std::vector<SweepRow> rows = run_dag_sweep(small_sweep(4));
-  // 2 kernels x 2 tile counts x 7 scheduler variants, in grid order.
-  ASSERT_EQ(rows.size(), 2u * 2u * 7u);
+  // 3 kernels x 2 tile counts x 7 scheduler variants, in grid order.
+  ASSERT_EQ(rows.size(), 3u * 2u * 7u);
   std::size_t i = 0;
-  for (const char* kernel : {"cholesky", "qr"}) {
+  for (const char* kernel : {"cholesky", "qr", "lu"}) {
     for (int tiles : {4, 8}) {
       for (std::size_t v = 0; v < 7; ++v, ++i) {
         EXPECT_EQ(rows[i].kernel, kernel);

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <queue>
+#include <vector>
 
+#include "dag/random_graphs.hpp"
 #include "dag/validation.hpp"
+#include "util/rng.hpp"
 
 namespace hp {
 namespace {
@@ -119,6 +123,84 @@ TEST(TaskGraphTest, ToInstanceCopiesTasks) {
   EXPECT_DOUBLE_EQ(inst[0].cpu_time, 2.0);
   EXPECT_DOUBLE_EQ(inst[1].gpu_time, 1.5);
   EXPECT_EQ(inst.name(), "src");
+}
+
+TEST(TaskGraphTest, CachedTopoOrderMatchesCopyingAccessor) {
+  TaskGraph g = diamond();
+  const auto copied = g.topological_order();
+  const auto cached = g.topo_order();
+  ASSERT_EQ(copied.size(), cached.size());
+  EXPECT_TRUE(std::equal(copied.begin(), copied.end(), cached.begin()));
+  // Re-finalizing after a mutation recomputes the cache for the new shape.
+  const TaskId e = g.add_task(Task{1.0, 1.0});
+  g.add_edge(3, e);
+  g.finalize();
+  EXPECT_EQ(g.topo_order().size(), 5u);
+  EXPECT_EQ(g.topo_order().back(), e);
+}
+
+/// Independent Kahn's algorithm over the public adjacency — the oracle the
+/// cached order is checked against on random DAGs.
+std::vector<TaskId> kahn_reference(const TaskGraph& g) {
+  std::vector<std::size_t> indegree(g.size());
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    indegree[v] = g.in_degree(static_cast<TaskId>(v));
+  }
+  std::queue<TaskId> frontier;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    if (indegree[v] == 0) frontier.push(static_cast<TaskId>(v));
+  }
+  std::vector<TaskId> order;
+  while (!frontier.empty()) {
+    const TaskId v = frontier.front();
+    frontier.pop();
+    order.push_back(v);
+    for (const TaskId succ : g.successors(v)) {
+      if (--indegree[static_cast<std::size_t>(succ)] == 0) frontier.push(succ);
+    }
+  }
+  return order;
+}
+
+// The CSR adjacency must be self-consistent (pred/succ mirrors, degree sums)
+// and the cached topological order valid, on a spread of random layered DAGs.
+TEST(TaskGraphTest, RandomGraphsCsrMirrorsAndCachedTopo) {
+  for (int inst_idx = 0; inst_idx < 10; ++inst_idx) {
+    SCOPED_TRACE("graph " + std::to_string(inst_idx));
+    util::Rng rng(util::seed_from_cell(
+        {static_cast<std::uint64_t>(inst_idx)}, /*salt=*/0xc5a1));
+    LayeredDagParams params;
+    params.layers = 3 + inst_idx % 5;
+    params.width = 3 + inst_idx % 7;
+    const TaskGraph g = random_layered_dag(params, rng);
+
+    // Every successor edge appears as a predecessor edge and vice versa.
+    std::size_t out_sum = 0;
+    std::size_t in_sum = 0;
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      const TaskId id = static_cast<TaskId>(v);
+      out_sum += g.out_degree(id);
+      in_sum += g.in_degree(id);
+      for (const TaskId succ : g.successors(id)) {
+        const auto pred = g.predecessors(succ);
+        EXPECT_TRUE(std::find(pred.begin(), pred.end(), id) != pred.end());
+      }
+      for (const TaskId pred_id : g.predecessors(id)) {
+        const auto succ = g.successors(pred_id);
+        EXPECT_TRUE(std::find(succ.begin(), succ.end(), id) != succ.end());
+      }
+    }
+    EXPECT_EQ(out_sum, g.num_edges());
+    EXPECT_EQ(in_sum, g.num_edges());
+
+    // The cached order is exactly what Kahn over the public adjacency
+    // produces (both use the same FIFO frontier and id-ascending seeds).
+    const auto cached = g.topo_order();
+    const std::vector<TaskId> reference = kahn_reference(g);
+    ASSERT_EQ(cached.size(), reference.size());
+    EXPECT_TRUE(std::equal(reference.begin(), reference.end(),
+                           cached.begin()));
+  }
 }
 
 TEST(GraphValidation, AcceptsWellFormedGraph) {

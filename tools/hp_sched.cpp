@@ -40,7 +40,9 @@
 #include "obs/export_csv.hpp"
 #include "obs/recorder.hpp"
 #include "obs/watchdog.hpp"
+#include "perf/json_scan.hpp"
 #include "perf/perf_baseline.hpp"
+#include "perf/perf_dag.hpp"
 #include "sched/export.hpp"
 #include "sched/gantt.hpp"
 #include "sched/metrics.hpp"
@@ -87,7 +89,8 @@ int usage() {
       "           [--slow X] [--retries K] [--backoff B] [--seed S] [--horizon H]\n"
       "           [--plan FILE.hpf] [--save-plan FILE.hpf] [--trace FILE.json]\n"
       "           [--csv FILE.csv]\n"
-      "  hp_sched perf     --out FILE [--quick] [--reps K] [--threads N]\n"
+      "  hp_sched perf     --out FILE [--dag-out FILE] [--quick] [--reps K]\n"
+      "           [--threads N]\n"
       "  hp_sched perf-check --in FILE [--quick]\n";
   return 2;
 }
@@ -619,17 +622,23 @@ int cmd_faults(const Args& args) {
   return 0;
 }
 
-/// Measure the core perf baseline and emit BENCH_core.json. `--quick` is the
-/// CI smoke configuration (n=1000, tiny sweep; seconds of runtime).
+/// Measure the core perf baseline and emit BENCH_core.json; with
+/// `--dag-out`, also measure the DAG baseline and emit BENCH_dag.json.
+/// `--quick` is the CI smoke configuration (n=1000, N in {4,8} tiles, tiny
+/// sweep; seconds of runtime).
 int cmd_perf(const Args& args) {
   perf::PerfBaselineOptions options;
+  perf::PerfDagOptions dag_options;
   if (args.options.count("quick")) {
     options.sizes = {1000};
     options.repetitions = 2;
     options.sweep_tiles = {4, 8};
+    dag_options.tile_counts = {4, 8};
+    dag_options.repetitions = 2;
   }
   options.repetitions = args.get_int("reps", options.repetitions);
   options.sweep_threads = args.get_int("threads", options.sweep_threads);
+  dag_options.repetitions = args.get_int("reps", dag_options.repetitions);
   const std::string out = args.get("out", "BENCH_core.json");
 
   const perf::PerfBaseline baseline = perf::run_perf_baseline(options);
@@ -644,23 +653,50 @@ int cmd_perf(const Args& args) {
               << baseline.speedup_vs_reference << "x";
   }
   std::cout << ")\n";
+
+  if (const std::string dag_out = args.get("dag-out"); !dag_out.empty()) {
+    const perf::PerfDagBaseline dag = perf::run_perf_dag(dag_options);
+    if (!perf::write_perf_dag_json(dag, dag_out)) {
+      std::cerr << "cannot write " << dag_out << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << dag_out << " (" << dag.series.size()
+              << " series";
+    for (const perf::PerfDagSpeedup& s : dag.speedups) {
+      std::cout << ", " << s.algorithm << " vs ref on " << s.kernel << " N="
+                << s.tiles << ": " << s.value << "x";
+    }
+    std::cout << ")\n";
+  }
   return 0;
 }
 
-/// Validate an emitted BENCH_core.json: parses, right schema, and every
-/// expected (algorithm, n) series present with a positive throughput.
+/// Validate an emitted BENCH file: parses, right schema, and every expected
+/// series present with a positive throughput. The schema tag of the file
+/// selects the validator (hp-bench-core/v1 or hp-bench-dag/v1).
 int cmd_perf_check(const Args& args) {
   const auto text = io::load_text_file(args.get("in"));
   if (!text.has_value()) {
     std::cerr << "cannot read " << args.get("in") << '\n';
     return 1;
   }
-  const std::vector<std::size_t> sizes =
-      args.options.count("quick") ? std::vector<std::size_t>{1000}
-                                  : std::vector<std::size_t>{1000, 10000,
-                                                             100000};
+  const bool quick = args.options.count("quick") != 0;
+  const std::string schema =
+      perf::jsonscan::string_field(*text, "schema").value_or("");
   std::string error;
-  if (!perf::validate_perf_baseline_json(*text, sizes, &error)) {
+  bool ok = false;
+  if (schema == "hp-bench-dag/v1") {
+    const std::vector<int> tiles =
+        quick ? std::vector<int>{4, 8} : std::vector<int>{10, 20, 40, 60};
+    ok = perf::validate_perf_dag_json(*text, {"cholesky", "qr", "lu"}, tiles,
+                                      &error);
+  } else {
+    const std::vector<std::size_t> sizes =
+        quick ? std::vector<std::size_t>{1000}
+              : std::vector<std::size_t>{1000, 10000, 100000};
+    ok = perf::validate_perf_baseline_json(*text, sizes, &error);
+  }
+  if (!ok) {
     std::cerr << "invalid baseline: " << error << '\n';
     return 1;
   }
