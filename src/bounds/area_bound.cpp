@@ -87,7 +87,16 @@ double area_bound_value(std::span<const Task> tasks, const Platform& platform) {
 
 double opt_lower_bound(std::span<const Task> tasks, const Platform& platform) {
   double lb = area_bound_value(tasks, platform);
-  for (const Task& t : tasks) lb = std::max(lb, t.min_time());
+  const bool has_cpu = platform.cpus() > 0;
+  const bool has_gpu = platform.gpus() > 0;
+  for (const Task& t : tasks) {
+    // On a one-sided platform the unavailable resource's time is not a
+    // valid floor: the task must run on what exists.
+    const double floor = has_cpu && has_gpu ? t.min_time()
+                         : has_cpu          ? t.cpu_time
+                                            : t.gpu_time;
+    lb = std::max(lb, floor);
+  }
   return lb;
 }
 

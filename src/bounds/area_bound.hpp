@@ -49,7 +49,9 @@ struct AreaBoundResult {
                                       const Platform& platform);
 
 /// Best cheap lower bound on C_max^Opt(I):
-/// max(AreaBound(I), max_i min(p_i, q_i)).
+/// max(AreaBound(I), max_i min(p_i, q_i)). On a one-sided platform the
+/// per-task minimum only ranges over the resource that exists (a task
+/// cannot run its GPU time on a platform without GPUs).
 [[nodiscard]] double opt_lower_bound(std::span<const Task> tasks,
                                      const Platform& platform);
 

@@ -70,8 +70,14 @@ DagLowerBound dag_lower_bound(const TaskGraph& graph, const Platform& platform,
   for (const double level : tails) {
     lb.critical_path = std::max(lb.critical_path, level);
   }
+  const bool has_cpu = platform.cpus() > 0;
+  const bool has_gpu = platform.gpus() > 0;
   for (const Task& t : graph.tasks()) {
-    lb.max_min_time = std::max(lb.max_min_time, t.min_time());
+    // One-sided platforms: the absent resource's time is not a valid floor.
+    const double floor = has_cpu && has_gpu ? t.min_time()
+                         : has_cpu          ? t.cpu_time
+                                            : t.gpu_time;
+    lb.max_min_time = std::max(lb.max_min_time, floor);
   }
 
   if (options.segment_thresholds > 0 && !graph.empty()) {

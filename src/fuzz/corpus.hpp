@@ -1,0 +1,67 @@
+#pragma once
+// Corpus files — shrunk repros and worst-case witnesses as plain data.
+//
+// A corpus file is an ordinary io/serialize workload file (task/edge/name
+// lines, so any tool that reads .hpi/.hpg reads it too) plus two comment
+// conventions the plain parsers skip:
+//
+//   # fuzz: cpus=2 gpus=1 schedulers=hp,heft props=all rank=min
+//   # fuzz: min-ratio=1.618033988
+//   # hpf: faultplan v1
+//   # hpf: crash 2 0
+//
+// `# fuzz:` directives carry the platform, the schedulers and properties to
+// replay, and an optional tightness floor (worst-case family witnesses must
+// *stay* bad: HeteroPrio's makespan / lower bound >= min-ratio). `# hpf:`
+// lines embed the fault plan in its own .hpf text format.
+//
+// tests/corpus/ holds one file per repro; test_fuzz_corpus.cpp replays every
+// file on every listed scheduler forever after. Convention: every fuzz-found
+// bug ships its shrunk corpus file in the fixing PR (docs/testing.md).
+
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hpp"
+
+namespace hp::fuzz {
+
+/// One corpus entry: the case plus its replay policy.
+struct CorpusCase {
+  FuzzCase c;
+  /// Schedulers to replay; empty means all of them.
+  std::vector<SchedulerId> schedulers;
+  unsigned props = kPropAll;
+  /// Tightness floor (0 = none): HeteroPrio makespan / lower bound must be
+  /// >= this, so distilled worst-case witnesses keep exhibiting their ratio.
+  double min_ratio = 0.0;
+};
+
+[[nodiscard]] std::string corpus_to_text(const CorpusCase& entry);
+[[nodiscard]] bool corpus_from_text(const std::string& text, CorpusCase* out,
+                                    std::string* error);
+
+/// Whole-file wrappers over io::save_text_file / io::load_text_file.
+[[nodiscard]] bool save_corpus_file(const std::string& path,
+                                    const CorpusCase& entry);
+[[nodiscard]] bool load_corpus_file(const std::string& path, CorpusCase* out,
+                                    std::string* error);
+
+/// Sorted paths of the corpus files (*.hpi/*.hpg) under `dir`.
+[[nodiscard]] std::vector<std::string> list_corpus_files(
+    const std::string& dir);
+
+/// Replay verdict: oracle failures across the replayed schedulers, plus the
+/// min-ratio tightness check when the entry carries one.
+struct CorpusVerdict {
+  int schedulers_replayed = 0;
+  int properties_checked = 0;
+  std::vector<PropertyFailure> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+[[nodiscard]] CorpusVerdict replay_corpus_case(const CorpusCase& entry,
+                                               OracleOptions oracle = {});
+
+}  // namespace hp::fuzz

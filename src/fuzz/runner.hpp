@@ -1,0 +1,68 @@
+#pragma once
+// Fuzz campaign driver — generate, check, shrink, report.
+//
+// run_fuzz() walks cases (seed, 0), (seed, 1), ... through the oracle for
+// every selected scheduler. A failing (case, scheduler) pair is shrunk to a
+// minimal repro and optionally written to a corpus file in `out_dir`, ready
+// to check in under tests/corpus/.
+//
+// Determinism: cases are pure functions of (seed, index) and the oracle is
+// deterministic, so the same options produce a byte-identical report — the
+// report carries an FNV-1a checksum over every (index, scheduler, makespan)
+// triple, and `hp_sched fuzz` run twice with the same seed must print the
+// same bytes (CI asserts this).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace hp::fuzz {
+
+struct RunnerOptions {
+  std::uint64_t seed = 1;
+  int runs = 100;
+  /// Schedulers to fuzz; empty = all of them.
+  std::vector<SchedulerId> schedulers;
+  GenKnobs knobs;
+  OracleOptions oracle;
+  ShrinkOptions shrink;
+  bool shrink_failures = true;
+  /// Directory for shrunk repro files; empty = keep repros in memory only.
+  std::string out_dir;
+  /// Stop drawing new cases after this many seconds (0 = no limit). An
+  /// early stop is reported in `cases_run`; byte-identical reports are only
+  /// guaranteed for untimed runs.
+  double max_seconds = 0.0;
+};
+
+struct FuzzFailure {
+  std::uint64_t index = 0;         ///< failing case's index under the seed
+  SchedulerId scheduler = SchedulerId::kHp;
+  PropertyFailure failure;         ///< verdict on the *shrunk* case
+  FuzzCase shrunk;                 ///< minimal repro (== original if
+                                   ///< shrinking is disabled)
+  std::string repro_path;          ///< written corpus file, "" if none
+};
+
+struct FuzzReport {
+  std::uint64_t seed = 0;
+  int runs_requested = 0;
+  int cases_run = 0;
+  long long properties_checked = 0;
+  std::vector<FuzzFailure> failures;
+  std::uint64_t checksum = 0;  ///< FNV-1a over (index, scheduler, makespan)
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+[[nodiscard]] FuzzReport run_fuzz(const RunnerOptions& options);
+
+/// Deterministic text rendering of a report (the `--out` payload).
+[[nodiscard]] std::string format_report(const FuzzReport& report,
+                                        const RunnerOptions& options);
+
+}  // namespace hp::fuzz

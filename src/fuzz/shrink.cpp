@@ -1,0 +1,352 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace hp::fuzz {
+
+namespace {
+
+/// Decomposed, freely editable form of a FuzzCase. The FaultPlan is split
+/// into its events so passes can strip them one at a time.
+struct CaseBuilder {
+  std::string name;
+  std::uint64_t seed = 0;
+  int cpus = 1;
+  int gpus = 1;
+  RankScheme rank = RankScheme::kMin;
+  std::vector<Task> tasks;
+  std::vector<std::pair<TaskId, TaskId>> edges;
+  std::vector<fault::CrashEvent> crashes;
+  std::vector<fault::StragglerWindow> stragglers;
+  double task_fail_prob = 0.0;
+  int max_attempts = 4;
+  double retry_backoff = 0.0;
+  std::uint64_t fault_seed = 1;
+
+  static CaseBuilder from_case(const FuzzCase& c) {
+    CaseBuilder b;
+    b.name = c.name;
+    b.seed = c.seed;
+    b.cpus = c.platform.cpus();
+    b.gpus = c.platform.gpus();
+    b.rank = c.rank;
+    b.tasks.assign(c.graph.tasks().begin(), c.graph.tasks().end());
+    for (std::size_t i = 0; i < c.graph.size(); ++i) {
+      for (TaskId succ : c.graph.successors(static_cast<TaskId>(i))) {
+        b.edges.emplace_back(static_cast<TaskId>(i), succ);
+      }
+    }
+    b.crashes.assign(c.faults.crashes().begin(), c.faults.crashes().end());
+    b.stragglers.assign(c.faults.stragglers().begin(),
+                        c.faults.stragglers().end());
+    b.task_fail_prob = c.faults.task_fail_prob();
+    b.max_attempts = c.faults.max_attempts();
+    b.retry_backoff = c.faults.backoff_delay(1);  // backoff * 2^0
+    b.fault_seed = c.faults.seed();
+    return b;
+  }
+
+  [[nodiscard]] bool has_fault_events() const noexcept {
+    return !crashes.empty() || !stragglers.empty() || task_fail_prob > 0.0;
+  }
+
+  [[nodiscard]] FuzzCase build() const {
+    FuzzCase c;
+    c.name = name;
+    c.seed = seed;
+    c.platform = Platform(cpus, gpus);
+    c.rank = rank;
+    TaskGraph graph(name);
+    for (const Task& t : tasks) graph.add_task(t);
+    for (const auto& [from, to] : edges) graph.add_edge(from, to);
+    graph.finalize();
+    c.graph = std::move(graph);
+    if (has_fault_events()) {
+      for (const fault::CrashEvent& e : crashes) {
+        c.faults.add_crash(e.worker, e.time);
+      }
+      for (const fault::StragglerWindow& w : stragglers) {
+        c.faults.add_straggler(w.worker, w.begin, w.end, w.slowdown);
+      }
+      c.faults.set_task_faults(task_fail_prob, max_attempts, retry_backoff,
+                               fault_seed);
+    }
+    return c;
+  }
+};
+
+/// Remove the tasks whose indices are in [lo, hi) and remap/drop edges and
+/// crash workers accordingly (a crash of a removed worker is dropped by the
+/// platform pass, not here).
+CaseBuilder without_tasks(const CaseBuilder& b, std::size_t lo,
+                          std::size_t hi) {
+  CaseBuilder out = b;
+  out.tasks.clear();
+  std::vector<int> remap(b.tasks.size(), -1);
+  for (std::size_t i = 0; i < b.tasks.size(); ++i) {
+    if (i >= lo && i < hi) continue;
+    remap[i] = static_cast<int>(out.tasks.size());
+    out.tasks.push_back(b.tasks[i]);
+  }
+  out.edges.clear();
+  for (const auto& [from, to] : b.edges) {
+    const int f = remap[static_cast<std::size_t>(from)];
+    const int t = remap[static_cast<std::size_t>(to)];
+    if (f >= 0 && t >= 0) {
+      out.edges.emplace_back(static_cast<TaskId>(f), static_cast<TaskId>(t));
+    }
+  }
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(std::function<bool(const FuzzCase&)> fails,
+           const ShrinkOptions& options)
+      : fails_(std::move(fails)), options_(options) {}
+
+  /// True iff the case still fails the predicate (and the evaluation budget
+  /// is not exhausted).
+  bool still_fails(const CaseBuilder& b) {
+    if (evals_ >= options_.max_evals) return false;
+    ++evals_;
+    const FuzzCase c = b.build();
+    if (c.graph.size() == 0 || c.platform.workers() == 0) return false;
+    return fails_(c);
+  }
+
+  /// ddmin-lite: try dropping contiguous chunks, halving the chunk size.
+  bool pass_drop_tasks(CaseBuilder* b) {
+    bool changed = false;
+    for (std::size_t chunk = std::max<std::size_t>(1, b->tasks.size() / 2);
+         chunk >= 1; chunk /= 2) {
+      for (std::size_t lo = 0; lo < b->tasks.size();) {
+        if (b->tasks.size() <= 1) return changed;
+        const std::size_t hi = std::min(lo + chunk, b->tasks.size());
+        CaseBuilder candidate = without_tasks(*b, lo, hi);
+        if (!candidate.tasks.empty() && still_fails(candidate)) {
+          *b = std::move(candidate);
+          changed = true;  // same lo now names the next chunk
+        } else {
+          lo = hi;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return changed;
+  }
+
+  bool pass_drop_edges(CaseBuilder* b) {
+    bool changed = false;
+    if (!b->edges.empty()) {
+      CaseBuilder candidate = *b;  // all edges at once: DAG -> independent
+      candidate.edges.clear();
+      if (still_fails(candidate)) {
+        *b = std::move(candidate);
+        return true;
+      }
+    }
+    for (std::size_t i = 0; i < b->edges.size();) {
+      CaseBuilder candidate = *b;
+      candidate.edges.erase(candidate.edges.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        *b = std::move(candidate);
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool pass_shrink_platform(CaseBuilder* b) {
+    bool changed = false;
+    for (;;) {
+      bool step = false;
+      if (b->cpus > 0) {
+        CaseBuilder candidate = *b;
+        --candidate.cpus;
+        if (candidate.cpus + candidate.gpus > 0 && still_fails(candidate)) {
+          *b = std::move(candidate);
+          step = changed = true;
+        }
+      }
+      if (b->gpus > 0) {
+        CaseBuilder candidate = *b;
+        --candidate.gpus;
+        if (candidate.cpus + candidate.gpus > 0 && still_fails(candidate)) {
+          *b = std::move(candidate);
+          step = changed = true;
+        }
+      }
+      if (!step) break;
+    }
+    return changed;
+  }
+
+  bool pass_strip_faults(CaseBuilder* b) {
+    bool changed = false;
+    if (b->has_fault_events()) {
+      CaseBuilder candidate = *b;  // the whole plan at once
+      candidate.crashes.clear();
+      candidate.stragglers.clear();
+      candidate.task_fail_prob = 0.0;
+      if (still_fails(candidate)) {
+        *b = std::move(candidate);
+        return true;
+      }
+    }
+    for (std::size_t i = 0; i < b->crashes.size();) {
+      CaseBuilder candidate = *b;
+      candidate.crashes.erase(candidate.crashes.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        *b = std::move(candidate);
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < b->stragglers.size();) {
+      CaseBuilder candidate = *b;
+      candidate.stragglers.erase(candidate.stragglers.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        *b = std::move(candidate);
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    if (b->task_fail_prob > 0.0) {
+      CaseBuilder candidate = *b;
+      candidate.task_fail_prob = 0.0;
+      if (still_fails(candidate)) {
+        *b = std::move(candidate);
+        changed = true;
+      }
+    }
+    if (b->retry_backoff > 0.0) {
+      CaseBuilder candidate = *b;
+      candidate.retry_backoff = 0.0;
+      if (still_fails(candidate)) {
+        *b = std::move(candidate);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// Round durations and priorities to friendlier values. Candidates go
+  /// from most to least aggressive; the first accepted one wins per field.
+  bool pass_round_values(CaseBuilder* b) {
+    bool changed = false;
+    for (std::size_t i = 0; i < b->tasks.size(); ++i) {
+      for (const double v : {1.0, std::round(b->tasks[i].cpu_time)}) {
+        if (v <= 0.0 || v == b->tasks[i].cpu_time) continue;
+        CaseBuilder candidate = *b;
+        candidate.tasks[i].cpu_time = v;
+        if (still_fails(candidate)) {
+          *b = std::move(candidate);
+          changed = true;
+          break;
+        }
+      }
+      for (const double v : {1.0, std::round(b->tasks[i].gpu_time)}) {
+        if (v <= 0.0 || v == b->tasks[i].gpu_time) continue;
+        CaseBuilder candidate = *b;
+        candidate.tasks[i].gpu_time = v;
+        if (still_fails(candidate)) {
+          *b = std::move(candidate);
+          changed = true;
+          break;
+        }
+      }
+      for (const double v :
+           {0.0, static_cast<double>(i), std::round(b->tasks[i].priority)}) {
+        if (v == b->tasks[i].priority) continue;
+        CaseBuilder candidate = *b;
+        candidate.tasks[i].priority = v;
+        if (still_fails(candidate)) {
+          *b = std::move(candidate);
+          changed = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  }
+
+  ShrinkResult run(const FuzzCase& failing) {
+    CaseBuilder best = CaseBuilder::from_case(failing);
+    int rounds = 0;
+    for (; rounds < options_.max_rounds; ++rounds) {
+      bool changed = false;
+      changed |= pass_drop_tasks(&best);
+      changed |= pass_drop_edges(&best);
+      changed |= pass_strip_faults(&best);
+      changed |= pass_shrink_platform(&best);
+      changed |= pass_round_values(&best);
+      if (!changed || evals_ >= options_.max_evals) break;
+    }
+    ShrinkResult result;
+    best.name = failing.name + "-min";
+    result.minimized = best.build();
+    result.evals = evals_;
+    result.rounds = rounds;
+    return result;
+  }
+
+ private:
+  std::function<bool(const FuzzCase&)> fails_;
+  ShrinkOptions options_;
+  int evals_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink_case_with(
+    const FuzzCase& failing,
+    const std::function<bool(const FuzzCase&)>& fails,
+    const ShrinkOptions& options) {
+  Shrinker shrinker(fails, options);
+  return shrinker.run(failing);
+}
+
+ShrinkResult shrink_case(const FuzzCase& failing, SchedulerId sched,
+                         const OracleOptions& oracle,
+                         const ShrinkOptions& options) {
+  // Restrict the oracle to the properties that failed on the input: the
+  // shrink predicate is "one of *those* still fails", not "anything fails",
+  // so shrinking cannot wander to an unrelated bug.
+  const OracleVerdict initial = check_case(failing, sched, oracle);
+  unsigned failing_props = 0;
+  for (const PropertyFailure& f : initial.failures) {
+    for (unsigned bit = 1; bit < kPropAll; bit <<= 1) {
+      if (f.property == property_name(bit)) failing_props |= bit;
+    }
+  }
+  if (failing_props == 0) {
+    // Precondition violated (the case passes): return it unchanged.
+    ShrinkResult result;
+    result.minimized = failing;
+    return result;
+  }
+  OracleOptions restricted = oracle;
+  restricted.props = failing_props;
+  ShrinkResult result = shrink_case_with(
+      failing,
+      [&](const FuzzCase& c) { return !check_case(c, sched, restricted).ok(); },
+      options);
+  // Re-run the oracle on the final case so the reported failure matches the
+  // artifact we hand back.
+  const OracleVerdict verdict = check_case(result.minimized, sched, restricted);
+  if (!verdict.failures.empty()) result.failure = verdict.failures.front();
+  return result;
+}
+
+}  // namespace hp::fuzz

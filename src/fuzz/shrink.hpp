@@ -1,0 +1,52 @@
+#pragma once
+// Greedy shrinker — minimizes a failing FuzzCase while it still fails.
+//
+// Classic test-case reduction: given a case on which check_case() reports a
+// property violation, repeatedly try simplifying mutations (drop tasks in
+// ddmin-style chunks, drop edges, shrink the platform, strip fault events,
+// round durations to small integers) and keep a mutation iff the *original*
+// failing properties still fail on the mutated case. The result is the
+// smallest repro the greedy pass can reach — typically a handful of tasks —
+// which corpus.hpp then serializes into tests/corpus/.
+//
+// Determinism: the pass order is fixed and the oracle is deterministic, so
+// the same failing case always shrinks to the same minimal repro.
+
+#include <functional>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace hp::fuzz {
+
+struct ShrinkOptions {
+  int max_rounds = 6;    ///< fixpoint rounds over all passes
+  int max_evals = 4000;  ///< total oracle evaluations budget
+};
+
+struct ShrinkResult {
+  FuzzCase minimized;
+  /// First failure the oracle reports on `minimized` (the repro's label).
+  PropertyFailure failure;
+  int evals = 0;   ///< oracle evaluations spent
+  int rounds = 0;  ///< fixpoint rounds run
+};
+
+/// Minimize `failing` for `sched`. Precondition: check_case(failing, sched,
+/// oracle) reports at least one failure; shrinking preserves at least one of
+/// those originally-failing properties.
+[[nodiscard]] ShrinkResult shrink_case(const FuzzCase& failing,
+                                       SchedulerId sched,
+                                       const OracleOptions& oracle = {},
+                                       const ShrinkOptions& options = {});
+
+/// Core reduction against an arbitrary predicate: keep a mutation iff
+/// `fails` still returns true. The oracle-based shrink_case wraps this;
+/// tests (and ad-hoc bug hunts) can minimize against any condition.
+/// `result.failure` is left empty — only the oracle wrapper can name one.
+[[nodiscard]] ShrinkResult shrink_case_with(
+    const FuzzCase& failing,
+    const std::function<bool(const FuzzCase&)>& fails,
+    const ShrinkOptions& options = {});
+
+}  // namespace hp::fuzz

@@ -1,7 +1,11 @@
 #include "io/serialize.hpp"
 
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "util/table.hpp"
 
@@ -9,11 +13,24 @@ namespace hp::io {
 
 namespace {
 
+/// Shortest-that-round-trips rendering: 9 significant digits when they
+/// reparse to the same double, full precision otherwise. Corpus witnesses
+/// (worst-case families built on phi) need their exact bits back — a 9-digit
+/// approximation flips the adversarial tie-breaking they encode.
+std::string format_roundtrip(double value) {
+  std::string s = util::format_double(value, 9);
+  if (std::strtod(s.c_str(), nullptr) == value) return s;
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << value;
+  return oss.str();
+}
+
 void emit_task_line(std::ostringstream& oss, const Task& t) {
-  oss << "task " << util::format_double(t.cpu_time, 9) << ' '
-      << util::format_double(t.gpu_time, 9);
+  oss << "task " << format_roundtrip(t.cpu_time) << ' '
+      << format_roundtrip(t.gpu_time);
   if (t.priority != 0.0 || t.kind != KernelKind::kGeneric) {
-    oss << ' ' << util::format_double(t.priority, 9);
+    oss << ' ' << format_roundtrip(t.priority);
   }
   if (t.kind != KernelKind::kGeneric) {
     oss << ' ' << kernel_name(t.kind);
@@ -21,28 +38,155 @@ void emit_task_line(std::ostringstream& oss, const Task& t) {
   oss << '\n';
 }
 
-std::string fail(std::string* error, int line_no, const std::string& message) {
+void fail(std::string* error, int line_no, const std::string& message) {
   if (error != nullptr) {
     *error = "line " + std::to_string(line_no) + ": " + message;
   }
-  return {};
 }
 
-/// Parse a "task p q [prio] [kind]" payload. Returns nullopt on error.
-std::optional<Task> parse_task(std::istringstream& fields) {
-  Task t;
-  if (!(fields >> t.cpu_time >> t.gpu_time)) return std::nullopt;
-  if (!(t.cpu_time > 0.0) || !(t.gpu_time > 0.0)) return std::nullopt;
-  std::string extra;
-  if (fields >> extra) {
-    try {
-      t.priority = std::stod(extra);
-      if (fields >> extra) t.kind = kernel_kind_from_name(extra);
-    } catch (...) {
-      t.kind = kernel_kind_from_name(extra);
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream fields(line);
+  std::string token;
+  while (fields >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+/// Strict double parse: the whole token must be consumed and the value
+/// finite. Rejects "1.5x", "nan", "inf", "".
+bool parse_finite(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+/// Strict non-negative integer parse (task ids on edge lines).
+bool parse_index(const std::string& token, long long* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) return false;
+  if (value < 0) return false;
+  *out = value;
+  return true;
+}
+
+/// Strict inverse of kernel_name: unlike kernel_kind_from_name, an unknown
+/// name is an error here, not a silent kGeneric.
+bool parse_kernel(const std::string& token, KernelKind* out) {
+  for (std::size_t k = 0; k < kNumKernelKinds; ++k) {
+    const auto kind = static_cast<KernelKind>(k);
+    if (token == kernel_name(kind)) {
+      *out = kind;
+      return true;
     }
   }
-  return t;
+  return false;
+}
+
+/// Parse "task <p> <q> [prio] [kind]" from its tokens (tokens[0] == "task").
+/// Every diagnostic names the offending field.
+bool parse_task(const std::vector<std::string>& tokens, Task* out,
+                std::string* why) {
+  if (tokens.size() < 3) {
+    *why = "task line needs at least 2 fields (cpu_time gpu_time), got " +
+           std::to_string(tokens.size() - 1);
+    return false;
+  }
+  if (tokens.size() > 5) {
+    *why = "task line has trailing fields after '" + tokens[4] + "'";
+    return false;
+  }
+  Task t;
+  if (!parse_finite(tokens[1], &t.cpu_time)) {
+    *why = "cpu_time '" + tokens[1] + "' is not a finite number";
+    return false;
+  }
+  if (!parse_finite(tokens[2], &t.gpu_time)) {
+    *why = "gpu_time '" + tokens[2] + "' is not a finite number";
+    return false;
+  }
+  if (!(t.cpu_time > 0.0) || !(t.gpu_time > 0.0)) {
+    *why = "task times must be positive (got cpu_time=" + tokens[1] +
+           ", gpu_time=" + tokens[2] + ")";
+    return false;
+  }
+  std::size_t next = 3;
+  // Optional third field: a number is the priority, a name is the kind.
+  if (tokens.size() > next && parse_finite(tokens[next], &t.priority)) {
+    ++next;
+  }
+  if (tokens.size() > next) {
+    if (!parse_kernel(tokens[next], &t.kind)) {
+      *why = "unknown kernel kind '" + tokens[next] + "'";
+      return false;
+    }
+    ++next;
+  }
+  if (tokens.size() > next) {
+    *why = "task line has trailing fields after '" + tokens[next - 1] + "'";
+    return false;
+  }
+  *out = t;
+  return true;
+}
+
+/// "name <rest of line>": the name is everything after the keyword, trimmed,
+/// so generated names with inner spaces round-trip.
+bool parse_name(const std::string& line, std::string* out, std::string* why) {
+  std::size_t pos = line.find("name");
+  pos += 4;
+  while (pos < line.size() && std::isspace(static_cast<unsigned char>(
+                                  line[pos]))) {
+    ++pos;
+  }
+  std::size_t end = line.size();
+  while (end > pos && std::isspace(static_cast<unsigned char>(line[end - 1]))) {
+    --end;
+  }
+  if (end <= pos) {
+    *why = "name line has no name";
+    return false;
+  }
+  *out = line.substr(pos, end - pos);
+  return true;
+}
+
+bool parse_edge(const std::vector<std::string>& tokens, std::size_t num_tasks,
+                TaskId* from, TaskId* to, std::string* why) {
+  if (tokens.size() != 3) {
+    *why = "edge line needs exactly 2 fields (from to), got " +
+           std::to_string(tokens.size() - 1);
+    return false;
+  }
+  long long f = 0;
+  long long t = 0;
+  if (!parse_index(tokens[1], &f)) {
+    *why = "edge source '" + tokens[1] + "' is not a task id";
+    return false;
+  }
+  if (!parse_index(tokens[2], &t)) {
+    *why = "edge target '" + tokens[2] + "' is not a task id";
+    return false;
+  }
+  const auto limit = static_cast<long long>(num_tasks);
+  if (f >= limit || t >= limit) {
+    *why = "edge " + tokens[1] + " -> " + tokens[2] +
+           " references a task beyond the " + std::to_string(num_tasks) +
+           " declared so far (tasks must precede the edges that use them)";
+    return false;
+  }
+  if (f == t) {
+    *why = "edge " + tokens[1] + " -> " + tokens[2] + " is a self-loop";
+    return false;
+  }
+  *from = static_cast<TaskId>(f);
+  *to = static_cast<TaskId>(t);
+  return true;
 }
 
 }  // namespace
@@ -60,25 +204,30 @@ std::optional<Instance> instance_from_text(const std::string& text,
   Instance instance;
   std::istringstream in(text);
   std::string line;
+  std::string why;
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    std::istringstream fields(line);
-    std::string keyword;
-    if (!(fields >> keyword) || keyword[0] == '#') continue;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    const std::string& keyword = tokens[0];
     if (keyword == "name") {
       std::string name;
-      fields >> name;
-      instance.set_name(name);
-    } else if (keyword == "task") {
-      const auto task = parse_task(fields);
-      if (!task.has_value()) {
-        fail(error, line_no, "bad task line: " + line);
+      if (!parse_name(line, &name, &why)) {
+        fail(error, line_no, why);
         return std::nullopt;
       }
-      instance.add(*task);
+      instance.set_name(name);
+    } else if (keyword == "task") {
+      Task task;
+      if (!parse_task(tokens, &task, &why)) {
+        fail(error, line_no, why);
+        return std::nullopt;
+      }
+      instance.add(task);
     } else if (keyword == "edge") {
-      fail(error, line_no, "edges are not allowed in an instance file");
+      fail(error, line_no,
+           "edges are not allowed in an instance file (use a graph file)");
       return std::nullopt;
     } else {
       fail(error, line_no, "unknown keyword '" + keyword + "'");
@@ -106,32 +255,35 @@ std::optional<TaskGraph> graph_from_text(const std::string& text,
   TaskGraph graph;
   std::istringstream in(text);
   std::string line;
+  std::string why;
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    std::istringstream fields(line);
-    std::string keyword;
-    if (!(fields >> keyword) || keyword[0] == '#') continue;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    const std::string& keyword = tokens[0];
     if (keyword == "name") {
       std::string name;
-      fields >> name;
+      if (!parse_name(line, &name, &why)) {
+        fail(error, line_no, why);
+        return std::nullopt;
+      }
       graph.set_name(name);
     } else if (keyword == "task") {
-      const auto task = parse_task(fields);
-      if (!task.has_value()) {
-        fail(error, line_no, "bad task line: " + line);
+      Task task;
+      if (!parse_task(tokens, &task, &why)) {
+        fail(error, line_no, why);
         return std::nullopt;
       }
-      graph.add_task(*task);
+      graph.add_task(task);
     } else if (keyword == "edge") {
-      long long from = -1, to = -1;
-      if (!(fields >> from >> to) || from < 0 || to < 0 ||
-          from >= static_cast<long long>(graph.size()) ||
-          to >= static_cast<long long>(graph.size()) || from == to) {
-        fail(error, line_no, "bad edge line: " + line);
+      TaskId from = kInvalidTask;
+      TaskId to = kInvalidTask;
+      if (!parse_edge(tokens, graph.size(), &from, &to, &why)) {
+        fail(error, line_no, why);
         return std::nullopt;
       }
-      graph.add_edge(static_cast<TaskId>(from), static_cast<TaskId>(to));
+      graph.add_edge(from, to);
     } else {
       fail(error, line_no, "unknown keyword '" + keyword + "'");
       return std::nullopt;

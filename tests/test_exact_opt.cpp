@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "bounds/area_bound.hpp"
@@ -82,6 +83,32 @@ TEST(ExactOpt, MatchesBruteForceOnOneCpuOneGpu) {
       best = std::min(best, std::max(cpu, gpu));
     }
     EXPECT_NEAR(exact_optimal_makespan(inst.tasks(), platform), best, 1e-9);
+  }
+}
+
+TEST(ExactOpt, MatchesBruteForceOnTwoCpusOneGpu) {
+  // Reference: assign each task to one of the three workers; independent
+  // tasks make a worker's finish time the plain sum of what it got.
+  util::Rng rng(17);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Instance inst = uniform_instance({.num_tasks = 6}, rng);
+    const Platform platform(2, 1);
+    std::size_t combos = 1;
+    for (std::size_t i = 0; i < inst.size(); ++i) combos *= 3;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t code = 0; code < combos; ++code) {
+      double load[3] = {0.0, 0.0, 0.0};
+      std::size_t rest = code;
+      for (std::size_t i = 0; i < inst.size(); ++i) {
+        const std::size_t w = rest % 3;
+        rest /= 3;
+        const Task& t = inst[static_cast<TaskId>(i)];
+        load[w] += w < 2 ? t.cpu_time : t.gpu_time;
+      }
+      best = std::min(best, std::max({load[0], load[1], load[2]}));
+    }
+    EXPECT_NEAR(exact_optimal_makespan(inst.tasks(), platform), best, 1e-9)
+        << "rep " << rep;
   }
 }
 

@@ -15,6 +15,7 @@
 #include "dag/ranking.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/replay.hpp"
+#include "fuzz/generator.hpp"
 #include "linalg/cholesky.hpp"
 #include "obs/counters.hpp"
 #include "obs/export_chrome.hpp"
@@ -337,6 +338,57 @@ TEST(FaultRecovery, MixedFaultsStillYieldAValidRun) {
   ASSERT_TRUE(check.ok) << check.message;
   EXPECT_TRUE(s.complete() || stats.recovery.degraded);
   EXPECT_EQ(stats.recovery.worker_crashes, 2);
+}
+
+TEST(FaultRecovery, RandomPlanSweepKeepsRecoveryAccountsConsistent) {
+  // Property sweep over fuzz-generated fault plans: whatever the plan does,
+  // a degraded run must still pass validation with require_complete=false,
+  // no task may fail more often than its retry budget, and every abandoned
+  // task must have exhausted that budget exactly.
+  fuzz::GenKnobs knobs;
+  knobs.fault_fraction = 1.0;
+  int faulty_runs = 0;
+  for (std::uint64_t i = 0; i < 40 && faulty_runs < 15; ++i) {
+    const fuzz::FuzzCase c = fuzz::generate_case(4242, i, knobs);
+    if (!c.has_faults()) continue;
+    ++faulty_runs;
+
+    obs::EventRecorder events;
+    HeteroPrioOptions options;
+    options.faults = &c.faults;
+    options.sink = &events;
+    HeteroPrioStats stats;
+    const Schedule s =
+        c.is_dag() ? heteroprio_dag(c.graph, c.platform, options, &stats)
+                   : heteroprio(c.graph.tasks(), c.platform, options, &stats);
+
+    const auto check = check_schedule(s, c.graph, c.platform, kFaultyRun);
+    ASSERT_TRUE(check.ok) << c.name << ": " << check.message;
+
+    std::vector<int> fail_count(c.graph.size(), 0);
+    for (const obs::Event& e : events.events()) {
+      if (e.kind == obs::EventKind::kTaskFail && e.task >= 0) {
+        ++fail_count[static_cast<std::size_t>(e.task)];
+      }
+    }
+    const int budget = c.faults.max_attempts();
+    int abandoned = 0;
+    int unplaced = 0;
+    for (std::size_t t = 0; t < c.graph.size(); ++t) {
+      EXPECT_LE(fail_count[t], budget) << c.name << " task " << t;
+      if (fail_count[t] == budget) {
+        ++abandoned;
+        EXPECT_FALSE(s.placements()[t].placed())
+            << c.name << " task " << t
+            << " exhausted its budget yet was placed";
+      }
+      if (!s.placements()[t].placed()) ++unplaced;
+    }
+    EXPECT_EQ(abandoned, stats.recovery.tasks_abandoned) << c.name;
+    EXPECT_EQ(unplaced, stats.recovery.tasks_unfinished) << c.name;
+    EXPECT_EQ(stats.recovery.degraded, unplaced > 0) << c.name;
+  }
+  EXPECT_GE(faulty_runs, 15);
 }
 
 TEST(FaultyReplay, StaticPlanSurvivesACrashViaFailover) {

@@ -1,0 +1,108 @@
+// Fuzz-case generator: determinism, knob respect, shape coverage.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fuzz/generator.hpp"
+
+namespace hp::fuzz {
+namespace {
+
+TEST(FuzzGenerator, SameCoordinatesRegenerateTheSameCase) {
+  for (std::uint64_t index : {0ULL, 7ULL, 31ULL}) {
+    const FuzzCase a = generate_case(42, index);
+    const FuzzCase b = generate_case(42, index);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.platform.cpus(), b.platform.cpus());
+    EXPECT_EQ(a.platform.gpus(), b.platform.gpus());
+    ASSERT_EQ(a.graph.size(), b.graph.size());
+    ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+    for (std::size_t i = 0; i < a.graph.size(); ++i) {
+      const Task& ta = a.graph.tasks()[i];
+      const Task& tb = b.graph.tasks()[i];
+      EXPECT_EQ(ta.cpu_time, tb.cpu_time);
+      EXPECT_EQ(ta.gpu_time, tb.gpu_time);
+      EXPECT_EQ(ta.priority, tb.priority);
+    }
+    EXPECT_EQ(a.faults, b.faults);
+  }
+}
+
+TEST(FuzzGenerator, DifferentSeedsOrIndexesDiffer) {
+  // Cell seeds are pure functions of the coordinates, so they must all be
+  // pairwise distinct — collisions would make runs re-check the same case.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s : {1ULL, 2ULL}) {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      seeds.insert(generate_case(s, i).seed);
+    }
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(FuzzGenerator, RespectsKnobs) {
+  GenKnobs knobs;
+  knobs.max_tasks = 12;
+  knobs.max_cpus = 2;
+  knobs.max_gpus = 2;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const FuzzCase c = generate_case(3, i, knobs);
+    EXPECT_GE(c.graph.size(), 1u) << c.name;
+    // DAG families (tiled factorizations) can overshoot slightly; the
+    // budget helper keeps them within the same order.
+    EXPECT_LE(c.graph.size(), 2u * static_cast<std::size_t>(knobs.max_tasks))
+        << c.name;
+    EXPECT_LE(c.platform.cpus(), knobs.max_cpus) << c.name;
+    EXPECT_LE(c.platform.gpus(), knobs.max_gpus) << c.name;
+    EXPECT_GE(c.platform.workers(), 1) << c.name;
+    EXPECT_TRUE(c.graph.finalized()) << c.name;
+    EXPECT_TRUE(c.graph.is_dag() || c.graph.num_edges() == 0) << c.name;
+    for (const Task& t : c.graph.tasks()) {
+      EXPECT_GT(t.cpu_time, 0.0) << c.name;
+      EXPECT_GT(t.gpu_time, 0.0) << c.name;
+    }
+  }
+}
+
+TEST(FuzzGenerator, CoversAllShapes) {
+  int dags = 0;
+  int independent = 0;
+  int faulty = 0;
+  int one_sided = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const FuzzCase c = generate_case(9, i);
+    if (c.is_dag()) {
+      ++dags;
+    } else {
+      ++independent;
+    }
+    if (c.has_faults()) ++faulty;
+    if (c.platform.cpus() == 0 || c.platform.gpus() == 0) ++one_sided;
+  }
+  EXPECT_GT(dags, 20);
+  EXPECT_GT(independent, 50);
+  EXPECT_GT(faulty, 20);
+  EXPECT_GT(one_sided, 5);
+}
+
+TEST(FuzzGenerator, FaultPlansAreScaledToTheRun) {
+  // Crash instants of generated plans must land within a few horizons of
+  // the fault-free makespan, or they would never fire.
+  int checked = 0;
+  for (std::uint64_t i = 0; i < 120 && checked < 10; ++i) {
+    const FuzzCase c = generate_case(11, i);
+    if (!c.has_faults() || c.faults.crashes().empty()) continue;
+    ++checked;
+    for (const fault::CrashEvent& e : c.faults.crashes()) {
+      EXPECT_GE(e.time, 0.0);
+      EXPECT_GE(e.worker, 0);
+      EXPECT_LT(e.worker, c.platform.workers());
+    }
+  }
+  EXPECT_GE(checked, 5);
+}
+
+}  // namespace
+}  // namespace hp::fuzz

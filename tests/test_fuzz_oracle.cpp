@@ -1,0 +1,137 @@
+// Property oracle: naming round-trips, verdicts on known-good cases, the
+// runner's determinism, and applicability gating.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/runner.hpp"
+
+namespace hp::fuzz {
+namespace {
+
+FuzzCase tiny_case() {
+  FuzzCase c;
+  c.name = "tiny";
+  c.platform = Platform(1, 1);
+  TaskGraph g("tiny");
+  g.add_task(Task{.cpu_time = 3.0, .gpu_time = 1.0, .priority = 2.0});
+  g.add_task(Task{.cpu_time = 2.0, .gpu_time = 2.0, .priority = 1.0});
+  g.finalize();
+  c.graph = std::move(g);
+  return c;
+}
+
+TEST(FuzzOracle, SchedulerNamesRoundTrip) {
+  for (int i = 0; i < kNumSchedulers; ++i) {
+    const auto id = static_cast<SchedulerId>(i);
+    SchedulerId back{};
+    ASSERT_TRUE(scheduler_from_name(scheduler_name(id), &back));
+    EXPECT_EQ(back, id);
+  }
+  SchedulerId ignored{};
+  EXPECT_FALSE(scheduler_from_name("nonsense", &ignored));
+}
+
+TEST(FuzzOracle, PropsParseAndPrint) {
+  unsigned props = 0;
+  std::string error;
+  ASSERT_TRUE(parse_props("all", &props, &error));
+  EXPECT_EQ(props, kPropAll);
+  ASSERT_TRUE(parse_props("validity,ratio", &props, &error));
+  EXPECT_EQ(props, kPropValidity | kPropRatio);
+  EXPECT_EQ(props_to_string(props), "validity,ratio");
+  EXPECT_EQ(props_to_string(kPropAll), "all");
+  EXPECT_FALSE(parse_props("validity,bogus", &props, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(FuzzOracle, TinyCasePassesEverySchedulerEveryProperty) {
+  const FuzzCase c = tiny_case();
+  for (int i = 0; i < kNumSchedulers; ++i) {
+    const auto sched = static_cast<SchedulerId>(i);
+    const OracleVerdict verdict = check_case(c, sched);
+    EXPECT_GT(verdict.properties_checked, 0) << scheduler_name(sched);
+    EXPECT_GT(verdict.makespan, 0.0) << scheduler_name(sched);
+    for (const PropertyFailure& f : verdict.failures) {
+      ADD_FAILURE() << scheduler_name(sched) << " " << f.property << ": "
+                    << f.detail;
+    }
+  }
+}
+
+TEST(FuzzOracle, GeneratedBatchPassesAllSchedulers) {
+  // A miniature in-test fuzz sweep: the tier-1 gate that the oracle keeps
+  // accepting correct schedulers (the long sweep lives behind the `fuzz`
+  // CTest label and in CI's fuzz-smoke job).
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const FuzzCase c = generate_case(1234, i);
+    for (int s = 0; s < kNumSchedulers; ++s) {
+      const auto sched = static_cast<SchedulerId>(s);
+      const OracleVerdict verdict = check_case(c, sched);
+      for (const PropertyFailure& f : verdict.failures) {
+        ADD_FAILURE() << c.name << " [" << scheduler_name(sched) << "] "
+                      << f.property << ": " << f.detail;
+      }
+    }
+  }
+}
+
+TEST(FuzzOracle, FaultyCasesCheckFaultAccounting) {
+  int faulty_checked = 0;
+  for (std::uint64_t i = 0; i < 80 && faulty_checked < 6; ++i) {
+    const FuzzCase c = generate_case(77, i);
+    if (!c.has_faults()) continue;
+    ++faulty_checked;
+    for (const SchedulerId sched :
+         {SchedulerId::kHp, SchedulerId::kHeft, SchedulerId::kDualHp}) {
+      OracleOptions options;
+      options.props = kPropValidity | kPropFaultAccount;
+      const OracleVerdict verdict = check_case(c, sched, options);
+      EXPECT_EQ(verdict.properties_checked, 2)
+          << c.name << " " << scheduler_name(sched);
+      for (const PropertyFailure& f : verdict.failures) {
+        ADD_FAILURE() << c.name << " [" << scheduler_name(sched) << "] "
+                      << f.property << ": " << f.detail;
+      }
+    }
+  }
+  EXPECT_GE(faulty_checked, 3);
+}
+
+TEST(FuzzOracle, RatioPropertyGatesOnHpFaultFreeIndependent) {
+  FuzzCase c = tiny_case();
+  OracleOptions options;
+  options.props = kPropRatio;
+  EXPECT_EQ(check_case(c, SchedulerId::kHp, options).properties_checked, 1);
+  // Not proven for the other schedulers: the property must not even count
+  // as checked.
+  EXPECT_EQ(check_case(c, SchedulerId::kHeft, options).properties_checked, 0);
+  c.faults.add_crash(0, 1.0);
+  EXPECT_EQ(check_case(c, SchedulerId::kHp, options).properties_checked, 0);
+}
+
+TEST(FuzzRunner, SameSeedSameReportBytes) {
+  RunnerOptions options;
+  options.seed = 5;
+  options.runs = 15;
+  const FuzzReport a = run_fuzz(options);
+  const FuzzReport b = run_fuzz(options);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(format_report(a, options), format_report(b, options));
+  EXPECT_TRUE(a.ok());
+  EXPECT_EQ(a.cases_run, 15);
+  EXPECT_GT(a.properties_checked, 0);
+}
+
+TEST(FuzzRunner, DifferentSeedsChangeTheChecksum) {
+  RunnerOptions options;
+  options.runs = 10;
+  options.seed = 5;
+  const FuzzReport a = run_fuzz(options);
+  options.seed = 6;
+  const FuzzReport b = run_fuzz(options);
+  EXPECT_NE(a.checksum, b.checksum);
+}
+
+}  // namespace
+}  // namespace hp::fuzz

@@ -1,0 +1,114 @@
+// Greedy shrinker: minimization against synthetic predicates, determinism,
+// and the passing-case precondition path.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/shrink.hpp"
+
+namespace hp::fuzz {
+namespace {
+
+/// A deterministic generated case with faults and a few dozen tasks.
+FuzzCase busy_case() {
+  GenKnobs knobs;
+  knobs.fault_fraction = 1.0;
+  knobs.dag_fraction = 0.0;
+  return generate_case(2024, 3, knobs);
+}
+
+TEST(FuzzShrink, MinimizesToTheSmallestWitness) {
+  const FuzzCase start = busy_case();
+  ASSERT_GE(start.graph.size(), 2u);
+  // Predicate: some task is CPU-expensive. One such task is enough to keep
+  // it true, so a perfect shrink ends at a single task.
+  const auto fails = [](const FuzzCase& c) {
+    for (const Task& t : c.graph.tasks()) {
+      if (t.cpu_time > 0.5) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(fails(start));
+  const ShrinkResult result = shrink_case_with(start, fails);
+  EXPECT_TRUE(fails(result.minimized));
+  EXPECT_EQ(result.minimized.graph.size(), 1u);
+  EXPECT_EQ(result.minimized.platform.workers(), 1);
+  EXPECT_FALSE(result.minimized.has_faults());
+  EXPECT_GT(result.evals, 0);
+}
+
+TEST(FuzzShrink, StripsIrrelevantFaultEvents) {
+  const FuzzCase start = busy_case();
+  ASSERT_TRUE(start.has_faults());
+  const auto fails = [](const FuzzCase& c) { return c.graph.size() >= 2; };
+  const ShrinkResult result = shrink_case_with(start, fails);
+  EXPECT_EQ(result.minimized.graph.size(), 2u);
+  EXPECT_FALSE(result.minimized.has_faults());
+}
+
+TEST(FuzzShrink, KeepsFaultsThePredicateNeeds) {
+  const FuzzCase start = busy_case();
+  ASSERT_TRUE(start.has_faults());
+  const auto fails = [](const FuzzCase& c) { return c.has_faults(); };
+  const ShrinkResult result = shrink_case_with(start, fails);
+  EXPECT_TRUE(result.minimized.has_faults());
+  EXPECT_EQ(result.minimized.graph.size(), 1u);
+}
+
+TEST(FuzzShrink, RoundsDurationsToSmallIntegers) {
+  const FuzzCase start = busy_case();
+  const auto fails = [](const FuzzCase& c) { return c.graph.size() >= 1; };
+  const ShrinkResult result = shrink_case_with(start, fails);
+  ASSERT_EQ(result.minimized.graph.size(), 1u);
+  const Task& t = result.minimized.graph.tasks()[0];
+  EXPECT_EQ(t.cpu_time, 1.0);
+  EXPECT_EQ(t.gpu_time, 1.0);
+  EXPECT_EQ(t.priority, 0.0);
+}
+
+TEST(FuzzShrink, DeterministicGivenTheSameInput) {
+  const FuzzCase start = busy_case();
+  const auto fails = [](const FuzzCase& c) {
+    return c.graph.size() >= 3 && c.platform.workers() >= 2;
+  };
+  const ShrinkResult a = shrink_case_with(start, fails);
+  const ShrinkResult b = shrink_case_with(start, fails);
+  EXPECT_EQ(a.evals, b.evals);
+  ASSERT_EQ(a.minimized.graph.size(), b.minimized.graph.size());
+  for (std::size_t i = 0; i < a.minimized.graph.size(); ++i) {
+    EXPECT_EQ(a.minimized.graph.tasks()[i].cpu_time,
+              b.minimized.graph.tasks()[i].cpu_time);
+    EXPECT_EQ(a.minimized.graph.tasks()[i].gpu_time,
+              b.minimized.graph.tasks()[i].gpu_time);
+  }
+}
+
+TEST(FuzzShrink, DagEdgesAreDroppedWhenIrrelevant) {
+  GenKnobs knobs;
+  knobs.dag_fraction = 1.0;
+  FuzzCase start;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    start = generate_case(31, i, knobs);
+    if (start.is_dag()) break;
+  }
+  ASSERT_TRUE(start.is_dag());
+  const auto fails = [](const FuzzCase& c) { return c.graph.size() >= 2; };
+  const ShrinkResult result = shrink_case_with(start, fails);
+  EXPECT_EQ(result.minimized.graph.num_edges(), 0u);
+}
+
+TEST(FuzzShrink, OracleWrapperReturnsPassingCasesUnchanged) {
+  FuzzCase c;
+  c.name = "passing";
+  c.platform = Platform(1, 1);
+  TaskGraph g("passing");
+  g.add_task(Task{.cpu_time = 1.0, .gpu_time = 2.0});
+  g.finalize();
+  c.graph = std::move(g);
+  const ShrinkResult result = shrink_case(c, SchedulerId::kHp);
+  EXPECT_EQ(result.minimized.graph.size(), 1u);
+  EXPECT_EQ(result.evals, 0);
+  EXPECT_TRUE(result.failure.property.empty());
+}
+
+}  // namespace
+}  // namespace hp::fuzz

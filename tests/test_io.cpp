@@ -91,6 +91,57 @@ TEST(IoGraph, ParsedGraphIsFinalized) {
   EXPECT_EQ(parsed->successors(0).size(), 1u);
 }
 
+// Strict diagnostics: every parse error names the offending line and field,
+// so a fuzz repro that fails to load tells you exactly where.
+
+TEST(IoDiagnostics, BadTaskFieldNamesTheFieldAndLine) {
+  std::string error;
+  EXPECT_FALSE(instance_from_text("task 1 1\ntask abc 2\n", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("cpu_time"), std::string::npos) << error;
+  EXPECT_NE(error.find("abc"), std::string::npos) << error;
+
+  EXPECT_FALSE(instance_from_text("task 1 nan\n", &error));
+  EXPECT_NE(error.find("gpu_time"), std::string::npos) << error;
+}
+
+TEST(IoDiagnostics, MissingTaskFieldsAreCounted) {
+  std::string error;
+  EXPECT_FALSE(instance_from_text("task 1\n", &error));
+  EXPECT_NE(error.find("at least 2 fields"), std::string::npos) << error;
+  EXPECT_NE(error.find("got 1"), std::string::npos) << error;
+}
+
+TEST(IoDiagnostics, UnknownKernelIsAnErrorNotGeneric) {
+  std::string error;
+  EXPECT_FALSE(instance_from_text("task 1 1 2 warp\n", &error));
+  EXPECT_NE(error.find("kernel"), std::string::npos) << error;
+  EXPECT_NE(error.find("warp"), std::string::npos) << error;
+}
+
+TEST(IoDiagnostics, TrailingTokensAreRejected) {
+  std::string error;
+  EXPECT_FALSE(instance_from_text("task 1 1 2 gemm extra\n", &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(IoDiagnostics, NamelessNameLineIsRejected) {
+  std::string error;
+  EXPECT_FALSE(instance_from_text("name   \ntask 1 1\n", &error));
+  EXPECT_NE(error.find("name"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+TEST(IoDiagnostics, EdgeDiagnosticsNameTheProblem) {
+  std::string error;
+  EXPECT_FALSE(graph_from_text("task 1 1\ntask 1 1\nedge 0\n", &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("exactly 2 fields"), std::string::npos) << error;
+
+  EXPECT_FALSE(graph_from_text("task 1 1\nedge 0 1.5\n", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
 TEST(IoFiles, SaveAndLoad) {
   const std::string path = ::testing::TempDir() + "hp_io_test.txt";
   EXPECT_TRUE(save_text_file(path, "hello\n"));

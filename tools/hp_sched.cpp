@@ -15,6 +15,7 @@
 #include <cstring>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <vector>
 #include <iostream>
 #include <map>
@@ -30,6 +31,10 @@
 #include "dag/ranking.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/replay.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/runner.hpp"
 #include "io/serialize.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/fmm.hpp"
@@ -48,6 +53,7 @@
 #include "sched/metrics.hpp"
 #include "sched/validate.hpp"
 #include "util/table.hpp"
+#include "worstcase/instances.hpp"
 
 namespace {
 
@@ -91,7 +97,12 @@ int usage() {
       "           [--csv FILE.csv]\n"
       "  hp_sched perf     --out FILE [--dag-out FILE] [--quick] [--reps K]\n"
       "           [--threads N]\n"
-      "  hp_sched perf-check --in FILE [--quick]\n";
+      "  hp_sched perf-check --in FILE [--quick]\n"
+      "  hp_sched fuzz     --seed S --runs N [--scheduler hp,heft,...|all]\n"
+      "           [--props validity,ratio,...|all] [--out REPORT]\n"
+      "           [--repro-dir DIR] [--max-tasks K] [--max-seconds T]\n"
+      "           [--no-shrink]\n"
+      "  hp_sched corpus   --dir DIR [--seed-worstcase]\n";
   return 2;
 }
 
@@ -704,6 +715,127 @@ int cmd_perf_check(const Args& args) {
   return 0;
 }
 
+/// Parse "hp,heft" / "all" into scheduler ids (empty = all).
+bool parse_scheduler_list(const std::string& text,
+                          std::vector<fuzz::SchedulerId>* out) {
+  out->clear();
+  if (text.empty() || text == "all") return true;
+  std::istringstream iss(text);
+  std::string name;
+  while (std::getline(iss, name, ',')) {
+    fuzz::SchedulerId id{};
+    if (!fuzz::scheduler_from_name(name, &id)) {
+      std::cerr << "unknown scheduler '" << name << "'\n";
+      return false;
+    }
+    out->push_back(id);
+  }
+  return true;
+}
+
+int cmd_fuzz(const Args& args) {
+  fuzz::RunnerOptions options;
+  options.seed = std::stoull(args.get("seed", "1"));
+  options.runs = args.get_int("runs", 100);
+  options.knobs.max_tasks = args.get_int("max-tasks", options.knobs.max_tasks);
+  options.max_seconds = args.get_double("max-seconds", 0.0);
+  options.shrink_failures = args.options.count("no-shrink") == 0;
+  options.out_dir = args.get("repro-dir");
+  if (!parse_scheduler_list(args.get("scheduler", "all"),
+                            &options.schedulers)) {
+    return 2;
+  }
+  std::string error;
+  if (!fuzz::parse_props(args.get("props", "all"), &options.oracle.props,
+                         &error)) {
+    std::cerr << error << '\n';
+    return 2;
+  }
+
+  const fuzz::FuzzReport report = fuzz::run_fuzz(options);
+  const std::string text = fuzz::format_report(report, options);
+  const std::string out = args.get("out");
+  if (!out.empty()) {
+    if (!io::save_text_file(out, text)) {
+      std::cerr << "cannot write " << out << '\n';
+      return 1;
+    }
+  }
+  std::cout << text;
+  if (!report.ok()) {
+    std::cerr << report.failures.size()
+              << " property violation(s); shrunk repros above\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// Distill a worst-case family witness into a corpus entry whose min-ratio
+/// directive pins the measured makespan/lower-bound ratio.
+fuzz::CorpusCase worstcase_entry(const WorstCaseInstance& wc,
+                                 const std::string& name) {
+  fuzz::CorpusCase entry;
+  TaskGraph graph(name);
+  for (const Task& t : wc.instance.tasks()) graph.add_task(t);
+  graph.finalize();
+  entry.c.graph = std::move(graph);
+  entry.c.name = name;
+  entry.c.platform = wc.platform;
+  const double lb = opt_lower_bound(entry.c.graph.tasks(), wc.platform);
+  const double makespan =
+      heteroprio(entry.c.graph.tasks(), wc.platform, {}).makespan();
+  if (lb > 0.0) entry.min_ratio = makespan / lb;
+  return entry;
+}
+
+int cmd_corpus(const Args& args) {
+  const std::string dir = args.get("dir", "tests/corpus");
+  if (args.options.count("seed-worstcase") != 0) {
+    const std::vector<std::pair<std::string, WorstCaseInstance>> families = {
+        {"thm8-phi", theorem8_instance()},
+        {"thm11-m4", theorem11_instance(4, 8)},
+        {"thm14-k1", theorem14_instance(1)},
+    };
+    for (const auto& [name, wc] : families) {
+      const std::string path = dir + "/" + name + ".hpi";
+      if (!fuzz::save_corpus_file(path, worstcase_entry(wc, name))) {
+        std::cerr << "cannot write " << path << '\n';
+        return 1;
+      }
+      std::cout << "wrote " << path << '\n';
+    }
+  }
+
+  const std::vector<std::string> files = fuzz::list_corpus_files(dir);
+  if (files.empty()) {
+    std::cerr << "no corpus files (*.hpi/*.hpg) under " << dir << '\n';
+    return 1;
+  }
+  int bad = 0;
+  for (const std::string& path : files) {
+    fuzz::CorpusCase entry;
+    std::string error;
+    if (!fuzz::load_corpus_file(path, &entry, &error)) {
+      std::cerr << error << '\n';
+      ++bad;
+      continue;
+    }
+    const fuzz::CorpusVerdict verdict = fuzz::replay_corpus_case(entry);
+    if (verdict.ok()) {
+      std::cout << path << ": ok (" << verdict.properties_checked
+                << " properties over " << verdict.schedulers_replayed
+                << " schedulers)\n";
+    } else {
+      ++bad;
+      for (const fuzz::PropertyFailure& f : verdict.failures) {
+        std::cerr << path << ": " << f.property << " [" << f.scheduler
+                  << "] " << f.detail << '\n';
+      }
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -729,5 +861,7 @@ int main(int argc, char** argv) {
   if (command == "faults") return cmd_faults(args);
   if (command == "perf") return cmd_perf(args);
   if (command == "perf-check") return cmd_perf_check(args);
+  if (command == "fuzz") return cmd_fuzz(args);
+  if (command == "corpus") return cmd_corpus(args);
   return usage();
 }
