@@ -1,5 +1,5 @@
 // DAG performance baseline — emits BENCH_dag.json (schema
-// "hp-bench-dag/v1", see docs/benchmarks.md): end-to-end
+// "hp-bench-dag/v2", see docs/benchmarks.md): end-to-end
 // schedule-construction throughput of the full pipeline (tiled DAG ->
 // priorities -> scheduler) for HeteroPrio, HEFT and DualHP on the paper's
 // Cholesky/QR/LU workloads at N in {10, 20, 40, 60} tiles, plus the

@@ -1,5 +1,5 @@
 // Core performance baseline — emits BENCH_core.json (schema
-// "hp-bench-core/v1", see docs/benchmarks.md): schedule-construction
+// "hp-bench-core/v2", see docs/benchmarks.md): schedule-construction
 // throughput (tasks/sec) for HeteroPrio, DualHP and HEFT on independent
 // uniform instances at n in {1e3, 1e4, 1e5}, the speedup of the optimized
 // HeteroPrio engine over the pre-optimization reference implementation, and
@@ -66,6 +66,12 @@ int main(int argc, char** argv) {
               << " s on " << baseline.sweep_threads << " threads\n";
   }
 
+  const std::string json = perf::perf_baseline_to_json(baseline);
+  std::string error;
+  if (!perf::validate_perf_baseline_json(json, options.sizes, &error)) {
+    std::cerr << "emitted document fails schema validation: " << error << '\n';
+    return 1;
+  }
   if (!perf::write_perf_baseline_json(baseline, out_path)) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;

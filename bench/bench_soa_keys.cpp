@@ -1,0 +1,98 @@
+// SIMD micro-bench for the SoA hot-path primitives: batched priority-key
+// packing (model/task_soa.hpp, SSE2 vs scalar) and the range-scaled packed
+// key sort (util/key_sort.hpp) vs comparator std::sort. These isolate the
+// two batched kernels the engines lean on, so a toolchain or flag change
+// that silently drops the vectorized path shows up here first.
+//
+// Registered in CTest under the `simd` label so sanitizer jobs can exclude
+// it (-LE simd): instrumented builds de-vectorize and the relative numbers
+// stop meaning anything there.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "model/task_soa.hpp"
+#include "util/arena.hpp"
+#include "util/key_sort.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hp;
+
+std::vector<double> random_accels(std::size_t n) {
+  util::Rng rng(987);
+  std::vector<double> accel(n);
+  for (auto& a : accel) a = rng.uniform(0.05, 40.0);
+  return accel;
+}
+
+void BM_PackKeysScalar(benchmark::State& state) {
+  const auto accel = random_accels(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint64_t> out(accel.size());
+  for (auto _ : state) {
+    soa::pack_descending_keys_scalar(accel, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackKeysScalar)->Arg(1000)->Arg(100000);
+
+void BM_PackKeysBatched(benchmark::State& state) {
+  const auto accel = random_accels(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint64_t> out(accel.size());
+  for (auto _ : state) {
+    soa::pack_descending_keys(accel, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackKeysBatched)->Arg(1000)->Arg(100000);
+
+std::vector<util::KeyId> random_keys(std::size_t n) {
+  // Packed doubles, not raw u64 noise: this is the clustered key
+  // distribution that motivated the range-scaled bucketing.
+  const auto accel = random_accels(n);
+  std::vector<util::KeyId> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = util::KeyId{soa::descending_key(accel[i]),
+                          static_cast<std::uint32_t>(i)};
+  }
+  return keys;
+}
+
+void BM_SortComparator(benchmark::State& state) {
+  const auto keys = random_keys(static_cast<std::size_t>(state.range(0)));
+  std::vector<util::KeyId> work(keys.size());
+  for (auto _ : state) {
+    std::copy(keys.begin(), keys.end(), work.begin());
+    std::sort(work.begin(), work.end(),
+              [](const util::KeyId& a, const util::KeyId& b) {
+                return a.key != b.key ? a.key < b.key : a.id < b.id;
+              });
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortComparator)->Arg(1000)->Arg(100000);
+
+void BM_SortRangeScaledBuckets(benchmark::State& state) {
+  const auto keys = random_keys(static_cast<std::size_t>(state.range(0)));
+  std::vector<util::KeyId> work(keys.size());
+  util::Arena& arena = util::scratch_arena();
+  for (auto _ : state) {
+    const util::ArenaScope scope(arena);
+    std::copy(keys.begin(), keys.end(), work.begin());
+    util::sort_key_id(work, arena);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortRangeScaledBuckets)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,17 +2,20 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <limits>
-#include <numeric>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include "bounds/area_bound.hpp"
 #include "dag/ready_tracker.hpp"
+#include "model/task_soa.hpp"
 #include "obs/replay.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/worker_pool.hpp"
+#include "util/arena.hpp"
+#include "util/key_sort.hpp"
 
 namespace hp {
 
@@ -21,48 +24,75 @@ namespace detail {
 namespace {
 
 /// Min-heap of (load, worker index) used for least-loaded placement.
-/// Reusable: reset() refills it from a load vector without reallocating.
+/// Arena-backed and reusable: reset() refills it from a load vector without
+/// touching the heap allocator.
 class LoadHeap {
  public:
+  explicit LoadHeap(util::Arena& arena) : heap_(arena) {}
+
   void reset(std::span<const double> initial) {
     heap_.clear();
+    heap_.reserve(initial.size());
     for (std::size_t i = 0; i < initial.size(); ++i) {
-      heap_.emplace_back(initial[i], static_cast<int>(i));
+      heap_.push_back({initial[i], static_cast<int>(i)});
     }
-    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    std::make_heap(heap_.begin(), heap_.end(), greater);
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] double min_load() const noexcept { return heap_.front().first; }
+  [[nodiscard]] double min_load() const noexcept {
+    return heap_.begin()->load;
+  }
 
   /// Add `dt` to the least-loaded worker. Returns the new load.
   double push_least(double dt) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    heap_.back().first += dt;
-    const double load = heap_.back().first;
-    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    std::pop_heap(heap_.begin(), heap_.end(), greater);
+    heap_.back().load += dt;
+    const double load = heap_.back().load;
+    std::push_heap(heap_.begin(), heap_.end(), greater);
     return load;
   }
 
  private:
-  std::vector<std::pair<double, int>> heap_;
+  // Trivially copyable stand-in for pair<double,int> (ArenaVector requires
+  // it); `greater` is pair's lexicographic std::greater<>, so heap shape and
+  // tie-breaks match the seed implementation exactly.
+  struct Slot {
+    double load;
+    int worker;
+  };
+  static constexpr auto greater = [](const Slot& a, const Slot& b) {
+    if (a.load != b.load) return a.load > b.load;
+    return a.worker > b.worker;
+  };
+
+  util::ArenaVector<Slot> heap_;
 };
 
 /// Scratch buffers of one dual-approximation solve, hoisted out of the
 /// per-lambda attempt: dual_try runs once per bisection step and — in the
 /// DAG scheduler — the whole bisection reruns every time a task becomes
-/// ready, so per-call vector churn dominated the profile.
+/// ready, so per-call vector churn dominated the profile. All storage comes
+/// from the run's arena and is reclaimed with the run's ArenaScope.
 struct DualScratch {
+  explicit DualScratch(util::Arena& arena)
+      : cpu(arena), gpu(arena), forced_cpu(arena), forced_gpu(arena),
+        flexible(arena) {}
+
   LoadHeap cpu;
   LoadHeap gpu;
-  std::vector<std::size_t> forced_cpu;
-  std::vector<std::size_t> forced_gpu;
-  std::vector<std::size_t> flexible;
+  util::ArenaVector<std::uint32_t> forced_cpu;
+  util::ArenaVector<std::uint32_t> forced_gpu;
+  util::ArenaVector<std::uint32_t> flexible;
 };
 
 /// dual_try with caller-owned scratch and result buffers (the allocation-free
-/// hot path; the public dual_try wraps it).
-void dual_try_into(std::span<const Task> tasks,
+/// hot path; the public dual_try wraps it). Durations come from the
+/// de-interleaved per-task arrays — the bisection re-reads each candidate's
+/// two doubles once per lambda, so they ride in two cache-dense arrays
+/// instead of strided Task records.
+void dual_try_into(std::span<const double> cpu_times,
+                   std::span<const double> gpu_times,
                    std::span<const TaskId> candidates, double lambda,
                    std::span<const double> cpu_loads,
                    std::span<const double> gpu_loads, DualScratch& scratch,
@@ -85,40 +115,38 @@ void dual_try_into(std::span<const Task> tasks,
   forced_gpu.clear();
   flexible.clear();
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const Task& t = tasks[static_cast<std::size_t>(candidates[i])];
-    const bool cpu_over = t.cpu_time > lambda;
-    const bool gpu_over = t.gpu_time > lambda;
+    const auto id = static_cast<std::size_t>(candidates[i]);
+    const bool cpu_over = cpu_times[id] > lambda;
+    const bool gpu_over = gpu_times[id] > lambda;
     if (cpu_over && gpu_over) return;  // lambda < OPT
     if (cpu_over) {
       if (!has_gpu) return;
-      forced_gpu.push_back(i);
+      forced_gpu.push_back(static_cast<std::uint32_t>(i));
     } else if (gpu_over) {
       if (!has_cpu) return;
-      forced_cpu.push_back(i);
+      forced_cpu.push_back(static_cast<std::uint32_t>(i));
     } else {
-      flexible.push_back(i);
+      flexible.push_back(static_cast<std::uint32_t>(i));
     }
   }
-  auto by_duration_desc = [&](Resource r) {
-    return [&tasks, &candidates, r](std::size_t a, std::size_t b) {
-      const double da =
-          Platform::time_on(tasks[static_cast<std::size_t>(candidates[a])], r);
-      const double db =
-          Platform::time_on(tasks[static_cast<std::size_t>(candidates[b])], r);
+  const auto by_duration_desc = [&](std::span<const double> times) {
+    return [times, candidates](std::uint32_t a, std::uint32_t b) {
+      const double da = times[static_cast<std::size_t>(candidates[a])];
+      const double db = times[static_cast<std::size_t>(candidates[b])];
       if (da != db) return da > db;
       return a < b;
     };
   };
-  std::sort(forced_gpu.begin(), forced_gpu.end(), by_duration_desc(Resource::kGpu));
-  std::sort(forced_cpu.begin(), forced_cpu.end(), by_duration_desc(Resource::kCpu));
-  for (std::size_t i : forced_gpu) {
-    const Task& t = tasks[static_cast<std::size_t>(candidates[i])];
-    if (scratch.gpu.push_least(t.gpu_time) > cap) return;
+  std::sort(forced_gpu.begin(), forced_gpu.end(), by_duration_desc(gpu_times));
+  std::sort(forced_cpu.begin(), forced_cpu.end(), by_duration_desc(cpu_times));
+  for (const std::uint32_t i : forced_gpu) {
+    const auto id = static_cast<std::size_t>(candidates[i]);
+    if (scratch.gpu.push_least(gpu_times[id]) > cap) return;
     result.side[i] = Resource::kGpu;
   }
-  for (std::size_t i : forced_cpu) {
-    const Task& t = tasks[static_cast<std::size_t>(candidates[i])];
-    if (scratch.cpu.push_least(t.cpu_time) > cap) return;
+  for (const std::uint32_t i : forced_cpu) {
+    const auto id = static_cast<std::size_t>(candidates[i]);
+    if (scratch.cpu.push_least(cpu_times[id]) > cap) return;
     result.side[i] = Resource::kCpu;
   }
 
@@ -127,24 +155,40 @@ void dual_try_into(std::span<const Task> tasks,
   // pre-sorted by rho, so `flexible` is too).
   std::size_t spill_from = flexible.size();
   for (std::size_t j = 0; j < flexible.size(); ++j) {
-    const std::size_t i = flexible[j];
-    const Task& t = tasks[static_cast<std::size_t>(candidates[i])];
-    if (!has_gpu || scratch.gpu.min_load() + t.gpu_time > cap) {
+    const std::uint32_t i = flexible[j];
+    const auto id = static_cast<std::size_t>(candidates[i]);
+    if (!has_gpu || scratch.gpu.min_load() + gpu_times[id] > cap) {
       spill_from = j;
       break;
     }
-    scratch.gpu.push_least(t.gpu_time);
+    scratch.gpu.push_least(gpu_times[id]);
     result.side[i] = Resource::kGpu;
   }
 
   // Pass 3: everything else to the CPUs.
   for (std::size_t j = spill_from; j < flexible.size(); ++j) {
-    const std::size_t i = flexible[j];
-    const Task& t = tasks[static_cast<std::size_t>(candidates[i])];
-    if (!has_cpu || scratch.cpu.push_least(t.cpu_time) > cap) return;
+    const std::uint32_t i = flexible[j];
+    const auto id = static_cast<std::size_t>(candidates[i]);
+    if (!has_cpu || scratch.cpu.push_least(cpu_times[id]) > cap) return;
     result.side[i] = Resource::kCpu;
   }
   result.feasible = true;
+}
+
+/// De-interleave cpu/gpu durations of all tasks into arena arrays.
+struct TaskTimes {
+  std::span<const double> cpu;
+  std::span<const double> gpu;
+};
+
+TaskTimes split_times(std::span<const Task> tasks, util::Arena& arena) {
+  double* cpu = arena.alloc<double>(tasks.size());
+  double* gpu = arena.alloc<double>(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    cpu[i] = tasks[i].cpu_time;
+    gpu[i] = tasks[i].gpu_time;
+  }
+  return TaskTimes{{cpu, tasks.size()}, {gpu, tasks.size()}};
 }
 
 }  // namespace
@@ -153,48 +197,42 @@ DualTry dual_try(std::span<const Task> tasks,
                  std::span<const TaskId> candidates, double lambda,
                  std::span<const double> cpu_loads,
                  std::span<const double> gpu_loads) {
-  DualScratch scratch;
+  util::Arena& arena = util::scratch_arena();
+  const util::ArenaScope scope(arena);
+  const TaskTimes times = split_times(tasks, arena);
+  DualScratch scratch(arena);
   DualTry result;
-  dual_try_into(tasks, candidates, lambda, cpu_loads, gpu_loads, scratch,
-                result);
+  dual_try_into(times.cpu, times.gpu, candidates, lambda, cpu_loads,
+                gpu_loads, scratch, result);
   return result;
 }
 
 namespace {
 
-/// Sort ids by non-increasing acceleration factor, tie by id.
-void sort_by_accel(std::span<const Task> tasks, std::vector<TaskId>& ids) {
-  std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
-    const double ra = tasks[static_cast<std::size_t>(a)].accel();
-    const double rb = tasks[static_cast<std::size_t>(b)].accel();
-    if (ra != rb) return ra > rb;
-    return a < b;
-  });
-}
-
 /// Binary search for the smallest feasible lambda; writes the best feasible
 /// assignment found into `best`. `warm` seeds the upper-bound search.
 /// `scratch` and the two DualTry buffers are reused across all attempts.
-void search_lambda(std::span<const Task> tasks,
-                   std::span<const TaskId> candidates,
+void search_lambda(const TaskTimes& times, std::span<const TaskId> candidates,
                    std::span<const double> cpu_loads,
                    std::span<const double> gpu_loads, double lower_bound,
                    double warm, int iters, double* best_lambda,
                    DualScratch& scratch, DualTry& best, DualTry& attempt) {
   double lo = std::max(lower_bound, 0.0);
   double hi = std::max({warm, lo, 1e-12});
-  dual_try_into(tasks, candidates, hi, cpu_loads, gpu_loads, scratch, best);
+  dual_try_into(times.cpu, times.gpu, candidates, hi, cpu_loads, gpu_loads,
+                scratch, best);
   int guard = 0;
   while (!best.feasible && guard++ < 200) {
     hi *= 1.5;
-    dual_try_into(tasks, candidates, hi, cpu_loads, gpu_loads, scratch, best);
+    dual_try_into(times.cpu, times.gpu, candidates, hi, cpu_loads, gpu_loads,
+                  scratch, best);
   }
   assert(best.feasible && "dual approximation upper bound search failed");
   double best_l = hi;
   for (int it = 0; it < iters; ++it) {
     const double mid = 0.5 * (lo + hi);
-    dual_try_into(tasks, candidates, mid, cpu_loads, gpu_loads, scratch,
-                  attempt);
+    dual_try_into(times.cpu, times.gpu, candidates, mid, cpu_loads, gpu_loads,
+                  scratch, attempt);
     if (attempt.feasible) {
       std::swap(best, attempt);
       best_l = mid;
@@ -206,6 +244,18 @@ void search_lambda(std::span<const Task> tasks,
   if (best_lambda != nullptr) *best_lambda = best_l;
 }
 
+/// Packed non-increasing-accel keys for all tasks: ascending
+/// (descending_key(accel), id) is exactly the old comparator (accel desc,
+/// id asc), so orders stay bitwise identical.
+std::span<const std::uint64_t> accel_keys(const TaskTimes& times,
+                                          util::Arena& arena) {
+  auto* keys = arena.alloc<std::uint64_t>(times.cpu.size());
+  for (std::size_t i = 0; i < times.cpu.size(); ++i) {
+    keys[i] = soa::descending_key(times.cpu[i] / times.gpu[i]);
+  }
+  return {keys, times.cpu.size()};
+}
+
 }  // namespace
 }  // namespace detail
 
@@ -214,14 +264,28 @@ Schedule dualhp(std::span<const Task> tasks, const Platform& platform,
   Schedule schedule(tasks.size());
   if (tasks.empty()) return schedule;
 
-  std::vector<TaskId> candidates(tasks.size());
-  std::iota(candidates.begin(), candidates.end(), TaskId{0});
-  detail::sort_by_accel(tasks, candidates);
+  util::Arena& arena = util::scratch_arena();
+  const util::ArenaScope scope(arena);
+  const detail::TaskTimes times = detail::split_times(tasks, arena);
+  const std::span<const std::uint64_t> rho_key =
+      detail::accel_keys(times, arena);
 
-  const std::vector<double> cpu_loads(static_cast<std::size_t>(platform.cpus()),
-                                      0.0);
-  const std::vector<double> gpu_loads(static_cast<std::size_t>(platform.gpus()),
-                                      0.0);
+  const std::span<util::KeyId> by_rho{arena.alloc<util::KeyId>(tasks.size()),
+                                      tasks.size()};
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    by_rho[i] = util::KeyId{rho_key[i], static_cast<std::uint32_t>(i)};
+  }
+  util::sort_key_id(by_rho, arena);
+  const std::span<TaskId> candidates{arena.alloc<TaskId>(tasks.size()),
+                                     tasks.size()};
+  for (std::size_t i = 0; i < by_rho.size(); ++i) {
+    candidates[i] = static_cast<TaskId>(by_rho[i].id);
+  }
+
+  const std::span<const double> cpu_loads =
+      arena.alloc_zeroed<double>(static_cast<std::size_t>(platform.cpus()));
+  const std::span<const double> gpu_loads =
+      arena.alloc_zeroed<double>(static_cast<std::size_t>(platform.gpus()));
   // Feasibility floor: lambda below any task's min time is always rejected
   // (the task exceeds lambda on both resources). The minimal feasible
   // lambda is typically well below OPT — around AreaBound/2 — which is what
@@ -230,35 +294,31 @@ Schedule dualhp(std::span<const Task> tasks, const Platform& platform,
   double lb = 0.0;
   for (const Task& t : tasks) lb = std::max(lb, t.min_time());
   const double warm = opt_lower_bound(tasks, platform);
-  detail::DualScratch scratch;
+  detail::DualScratch scratch(arena);
   detail::DualTry best, attempt;
-  detail::search_lambda(tasks, candidates, cpu_loads, gpu_loads, lb, warm,
+  detail::search_lambda(times, candidates, cpu_loads, gpu_loads, lb, warm,
                         options.bisection_iters, nullptr, scratch, best,
                         attempt);
 
   // Concretize: within each resource type, dispatch tasks by priority (or id
-  // order for fifo) onto the least-loaded worker.
-  std::vector<TaskId> cpu_tasks, gpu_tasks;
-  cpu_tasks.reserve(candidates.size());
-  gpu_tasks.reserve(candidates.size());
+  // order for fifo) onto the least-loaded worker. Priority desc / id asc is
+  // ascending (descending_key(priority), id) packed; fifo collapses to the
+  // id tie-break alone.
+  util::ArenaVector<util::KeyId> sides[2] = {util::ArenaVector<util::KeyId>(arena),
+                                             util::ArenaVector<util::KeyId>(arena)};
+  sides[0].reserve(tasks.size());
+  sides[1].reserve(tasks.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    (best.side[i] == Resource::kCpu ? cpu_tasks : gpu_tasks)
-        .push_back(candidates[i]);
+    const auto id = static_cast<std::size_t>(candidates[i]);
+    const std::uint64_t key =
+        options.fifo_order ? 0 : soa::descending_key(tasks[id].priority);
+    sides[static_cast<std::size_t>(best.side[i])].push_back(
+        util::KeyId{key, static_cast<std::uint32_t>(id)});
   }
-  auto dispatch_order = [&](std::vector<TaskId>& ids) {
-    std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
-      if (!options.fifo_order) {
-        const double pa = tasks[static_cast<std::size_t>(a)].priority;
-        const double pb = tasks[static_cast<std::size_t>(b)].priority;
-        if (pa != pb) return pa > pb;
-      }
-      return a < b;
-    });
-  };
-  dispatch_order(cpu_tasks);
-  dispatch_order(gpu_tasks);
+  util::sort_key_id(sides[0].span(), arena);
+  util::sort_key_id(sides[1].span(), arena);
 
-  auto lay_out = [&](const std::vector<TaskId>& ids, Resource r) {
+  const auto lay_out = [&](std::span<const util::KeyId> ids, Resource r) {
     if (ids.empty()) return;
     using Slot = std::pair<double, WorkerId>;
     std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
@@ -266,17 +326,20 @@ Schedule dualhp(std::span<const Task> tasks, const Platform& platform,
     for (int k = 0; k < platform.count(r); ++k) {
       free_at.emplace(0.0, first + k);
     }
-    for (TaskId id : ids) {
+    const std::span<const double> dt_of =
+        r == Resource::kCpu ? times.cpu : times.gpu;
+    for (const util::KeyId& entry : ids) {
       auto [t, w] = free_at.top();
       free_at.pop();
-      const double dt =
-          Platform::time_on(tasks[static_cast<std::size_t>(id)], r);
-      schedule.place(id, w, t, t + dt);
+      const double dt = dt_of[entry.id];
+      schedule.place(static_cast<TaskId>(entry.id), w, t, t + dt);
       free_at.emplace(t + dt, w);
     }
   };
-  lay_out(cpu_tasks, Resource::kCpu);
-  lay_out(gpu_tasks, Resource::kGpu);
+  lay_out(sides[static_cast<std::size_t>(Resource::kCpu)].span(),
+          Resource::kCpu);
+  lay_out(sides[static_cast<std::size_t>(Resource::kGpu)].span(),
+          Resource::kGpu);
   obs::replay_schedule_to(schedule, platform, options.sink);
   return schedule;
 }
@@ -288,17 +351,57 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
   Schedule schedule(tasks.size());
   if (tasks.empty()) return schedule;
 
+  util::Arena& arena = util::scratch_arena();
+  const util::ArenaScope scope(arena);
+  const detail::TaskTimes times = detail::split_times(tasks, arena);
+  const std::span<const std::uint64_t> rho_key =
+      detail::accel_keys(times, arena);
+
   sim::WorkerPool pool(platform);
   sim::EventQueue<WorkerId> events;
   ReadyTracker tracker(graph);
 
-  std::vector<TaskId> ready;  // in becoming-ready order
-  ready.reserve(tasks.size());
-  std::vector<std::int64_t> ready_seq(tasks.size(), -1);
+  // The ready set, kept sorted by (accel desc, id) at all times: releases
+  // binary-search their slot, starts binary-search-and-erase theirs. The
+  // per-ready-change full re-sort of the seed implementation is gone — the
+  // bisection consumes the list as-is.
+  util::ArenaVector<util::KeyId> ready(arena, tasks.size());
+  const auto ready_insert = [&](TaskId id) {
+    const util::KeyId entry{rho_key[static_cast<std::size_t>(id)],
+                            static_cast<std::uint32_t>(id)};
+    const auto* pos = std::lower_bound(
+        ready.begin(), ready.end(), entry,
+        [](const util::KeyId& a, const util::KeyId& b) {
+          return a.key != b.key ? a.key < b.key : a.id < b.id;
+        });
+    ready.insert(const_cast<util::KeyId*>(pos), entry);
+  };
+  const auto ready_erase = [&](TaskId id) {
+    const util::KeyId entry{rho_key[static_cast<std::size_t>(id)],
+                            static_cast<std::uint32_t>(id)};
+    const auto* pos = std::lower_bound(
+        ready.begin(), ready.end(), entry,
+        [](const util::KeyId& a, const util::KeyId& b) {
+          return a.key != b.key ? a.key < b.key : a.id < b.id;
+        });
+    assert(pos != ready.end() && pos->id == entry.id);
+    ready.erase(const_cast<util::KeyId*>(pos));
+  };
+
+  // Each task becomes ready exactly once, so sequence numbers stay below
+  // tasks.size() and the inverse map fits a flat array.
+  const std::span<std::int64_t> ready_seq =
+      arena.alloc_zeroed<std::int64_t>(tasks.size());
+  const std::span<TaskId> task_of_seq = arena.alloc_zeroed<TaskId>(tasks.size());
   std::int64_t next_seq = 0;
+  const auto assign_seq = [&](TaskId id) {
+    ready_seq[static_cast<std::size_t>(id)] = next_seq;
+    task_of_seq[static_cast<std::size_t>(next_seq)] = id;
+    ++next_seq;
+  };
   for (TaskId id : tracker.initially_ready()) {
-    ready.push_back(id);
-    ready_seq[static_cast<std::size_t>(id)] = next_seq++;
+    ready_insert(id);
+    assign_seq(id);
   }
 
   std::size_t completed = 0;
@@ -309,22 +412,25 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
   // Resource side chosen by the last dual-approximation solve. §6.2: the
   // assignment is recomputed "each time a task becomes ready"; between
   // ready-set changes, dispatching reuses the last assignment.
-  std::vector<Resource> assigned_side(tasks.size(), Resource::kCpu);
+  const std::span<Resource> assigned_side =
+      arena.alloc_zeroed<Resource>(tasks.size());
   bool ready_changed = true;
 
   // Hoisted scratch for the dispatch hot loop: the residual-load vectors,
-  // the bisection buffers and the per-type dispatch lists are reused across
-  // every ready-set change instead of being reallocated per event.
-  detail::DualScratch scratch;
+  // the bisection buffers and the per-type dispatch lists live in the arena
+  // and are reused across every ready-set change.
+  detail::DualScratch scratch(arena);
   detail::DualTry best, attempt;
-  std::vector<double> cpu_loads, gpu_loads;
-  std::vector<TaskId> candidates;
-  candidates.reserve(tasks.size());
-  std::vector<TaskId> by_type[2];
-  by_type[0].reserve(tasks.size());
-  by_type[1].reserve(tasks.size());
-  std::vector<TaskId> started;
-  started.reserve(static_cast<std::size_t>(platform.workers()));
+  const std::span<double> cpu_loads =
+      arena.alloc_zeroed<double>(static_cast<std::size_t>(platform.cpus()));
+  const std::span<double> gpu_loads =
+      arena.alloc_zeroed<double>(static_cast<std::size_t>(platform.gpus()));
+  util::ArenaVector<TaskId> candidates(arena, tasks.size());
+  util::ArenaVector<util::KeyId> by_type[2] = {
+      util::ArenaVector<util::KeyId>(arena, tasks.size()),
+      util::ArenaVector<util::KeyId>(arena, tasks.size())};
+  util::ArenaVector<TaskId> started(
+      arena, static_cast<std::size_t>(platform.workers()));
   std::vector<WorkerId> idle;
 
   auto dispatch = [&] {
@@ -334,8 +440,8 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
 
     if (ready_changed) {
       // Residual loads of each worker at `now`.
-      cpu_loads.assign(static_cast<std::size_t>(platform.cpus()), 0.0);
-      gpu_loads.assign(static_cast<std::size_t>(platform.gpus()), 0.0);
+      std::fill(cpu_loads.begin(), cpu_loads.end(), 0.0);
+      std::fill(gpu_loads.begin(), gpu_loads.end(), 0.0);
       double max_residual = 0.0;
       for (WorkerId w = 0; w < platform.workers(); ++w) {
         if (!pool.busy(w)) continue;
@@ -349,60 +455,58 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
         }
       }
 
-      candidates.assign(ready.begin(), ready.end());
-      detail::sort_by_accel(tasks, candidates);
+      // `ready` is already accel-sorted; peel the ids off.
+      candidates.clear();
+      for (const util::KeyId& entry : ready) {
+        candidates.push_back(static_cast<TaskId>(entry.id));
+      }
 
       double lb = 0.5 * max_residual;
-      for (TaskId id : candidates) {
+      for (const TaskId id : candidates) {
         lb = std::max(lb, tasks[static_cast<std::size_t>(id)].min_time());
       }
-      detail::search_lambda(tasks, candidates, cpu_loads, gpu_loads, lb,
-                            warm_lambda, options.bisection_iters, &warm_lambda,
-                            scratch, best, attempt);
+      detail::search_lambda(times, candidates.span(), cpu_loads, gpu_loads,
+                            lb, warm_lambda, options.bisection_iters,
+                            &warm_lambda, scratch, best, attempt);
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         assigned_side[static_cast<std::size_t>(candidates[i])] = best.side[i];
       }
       ready_changed = false;
     }
 
-    // Dispatch per resource type in priority (or ready) order.
+    // Dispatch per resource type in priority (or ready) order: ascending
+    // (descending_key(priority), ready_seq) packed — bitwise the old
+    // (priority desc, ready_seq asc) comparator; fifo keeps only the
+    // ready_seq tie-break.
     by_type[0].clear();
     by_type[1].clear();
-    for (TaskId id : ready) {
-      by_type[static_cast<std::size_t>(
-          assigned_side[static_cast<std::size_t>(id)])].push_back(id);
+    for (const util::KeyId& entry : ready) {
+      const auto id = static_cast<std::size_t>(entry.id);
+      const std::uint64_t key =
+          options.fifo_order ? 0 : soa::descending_key(tasks[id].priority);
+      by_type[static_cast<std::size_t>(assigned_side[id])].push_back(
+          util::KeyId{key, static_cast<std::uint32_t>(ready_seq[id])});
     }
-    auto order_tasks = [&](std::vector<TaskId>& ids) {
-      std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
-        if (!options.fifo_order) {
-          const double pa = tasks[static_cast<std::size_t>(a)].priority;
-          const double pb = tasks[static_cast<std::size_t>(b)].priority;
-          if (pa != pb) return pa > pb;
-        }
-        return ready_seq[static_cast<std::size_t>(a)] <
-               ready_seq[static_cast<std::size_t>(b)];
-      });
-    };
-    order_tasks(by_type[0]);
-    order_tasks(by_type[1]);
-
+    util::sort_key_id(by_type[0].span(), arena);
+    util::sort_key_id(by_type[1].span(), arena);
+    // The sort key carries ready_seq, not the task id; invert back through
+    // the (still tiny) sequence->task table built on the fly.
     started.clear();
     std::size_t next_of_type[2] = {0, 0};
     for (WorkerId w : idle) {
-      auto& cursor = next_of_type[static_cast<std::size_t>(platform.type_of(w))];
-      auto& pending = by_type[static_cast<std::size_t>(platform.type_of(w))];
+      const auto type = static_cast<std::size_t>(platform.type_of(w));
+      auto& cursor = next_of_type[type];
+      auto& pending = by_type[type];
       if (cursor >= pending.size()) continue;
-      const TaskId id = pending[cursor++];
-      const double dt = Platform::time_on(tasks[static_cast<std::size_t>(id)],
-                                          platform.type_of(w));
+      const TaskId id = task_of_seq[pending[cursor++].id];
+      const double dt =
+          (platform.type_of(w) == Resource::kCpu ? times.cpu
+                                                 : times.gpu)[
+              static_cast<std::size_t>(id)];
       events.push(pool.start(w, id, now, dt), w);
       started.push_back(id);
     }
-    if (!started.empty()) {
-      std::erase_if(ready, [&](TaskId id) {
-        return std::find(started.begin(), started.end(), id) != started.end();
-      });
-    }
+    for (const TaskId id : started) ready_erase(id);
   };
 
   dispatch();
@@ -417,8 +521,8 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
       schedule.place(done.task, w, done.start, done.finish);
       ++completed;
       for (TaskId released : tracker.complete(done.task)) {
-        ready.push_back(released);
-        ready_seq[static_cast<std::size_t>(released)] = next_seq++;
+        ready_insert(released);
+        assign_seq(released);
         ready_changed = true;
       }
     }

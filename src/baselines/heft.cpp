@@ -12,7 +12,10 @@
 #include <set>
 #include <vector>
 
+#include "model/task_soa.hpp"
 #include "obs/replay.hpp"
+#include "util/arena.hpp"
+#include "util/key_sort.hpp"
 
 namespace hp {
 
@@ -127,7 +130,7 @@ class WorkerTimeline {
 
 Schedule heft_run(std::span<const Task> tasks, const TaskGraph* graph,
                   const Platform& platform, const HeftOptions& options,
-                  const std::vector<TaskId>& order) {
+                  std::span<const TaskId> order) {
   Schedule schedule(tasks.size());
   std::vector<WorkerTimeline> timeline(
       static_cast<std::size_t>(platform.workers()));
@@ -140,11 +143,15 @@ Schedule heft_run(std::span<const Task> tasks, const TaskGraph* graph,
         ready = std::max(ready, schedule.placement(pred).end);
       }
     }
+    // The duration only depends on the worker's type; hoist both values out
+    // of the worker scan instead of re-deriving them per worker.
+    const double dt_by_type[2] = {t.cpu_time, t.gpu_time};
     WorkerId best_w = 0;
     double best_start = 0.0;
     double best_finish = std::numeric_limits<double>::infinity();
     for (WorkerId w = 0; w < platform.workers(); ++w) {
-      const double dt = Platform::time_on(t, platform.type_of(w));
+      const double dt =
+          dt_by_type[static_cast<std::size_t>(platform.type_of(w))];
       const double start = timeline[static_cast<std::size_t>(w)].earliest_start(
           ready, dt, options.insertion);
       if (start + dt < best_finish) {
@@ -159,6 +166,43 @@ Schedule heft_run(std::span<const Task> tasks, const TaskGraph* graph,
   return schedule;
 }
 
+/// Independent-mode inner loop. Every task is ready at 0, so placements only
+/// ever append at a worker's horizon and the gap index can never hold a gap:
+/// the whole timeline state is one finish time per worker, kept in a flat
+/// array the worker scan walks contiguously. Start times, worker choice and
+/// tie-breaks are exactly heft_run's (append = max(0, last_finish), first
+/// strictly-better worker wins), so schedules stay bitwise identical to
+/// heft_ref (tests/test_heft_regression.cpp).
+Schedule heft_independent_run(std::span<const Task> tasks,
+                              const Platform& platform,
+                              std::span<const util::KeyId> order,
+                              util::Arena& arena) {
+  Schedule schedule(tasks.size());
+  const util::ArenaScope scope(arena);
+  const auto wcount = static_cast<std::size_t>(platform.workers());
+  const std::span<double> finish = arena.alloc_zeroed<double>(wcount);
+  const auto cpus = static_cast<std::size_t>(platform.cpus());
+
+  for (const util::KeyId& entry : order) {
+    const auto id = static_cast<TaskId>(entry.id);
+    const Task& t = tasks[entry.id];
+    const double dt_by_type[2] = {t.cpu_time, t.gpu_time};
+    std::size_t best_w = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (std::size_t w = 0; w < wcount; ++w) {
+      const double end = finish[w] + dt_by_type[w >= cpus ? 1 : 0];
+      if (end < best_finish) {
+        best_finish = end;
+        best_w = w;
+      }
+    }
+    schedule.place(id, static_cast<WorkerId>(best_w), finish[best_w],
+                   best_finish);
+    finish[best_w] = best_finish;
+  }
+  return schedule;
+}
+
 }  // namespace
 
 Schedule heft(const TaskGraph& graph, const Platform& platform,
@@ -167,24 +211,28 @@ Schedule heft(const TaskGraph& graph, const Platform& platform,
   assert(options.rank != RankScheme::kFifo && "HEFT requires a rank scheme");
 
   const std::vector<double> rank = bottom_levels(graph, options.rank);
-  std::vector<TaskId> order(graph.size());
-  std::iota(order.begin(), order.end(), TaskId{0});
   // Decreasing upward rank. With strictly positive weights this is a
   // topological order (a predecessor's rank strictly exceeds its
-  // successors'); break rank ties topologically via a stable sort on the
-  // topological baseline cached by finalize().
+  // successors'); rank ties break topologically, which the packed sort gets
+  // for free by carrying the topological position (not the task id) as the
+  // tie-break id. Ascending (descending_key(rank), topo_pos) is exactly the
+  // reference comparator (rank desc, topo order asc).
   const std::span<const TaskId> topo = graph.topo_order();
-  std::vector<std::size_t> topo_pos(graph.size());
+  util::Arena& arena = util::scratch_arena();
+  const util::ArenaScope scope(arena);
+  const std::span<util::KeyId> keyed{arena.alloc<util::KeyId>(graph.size()),
+                                     graph.size()};
   for (std::size_t i = 0; i < topo.size(); ++i) {
-    topo_pos[static_cast<std::size_t>(topo[i])] = i;
+    keyed[i] = util::KeyId{
+        soa::descending_key(rank[static_cast<std::size_t>(topo[i])]),
+        static_cast<std::uint32_t>(i)};
   }
-  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
-    const double ra = rank[static_cast<std::size_t>(a)];
-    const double rb = rank[static_cast<std::size_t>(b)];
-    if (ra != rb) return ra > rb;
-    return topo_pos[static_cast<std::size_t>(a)] <
-           topo_pos[static_cast<std::size_t>(b)];
-  });
+  util::sort_key_id(keyed, arena);
+  const std::span<TaskId> order{arena.alloc<TaskId>(graph.size()),
+                                graph.size()};
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    order[i] = topo[keyed[i].id];
+  }
   Schedule schedule = heft_run(graph.tasks(), &graph, platform, options, order);
   obs::replay_schedule_to(schedule, platform, options.sink);
   return schedule;
@@ -193,17 +241,19 @@ Schedule heft(const TaskGraph& graph, const Platform& platform,
 Schedule heft_independent(std::span<const Task> tasks, const Platform& platform,
                           const HeftOptions& options) {
   assert(options.rank != RankScheme::kFifo && "HEFT requires a rank scheme");
-  std::vector<TaskId> order(tasks.size());
-  std::iota(order.begin(), order.end(), TaskId{0});
-  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
-    const double ra =
-        rank_weight(tasks[static_cast<std::size_t>(a)], options.rank);
-    const double rb =
-        rank_weight(tasks[static_cast<std::size_t>(b)], options.rank);
-    if (ra != rb) return ra > rb;
-    return a < b;
-  });
-  Schedule schedule = heft_run(tasks, nullptr, platform, options, order);
+  util::Arena& arena = util::scratch_arena();
+  const util::ArenaScope scope(arena);
+  // Rank weights are computed once into the key array instead of twice per
+  // comparison; ascending (descending_key(weight), id) is the reference
+  // order (weight desc, task id asc).
+  const std::span<util::KeyId> order{arena.alloc<util::KeyId>(tasks.size()),
+                                     tasks.size()};
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    order[i] = util::KeyId{soa::descending_key(rank_weight(tasks[i], options.rank)),
+                           static_cast<std::uint32_t>(i)};
+  }
+  util::sort_key_id(order, arena);
+  Schedule schedule = heft_independent_run(tasks, platform, order, arena);
   obs::replay_schedule_to(schedule, platform, options.sink);
   return schedule;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dag/ranking.hpp"
+#include "util/arena.hpp"
 
 namespace hp {
 
@@ -11,11 +12,15 @@ namespace {
 
 /// Scratch buffers shared by the forward and backward segmented passes, so
 /// one dag_lower_bound call allocates each of them once instead of per
-/// direction (the sweep evaluates the bound for every cell).
+/// direction (the sweep evaluates the bound for every cell). Storage comes
+/// from the run's arena and is reclaimed by the caller's ArenaScope.
 struct SegmentedScratch {
-  std::vector<double> sorted;
-  std::vector<double> candidates;
-  std::vector<Task> subset;
+  explicit SegmentedScratch(util::Arena& arena)
+      : sorted(arena), candidates(arena), subset(arena) {}
+
+  util::ArenaVector<double> sorted;
+  util::ArenaVector<double> candidates;
+  util::ArenaVector<Task> subset;
 };
 
 /// max over candidate thresholds T of (T + AreaBound({tasks with key >= T})).
@@ -24,11 +29,13 @@ struct SegmentedScratch {
 double segmented_direction(const TaskGraph& graph, const Platform& platform,
                            const std::vector<double>& keys, int thresholds,
                            SegmentedScratch& scratch) {
-  std::vector<double>& sorted = scratch.sorted;
-  sorted.assign(keys.begin(), keys.end());
+  util::ArenaVector<double>& sorted = scratch.sorted;
+  sorted.clear();
+  sorted.reserve(keys.size());
+  for (const double key : keys) sorted.push_back(key);
   std::sort(sorted.begin(), sorted.end());
   // Candidate thresholds: quantiles of the positive keys.
-  std::vector<double>& candidates = scratch.candidates;
+  util::ArenaVector<double>& candidates = scratch.candidates;
   candidates.clear();
   const auto first_pos =
       std::upper_bound(sorted.begin(), sorted.end(), 0.0) - sorted.begin();
@@ -40,20 +47,20 @@ double segmented_direction(const TaskGraph& graph, const Platform& platform,
         positives * static_cast<std::size_t>(c) / static_cast<std::size_t>(thresholds);
     candidates.push_back(sorted[idx]);
   }
-  candidates.push_back(sorted.back());
+  candidates.push_back(*(sorted.end() - 1));
   std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
+  candidates.resize(static_cast<std::size_t>(
+      std::unique(candidates.begin(), candidates.end()) - candidates.begin()));
 
   double best = 0.0;
-  std::vector<Task>& subset = scratch.subset;
-  for (double threshold : candidates) {
+  util::ArenaVector<Task>& subset = scratch.subset;
+  for (double threshold : candidates.span()) {
     subset.clear();
     for (std::size_t i = 0; i < graph.size(); ++i) {
       if (keys[i] >= threshold) subset.push_back(graph.task(static_cast<TaskId>(i)));
     }
     if (subset.empty()) continue;
-    best = std::max(best, threshold + area_bound_value(subset, platform));
+    best = std::max(best, threshold + area_bound_value(subset.span(), platform));
   }
   return best;
 }
@@ -81,7 +88,9 @@ DagLowerBound dag_lower_bound(const TaskGraph& graph, const Platform& platform,
   }
 
   if (options.segment_thresholds > 0 && !graph.empty()) {
-    SegmentedScratch scratch;
+    util::Arena& arena = util::scratch_arena();
+    const util::ArenaScope scope(arena);
+    SegmentedScratch scratch(arena);
     // Forward: tasks whose min-weight top level is >= T cannot start
     // before T, so they fit in (Cmax - T) and Cmax >= T + AreaBound(them).
     const std::vector<double> tops = top_levels(graph, RankScheme::kMin);

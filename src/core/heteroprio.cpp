@@ -1,18 +1,26 @@
 #include "core/heteroprio.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "core/hp_engine.hpp"
 #include "dag/ready_tracker.hpp"
+#include "model/task_soa.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/worker_pool.hpp"
+#include "util/arena.hpp"
+#include "util/key_sort.hpp"
+
+#if defined(__SSE2__) && !defined(HP_NO_SIMD)
+#include <emmintrin.h>
+#define HP_ENGINE_SSE2 1
+#endif
 
 namespace hp {
 
@@ -27,34 +35,33 @@ namespace {
 /// comes first; for rho < 1 the highest-priority task comes last, i.e.
 /// nearest the CPU end. Final tie: task id (determinism).
 ///
-/// Independent mode knows the whole task set up front, so it presorts once
-/// and pops from the two ends with cursors — O(n log n) total and O(1) per
-/// pop. Incremental mode (DAG releases, crash re-enqueues, retries) used to
-/// keep a std::set re-deriving both sort keys per comparison; it now
-/// binary-searches the same flat vector with keys materialized once per
-/// insert — no node allocation, no per-comparison divisions, and the ready
-/// width of real DAGs stays far below n so the insert memmove is short. The
-/// comparator is identical either way, so the pop order (and therefore the
-/// schedule) is bitwise identical to the set-based implementation.
+/// The order is materialized once per task as a packed integer pair
+/// (TaskSoA::key0/key1): ascending (key0, key1, id) is exactly the queue
+/// order, so the presort is a bucket/radix pass over integers and the
+/// incremental inserts (DAG releases, crash re-enqueues, retries)
+/// binary-search with branch-light integer compares. The packed compare is
+/// proven equivalent to the double comparator in model/task_soa.hpp, so the
+/// pop order (and therefore the schedule) is bitwise identical.
 class ReadyQueue {
  public:
-  explicit ReadyQueue(std::span<const Task> tasks) : tasks_(tasks) {}
+  ReadyQueue(const soa::TaskSoA& soa, util::Arena& arena)
+      : soa_(&soa), buf_(arena) {}
 
   /// Independent mode: make every task ready and presort once.
-  void presort_all(std::size_t n) {
+  void presort_all(std::size_t n, util::Arena& arena) {
     buf_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       buf_[i] = make_key(static_cast<TaskId>(i));
     }
-    std::sort(buf_.begin(), buf_.end(), before);
+    util::sort_key2_id(buf_.span(), arena);
     head_ = 0;
   }
 
   /// Incremental mode: a dependency release (or re-enqueue) made `id` ready.
   void insert(TaskId id) {
-    const Key key = make_key(id);
-    const auto first = buf_.begin() + static_cast<std::ptrdiff_t>(head_);
-    const auto at = std::lower_bound(first, buf_.end(), key, before);
+    const util::KeyId2 key = make_key(id);
+    util::KeyId2* first = buf_.begin() + static_cast<std::ptrdiff_t>(head_);
+    util::KeyId2* at = std::lower_bound(first, buf_.end(), key, before);
     if (at == first && head_ > 0) {
       buf_[--head_] = key;  // reuse the space freed by GPU-end pops
     } else {
@@ -69,38 +76,30 @@ class ReadyQueue {
   }
 
   /// Most GPU-friendly ready task (an idle GPU takes this end).
-  TaskId pop_gpu_end() { return buf_[head_++].id; }
+  TaskId pop_gpu_end() { return static_cast<TaskId>(buf_[head_++].id); }
 
   /// Most CPU-friendly ready task (an idle CPU takes this end).
   TaskId pop_cpu_end() {
-    const TaskId id = buf_.back().id;
+    const TaskId id = static_cast<TaskId>(buf_.back().id);
     buf_.pop_back();
     return id;
   }
 
  private:
-  struct Key {
-    double accel;
-    double priority;
-    TaskId id;
-  };
-
-  static bool before(const Key& a, const Key& b) noexcept {
-    if (a.accel != b.accel) return a.accel > b.accel;
-    if (a.priority != b.priority) {
-      return a.accel >= 1.0 ? a.priority > b.priority
-                            : a.priority < b.priority;
-    }
+  static bool before(const util::KeyId2& a, const util::KeyId2& b) noexcept {
+    if (a.k0 != b.k0) return a.k0 < b.k0;
+    if (a.k1 != b.k1) return a.k1 < b.k1;
     return a.id < b.id;
   }
 
-  [[nodiscard]] Key make_key(TaskId id) const noexcept {
-    const Task& t = tasks_[static_cast<std::size_t>(id)];
-    return Key{t.accel(), t.priority, id};
+  [[nodiscard]] util::KeyId2 make_key(TaskId id) const noexcept {
+    const auto i = static_cast<std::size_t>(id);
+    return util::KeyId2{soa_->key0[i], soa_->key1[i],
+                        static_cast<std::uint32_t>(id)};
   }
 
-  std::span<const Task> tasks_;
-  std::vector<Key> buf_;     ///< live range: [head_, buf_.size())
+  const soa::TaskSoA* soa_;
+  util::ArenaVector<util::KeyId2> buf_;  ///< live range: [head_, size())
   std::size_t head_ = 0;
 };
 
@@ -158,9 +157,8 @@ struct VictimLess {
 /// measurable at 2 ops per scheduled task.
 class RunningSet {
  public:
-  RunningSet(VictimLess less, std::size_t max_workers) : less_(less) {
-    keys_.reserve(max_workers);
-  }
+  RunningSet(VictimLess less, std::size_t max_workers, util::Arena& arena)
+      : less_(less), keys_(arena, max_workers) {}
 
   void insert(const VictimKey& key) {
     keys_.insert(std::lower_bound(keys_.begin(), keys_.end(), key, less_),
@@ -168,17 +166,19 @@ class RunningSet {
   }
 
   void erase(const VictimKey& key) {
-    const auto it = std::lower_bound(keys_.begin(), keys_.end(), key, less_);
+    VictimKey* it = std::lower_bound(keys_.begin(), keys_.end(), key, less_);
     assert(it != keys_.end() && it->worker == key.worker);
     keys_.erase(it);
   }
 
-  [[nodiscard]] auto begin() const noexcept { return keys_.begin(); }
-  [[nodiscard]] auto end() const noexcept { return keys_.end(); }
+  [[nodiscard]] const VictimKey* begin() const noexcept {
+    return keys_.begin();
+  }
+  [[nodiscard]] const VictimKey* end() const noexcept { return keys_.end(); }
 
  private:
   VictimLess less_;
-  std::vector<VictimKey> keys_;
+  util::ArenaVector<VictimKey> keys_;
 };
 
 /// Strict-improvement test with a small relative margin, so that the exact
@@ -188,6 +188,309 @@ bool strictly_better(double candidate_finish, double current_finish) noexcept {
   const double margin =
       1e-9 * std::max(1.0, std::abs(current_finish));
   return candidate_finish < current_finish - margin;
+}
+
+/// Earliest entry of `finish` (idle lanes hold +inf; `count` is padded to a
+/// multiple of two with +inf). The scalar min loop is a serial minsd
+/// dependency chain — at ~4 cycles per link it dominates the engine's inner
+/// loop — so the SSE2 form runs two independent accumulator chains.
+double min_finish_time(const double* finish, std::size_t count) noexcept {
+#ifdef HP_ENGINE_SSE2
+  __m128d acc0 = _mm_loadu_pd(finish);
+  __m128d acc1 = acc0;
+  std::size_t w = 2;
+  for (; w + 4 <= count; w += 4) {
+    acc0 = _mm_min_pd(acc0, _mm_loadu_pd(finish + w));
+    acc1 = _mm_min_pd(acc1, _mm_loadu_pd(finish + w + 2));
+  }
+  for (; w + 2 <= count; w += 2) {
+    acc0 = _mm_min_pd(acc0, _mm_loadu_pd(finish + w));
+  }
+  acc0 = _mm_min_pd(acc0, acc1);
+  acc0 = _mm_min_sd(acc0, _mm_unpackhi_pd(acc0, acc0));
+  return _mm_cvtsd_f64(acc0);
+#else
+  double t = finish[0];
+  for (std::size_t w = 1; w < count; ++w) t = std::min(t, finish[w]);
+  return t;
+#endif
+}
+
+/// Bitmask of lanes with finish[w] == t (the completion batch at instant t).
+std::uint64_t equal_finish_mask(const double* finish, std::size_t count,
+                                double t) noexcept {
+  std::uint64_t mask = 0;
+#ifdef HP_ENGINE_SSE2
+  const __m128d vt = _mm_set1_pd(t);
+  for (std::size_t w = 0; w + 2 <= count; w += 2) {
+    const int bits = _mm_movemask_pd(_mm_cmpeq_pd(_mm_loadu_pd(finish + w), vt));
+    mask |= static_cast<std::uint64_t>(bits) << w;
+  }
+#else
+  for (std::size_t w = 0; w < count; ++w) {
+    if (finish[w] == t) mask |= std::uint64_t{1} << w;
+  }
+#endif
+  return mask;
+}
+
+/// Heap-free engine for the unobserved independent fault-free case (the
+/// throughput path of BENCH_core.json). Preconditions checked by the caller:
+/// no graph, no fault plan, no live sink or log, 0 < workers <= 63.
+///
+/// What makes it fast — and why each step is schedule-preserving:
+///  - The ready queue is a presorted id array with two cursors; the sort key
+///    is the packed (key0, key1) order, equivalent to the §2.2 comparator.
+///  - The event heap is gone. Without a sink or a ReadyTracker, the only
+///    observable effect of the pop order *within* one time batch is the set
+///    of placements and counters, and those depend only on the batch as a
+///    whole (the general loop also drains the full batch before
+///    dispatching). A min-scan over per-worker finish times yields the same
+///    batch at the same instant.
+///  - Worker state is four flat arrays plus idle bitmasks; dispatch
+///    snapshots the masks per pass, which reproduces
+///    idle_workers_gpu_first() exactly (a victim freed mid-pass is served on
+///    the next pass, not the current one).
+///  - The running sets are not maintained incrementally: a spoliation
+///    attempt gathers the <= 63 busy workers of the other type and sorts
+///    them with the same total VictimLess order, giving the identical scan
+///    sequence on demand.
+void run_independent_fast(const soa::SortKeys& sort_keys,
+                          std::span<const Task> tasks,
+                          std::span<const Task> actuals,
+                          const Platform& platform,
+                          const HeteroPrioOptions& options,
+                          VictimOrder victim_order, Schedule& schedule,
+                          HeteroPrioStats& stats, util::Arena& arena) {
+  const std::size_t n = sort_keys.size;
+  const int workers = platform.workers();
+  const auto wcount = static_cast<std::size_t>(workers);
+  const int cpus = platform.cpus();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Ready order: ids sorted GPU-end-first. Uniform priorities collapse the
+  // pair key to key0 with a stable id tie-break. The elements arrive
+  // prebuilt (ids = task index) from the fused build_sort_keys pass.
+  std::uint32_t* order = arena.alloc<std::uint32_t>(n);
+  if (sort_keys.uniform_priority) {
+    util::sort_key_id({sort_keys.key_id, n}, arena);
+    for (std::size_t i = 0; i < n; ++i) order[i] = sort_keys.key_id[i].id;
+  } else {
+    util::sort_key2_id({sort_keys.key2_id, n}, arena);
+    for (std::size_t i = 0; i < n; ++i) order[i] = sort_keys.key2_id[i].id;
+  }
+  std::size_t q_gpu = 0;  ///< next GPU-end pop
+  std::size_t q_cpu = n;  ///< next CPU-end pop is order[q_cpu - 1]
+
+  // Permute the per-task scalars into queue order. The loop then reads task
+  // data at two sequentially moving fronts instead of at random task ids —
+  // the batched gather here eats the cache misses once, overlapped by
+  // out-of-order execution, rather than one serialized miss per decision.
+  double* qcpu = arena.alloc<double>(n);   ///< estimate p, queue order
+  double* qgpu = arena.alloc<double>(n);   ///< estimate q, queue order
+  double* qpri = arena.alloc<double>(n);   ///< priority, queue order
+  constexpr std::size_t kGatherAhead = 16;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k + kGatherAhead < n) {
+      __builtin_prefetch(&tasks[order[k + kGatherAhead]]);
+    }
+    const Task& t = tasks[order[k]];
+    qcpu[k] = t.cpu_time;
+    qgpu[k] = t.gpu_time;
+    qpri[k] = t.priority;
+  }
+  const double* qacpu = qcpu;  ///< actual durations (alias when no noise)
+  const double* qagpu = qgpu;
+  if (actuals.data() != tasks.data()) {
+    double* ac = arena.alloc<double>(n);
+    double* ag = arena.alloc<double>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k + kGatherAhead < n) {
+        __builtin_prefetch(&actuals[order[k + kGatherAhead]]);
+      }
+      const Task& t = actuals[order[k]];
+      ac[k] = t.cpu_time;
+      ag[k] = t.gpu_time;
+    }
+    qacpu = ac;
+    qagpu = ag;
+  }
+  // Placements in queue order, scattered into the Schedule at the end (the
+  // by-task layout is the output format; writing it mid-loop is one cache
+  // miss per completion).
+  Placement* qplace = arena.alloc<Placement>(n);
+
+  // Worker state, SoA. wfinish doubles as the event structure: +inf = idle;
+  // it is padded to an even lane count for the SSE2 scans.
+  const std::size_t wpad = (wcount + 1) & ~std::size_t{1};
+  double* wfinish = arena.alloc<double>(wpad);
+  double* wstart = arena.alloc<double>(wcount);
+  double* wbelief = arena.alloc<double>(wcount);  ///< believed finish
+  std::uint32_t* wqpos = arena.alloc<std::uint32_t>(wcount);  ///< queue pos
+  for (std::size_t w = 0; w < wpad; ++w) wfinish[w] = kInf;
+
+  const std::uint64_t all_mask =
+      workers == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << workers) - 1;
+  const std::uint64_t cpu_mask = (std::uint64_t{1} << cpus) - 1;
+  const std::uint64_t gpu_mask = all_mask & ~cpu_mask;
+  std::uint64_t idle_mask = all_mask;
+  int busy_by_type[2] = {0, 0};
+
+  const bool spoliation = options.enable_spoliation;
+  const VictimLess victim_less{victim_order == VictimOrder::kPriority};
+  VictimKey* victims = arena.alloc<VictimKey>(wcount);
+
+  // Stale-event wakeups. In the general loop a spoliated victim's pending
+  // completion event stays in the heap; popping it later is a no-op for the
+  // schedule but still runs a dispatch at that instant, and an idle worker
+  // seen by that dispatch counts a spoliation attempt or skip. To keep the
+  // counters bitwise identical the fast engine remembers each victim's
+  // abandoned finish time and wakes at it too.
+  util::ArenaVector<double> phantom_wakeups(arena);
+
+  std::size_t completed = 0;
+  double now = 0.0;
+  double first_idle = kInf;
+
+  const auto start_task = [&](int w, std::uint32_t qpos) {
+    const bool is_gpu = w >= cpus;
+    const auto k = static_cast<std::size_t>(qpos);
+    const auto wi = static_cast<std::size_t>(w);
+    wfinish[wi] = now + (is_gpu ? qagpu[k] : qacpu[k]);
+    wbelief[wi] = now + (is_gpu ? qgpu[k] : qcpu[k]);
+    wstart[wi] = now;
+    wqpos[wi] = qpos;
+    idle_mask &= ~(std::uint64_t{1} << w);
+    ++busy_by_type[is_gpu ? 1 : 0];
+  };
+
+  const auto try_spoliate = [&](int w) -> bool {
+    ++stats.spoliation_attempts;
+    const bool is_gpu = w >= cpus;
+    // Gather the running set of the other resource and order it on demand;
+    // VictimLess is total, so this equals the incremental set's scan order.
+    std::uint64_t busy_other = ~idle_mask & (is_gpu ? cpu_mask : gpu_mask);
+    std::size_t count = 0;
+    while (busy_other != 0) {
+      const int v = std::countr_zero(busy_other);
+      busy_other &= busy_other - 1;
+      const auto vi = static_cast<std::size_t>(v);
+      const auto k = static_cast<std::size_t>(wqpos[vi]);
+      victims[count++] = VictimKey{wbelief[vi], qpri[k],
+                                   static_cast<TaskId>(order[k]), v};
+    }
+    std::sort(victims, victims + count, victim_less);
+    for (std::size_t c = 0; c < count; ++c) {
+      const VictimKey& key = victims[c];
+      const auto vi = static_cast<std::size_t>(key.worker);
+      const auto k = static_cast<std::size_t>(wqpos[vi]);
+      const double dt = is_gpu ? qgpu[k] : qcpu[k];
+      if (!strictly_better(now + dt, key.finish)) continue;
+      // Abort the victim's execution; its progress is lost.
+      schedule.add_aborted(key.task, key.worker, wstart[vi], now);
+      phantom_wakeups.push_back(wfinish[vi]);
+      wfinish[vi] = kInf;
+      idle_mask |= std::uint64_t{1} << key.worker;
+      --busy_by_type[key.worker >= cpus ? 1 : 0];
+      ++stats.spoliations;
+      start_task(w, wqpos[vi]);
+      return true;
+    }
+    return false;
+  };
+
+  const auto dispatch_idle = [&] {
+    bool acted = true;
+    while (acted) {
+      acted = false;
+      // Snapshot per pass: workers idled by a spoliation during this pass
+      // wait for the next one, exactly like idle_workers_gpu_first().
+      const std::uint64_t snap_gpu = idle_mask & gpu_mask;
+      const std::uint64_t snap_cpu = idle_mask & cpu_mask;
+      for (int half = 0; half < 2; ++half) {
+        std::uint64_t snap = half == 0 ? snap_gpu : snap_cpu;
+        const bool is_gpu = half == 0;
+        while (snap != 0) {
+          const int w = std::countr_zero(snap);
+          snap &= snap - 1;
+          if ((idle_mask >> w & 1) == 0) continue;  // filled this pass
+          if (q_gpu != q_cpu) {
+            const std::uint32_t qpos = static_cast<std::uint32_t>(
+                is_gpu ? q_gpu++ : --q_cpu);
+            start_task(w, qpos);
+            acted = true;
+          } else {
+            first_idle = std::min(first_idle, now);
+            if (!spoliation) continue;
+            if (busy_by_type[is_gpu ? 0 : 1] == 0) {
+              ++stats.spoliation_skips;
+            } else if (try_spoliate(w)) {
+              acted = true;
+            }
+          }
+        }
+      }
+    }
+  };
+
+  dispatch_idle();
+
+  while (completed < n) {
+    // Next instant: min over the finish array (idle lanes are +inf) and the
+    // stale wakeups. The batch at that instant replaces the event heap.
+    double t = min_finish_time(wfinish, wpad);
+    if (!phantom_wakeups.empty()) {
+      for (const double d : phantom_wakeups) t = std::min(t, d);
+    }
+    assert(t != kInf && "no running worker but tasks incomplete");
+    now = t;
+    if (!phantom_wakeups.empty()) {
+      for (std::size_t i = 0; i < phantom_wakeups.size();) {
+        if (phantom_wakeups[i] == t) {
+          phantom_wakeups[i] = phantom_wakeups.back();
+          phantom_wakeups.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    std::uint64_t done = equal_finish_mask(wfinish, wpad, t) & all_mask;
+    while (done != 0) {
+      const int w = std::countr_zero(done);
+      done &= done - 1;
+      const auto wi = static_cast<std::size_t>(w);
+      qplace[wqpos[wi]] = Placement{w, wstart[wi], t};
+      wfinish[wi] = kInf;
+      idle_mask |= std::uint64_t{1} << w;
+      --busy_by_type[w >= cpus ? 1 : 0];
+      ++completed;
+    }
+    // One-idle fast path: with a single freed worker and a nonempty queue,
+    // dispatch_idle reduces to exactly one start_task — the snapshot/pass
+    // machinery only changes behavior when several workers are idle or the
+    // queue is empty (spoliation).
+    if (q_gpu != q_cpu && std::popcount(idle_mask) == 1) {
+      const int w = std::countr_zero(idle_mask);
+      start_task(w,
+                 static_cast<std::uint32_t>(w >= cpus ? q_gpu++ : --q_cpu));
+    } else {
+      dispatch_idle();
+    }
+  }
+
+  // One batched scatter back to the by-task output layout. The writes land
+  // at random task ids; prefetching the target lines ahead overlaps the
+  // misses the same way the forward gather did.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k + kGatherAhead < n) {
+      __builtin_prefetch(&schedule.placement(
+          static_cast<TaskId>(order[k + kGatherAhead])), 1);
+    }
+    const Placement& p = qplace[k];
+    schedule.place(static_cast<TaskId>(order[k]), p.worker, p.start, p.end);
+  }
+
+  stats.first_idle_time = first_idle;
 }
 
 }  // namespace
@@ -205,6 +508,12 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   Schedule schedule(tasks.size());
   HeteroPrioStats local_stats;
   local_stats.first_idle_time = std::numeric_limits<double>::infinity();
+
+  // All per-run scratch (SoA arrays, ready keys, running sets, worker
+  // state) lives on the per-thread arena and is released when this scope
+  // unwinds — see docs/perf.md "Arena lifetime".
+  util::Arena& arena = util::scratch_arena();
+  const util::ArenaScope arena_scope(arena);
 
   // Route events through a stack fanout only when both a scheduler sink and
   // an enabled legacy log are present; otherwise the probe points straight
@@ -228,20 +537,67 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   const fault::FaultPlan* plan = options.faults;
   const bool faulty = plan != nullptr && !plan->empty();
 
+  VictimOrder victim_order = options.victim_order;
+  if (victim_order == VictimOrder::kAuto) {
+    victim_order = graph == nullptr ? VictimOrder::kCompletionTime
+                                    : VictimOrder::kPriority;
+  }
+
+  // Unobserved independent fault-free runs — the >10M tasks/s throughput
+  // path — take the heap-free bitmask engine. Everything it skips (event
+  // queue, probes, tracker, incremental running sets) is unobservable under
+  // these preconditions, so the schedule and counters are bitwise identical
+  // to the general loop below (pinned by test_soa_regression).
+  if (graph == nullptr && !faulty && sink == nullptr && platform.workers() > 0 &&
+      platform.workers() <= 63) {
+    // Keys-only build: this path gathers durations from the AoS records in
+    // queue order and never reads the flat SoA arrays.
+    const soa::SortKeys sort_keys = soa::build_sort_keys(tasks, arena);
+    run_independent_fast(sort_keys, tasks, actuals, platform, options,
+                         victim_order, schedule, local_stats, arena);
+    if (stats != nullptr) {
+      if (!std::isfinite(local_stats.first_idle_time)) {
+        local_stats.first_idle_time = schedule.makespan();
+      }
+      *stats = local_stats;
+    }
+    return schedule;
+  }
+
+  // Batched split of the AoS records into flat arrays + packed ready keys
+  // for the general loop.
+  const soa::TaskSoA soa = soa::build_task_soa(tasks, arena);
+
+  // Actual durations as flat arrays for the general loop's clock.
+  std::span<const double> act_cpu = soa.cpu;
+  std::span<const double> act_gpu = soa.gpu;
+  if (!options.actual_times.empty()) {
+    double* ac = arena.alloc<double>(actuals.size());
+    double* ag = arena.alloc<double>(actuals.size());
+    for (std::size_t i = 0; i < actuals.size(); ++i) {
+      ac[i] = actuals[i].cpu_time;
+      ag[i] = actuals[i].gpu_time;
+    }
+    act_cpu = {ac, actuals.size()};
+    act_gpu = {ag, actuals.size()};
+  }
+
   sim::WorkerPool pool(platform);
   pool.attach_sink(sink);
   sim::EventQueue<EngineEvent> events;
-  std::vector<std::uint64_t> generation(
-      static_cast<std::size_t>(platform.workers()), 0);
+  const std::span<std::uint64_t> generation =
+      arena.alloc_zeroed<std::uint64_t>(
+          static_cast<std::size_t>(platform.workers()));
 
   // Per-worker flag: the attempt currently running on the worker will abort
   // at its (already shortened) completion event. Per-task failed-attempt
   // counts drive the retry budget. Both exist only on faulty runs.
-  std::vector<char> pending_fail;
-  std::vector<int> failed_attempts;
+  std::span<char> pending_fail;
+  std::span<int> failed_attempts;
   if (faulty) {
-    pending_fail.assign(static_cast<std::size_t>(platform.workers()), 0);
-    failed_attempts.assign(tasks.size(), 0);
+    pending_fail = arena.alloc_zeroed<char>(
+        static_cast<std::size_t>(platform.workers()));
+    failed_attempts = arena.alloc_zeroed<int>(tasks.size());
     for (const fault::CrashEvent& c : plan->crashes()) {
       if (c.worker < 0 || c.worker >= platform.workers()) continue;
       events.push(c.time, EngineEvent{EngineEvent::Kind::kCrash, c.worker,
@@ -257,7 +613,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
     }
   }
 
-  ReadyQueue queue(tasks);
+  ReadyQueue queue(soa, arena);
   std::optional<ReadyTracker> tracker;
   if (graph != nullptr) {
     tracker.emplace(*graph);
@@ -267,14 +623,14 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
     }
   } else if (faulty) {
     // Crash re-enqueues and retries re-insert into the ready structure, so
-    // the flat presorted form (pop-only) cannot be used; the ordered set
-    // yields the same queue order with O(log n) inserts.
+    // the flat presorted form (pop-only) cannot be used; incremental
+    // inserts yield the same queue order with O(log n) searches.
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       queue.insert(static_cast<TaskId>(i));
       probe.ready(0.0, static_cast<TaskId>(i));
     }
   } else {
-    queue.presort_all(tasks.size());
+    queue.presort_all(tasks.size(), arena);
     if (probe) {
       for (std::size_t i = 0; i < tasks.size(); ++i) {
         probe.ready(0.0, static_cast<TaskId>(i));
@@ -282,20 +638,16 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
     }
   }
 
-  VictimOrder victim_order = options.victim_order;
-  if (victim_order == VictimOrder::kAuto) {
-    victim_order = graph == nullptr ? VictimOrder::kCompletionTime
-                                    : VictimOrder::kPriority;
-  }
-
   // Incremental per-resource running sets in spoliation-scan order, updated
   // on start/release in O(log W) — replaces collecting and sorting the busy
   // workers of the other type on every spoliation attempt.
   const VictimLess victim_less{victim_order == VictimOrder::kPriority};
   RunningSet running_set[2] = {
-      RunningSet(victim_less, static_cast<std::size_t>(platform.cpus())),
-      RunningSet(victim_less, static_cast<std::size_t>(platform.gpus()))};
-  std::vector<VictimKey> victim_key(
+      RunningSet(victim_less, static_cast<std::size_t>(platform.cpus()),
+                 arena),
+      RunningSet(victim_less, static_cast<std::size_t>(platform.gpus()),
+                 arena)};
+  const std::span<VictimKey> victim_key = arena.alloc_zeroed<VictimKey>(
       static_cast<std::size_t>(platform.workers()));
 
   std::size_t completed = 0;
@@ -303,14 +655,15 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
 
   auto start_task = [&](WorkerId w, TaskId id) {
     const Resource res = platform.type_of(w);
-    double dt = Platform::time_on(actuals[static_cast<std::size_t>(id)], res);
+    const auto i = static_cast<std::size_t>(id);
+    double dt = res == Resource::kCpu ? act_cpu[i] : act_gpu[i];
     if (faulty) {
       // The injected reality: a pre-drawn failure truncates the attempt's
       // work, and straggler windows stretch wall-clock time around it. The
       // believed VictimKey below still uses the plain estimate — the
       // scheduler never reads the plan.
-      const fault::AttemptOutcome outcome = plan->attempt_outcome(
-          id, failed_attempts[static_cast<std::size_t>(id)]);
+      const fault::AttemptOutcome outcome =
+          plan->attempt_outcome(id, failed_attempts[i]);
       if (outcome.fails) {
         dt *= outcome.fail_fraction;
         pending_fail[static_cast<std::size_t>(w)] = 1;
@@ -322,9 +675,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
     events.push(finish,
                 EngineEvent{EngineEvent::Kind::kCompletion, w, id,
                             generation[static_cast<std::size_t>(w)], 0.0});
-    const Task& estimate = tasks[static_cast<std::size_t>(id)];
-    const VictimKey key{now + Platform::time_on(estimate, res),
-                        estimate.priority, id, w};
+    const VictimKey key{now + soa.time_on(id, res), soa.priority[i], id, w};
     victim_key[static_cast<std::size_t>(w)] = key;
     running_set[static_cast<std::size_t>(res)].insert(key);
     probe.start(now, id, w);
@@ -346,8 +697,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
     const Resource mine = platform.type_of(w);
     const auto& candidates = running_set[static_cast<std::size_t>(other(mine))];
     for (const VictimKey& key : candidates) {
-      const double dt =
-          Platform::time_on(tasks[static_cast<std::size_t>(key.task)], mine);
+      const double dt = soa.time_on(key.task, mine);
       double believed_finish = key.finish;
       if (faulty && believed_finish <= now) {
         // The victim is overdue — a straggler window stretched it past its
@@ -355,9 +705,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
         // now, so a healthy worker can still rescue the task; otherwise
         // "candidate < past instant" never holds and stragglers hold their
         // work hostage forever.
-        believed_finish =
-            now + Platform::time_on(
-                      tasks[static_cast<std::size_t>(key.task)], other(mine));
+        believed_finish = now + soa.time_on(key.task, other(mine));
       }
       if (!strictly_better(now + dt, believed_finish)) continue;
       // Abort the victim's execution; its progress is lost.

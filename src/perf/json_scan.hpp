@@ -46,6 +46,35 @@ inline std::optional<double> number_field(const std::string& obj,
   return value;
 }
 
+/// Iterate the flat objects of the array-valued field `key` (e.g. the
+/// "series" array of the BENCH documents), invoking `fn(object_text)` for
+/// each `{...}` entry in order. Entries are flat (no nested objects) in
+/// every document this repo emits. Returns false when the field is missing
+/// or not an array; a malformed (unterminated) entry stops the walk.
+template <typename Fn>
+inline bool for_each_array_object(const std::string& text,
+                                  const std::string& key, Fn&& fn) {
+  const std::size_t array_at = field_value_pos(text, key);
+  if (array_at == std::string::npos || array_at >= text.size() ||
+      text[array_at] != '[') {
+    return false;
+  }
+  std::size_t at = array_at + 1;
+  while (true) {
+    const std::size_t open = text.find('{', at);
+    const std::size_t array_end = text.find(']', at);
+    if (open == std::string::npos ||
+        (array_end != std::string::npos && array_end < open)) {
+      break;  // end of this array (']' before the next object)
+    }
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) return false;
+    fn(text.substr(open, close - open + 1));
+    at = close + 1;
+  }
+  return true;
+}
+
 /// Structural sanity: quotes close, braces/brackets balance and never go
 /// negative. Catches truncated or garbled files without a full JSON parser.
 inline bool balanced_json(const std::string& text, std::string* error) {

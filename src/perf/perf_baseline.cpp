@@ -17,6 +17,7 @@
 #include "obs/recorder.hpp"
 #include "perf/json_scan.hpp"
 #include "sweep/dag_sweep.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -30,9 +31,14 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Best-of-`reps` wall time of one schedule construction.
+/// Best-of-`reps` wall time of one schedule construction. One untimed
+/// warm-up run precedes the timed repetitions: the first run through a
+/// fresh instance pays first-touch page faults, allocator growth, and CPU
+/// frequency ramp-up, none of which are properties of the scheduler being
+/// measured by a best-of estimator.
 template <typename Fn>
 double time_best(int reps, Fn&& fn) {
+  fn();
   double best = std::numeric_limits<double>::infinity();
   for (int r = 0; r < reps; ++r) {
     const auto start = Clock::now();
@@ -124,6 +130,12 @@ PerfBaseline run_perf_baseline(const PerfBaselineOptions& options) {
          std::to_string(out.counters.peak_ready_depth) + " peak ready depth");
   }
 
+  // Arena footprint of everything measured above: the timed runs all draw
+  // their scratch from this thread's arena, so its high water is the per-run
+  // scratch peak of the hot path at the largest n.
+  out.arena_reserved_bytes = util::scratch_arena().reserved_bytes();
+  out.arena_high_water_bytes = util::scratch_arena().high_water_bytes();
+
   if (options.include_sweep) {
     bench::SweepOptions sweep;
     sweep.platform = options.platform;
@@ -146,10 +158,15 @@ std::string perf_baseline_to_json(const PerfBaseline& baseline) {
   std::ostringstream out;
   out.precision(10);
   out << "{\n"
-      << "  \"schema\": \"hp-bench-core/v1\",\n"
+      << "  \"schema\": \"hp-bench-core/v2\",\n"
+      << "  \"layout\": \"soa\",\n"
       << "  \"platform\": {\"cpus\": " << baseline.platform.cpus()
       << ", \"gpus\": " << baseline.platform.gpus() << "},\n"
       << "  \"repetitions\": " << baseline.repetitions << ",\n"
+      << "  \"warmup_runs\": 1,\n"
+      << "  \"arena\": {\"reserved_bytes\": " << baseline.arena_reserved_bytes
+      << ", \"high_water_bytes\": " << baseline.arena_high_water_bytes
+      << "},\n"
       << "  \"series\": [";
   for (std::size_t i = 0; i < baseline.series.size(); ++i) {
     append_json_series(out, baseline.series[i], i == 0);
@@ -196,15 +213,18 @@ bool validate_perf_baseline_json(const std::string& json_text,
     return false;
   };
   if (!jsonscan::balanced_json(json_text, error)) return false;
-  if (jsonscan::string_field(json_text, "schema").value_or("") != "hp-bench-core/v1") {
-    return fail("missing or wrong schema tag");
+  if (jsonscan::string_field(json_text, "schema").value_or("") !=
+      "hp-bench-core/v2") {
+    return fail("missing or wrong schema tag (want hp-bench-core/v2)");
   }
-  const std::size_t series_at = jsonscan::field_value_pos(json_text, "series");
-  if (series_at == std::string::npos || json_text[series_at] != '[') {
-    return fail("missing series array");
+  if (jsonscan::string_field(json_text, "layout").value_or("") != "soa") {
+    return fail("missing layout tag (v2 documents record the engine layout)");
+  }
+  if (!jsonscan::number_field(json_text, "high_water_bytes").has_value()) {
+    return fail("missing arena footprint (v2 field arena.high_water_bytes)");
   }
 
-  // Walk the series array object by object and tick off expected entries.
+  // Tick off expected entries in whatever order the series array holds them.
   struct Expected {
     std::string algorithm;
     std::size_t n;
@@ -215,42 +235,41 @@ bool validate_perf_baseline_json(const std::string& json_text,
     for (const std::size_t n : sizes) expected.push_back({algo, n, false});
   }
 
-  std::size_t at = series_at + 1;
-  while (at < json_text.size() && json_text[at] != ']') {
-    const std::size_t open = json_text.find('{', at);
-    if (open == std::string::npos) break;
-    const std::size_t close = json_text.find('}', open);
-    if (close == std::string::npos) return fail("unterminated series entry");
-    const std::string obj = json_text.substr(open, close - open + 1);
-    const std::string algo = jsonscan::string_field(obj, "algorithm").value_or("");
-    const std::optional<double> n = jsonscan::number_field(obj, "n");
-    const std::optional<double> rate = jsonscan::number_field(obj, "tasks_per_sec");
-    if (algo.empty() || !n.has_value()) {
-      return fail("series entry without algorithm/n");
-    }
-    if (!rate.has_value() || *rate <= 0.0) {
-      return fail("series entry for " + algo + " has no positive tasks_per_sec");
-    }
-    for (Expected& e : expected) {
-      if (e.algorithm == algo && static_cast<double>(e.n) == *n) e.seen = true;
-    }
-    at = close + 1;
-    // The series array ends at the first ']' after the last object; any
-    // nested objects would have been consumed above.
-    const std::size_t next_obj = json_text.find('{', at);
-    const std::size_t array_end = json_text.find(']', at);
-    if (array_end != std::string::npos &&
-        (next_obj == std::string::npos || array_end < next_obj)) {
-      break;
-    }
-  }
+  std::string entry_error;
+  const bool walked = jsonscan::for_each_array_object(
+      json_text, "series", [&](const std::string& obj) {
+        const std::string algo =
+            jsonscan::string_field(obj, "algorithm").value_or("");
+        const std::optional<double> n = jsonscan::number_field(obj, "n");
+        const std::optional<double> rate =
+            jsonscan::number_field(obj, "tasks_per_sec");
+        if (algo.empty() || !n.has_value()) {
+          entry_error = "series entry without algorithm/n";
+          return;
+        }
+        if (!rate.has_value() || *rate <= 0.0) {
+          entry_error =
+              "series entry for " + algo + " has no positive tasks_per_sec";
+          return;
+        }
+        for (Expected& e : expected) {
+          if (e.algorithm == algo && static_cast<double>(e.n) == *n) {
+            e.seen = true;
+          }
+        }
+      });
+  if (!walked) return fail("missing series array");
+  if (!entry_error.empty()) return fail(entry_error);
 
+  // Name every absent series, not just the first: a perf-check failure
+  // should tell the whole story in one run.
+  std::string missing;
   for (const Expected& e : expected) {
-    if (!e.seen) {
-      return fail("missing series: " + e.algorithm + " at n=" +
-                  std::to_string(e.n));
-    }
+    if (e.seen) continue;
+    if (!missing.empty()) missing += ", ";
+    missing += e.algorithm + " at n=" + std::to_string(e.n);
   }
+  if (!missing.empty()) return fail("missing series: " + missing);
   return true;
 }
 

@@ -17,8 +17,9 @@ namespace hp::perf {
 struct PerfBaselineOptions {
   /// Independent-instance sizes to measure (tasks per instance).
   std::vector<std::size_t> sizes = {1000, 10000, 100000};
-  /// Timed repetitions per (algorithm, n); the best one is reported.
-  int repetitions = 3;
+  /// Timed repetitions per (algorithm, n); the best one is reported. One
+  /// additional untimed warm-up run precedes the timed ones.
+  int repetitions = 5;
   Platform platform{20, 4};
   /// Also time the pre-optimization reference engine (heteroprio_reference)
   /// and report the speedup of the optimized engine at the largest n.
@@ -56,13 +57,19 @@ struct PerfBaseline {
   /// no sizes were measured.
   std::size_t counters_n = 0;
   obs::SchedulerCounters counters{};
+  /// Scratch-arena footprint after all measured runs: how much per-run
+  /// scratch the SoA engines bump-allocated (high water) and how much the
+  /// arena holds reserved across runs. Travels with the throughput numbers
+  /// so memory regressions of the hot path are as visible as time ones.
+  std::size_t arena_reserved_bytes = 0;
+  std::size_t arena_high_water_bytes = 0;
 };
 
 /// Run all measurements. Deterministic instances (seeded from n), wall-clock
 /// timings via steady_clock.
 [[nodiscard]] PerfBaseline run_perf_baseline(const PerfBaselineOptions& options);
 
-/// Serialize to the BENCH_core.json document (schema "hp-bench-core/v1").
+/// Serialize to the BENCH_core.json document (schema "hp-bench-core/v2").
 [[nodiscard]] std::string perf_baseline_to_json(const PerfBaseline& baseline);
 
 /// Write the JSON document to `path`. Returns false on I/O failure.
@@ -70,9 +77,11 @@ bool write_perf_baseline_json(const PerfBaseline& baseline,
                               const std::string& path);
 
 /// Validate an emitted BENCH_core.json: the document must parse, carry the
-/// expected schema tag, and contain a series entry with a positive
-/// tasks_per_sec for every (algorithm in {HeteroPrio, DualHP, HEFT}, n in
-/// `sizes`) pair. On failure returns false and explains in `*error`.
+/// v2 schema tag with its layout/arena fields, and contain a series entry
+/// with a positive tasks_per_sec for every (algorithm in {HeteroPrio,
+/// DualHP, HEFT}, n in `sizes`) pair, in any order. On failure returns
+/// false and `*error` names every missing series (algorithm and n), not
+/// just the first.
 bool validate_perf_baseline_json(const std::string& json_text,
                                  const std::vector<std::size_t>& sizes,
                                  std::string* error);

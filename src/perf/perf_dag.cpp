@@ -18,6 +18,7 @@
 #include "linalg/lu.hpp"
 #include "linalg/qr.hpp"
 #include "perf/json_scan.hpp"
+#include "sched/critical_path.hpp"
 
 namespace hp::perf {
 
@@ -46,7 +47,9 @@ void append_json_series(std::ostringstream& out, const PerfDagSeries& s,
       << "\"n\": " << s.n << ", "
       << "\"seconds\": " << s.seconds << ", "
       << "\"tasks_per_sec\": " << s.tasks_per_sec << ", "
-      << "\"makespan\": " << s.makespan << "}";
+      << "\"makespan\": " << s.makespan << ", "
+      << "\"cp_compute_fraction\": " << s.cp_compute_fraction << ", "
+      << "\"cp_segments\": " << s.cp_segments << "}";
 }
 
 }  // namespace
@@ -71,21 +74,27 @@ PerfDagBaseline run_perf_dag(const PerfDagOptions& options) {
       assign_priorities(graph, RankScheme::kAvg);
       const std::size_t n = graph.size();
 
-      // Best-of-reps wall time; the last run's makespan records the
-      // schedule quality (identical across reps — all policies are
-      // deterministic).
+      // Best-of-reps wall time after one untimed warm-up (first-touch page
+      // faults and allocator growth are not scheduler costs). The last
+      // run's schedule records quality — identical across reps, all
+      // policies are deterministic — and feeds the critical-path
+      // attribution, computed outside the timed loop.
       const auto measure = [&](const std::string& algo, auto&& run) {
+        Schedule last = run();
         double best = std::numeric_limits<double>::infinity();
-        double makespan = 0.0;
         for (int r = 0; r < out.repetitions; ++r) {
           const auto start = Clock::now();
-          const Schedule schedule = run();
+          Schedule schedule = run();
           best = std::min(best, seconds_since(start));
-          makespan = schedule.makespan();
+          last = std::move(schedule);
         }
         const double rate = static_cast<double>(n) / best;
-        out.series.push_back(
-            PerfDagSeries{kernel, algo, tiles, n, best, rate, makespan});
+        const CriticalPathReport cp =
+            build_critical_path(last, graph.tasks(), options.platform, &graph);
+        out.series.push_back(PerfDagSeries{kernel, algo, tiles, n, best, rate,
+                                           last.makespan(),
+                                           cp.compute_fraction(),
+                                           cp.segments.size()});
         note(kernel + " N=" + std::to_string(tiles) + " " + algo + ": " +
              std::to_string(rate / 1e3) + "k tasks/s");
         return rate;
@@ -120,7 +129,8 @@ std::string perf_dag_to_json(const PerfDagBaseline& baseline) {
   std::ostringstream out;
   out.precision(10);
   out << "{\n"
-      << "  \"schema\": \"hp-bench-dag/v1\",\n"
+      << "  \"schema\": \"hp-bench-dag/v2\",\n"
+      << "  \"layout\": \"soa\",\n"
       << "  \"platform\": {\"cpus\": " << baseline.platform.cpus()
       << ", \"gpus\": " << baseline.platform.gpus() << "},\n"
       << "  \"repetitions\": " << baseline.repetitions << ",\n"
@@ -164,13 +174,8 @@ bool validate_perf_dag_json(const std::string& json_text,
   };
   if (!jsonscan::balanced_json(json_text, error)) return false;
   if (jsonscan::string_field(json_text, "schema").value_or("") !=
-      "hp-bench-dag/v1") {
-    return fail("missing or wrong schema tag");
-  }
-  const std::size_t series_at =
-      jsonscan::field_value_pos(json_text, "series");
-  if (series_at == std::string::npos || json_text[series_at] != '[') {
-    return fail("missing series array");
+      "hp-bench-dag/v2") {
+    return fail("missing or wrong schema tag (want hp-bench-dag/v2)");
   }
 
   struct Expected {
@@ -188,48 +193,50 @@ bool validate_perf_dag_json(const std::string& json_text,
     }
   }
 
-  std::size_t at = series_at + 1;
-  while (at < json_text.size() && json_text[at] != ']') {
-    const std::size_t open = json_text.find('{', at);
-    if (open == std::string::npos) break;
-    const std::size_t close = json_text.find('}', open);
-    if (close == std::string::npos) return fail("unterminated series entry");
-    const std::string obj = json_text.substr(open, close - open + 1);
-    const std::string kernel =
-        jsonscan::string_field(obj, "kernel").value_or("");
-    const std::string algo =
-        jsonscan::string_field(obj, "algorithm").value_or("");
-    const std::optional<double> tiles = jsonscan::number_field(obj, "tiles");
-    const std::optional<double> rate =
-        jsonscan::number_field(obj, "tasks_per_sec");
-    if (kernel.empty() || algo.empty() || !tiles.has_value()) {
-      return fail("series entry without kernel/algorithm/tiles");
-    }
-    if (!rate.has_value() || *rate <= 0.0) {
-      return fail("series entry for " + kernel + "/" + algo +
-                  " has no positive tasks_per_sec");
-    }
-    for (Expected& e : expected) {
-      if (e.kernel == kernel && e.algorithm == algo &&
-          static_cast<double>(e.tiles) == *tiles) {
-        e.seen = true;
-      }
-    }
-    at = close + 1;
-    const std::size_t next_obj = json_text.find('{', at);
-    const std::size_t array_end = json_text.find(']', at);
-    if (array_end != std::string::npos &&
-        (next_obj == std::string::npos || array_end < next_obj)) {
-      break;
-    }
-  }
+  std::string entry_error;
+  const bool walked = jsonscan::for_each_array_object(
+      json_text, "series", [&](const std::string& obj) {
+        const std::string kernel =
+            jsonscan::string_field(obj, "kernel").value_or("");
+        const std::string algo =
+            jsonscan::string_field(obj, "algorithm").value_or("");
+        const std::optional<double> tiles =
+            jsonscan::number_field(obj, "tiles");
+        const std::optional<double> rate =
+            jsonscan::number_field(obj, "tasks_per_sec");
+        const std::optional<double> cp =
+            jsonscan::number_field(obj, "cp_compute_fraction");
+        if (kernel.empty() || algo.empty() || !tiles.has_value()) {
+          entry_error = "series entry without kernel/algorithm/tiles";
+          return;
+        }
+        if (!rate.has_value() || *rate <= 0.0) {
+          entry_error = "series entry for " + kernel + "/" + algo +
+                        " has no positive tasks_per_sec";
+          return;
+        }
+        if (!cp.has_value() || *cp < 0.0 || *cp > 1.0) {
+          entry_error = "series entry for " + kernel + "/" + algo +
+                        " has no cp_compute_fraction in [0, 1]";
+          return;
+        }
+        for (Expected& e : expected) {
+          if (e.kernel == kernel && e.algorithm == algo &&
+              static_cast<double>(e.tiles) == *tiles) {
+            e.seen = true;
+          }
+        }
+      });
+  if (!walked) return fail("missing series array");
+  if (!entry_error.empty()) return fail(entry_error);
 
+  std::string missing;
   for (const Expected& e : expected) {
-    if (!e.seen) {
-      return fail("missing series: " + e.kernel + "/" + e.algorithm +
-                  " at N=" + std::to_string(e.tiles));
-    }
+    if (e.seen) continue;
+    if (!missing.empty()) missing += ", ";
+    missing += e.kernel + "/" + e.algorithm + " at N=" + std::to_string(e.tiles);
   }
+  if (!missing.empty()) return fail("missing series: " + missing);
   return true;
 }
 

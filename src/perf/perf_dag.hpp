@@ -36,6 +36,13 @@ struct PerfDagSeries {
   double seconds = 0.0;        ///< best-of-repetitions wall time
   double tasks_per_sec = 0.0;  ///< n / seconds
   double makespan = 0.0;       ///< simulated makespan (schedule quality)
+  /// Critical-path attribution of the produced schedule
+  /// (sched/critical_path.hpp): fraction of the makespan the critical chain
+  /// spends executing tasks, and the chain's segment count. A falling
+  /// compute fraction at equal makespan means the chain picked up waits —
+  /// schedule-quality context the throughput numbers alone can't show.
+  double cp_compute_fraction = 0.0;
+  std::size_t cp_segments = 0;
 };
 
 /// Optimized / reference throughput at the largest tile count of a kernel.
@@ -59,7 +66,7 @@ struct PerfDagBaseline {
 /// steady_clock. The graph build is untimed — the series measure scheduling.
 [[nodiscard]] PerfDagBaseline run_perf_dag(const PerfDagOptions& options);
 
-/// Serialize to the BENCH_dag.json document (schema "hp-bench-dag/v1").
+/// Serialize to the BENCH_dag.json document (schema "hp-bench-dag/v2").
 [[nodiscard]] std::string perf_dag_to_json(const PerfDagBaseline& baseline);
 
 /// Write the JSON document to `path`. Returns false on I/O failure.
@@ -67,10 +74,10 @@ bool write_perf_dag_json(const PerfDagBaseline& baseline,
                          const std::string& path);
 
 /// Validate an emitted BENCH_dag.json: the document must parse, carry the
-/// expected schema tag, and contain a series entry with a positive
-/// tasks_per_sec for every (kernel, tiles in `tile_counts`, algorithm in
-/// {HeteroPrio, HEFT, DualHP}) triple. On failure returns false and
-/// explains in `*error`.
+/// v2 schema tag, and contain a series entry with a positive tasks_per_sec
+/// and an in-range cp_compute_fraction for every (kernel, tiles in
+/// `tile_counts`, algorithm in {HeteroPrio, HEFT, DualHP}) triple, in any
+/// order. On failure returns false and `*error` names every missing series.
 bool validate_perf_dag_json(const std::string& json_text,
                             const std::vector<std::string>& kernels,
                             const std::vector<int>& tile_counts,

@@ -1,0 +1,12 @@
+#include "util/arena.hpp"
+
+namespace hp::util {
+
+Arena& scratch_arena() {
+  // One arena per thread: the sweep driver runs schedulers on worker
+  // threads concurrently, and runs on the same thread nest via ArenaScope.
+  static thread_local Arena arena(1 << 20);
+  return arena;
+}
+
+}  // namespace hp::util

@@ -47,7 +47,9 @@
 #include "obs/watchdog.hpp"
 #include "perf/json_scan.hpp"
 #include "perf/perf_baseline.hpp"
+#include "perf/perf_compare.hpp"
 #include "perf/perf_dag.hpp"
+#include "sched/critical_path.hpp"
 #include "sched/export.hpp"
 #include "sched/gantt.hpp"
 #include "sched/metrics.hpp"
@@ -90,6 +92,7 @@ int usage() {
       "  hp_sched trace    --in FILE --cpus M --gpus N [--algo ...] [--rank ...]\n"
       "           [--out FILE.json] [--csv FILE.csv]\n"
       "  hp_sched report   --in FILE --cpus M --gpus N [--algo ...] [--rank ...]\n"
+      "           [--critical-path]\n"
       "  hp_sched faults   --in FILE --cpus M --gpus N [--algo hp|hp-nospol|heft|dualhp]\n"
       "           [--rank ...] [--crashes K] [--stragglers K] [--task-fail P]\n"
       "           [--slow X] [--retries K] [--backoff B] [--seed S] [--horizon H]\n"
@@ -97,7 +100,8 @@ int usage() {
       "           [--csv FILE.csv]\n"
       "  hp_sched perf     --out FILE [--dag-out FILE] [--quick] [--reps K]\n"
       "           [--threads N]\n"
-      "  hp_sched perf-check --in FILE [--quick]\n"
+      "  hp_sched perf-check --in FILE [--quick] [--against OLD]\n"
+      "           [--tolerance X]\n"
       "  hp_sched fuzz     --seed S --runs N [--scheduler hp,heft,...|all]\n"
       "           [--props validity,ratio,...|all] [--out REPORT]\n"
       "           [--repro-dir DIR] [--max-tasks K] [--max-seconds T]\n"
@@ -247,6 +251,7 @@ int cmd_bound(const Args& args) {
 struct RunResult {
   Schedule schedule;
   std::vector<Task> tasks;
+  TaskGraph graph;  ///< populated iff is_graph (dependency edges for reports)
   double lower_bound = 0.0;
   bool is_graph = false;
   obs::EventRecorder events;
@@ -311,6 +316,7 @@ std::optional<RunResult> run_algorithm(const Args& args,
       *exit_code = 1;
       return std::nullopt;
     }
+    result.graph = std::move(*graph);
   } else {
     const auto inst = io::instance_from_text(*text, &error);
     if (!inst.has_value()) {
@@ -443,7 +449,10 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
-/// Counter report plus bound-watchdog verdict of one run.
+/// Counter report plus bound-watchdog verdict of one run. With
+/// `--critical-path`, also attribute the makespan to the chain of task
+/// executions and waits that produced it (sched/critical_path.hpp) and fold
+/// the cp_* aggregates into the counter registry.
 int cmd_report(const Args& args) {
   const Platform platform(args.get_int("cpus", 20), args.get_int("gpus", 4));
   int exit_code = 0;
@@ -452,11 +461,21 @@ int cmd_report(const Args& args) {
 
   const obs::SchedulerCounters counters =
       obs::counters_from_events(run->events.events(), platform);
+  obs::CounterRegistry registry = obs::registry_from(counters);
+  std::optional<CriticalPathReport> cp;
+  if (args.options.count("critical-path") != 0) {
+    cp = build_critical_path(run->schedule, run->tasks, platform,
+                             run->is_graph ? &run->graph : nullptr);
+    add_to_registry(*cp, registry);
+  }
   std::cout << "algorithm: " << args.get("algo", "hp")
             << "\ntasks: " << run->tasks.size()
             << "\nmakespan: " << run->schedule.makespan()
             << "\nlower bound: " << run->lower_bound << "\n\n"
-            << obs::registry_from(counters).to_string() << '\n';
+            << registry.to_string() << '\n';
+  if (cp.has_value()) {
+    std::cout << describe(*cp, run->tasks, platform) << '\n';
+  }
 
   obs::WatchdogOptions wd;
   wd.dag = run->is_graph;
@@ -682,9 +701,13 @@ int cmd_perf(const Args& args) {
   return 0;
 }
 
-/// Validate an emitted BENCH file: parses, right schema, and every expected
-/// series present with a positive throughput. The schema tag of the file
-/// selects the validator (hp-bench-core/v1 or hp-bench-dag/v1).
+/// Validate an emitted BENCH file: parses, right schema, every expected
+/// series present (in any order) with a positive throughput — a failure
+/// names each missing series. The schema tag of the file selects the
+/// validator (hp-bench-core/v2 or hp-bench-dag/v2). With `--against OLD`,
+/// additionally join the series against a previous BENCH file and fail if
+/// any series regressed beyond `--tolerance` (default 0.25) or went
+/// missing, printing each one with its delta.
 int cmd_perf_check(const Args& args) {
   const auto text = io::load_text_file(args.get("in"));
   if (!text.has_value()) {
@@ -696,7 +719,7 @@ int cmd_perf_check(const Args& args) {
       perf::jsonscan::string_field(*text, "schema").value_or("");
   std::string error;
   bool ok = false;
-  if (schema == "hp-bench-dag/v1") {
+  if (schema.rfind("hp-bench-dag/", 0) == 0) {
     const std::vector<int> tiles =
         quick ? std::vector<int>{4, 8} : std::vector<int>{10, 20, 40, 60};
     ok = perf::validate_perf_dag_json(*text, {"cholesky", "qr", "lu"}, tiles,
@@ -710,6 +733,24 @@ int cmd_perf_check(const Args& args) {
   if (!ok) {
     std::cerr << "invalid baseline: " << error << '\n';
     return 1;
+  }
+
+  if (const std::string against = args.get("against"); !against.empty()) {
+    const auto old_text = io::load_text_file(against);
+    if (!old_text.has_value()) {
+      std::cerr << "cannot read " << against << '\n';
+      return 1;
+    }
+    const double tolerance = args.get_double("tolerance", 0.25);
+    const perf::PerfComparison cmp =
+        perf::compare_series(*old_text, *text, tolerance);
+    std::cout << perf::format_comparison(cmp);
+    if (!cmp.ok()) {
+      std::cerr << "perf-check: " << cmp.regressed.size()
+                << " series regressed beyond " << tolerance * 100.0
+                << "% and " << cmp.missing.size() << " went missing\n";
+      return 1;
+    }
   }
   std::cout << args.get("in") << ": ok\n";
   return 0;
