@@ -11,6 +11,7 @@
 #include "bounds/area_bound.hpp"
 #include "dag/ready_tracker.hpp"
 #include "model/task_soa.hpp"
+#include "obs/profile.hpp"
 #include "obs/replay.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/worker_pool.hpp"
@@ -266,6 +267,7 @@ Schedule dualhp(std::span<const Task> tasks, const Platform& platform,
 
   util::Arena& arena = util::scratch_arena();
   const util::ArenaScope scope(arena);
+  const obs::PhaseScope engine_scope(options.metrics, obs::Phase::kEngine);
   const detail::TaskTimes times = detail::split_times(tasks, arena);
   const std::span<const std::uint64_t> rho_key =
       detail::accel_keys(times, arena);
@@ -296,9 +298,13 @@ Schedule dualhp(std::span<const Task> tasks, const Platform& platform,
   const double warm = opt_lower_bound(tasks, platform);
   detail::DualScratch scratch(arena);
   detail::DualTry best, attempt;
-  detail::search_lambda(times, candidates, cpu_loads, gpu_loads, lb, warm,
-                        options.bisection_iters, nullptr, scratch, best,
-                        attempt);
+  {
+    const obs::PhaseScope bisect_scope(options.metrics,
+                                       obs::Phase::kDualHpBisection);
+    detail::search_lambda(times, candidates, cpu_loads, gpu_loads, lb, warm,
+                          options.bisection_iters, nullptr, scratch, best,
+                          attempt);
+  }
 
   // Concretize: within each resource type, dispatch tasks by priority (or id
   // order for fifo) onto the least-loaded worker. Priority desc / id asc is
@@ -353,6 +359,7 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
 
   util::Arena& arena = util::scratch_arena();
   const util::ArenaScope scope(arena);
+  const obs::PhaseScope engine_scope(options.metrics, obs::Phase::kEngine);
   const detail::TaskTimes times = detail::split_times(tasks, arena);
   const std::span<const std::uint64_t> rho_key =
       detail::accel_keys(times, arena);
@@ -465,9 +472,15 @@ Schedule dualhp_dag(const TaskGraph& graph, const Platform& platform,
       for (const TaskId id : candidates) {
         lb = std::max(lb, tasks[static_cast<std::size_t>(id)].min_time());
       }
-      detail::search_lambda(times, candidates.span(), cpu_loads, gpu_loads,
-                            lb, warm_lambda, options.bisection_iters,
-                            &warm_lambda, scratch, best, attempt);
+      {
+        // Sampled per-item phase: the bisection reruns on every ready-set
+        // change, which is per-task-granular on wide DAGs.
+        const obs::PhaseScope bisect_scope(options.metrics,
+                                           obs::Phase::kDualHpBisection);
+        detail::search_lambda(times, candidates.span(), cpu_loads, gpu_loads,
+                              lb, warm_lambda, options.bisection_iters,
+                              &warm_lambda, scratch, best, attempt);
+      }
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         assigned_side[static_cast<std::size_t>(candidates[i])] = best.side[i];
       }

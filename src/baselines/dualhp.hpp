@@ -28,12 +28,19 @@
 
 namespace hp {
 
+namespace obs {
+class MetricsCollector;  // obs/profile.hpp
+}
+
 struct DualHpOptions {
   bool fifo_order = false;   ///< ignore priorities; dispatch in ready order
   int bisection_iters = 16;  ///< binary-search refinement steps on lambda
   /// Receives the finished schedule replayed as an event stream
   /// (obs::replay_schedule).
   obs::EventSink* sink = nullptr;
+  /// Phase self-profiling (obs/profile.hpp): the lambda bisection, sampled.
+  /// Null costs one pointer test per scope.
+  obs::MetricsCollector* metrics = nullptr;
 };
 
 /// DualHP for independent tasks.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "model/task_soa.hpp"
+#include "obs/profile.hpp"
 #include "obs/replay.hpp"
 #include "util/arena.hpp"
 #include "util/key_sort.hpp"
@@ -136,6 +137,8 @@ Schedule heft_run(std::span<const Task> tasks, const TaskGraph* graph,
       static_cast<std::size_t>(platform.workers()));
 
   for (TaskId id : order) {
+    const obs::PhaseScope gap_scope(options.metrics,
+                                    obs::Phase::kHeftGapSearch);
     const Task& t = tasks[static_cast<std::size_t>(id)];
     double ready = 0.0;
     if (graph != nullptr) {
@@ -176,9 +179,15 @@ Schedule heft_run(std::span<const Task> tasks, const TaskGraph* graph,
 Schedule heft_independent_run(std::span<const Task> tasks,
                               const Platform& platform,
                               std::span<const util::KeyId> order,
-                              util::Arena& arena) {
+                              const HeftOptions& options, util::Arena& arena) {
   Schedule schedule(tasks.size());
   const util::ArenaScope scope(arena);
+  // One scope around the whole placement loop: the per-task body is a flat
+  // ~W-lane scan of a few ns, where even a sampled per-task scope entry
+  // would be measurable (the DAG loop above, with its gap-index queries,
+  // affords per-task sampling).
+  const obs::PhaseScope gap_scope(options.metrics,
+                                  obs::Phase::kHeftGapSearch);
   const auto wcount = static_cast<std::size_t>(platform.workers());
   const std::span<double> finish = arena.alloc_zeroed<double>(wcount);
   const auto cpus = static_cast<std::size_t>(platform.cpus());
@@ -210,7 +219,11 @@ Schedule heft(const TaskGraph& graph, const Platform& platform,
   assert(graph.finalized());
   assert(options.rank != RankScheme::kFifo && "HEFT requires a rank scheme");
 
-  const std::vector<double> rank = bottom_levels(graph, options.rank);
+  const obs::PhaseScope engine_scope(options.metrics, obs::Phase::kEngine);
+  const std::vector<double> rank = [&] {
+    const obs::PhaseScope rank_scope(options.metrics, obs::Phase::kHeftRank);
+    return bottom_levels(graph, options.rank);
+  }();
   // Decreasing upward rank. With strictly positive weights this is a
   // topological order (a predecessor's rank strictly exceeds its
   // successors'); rank ties break topologically, which the packed sort gets
@@ -222,16 +235,19 @@ Schedule heft(const TaskGraph& graph, const Platform& platform,
   const util::ArenaScope scope(arena);
   const std::span<util::KeyId> keyed{arena.alloc<util::KeyId>(graph.size()),
                                      graph.size()};
-  for (std::size_t i = 0; i < topo.size(); ++i) {
-    keyed[i] = util::KeyId{
-        soa::descending_key(rank[static_cast<std::size_t>(topo[i])]),
-        static_cast<std::uint32_t>(i)};
-  }
-  util::sort_key_id(keyed, arena);
   const std::span<TaskId> order{arena.alloc<TaskId>(graph.size()),
                                 graph.size()};
-  for (std::size_t i = 0; i < keyed.size(); ++i) {
-    order[i] = topo[keyed[i].id];
+  {
+    const obs::PhaseScope rank_scope(options.metrics, obs::Phase::kHeftRank);
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      keyed[i] = util::KeyId{
+          soa::descending_key(rank[static_cast<std::size_t>(topo[i])]),
+          static_cast<std::uint32_t>(i)};
+    }
+    util::sort_key_id(keyed, arena);
+    for (std::size_t i = 0; i < keyed.size(); ++i) {
+      order[i] = topo[keyed[i].id];
+    }
   }
   Schedule schedule = heft_run(graph.tasks(), &graph, platform, options, order);
   obs::replay_schedule_to(schedule, platform, options.sink);
@@ -243,17 +259,23 @@ Schedule heft_independent(std::span<const Task> tasks, const Platform& platform,
   assert(options.rank != RankScheme::kFifo && "HEFT requires a rank scheme");
   util::Arena& arena = util::scratch_arena();
   const util::ArenaScope scope(arena);
+  const obs::PhaseScope engine_scope(options.metrics, obs::Phase::kEngine);
   // Rank weights are computed once into the key array instead of twice per
   // comparison; ascending (descending_key(weight), id) is the reference
   // order (weight desc, task id asc).
   const std::span<util::KeyId> order{arena.alloc<util::KeyId>(tasks.size()),
                                      tasks.size()};
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    order[i] = util::KeyId{soa::descending_key(rank_weight(tasks[i], options.rank)),
-                           static_cast<std::uint32_t>(i)};
+  {
+    const obs::PhaseScope rank_scope(options.metrics, obs::Phase::kHeftRank);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      order[i] =
+          util::KeyId{soa::descending_key(rank_weight(tasks[i], options.rank)),
+                      static_cast<std::uint32_t>(i)};
+    }
+    util::sort_key_id(order, arena);
   }
-  util::sort_key_id(order, arena);
-  Schedule schedule = heft_independent_run(tasks, platform, order, arena);
+  Schedule schedule =
+      heft_independent_run(tasks, platform, order, options, arena);
   obs::replay_schedule_to(schedule, platform, options.sink);
   return schedule;
 }

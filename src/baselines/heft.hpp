@@ -18,6 +18,10 @@
 
 namespace hp {
 
+namespace obs {
+class MetricsCollector;  // obs/profile.hpp
+}
+
 struct HeftOptions {
   RankScheme rank = RankScheme::kAvg;  ///< avg or min (§6.2); kFifo invalid
   bool insertion = true;  ///< insertion-based placement (classic HEFT)
@@ -25,6 +29,9 @@ struct HeftOptions {
   /// (obs::replay_schedule), so static planners feed the same exporters
   /// and counters as the dynamic schedulers.
   obs::EventSink* sink = nullptr;
+  /// Phase self-profiling (obs/profile.hpp): rank ordering and the
+  /// per-task gap search, sampled. Null costs one pointer test per scope.
+  obs::MetricsCollector* metrics = nullptr;
 };
 
 /// HEFT on a DAG. Graph must be finalized and acyclic.

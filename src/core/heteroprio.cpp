@@ -12,6 +12,7 @@
 #include "core/hp_engine.hpp"
 #include "dag/ready_tracker.hpp"
 #include "model/task_soa.hpp"
+#include "obs/profile.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/worker_pool.hpp"
 #include "util/arena.hpp"
@@ -272,12 +273,15 @@ void run_independent_fast(const soa::SortKeys& sort_keys,
   // pair key to key0 with a stable id tie-break. The elements arrive
   // prebuilt (ids = task index) from the fused build_sort_keys pass.
   std::uint32_t* order = arena.alloc<std::uint32_t>(n);
-  if (sort_keys.uniform_priority) {
-    util::sort_key_id({sort_keys.key_id, n}, arena);
-    for (std::size_t i = 0; i < n; ++i) order[i] = sort_keys.key_id[i].id;
-  } else {
-    util::sort_key2_id({sort_keys.key2_id, n}, arena);
-    for (std::size_t i = 0; i < n; ++i) order[i] = sort_keys.key2_id[i].id;
+  {
+    const obs::PhaseScope sort_scope(options.metrics, obs::Phase::kSort);
+    if (sort_keys.uniform_priority) {
+      util::sort_key_id({sort_keys.key_id, n}, arena);
+      for (std::size_t i = 0; i < n; ++i) order[i] = sort_keys.key_id[i].id;
+    } else {
+      util::sort_key2_id({sort_keys.key2_id, n}, arena);
+      for (std::size_t i = 0; i < n; ++i) order[i] = sort_keys.key2_id[i].id;
+    }
   }
   std::size_t q_gpu = 0;  ///< next GPU-end pop
   std::size_t q_cpu = n;  ///< next CPU-end pop is order[q_cpu - 1]
@@ -365,6 +369,8 @@ void run_independent_fast(const soa::SortKeys& sort_keys,
   };
 
   const auto try_spoliate = [&](int w) -> bool {
+    const obs::PhaseScope scan_scope(options.metrics,
+                                     obs::Phase::kSpoliationScan);
     ++stats.spoliation_attempts;
     const bool is_gpu = w >= cpus;
     // Gather the running set of the other resource and order it on demand;
@@ -433,7 +439,17 @@ void run_independent_fast(const soa::SortKeys& sort_keys,
     }
   };
 
-  dispatch_idle();
+  // Timed wrapper for the full dispatch passes. The one-idle fast path in
+  // the loop below stays uninstrumented on purpose: it is the per-task
+  // steady state of the >10M tasks/s engine, where even a sampled scope
+  // entry would be a measurable fraction of the ~100ns budget.
+  const auto dispatch_timed = [&] {
+    const obs::PhaseScope dispatch_scope(options.metrics,
+                                         obs::Phase::kDispatch);
+    dispatch_idle();
+  };
+
+  dispatch_timed();
 
   while (completed < n) {
     // Next instant: min over the finish array (idle lanes are +inf) and the
@@ -474,7 +490,7 @@ void run_independent_fast(const soa::SortKeys& sort_keys,
       start_task(w,
                  static_cast<std::uint32_t>(w >= cpus ? q_gpu++ : --q_cpu));
     } else {
-      dispatch_idle();
+      dispatch_timed();
     }
   }
 
@@ -515,6 +531,12 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   util::Arena& arena = util::scratch_arena();
   const util::ArenaScope arena_scope(arena);
 
+  // Self-profiling. Timings never feed back into decisions, so the
+  // schedule stays bitwise identical with a collector attached — and
+  // attaching one does not disqualify the independent fast path below.
+  obs::MetricsCollector* const metrics = options.metrics;
+  const obs::PhaseScope engine_scope(metrics, obs::Phase::kEngine);
+
   // Route events through a stack fanout only when both a scheduler sink and
   // an enabled legacy log are present; otherwise the probe points straight
   // at whichever is live, keeping the hot path at one pointer test.
@@ -552,7 +574,10 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
       platform.workers() <= 63) {
     // Keys-only build: this path gathers durations from the AoS records in
     // queue order and never reads the flat SoA arrays.
-    const soa::SortKeys sort_keys = soa::build_sort_keys(tasks, arena);
+    const soa::SortKeys sort_keys = [&] {
+      const obs::PhaseScope key_scope(metrics, obs::Phase::kKeyBuild);
+      return soa::build_sort_keys(tasks, arena);
+    }();
     run_independent_fast(sort_keys, tasks, actuals, platform, options,
                          victim_order, schedule, local_stats, arena);
     if (stats != nullptr) {
@@ -566,7 +591,10 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
 
   // Batched split of the AoS records into flat arrays + packed ready keys
   // for the general loop.
-  const soa::TaskSoA soa = soa::build_task_soa(tasks, arena);
+  const soa::TaskSoA soa = [&] {
+    const obs::PhaseScope key_scope(metrics, obs::Phase::kKeyBuild);
+    return soa::build_task_soa(tasks, arena);
+  }();
 
   // Actual durations as flat arrays for the general loop's clock.
   std::span<const double> act_cpu = soa.cpu;
@@ -617,6 +645,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   std::optional<ReadyTracker> tracker;
   if (graph != nullptr) {
     tracker.emplace(*graph);
+    const obs::PhaseScope ready_scope(metrics, obs::Phase::kReadyUpdate);
     for (TaskId id : tracker->initially_ready()) {
       queue.insert(id);
       probe.ready(0.0, id);
@@ -630,7 +659,10 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
       probe.ready(0.0, static_cast<TaskId>(i));
     }
   } else {
-    queue.presort_all(tasks.size(), arena);
+    {
+      const obs::PhaseScope sort_scope(metrics, obs::Phase::kSort);
+      queue.presort_all(tasks.size(), arena);
+    }
     if (probe) {
       for (std::size_t i = 0; i < tasks.size(); ++i) {
         probe.ready(0.0, static_cast<TaskId>(i));
@@ -692,6 +724,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   // other resource type in scan order and steal the first task `w` would
   // finish strictly earlier. Returns true if a task was stolen.
   auto try_spoliate = [&](WorkerId w) -> bool {
+    const obs::PhaseScope scan_scope(metrics, obs::Phase::kSpoliationScan);
     ++local_stats.spoliation_attempts;
     probe.spoliate_attempt(now, w);
     const Resource mine = platform.type_of(w);
@@ -760,7 +793,10 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
   // peak after a ready burst, the post-sample the steady-state backlog.
   auto dispatch_and_sample = [&] {
     probe.queue_depth(now, queue.size());
-    dispatch_idle();
+    {
+      const obs::PhaseScope dispatch_scope(metrics, obs::Phase::kDispatch);
+      dispatch_idle();
+    }
     probe.queue_depth(now, queue.size());
   };
 
@@ -803,6 +839,7 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
     ++completed;
     probe.complete(now, done.task, w);
     if (tracker.has_value()) {
+      const obs::PhaseScope ready_scope(metrics, obs::Phase::kReadyUpdate);
       for (TaskId released : tracker->complete(done.task)) {
         queue.insert(released);
         probe.ready(now, released);

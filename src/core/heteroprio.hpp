@@ -26,6 +26,10 @@
 
 namespace hp {
 
+namespace obs {
+class MetricsCollector;  // obs/profile.hpp
+}
+
 /// Order in which running tasks are scanned for spoliation.
 enum class VictimOrder {
   kAuto,            ///< kCompletionTime for independent tasks (Algorithm 1),
@@ -51,6 +55,13 @@ struct HeteroPrioOptions {
   /// Null keeps the hot path at a single pointer test per decision (and
   /// -DHP_OBS_OFF removes even that).
   obs::EventSink* sink = nullptr;
+  /// Phase self-profiling (obs/profile.hpp): engine total, SoA key build,
+  /// sort, dispatch, ready update and spoliation scan, with per-item phases
+  /// deterministically sampled. Never read for decisions — the schedule is
+  /// bitwise identical with and without a collector, and attaching one does
+  /// not leave the independent fast path. Null costs one pointer test per
+  /// scope (-DHP_OBS_OFF: nothing).
+  obs::MetricsCollector* metrics = nullptr;
   /// Fault plan to inject (crashes, stragglers, task failures); the engine
   /// recovers online — aborts and re-enqueues in-flight work of crashed
   /// workers, retries failed attempts up to the plan's budget, and declares

@@ -5,7 +5,9 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 namespace hp::obs {
@@ -42,6 +44,18 @@ std::string chrome_trace_from_events(std::span<const Event> events,
   };
   std::vector<OpenSlice> open(static_cast<std::size_t>(platform.workers()));
 
+  // Running-set size per resource, sampled on every change.
+  int running[2] = {0, 0};
+  auto emit_running = [&](double time, Resource r) {
+    if (!options.counter_tracks) return;
+    sep();
+    oss << "{\"name\":\"running_"
+        << (r == Resource::kCpu ? "cpu" : "gpu")
+        << "\",\"cat\":\"counters\",\"ph\":\"C\",\"pid\":0,\"ts\":"
+        << ts(time) << ",\"args\":{\"running\":"
+        << running[static_cast<std::size_t>(r)] << "}}";
+  };
+
   auto emit_slice = [&](const Event& e, const OpenSlice& slice, bool aborted) {
     sep();
     oss << "{\"name\":\"" << task_label(slice.task, tasks)
@@ -67,6 +81,9 @@ std::string chrome_trace_from_events(std::span<const Event> events,
       case EventKind::kStart:
         if (e.worker >= 0) {
           open[static_cast<std::size_t>(e.worker)] = {e.task, e.time};
+          const Resource r = platform.type_of(e.worker);
+          ++running[static_cast<std::size_t>(r)];
+          emit_running(e.time, r);
         }
         break;
       case EventKind::kComplete:
@@ -76,6 +93,9 @@ std::string chrome_trace_from_events(std::span<const Event> events,
         if (slice.task == kInvalidTask) break;  // unpaired
         emit_slice(e, slice, e.kind == EventKind::kAbort);
         slice = OpenSlice{};
+        const Resource r = platform.type_of(e.worker);
+        --running[static_cast<std::size_t>(r)];
+        emit_running(e.time, r);
         break;
       }
       case EventKind::kSpoliateCommit:
@@ -147,6 +167,37 @@ std::string chrome_trace_from_events(std::span<const Event> events,
     oss << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << w
         << ",\"args\":{\"name\":\"" << resource_name(platform.type_of(w))
         << ' ' << w << "\"}}";
+  }
+
+  // One metadata record rolling up the run's registries, so the trace
+  // carries the same numbers the Prometheus exposition serves.
+  if (options.counters != nullptr || options.metrics != nullptr) {
+    sep();
+    oss << "{\"name\":\"hp_metrics_rollup\",\"ph\":\"M\",\"pid\":0,"
+        << "\"args\":{";
+    bool first_arg = true;
+    auto arg_sep = [&] {
+      if (!first_arg) oss << ',';
+      first_arg = false;
+    };
+    if (options.counters != nullptr) {
+      for (const auto& [name, value] : options.counters->entries()) {
+        arg_sep();
+        oss << '"' << name << "\":" << util::format_double(value, 6);
+      }
+    }
+    if (options.metrics != nullptr) {
+      for (const auto& entry : options.metrics->histograms()) {
+        const Histogram& h = entry.histogram;
+        arg_sep();
+        oss << '"' << entry.name << "\":{\"count\":" << h.count()
+            << ",\"p50\":" << util::format_double(h.quantile(0.5), 6)
+            << ",\"p90\":" << util::format_double(h.quantile(0.9), 6)
+            << ",\"p99\":" << util::format_double(h.quantile(0.99), 6)
+            << ",\"max\":" << util::format_double(h.max(), 6) << '}';
+      }
+    }
+    oss << "}}";
   }
   oss << "]}";
   return oss.str();

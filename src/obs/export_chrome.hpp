@@ -22,14 +22,26 @@
 
 namespace hp::obs {
 
+class CounterRegistry;
+class MetricsRegistry;
+
 struct ChromeTraceOptions {
   /// Multiplier from simulated seconds to emitted "ts" units.
   double time_scale = 1000.0;
-  /// Emit kQueueDepth samples as a counter track.
+  /// Emit kQueueDepth samples as a counter track, plus running_cpu /
+  /// running_gpu tracks (running-set size per resource, derived from the
+  /// start/complete/abort pairs).
   bool counter_tracks = true;
   /// Emit instant markers for spoliation attempts/skips (commits are always
   /// emitted; attempts can be numerous on adversarial instances).
   bool attempt_markers = true;
+  /// Optional rollup embedded as one "hp_metrics_rollup" metadata record:
+  /// every CounterRegistry entry (scheduler counters, cp_* critical-path
+  /// attribution) verbatim, and count/p50/p90/p99/max per MetricsRegistry
+  /// histogram — the same numbers the Prometheus exposition reports, so
+  /// the trace and the scrape cannot drift apart. Borrowed, may be null.
+  const CounterRegistry* counters = nullptr;
+  const MetricsRegistry* metrics = nullptr;
 };
 
 /// Render `events` (one run, time-ordered) as a Chrome trace-event JSON

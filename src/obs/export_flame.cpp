@@ -1,0 +1,64 @@
+#include "obs/export_flame.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace hp::obs {
+
+std::string collapsed_stacks(const MetricsCollector& collector) {
+  const std::vector<MetricsCollector::PathTotal>& paths = collector.paths();
+
+  // Scale each path's sampled time by its leaf phase's sampling ratio.
+  struct ScaledPath {
+    std::uint64_t key = 0;
+    double scaled_ns = 0.0;
+  };
+  std::vector<ScaledPath> scaled;
+  scaled.reserve(paths.size());
+  for (const auto& path : paths) {
+    const auto leaf = static_cast<Phase>((path.key & 0xF) - 1);
+    const PhaseStats& st = collector.stats(leaf);
+    const double scale =
+        st.sampled > 0 ? static_cast<double>(st.calls) /
+                             static_cast<double>(st.sampled)
+                       : 1.0;
+    scaled.push_back({path.key, static_cast<double>(path.sampled_ns) * scale});
+  }
+
+  struct Line {
+    std::string frames;
+    long long weight = 0;
+  };
+  std::vector<Line> lines;
+  std::vector<Phase> decoded;
+  for (const auto& path : scaled) {
+    // Self time: subtract the scaled time of direct children (clamped —
+    // independent sampling can overestimate a child past its parent).
+    double self_ns = path.scaled_ns;
+    for (const auto& other : scaled) {
+      if (other.key >> 4 == path.key) self_ns -= other.scaled_ns;
+    }
+    const auto weight = std::llround(std::max(self_ns, 0.0));
+    if (weight <= 0) continue;
+
+    MetricsCollector::decode_path(path.key, &decoded);
+    std::ostringstream frames;
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      if (i != 0) frames << ';';
+      frames << phase_name(decoded[i]);
+    }
+    lines.push_back({frames.str(), weight});
+  }
+
+  std::sort(lines.begin(), lines.end(),
+            [](const Line& x, const Line& y) { return x.frames < y.frames; });
+  std::ostringstream out;
+  for (const Line& line : lines) {
+    out << line.frames << ' ' << line.weight << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,29 @@
+#pragma once
+// Collapsed-stack flamegraph export of a MetricsCollector's phase paths.
+//
+// The output is the classic Brendan Gregg "folded" format — one line per
+// call path, frames joined by ';', a space, then an integer weight:
+//
+//     engine;sort 48213
+//     engine;dispatch 1520044
+//
+// which loads directly in speedscope (import as "collapsed stacks"), in
+// inferno/flamegraph.pl, and in anything else that reads folded stacks.
+//
+// Weights are *self* nanoseconds per path: each path's sampled time is
+// scaled up by its leaf phase's sampling ratio, then the scaled time of
+// its direct children is subtracted (clamped at zero — children are
+// sampled independently, so the estimate can overshoot the parent's).
+
+#include <string>
+
+#include "obs/profile.hpp"
+
+namespace hp::obs {
+
+/// Render `collector`'s aggregated call paths as folded stacks. Paths with
+/// zero self-weight after rounding are dropped; the result is "" when
+/// nothing was sampled.
+[[nodiscard]] std::string collapsed_stacks(const MetricsCollector& collector);
+
+}  // namespace hp::obs

@@ -1,0 +1,154 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace hp::obs {
+
+Histogram::Histogram(const HistogramConfig& config)
+    : config_(config),
+      sub_count_(1 << config.sub_bits),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  assert(config.max_exp > config.min_exp);
+  assert(config.sub_bits >= 0 && config.sub_bits <= 12);
+  const std::size_t spans =
+      static_cast<std::size_t>(config.max_exp - config.min_exp);
+  buckets_.assign(spans * static_cast<std::size_t>(sub_count_) + 2, 0);
+}
+
+std::size_t Histogram::index_of(double value) const noexcept {
+  // Non-positive values and NaN have no exponent; they count in the
+  // underflow bucket and are still exact in sum/min/max.
+  if (!(value > 0.0)) return 0;
+  int exp2 = 0;
+  const double mantissa = std::frexp(value, &exp2);  // value = m * 2^e,
+  const int exp = exp2 - 1;                          // m in [0.5, 1)
+  if (exp < config_.min_exp) return 0;
+  if (exp >= config_.max_exp) return buckets_.size() - 1;
+  // value / 2^exp = 2m in [1, 2): linear position within the power of two.
+  int sub = static_cast<int>((mantissa * 2.0 - 1.0) *
+                             static_cast<double>(sub_count_));
+  sub = std::clamp(sub, 0, sub_count_ - 1);
+  return 1 +
+         static_cast<std::size_t>(exp - config_.min_exp) *
+             static_cast<std::size_t>(sub_count_) +
+         static_cast<std::size_t>(sub);
+}
+
+double Histogram::bucket_upper(std::size_t i) const noexcept {
+  if (i == 0) return std::ldexp(1.0, config_.min_exp);
+  if (i == buckets_.size() - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t linear = i - 1;
+  const int exp =
+      config_.min_exp + static_cast<int>(linear / static_cast<std::size_t>(
+                                                      sub_count_));
+  const auto sub = static_cast<double>(linear %
+                                       static_cast<std::size_t>(sub_count_));
+  return std::ldexp(1.0 + (sub + 1.0) / static_cast<double>(sub_count_), exp);
+}
+
+double Histogram::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+double Histogram::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::clamp(bucket_upper(i), min_, max_);
+  }
+  return max_;  // unreachable: bucket counts sum to count_
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(config_ == other.config_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+namespace {
+
+double* find_or_create(std::deque<MetricsRegistry::NamedValue>& family,
+                       std::string_view name) {
+  for (auto& entry : family) {
+    if (entry.name == name) return &entry.value;
+  }
+  family.push_back({std::string(name), 0.0});
+  return &family.back().value;
+}
+
+const double* find_in(const std::deque<MetricsRegistry::NamedValue>& family,
+                      std::string_view name) {
+  for (const auto& entry : family) {
+    if (entry.name == name) return &entry.value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+double& MetricsRegistry::counter(std::string_view name) {
+  return *find_or_create(counters_, name);
+}
+
+double& MetricsRegistry::gauge(std::string_view name) {
+  return *find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const HistogramConfig& config) {
+  for (auto& entry : histograms_) {
+    if (entry.name == name) return entry.histogram;
+  }
+  histograms_.emplace_back(std::string(name), config);
+  return histograms_.back().histogram;
+}
+
+const double* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_in(counters_, name);
+}
+
+const double* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_in(gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  for (const auto& entry : histograms_) {
+    if (entry.name == name) return &entry.histogram;
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& entry : other.counters_) {
+    counter(entry.name) += entry.value;
+  }
+  for (const auto& entry : other.gauges_) {
+    double& mine = gauge(entry.name);
+    mine = std::max(mine, entry.value);
+  }
+  for (const auto& entry : other.histograms_) {
+    histogram(entry.name, entry.histogram.config()).merge(entry.histogram);
+  }
+}
+
+}  // namespace hp::obs

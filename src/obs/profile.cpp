@@ -1,0 +1,126 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace hp::obs {
+
+namespace {
+
+constexpr std::size_t idx(Phase phase) noexcept {
+  return static_cast<std::size_t>(phase);
+}
+
+/// Durations span sub-microsecond scope bodies to whole-run seconds;
+/// [2^0, 2^36) ns covers 1 ns .. ~69 s with underflow/overflow guards.
+constexpr HistogramConfig kDurationConfig{.min_exp = 0,
+                                          .max_exp = 36,
+                                          .sub_bits = 5};
+
+}  // namespace
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kEngine: return "engine";
+    case Phase::kKeyBuild: return "key_build";
+    case Phase::kSort: return "sort";
+    case Phase::kDispatch: return "dispatch";
+    case Phase::kReadyUpdate: return "ready_update";
+    case Phase::kSpoliationScan: return "spoliation_scan";
+    case Phase::kHeftRank: return "heft_rank";
+    case Phase::kHeftGapSearch: return "heft_gap_search";
+    case Phase::kDualHpBisection: return "dualhp_bisection";
+  }
+  return "unknown";
+}
+
+MetricsCollector::MetricsCollector(MetricClock* clock)
+    : clock_(clock != nullptr ? clock : &owned_clock_) {
+  histograms_.reserve(kNumPhases);
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    histograms_.emplace_back(kDurationConfig);
+  }
+  // Per-item phases sample; per-run phases are always timed.
+  for (const Phase phase :
+       {Phase::kDispatch, Phase::kReadyUpdate, Phase::kSpoliationScan,
+        Phase::kHeftGapSearch, Phase::kDualHpBisection}) {
+    shift_[idx(phase)] = kDefaultSampleShift;
+  }
+}
+
+void MetricsCollector::set_sample_shift(Phase phase, unsigned shift) {
+  shift_[idx(phase)] = static_cast<std::uint8_t>(std::min(shift, 31u));
+}
+
+unsigned MetricsCollector::sample_shift(Phase phase) const noexcept {
+  return shift_[idx(phase)];
+}
+
+void MetricsCollector::record_sample(Phase phase, std::uint64_t elapsed_ns) {
+  PhaseStats& st = stats_[idx(phase)];
+  ++st.sampled;
+  st.sampled_ns += elapsed_ns;
+  histograms_[idx(phase)].record(static_cast<double>(elapsed_ns));
+  add_path(path_stack_[std::min(depth_, kMaxDepth)], elapsed_ns);
+}
+
+void MetricsCollector::add_path(std::uint64_t key,
+                                std::uint64_t elapsed_ns) {
+  for (PathTotal& path : paths_) {
+    if (path.key == key) {
+      path.sampled_ns += elapsed_ns;
+      return;
+    }
+  }
+  paths_.push_back({key, elapsed_ns});
+}
+
+void MetricsCollector::decode_path(std::uint64_t key,
+                                   std::vector<Phase>* out) {
+  out->clear();
+  while (key != 0) {
+    out->push_back(static_cast<Phase>((key & 0xF) - 1));
+    key >>= 4;
+  }
+  std::reverse(out->begin(), out->end());  // root first
+}
+
+const PhaseStats& MetricsCollector::stats(Phase phase) const noexcept {
+  return stats_[idx(phase)];
+}
+
+const Histogram& MetricsCollector::phase_histogram(
+    Phase phase) const noexcept {
+  return histograms_[idx(phase)];
+}
+
+void MetricsCollector::merge(const MetricsCollector& other) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    stats_[i].calls += other.stats_[i].calls;
+    stats_[i].sampled += other.stats_[i].sampled;
+    stats_[i].sampled_ns += other.stats_[i].sampled_ns;
+    histograms_[i].merge(other.histograms_[i]);
+  }
+  for (const PathTotal& path : other.paths_) {
+    add_path(path.key, path.sampled_ns);
+  }
+}
+
+void MetricsCollector::export_to(MetricsRegistry* registry) const {
+  assert(registry != nullptr);
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const PhaseStats& st = stats_[i];
+    if (st.calls == 0) continue;
+    const std::string base =
+        std::string("phase_") + phase_name(static_cast<Phase>(i));
+    registry->counter(base + "_calls") += static_cast<double>(st.calls);
+    registry->counter(base + "_sampled") += static_cast<double>(st.sampled);
+    double& total = registry->gauge(base + "_total_ns");
+    total = std::max(total, st.scaled_total_ns());
+    registry->histogram(base + "_ns", kDurationConfig)
+        .merge(histograms_[i]);
+  }
+}
+
+}  // namespace hp::obs

@@ -20,7 +20,10 @@ namespace hp::obs {
 /// Event stream of `schedule`, sorted by time (ties: aborts and completes
 /// before starts, then task id, so per-worker slices pair correctly). A
 /// spoliated task contributes an abort on the victim worker and a
-/// spoliate-commit on the worker of its final placement.
+/// spoliate-commit on the worker of its final placement. Each distinct
+/// instant ends with a kQueueDepth sample of its peak ready depth (carry
+/// plus the tasks launched at the instant), so replayed plans feed the
+/// same counter tracks as natively instrumented runs.
 [[nodiscard]] std::vector<Event> replay_schedule(const Schedule& schedule,
                                                  const Platform& platform);
 

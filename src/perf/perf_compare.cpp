@@ -34,9 +34,30 @@ std::vector<SeriesPoint> extract_series(const std::string& json_text) {
   jsonscan::for_each_array_object(
       json_text, "series", [&](const std::string& obj) {
         const auto key = series_key(obj);
-        const auto rate = jsonscan::number_field(obj, "tasks_per_sec");
-        if (!key.has_value() || !rate.has_value() || *rate <= 0.0) return;
-        out.push_back(SeriesPoint{*key, *rate});
+        if (const auto rate = jsonscan::number_field(obj, "tasks_per_sec");
+            key.has_value() && rate.has_value() && *rate > 0.0) {
+          out.push_back(SeriesPoint{*key, *rate});
+          return;
+        }
+        // BENCH_obs entries carry two throughputs per workload; surface
+        // both arms so an --against join tracks each trend separately.
+        const std::string workload =
+            jsonscan::string_field(obj, "workload").value_or("");
+        const auto n = jsonscan::number_field(obj, "n");
+        if (workload.empty() || !n.has_value()) return;
+        const std::string suffix =
+            " n=" + std::to_string(static_cast<long long>(*n));
+        if (const auto base =
+                jsonscan::number_field(obj, "baseline_tasks_per_sec");
+            base.has_value() && *base > 0.0) {
+          out.push_back(SeriesPoint{workload + " baseline" + suffix, *base});
+        }
+        if (const auto inst =
+                jsonscan::number_field(obj, "instrumented_tasks_per_sec");
+            inst.has_value() && *inst > 0.0) {
+          out.push_back(
+              SeriesPoint{workload + " instrumented" + suffix, *inst});
+        }
       });
   return out;
 }

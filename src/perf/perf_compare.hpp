@@ -5,7 +5,8 @@
 // validator cannot: not "is this file well-formed" but "which series got
 // slower, by how much, and which disappeared". Series are joined by
 // identity (algorithm + n for the core document, kernel + algorithm + tiles
-// for the DAG one), so reordering the arrays between runs is harmless.
+// for the DAG one, workload + arm + n for the observability-overhead one),
+// so reordering the arrays between runs is harmless.
 
 #include <string>
 #include <vector>

@@ -1,0 +1,183 @@
+// MetricsCollector / PhaseScope behavior (obs/profile.hpp): deterministic
+// tick-clock output, count-based sampling, path accumulation, merge and the
+// registry export names.
+
+#include "obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace hp::obs {
+namespace {
+
+TEST(Profile, PhaseNamesAreStableIdentifiers) {
+  EXPECT_STREQ(phase_name(Phase::kEngine), "engine");
+  EXPECT_STREQ(phase_name(Phase::kKeyBuild), "key_build");
+  EXPECT_STREQ(phase_name(Phase::kSort), "sort");
+  EXPECT_STREQ(phase_name(Phase::kDispatch), "dispatch");
+  EXPECT_STREQ(phase_name(Phase::kReadyUpdate), "ready_update");
+  EXPECT_STREQ(phase_name(Phase::kSpoliationScan), "spoliation_scan");
+  EXPECT_STREQ(phase_name(Phase::kHeftRank), "heft_rank");
+  EXPECT_STREQ(phase_name(Phase::kHeftGapSearch), "heft_gap_search");
+  EXPECT_STREQ(phase_name(Phase::kDualHpBisection), "dualhp_bisection");
+}
+
+TEST(Profile, NullCollectorScopesAreHarmless) {
+  const PhaseScope outer(nullptr, Phase::kEngine);
+  const PhaseScope inner(nullptr, Phase::kSort);
+}
+
+TEST(Profile, PerItemPhasesSampleByDefault) {
+  const MetricsCollector collector;
+  EXPECT_EQ(collector.sample_shift(Phase::kEngine), 0u);
+  EXPECT_EQ(collector.sample_shift(Phase::kKeyBuild), 0u);
+  EXPECT_EQ(collector.sample_shift(Phase::kSort), 0u);
+  EXPECT_EQ(collector.sample_shift(Phase::kDispatch),
+            MetricsCollector::kDefaultSampleShift);
+  EXPECT_EQ(collector.sample_shift(Phase::kReadyUpdate),
+            MetricsCollector::kDefaultSampleShift);
+  EXPECT_EQ(collector.sample_shift(Phase::kSpoliationScan),
+            MetricsCollector::kDefaultSampleShift);
+  EXPECT_EQ(collector.sample_shift(Phase::kHeftGapSearch),
+            MetricsCollector::kDefaultSampleShift);
+  EXPECT_EQ(collector.sample_shift(Phase::kDualHpBisection),
+            MetricsCollector::kDefaultSampleShift);
+}
+
+TEST(Profile, CountBasedSamplingIsDeterministic) {
+  TickClock clock;
+  MetricsCollector collector(&clock);
+  collector.set_sample_shift(Phase::kDispatch, 3);  // 1 in 8
+  for (int i = 0; i < 100; ++i) {
+    const PhaseScope scope(&collector, Phase::kDispatch);
+  }
+  const PhaseStats& stats = collector.stats(Phase::kDispatch);
+  EXPECT_EQ(stats.calls, 100u);
+  EXPECT_EQ(stats.sampled, 13u);  // entries 0, 8, ..., 96
+  // Every timed scope reads the tick clock exactly twice, so each sampled
+  // duration is one tick.
+  EXPECT_EQ(stats.sampled_ns, 13u * 100u);
+  EXPECT_DOUBLE_EQ(stats.scaled_total_ns(), 100.0 * 100.0);
+  EXPECT_EQ(collector.phase_histogram(Phase::kDispatch).count(), 13u);
+}
+
+TEST(Profile, TickClockRunsAreByteIdentical) {
+  const auto drive = [](MetricsCollector& collector) {
+    for (int i = 0; i < 10; ++i) {
+      const PhaseScope engine(&collector, Phase::kEngine);
+      const PhaseScope sort(&collector, Phase::kSort);
+      for (int j = 0; j < 7; ++j) {
+        const PhaseScope dispatch(&collector, Phase::kDispatch);
+      }
+    }
+  };
+  TickClock clock_a, clock_b;
+  MetricsCollector a(&clock_a), b(&clock_b);
+  drive(a);
+  drive(b);
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const auto phase = static_cast<Phase>(p);
+    EXPECT_EQ(a.stats(phase).calls, b.stats(phase).calls);
+    EXPECT_EQ(a.stats(phase).sampled, b.stats(phase).sampled);
+    EXPECT_EQ(a.stats(phase).sampled_ns, b.stats(phase).sampled_ns);
+  }
+  ASSERT_EQ(a.paths().size(), b.paths().size());
+  for (std::size_t i = 0; i < a.paths().size(); ++i) {
+    EXPECT_EQ(a.paths()[i].key, b.paths()[i].key);
+    EXPECT_EQ(a.paths()[i].sampled_ns, b.paths()[i].sampled_ns);
+  }
+}
+
+TEST(Profile, NestedScopesAccumulateDecodablePaths) {
+  TickClock clock;
+  MetricsCollector collector(&clock);
+  {
+    const PhaseScope engine(&collector, Phase::kEngine);
+    const PhaseScope sort(&collector, Phase::kSort);
+  }
+  std::vector<std::string> paths;
+  std::vector<Phase> frames;
+  for (const MetricsCollector::PathTotal& total : collector.paths()) {
+    MetricsCollector::decode_path(total.key, &frames);
+    std::string joined;
+    for (const Phase frame : frames) {
+      if (!joined.empty()) joined += ";";
+      joined += phase_name(frame);
+    }
+    paths.push_back(joined);
+    EXPECT_GT(total.sampled_ns, 0u) << joined;
+  }
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "engine"), paths.end());
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "engine;sort"), paths.end());
+}
+
+TEST(Profile, UnsampledParentStillAnchorsChildPaths) {
+  // Even when a parent scope's entry is not sampled, a sampled child must
+  // keep its ancestry in the path key.
+  TickClock clock;
+  MetricsCollector fresh(&clock);
+  fresh.set_sample_shift(Phase::kDispatch, 4);  // entry 0 timed, 1..15 not
+  {
+    const PhaseScope p0(&fresh, Phase::kDispatch);
+  }
+  {
+    const PhaseScope p1(&fresh, Phase::kDispatch);  // unsampled parent
+    const PhaseScope child(&fresh, Phase::kSort);   // always sampled
+  }
+  std::vector<Phase> frames;
+  bool found = false;
+  for (const MetricsCollector::PathTotal& total : fresh.paths()) {
+    MetricsCollector::decode_path(total.key, &frames);
+    if (frames.size() == 2 && frames[0] == Phase::kDispatch &&
+        frames[1] == Phase::kSort) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Profile, MergeSumsStatsAndPaths) {
+  TickClock clock_a, clock_b;
+  MetricsCollector a(&clock_a), b(&clock_b);
+  {
+    const PhaseScope scope(&a, Phase::kEngine);
+  }
+  {
+    const PhaseScope scope(&b, Phase::kEngine);
+  }
+  {
+    const PhaseScope scope(&b, Phase::kSort);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.stats(Phase::kEngine).calls, 2u);
+  EXPECT_EQ(a.stats(Phase::kEngine).sampled, 2u);
+  EXPECT_EQ(a.stats(Phase::kSort).calls, 1u);
+  EXPECT_EQ(a.phase_histogram(Phase::kEngine).count(), 2u);
+}
+
+TEST(Profile, ExportToRegistryUsesPhaseNames) {
+  TickClock clock;
+  MetricsCollector collector(&clock);
+  {
+    const PhaseScope engine(&collector, Phase::kEngine);
+    const PhaseScope sort(&collector, Phase::kSort);
+  }
+  MetricsRegistry registry;
+  collector.export_to(&registry);
+  ASSERT_NE(registry.find_counter("phase_engine_calls"), nullptr);
+  EXPECT_DOUBLE_EQ(*registry.find_counter("phase_engine_calls"), 1.0);
+  ASSERT_NE(registry.find_counter("phase_sort_sampled"), nullptr);
+  EXPECT_DOUBLE_EQ(*registry.find_counter("phase_sort_sampled"), 1.0);
+  ASSERT_NE(registry.find_gauge("phase_engine_total_ns"), nullptr);
+  EXPECT_GT(*registry.find_gauge("phase_engine_total_ns"), 0.0);
+  ASSERT_NE(registry.find_histogram("phase_sort_ns"), nullptr);
+  EXPECT_EQ(registry.find_histogram("phase_sort_ns")->count(), 1u);
+  // Phases that never ran are not exported.
+  EXPECT_EQ(registry.find_counter("phase_heft_rank_calls"), nullptr);
+}
+
+}  // namespace
+}  // namespace hp::obs

@@ -1,0 +1,203 @@
+// Histogram and MetricsRegistry edge cases (obs/metrics.hpp): empty and
+// single-sample histograms, underflow/overflow routing, merges of disjoint
+// ranges, and the bucketed-vs-exact percentile cross-check against the
+// documented error bound (r in [x, x * (1 + 2^-sub_bits)]).
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace hp::obs {
+namespace {
+
+TEST(Histogram, EmptyReportsZeros) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryQuantile) {
+  Histogram h;
+  h.record(3.7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.7);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.7);
+  // The bucket upper bound is clamped to the observed [min, max], so a
+  // single sample is reported exactly at any q.
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 3.7) << "q=" << q;
+  }
+}
+
+TEST(Histogram, UnderflowBucketTakesSmallZeroAndNegative) {
+  const HistogramConfig config{.min_exp = 0, .max_exp = 4, .sub_bits = 2};
+  Histogram h(config);
+  h.record(0.5);   // below 2^0
+  h.record(0.0);   // no exponent
+  h.record(-3.0);  // no exponent
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.5);
+  EXPECT_DOUBLE_EQ(h.sum(), -2.5);
+}
+
+TEST(Histogram, NaNCountsInUnderflowBucket) {
+  Histogram h;
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+}
+
+TEST(Histogram, OverflowBucketTakesLargeValues) {
+  const HistogramConfig config{.min_exp = 0, .max_exp = 4, .sub_bits = 2};
+  Histogram h(config);
+  h.record(16.0);  // == 2^max_exp: first out-of-range value
+  h.record(1e12);
+  EXPECT_EQ(h.bucket_count(h.num_buckets() - 1), 2u);
+  // max stays exact even though both samples share the overflow bucket.
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  EXPECT_TRUE(std::isinf(h.bucket_upper(h.num_buckets() - 1)));
+}
+
+TEST(Histogram, BucketUppersAreStrictlyIncreasing) {
+  const Histogram h;
+  for (std::size_t i = 0; i + 1 < h.num_buckets(); ++i) {
+    EXPECT_LT(h.bucket_upper(i), h.bucket_upper(i + 1)) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, InRangeValuesLandBelowTheirBucketUpper) {
+  for (const double v : {1.0, 1.5, 2.0, 3.1415, 1000.0, 1e-5}) {
+    Histogram single;
+    single.record(v);
+    std::size_t bucket = 0;
+    for (std::size_t i = 0; i < single.num_buckets(); ++i) {
+      if (single.bucket_count(i) != 0) bucket = i;
+    }
+    EXPECT_LE(v, single.bucket_upper(bucket)) << "v=" << v;
+    // Buckets are [lower, upper): a value on the boundary (1.0, 2.0, ...)
+    // equals the previous bucket's exclusive upper.
+    if (bucket > 0) EXPECT_GE(v, single.bucket_upper(bucket - 1)) << "v=" << v;
+  }
+}
+
+TEST(Histogram, MergeOfDisjointRangesKeepsBothTails) {
+  Histogram low, high;
+  for (int i = 1; i <= 100; ++i) low.record(static_cast<double>(i));
+  for (int i = 1; i <= 100; ++i) high.record(1e6 + static_cast<double>(i));
+  low.merge(high);
+  EXPECT_EQ(low.count(), 200u);
+  EXPECT_DOUBLE_EQ(low.min(), 1.0);
+  EXPECT_DOUBLE_EQ(low.max(), 1e6 + 100.0);
+  // The lower half of the merged mass is the 1..100 range, the upper half
+  // the 1e6.. range; quantiles must land in the right tail.
+  EXPECT_LE(low.quantile(0.25), 100.0 * (1.0 + 1.0 / 32.0));
+  EXPECT_GE(low.quantile(0.75), 1e6);
+}
+
+TEST(Histogram, MergeSumsCountsBucketwise) {
+  Histogram a, b;
+  a.record(2.0);
+  a.record(2.0);
+  b.record(2.0);
+  a.merge(b);
+  std::uint64_t occupied = 0;
+  for (std::size_t i = 0; i < a.num_buckets(); ++i) {
+    if (a.bucket_count(i) != 0) {
+      EXPECT_EQ(a.bucket_count(i), 3u);
+      ++occupied;
+    }
+  }
+  EXPECT_EQ(occupied, 1u);
+}
+
+/// Deterministic xorshift so the cross-check needs no seed plumbing.
+std::uint64_t next_rand(std::uint64_t* state) {
+  std::uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+TEST(Histogram, QuantileWithinDocumentedErrorBound) {
+  // Log-uniform samples across six decades; the documented bound says the
+  // reported quantile r and the exact order statistic x satisfy
+  // x <= r <= x * (1 + 2^-sub_bits).
+  Histogram h;  // default config: sub_bits = 5
+  std::vector<double> values;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 10000; ++i) {
+    const double u =
+        static_cast<double>(next_rand(&state) >> 11) / 9007199254740992.0;
+    values.push_back(std::pow(10.0, -3.0 + 6.0 * u));
+    h.record(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  const double slack = 1.0 + 1.0 / 32.0;
+  for (const double q : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const auto rank = static_cast<std::size_t>(std::max<double>(
+        1.0, std::ceil(q * static_cast<double>(values.size()))));
+    const double exact = values[rank - 1];
+    const double reported = h.quantile(q);
+    EXPECT_GE(reported, exact) << "q=" << q;
+    EXPECT_LE(reported, exact * slack) << "q=" << q;
+  }
+}
+
+TEST(MetricsRegistry, FindOrCreateAndStableReferences) {
+  MetricsRegistry registry;
+  double& tasks = registry.counter("tasks");
+  tasks += 5.0;
+  // Creating more entries must not invalidate the first reference.
+  for (int i = 0; i < 100; ++i) {
+    (void)registry.counter("c" + std::to_string(i));
+  }
+  tasks += 1.0;
+  ASSERT_NE(registry.find_counter("tasks"), nullptr);
+  EXPECT_DOUBLE_EQ(*registry.find_counter("tasks"), 6.0);
+  EXPECT_EQ(registry.find_counter("absent"), nullptr);
+  EXPECT_EQ(registry.find_gauge("tasks"), nullptr);  // families are separate
+}
+
+TEST(MetricsRegistry, MergeSemanticsPerFamily) {
+  MetricsRegistry a, b;
+  a.counter("n") = 2.0;
+  b.counter("n") = 3.0;
+  a.gauge("peak") = 7.0;
+  b.gauge("peak") = 5.0;
+  a.histogram("wait").record(1.0);
+  b.histogram("wait").record(2.0);
+  b.histogram("only_b").record(4.0);
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(*a.find_counter("n"), 5.0);         // counters add
+  EXPECT_DOUBLE_EQ(*a.find_gauge("peak"), 7.0);        // gauges keep the max
+  EXPECT_EQ(a.find_histogram("wait")->count(), 2u);    // histograms merge
+  ASSERT_NE(a.find_histogram("only_b"), nullptr);      // created on demand
+  EXPECT_EQ(a.find_histogram("only_b")->count(), 1u);
+}
+
+TEST(MetricsRegistry, InsertionOrderIsPreserved) {
+  MetricsRegistry registry;
+  (void)registry.counter("zebra");
+  (void)registry.counter("alpha");
+  ASSERT_EQ(registry.counters().size(), 2u);
+  EXPECT_EQ(registry.counters()[0].name, "zebra");
+  EXPECT_EQ(registry.counters()[1].name, "alpha");
+}
+
+}  // namespace
+}  // namespace hp::obs

@@ -41,14 +41,20 @@
 #include "linalg/lu.hpp"
 #include "linalg/qr.hpp"
 #include "obs/counters.hpp"
+#include "obs/derive.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/export_csv.hpp"
+#include "obs/export_flame.hpp"
+#include "obs/export_prometheus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/recorder.hpp"
 #include "obs/watchdog.hpp"
 #include "perf/json_scan.hpp"
 #include "perf/perf_baseline.hpp"
 #include "perf/perf_compare.hpp"
 #include "perf/perf_dag.hpp"
+#include "perf/perf_obs.hpp"
 #include "sched/critical_path.hpp"
 #include "sched/export.hpp"
 #include "sched/gantt.hpp"
@@ -92,7 +98,8 @@ int usage() {
       "  hp_sched trace    --in FILE --cpus M --gpus N [--algo ...] [--rank ...]\n"
       "           [--out FILE.json] [--csv FILE.csv]\n"
       "  hp_sched report   --in FILE --cpus M --gpus N [--algo ...] [--rank ...]\n"
-      "           [--critical-path]\n"
+      "           [--critical-path] [--metrics-out FILE.prom]\n"
+      "           [--flame FILE.folded] [--tick-clock]\n"
       "  hp_sched faults   --in FILE --cpus M --gpus N [--algo hp|hp-nospol|heft|dualhp]\n"
       "           [--rank ...] [--crashes K] [--stragglers K] [--task-fail P]\n"
       "           [--slow X] [--retries K] [--backoff B] [--seed S] [--horizon H]\n"
@@ -101,7 +108,7 @@ int usage() {
       "  hp_sched perf     --out FILE [--dag-out FILE] [--quick] [--reps K]\n"
       "           [--threads N]\n"
       "  hp_sched perf-check --in FILE [--quick] [--against OLD]\n"
-      "           [--tolerance X]\n"
+      "           [--tolerance X] [--budget X]\n"
       "  hp_sched fuzz     --seed S --runs N [--scheduler hp,heft,...|all]\n"
       "           [--props validity,ratio,...|all] [--out REPORT]\n"
       "           [--repro-dir DIR] [--max-tasks K] [--max-seconds T]\n"
@@ -259,9 +266,14 @@ struct RunResult {
 
 /// Load `--in`, run `--algo` with an event recorder attached and validate
 /// the schedule. On failure prints the error and sets `exit_code`.
+/// `metrics` (optional) attaches a phase-profiling collector to the
+/// schedulers that support one (hp, hp-nospol, heft, dualhp); the online
+/// rules ignore it.
 std::optional<RunResult> run_algorithm(const Args& args,
                                        const Platform& platform,
-                                       int* exit_code) {
+                                       int* exit_code,
+                                       obs::MetricsCollector* metrics
+                                       = nullptr) {
   const auto text = io::load_text_file(args.get("in"));
   if (!text.has_value()) {
     std::cerr << "cannot read " << args.get("in") << '\n';
@@ -288,21 +300,24 @@ std::optional<RunResult> run_algorithm(const Args& args,
     if (algo == "hp") {
       HeteroPrioOptions hp_options;
       hp_options.sink = sink;
+      hp_options.metrics = metrics;
       result.schedule = heteroprio_dag(*graph, platform, hp_options);
     } else if (algo == "hp-nospol") {
       HeteroPrioOptions hp_options;
       hp_options.enable_spoliation = false;
       hp_options.sink = sink;
+      hp_options.metrics = metrics;
       result.schedule = heteroprio_dag(*graph, platform, hp_options);
     } else if (algo == "heft") {
       result.schedule = heft(
           *graph, platform,
           {.rank = rank == RankScheme::kFifo ? RankScheme::kAvg : rank,
-           .sink = sink});
+           .sink = sink, .metrics = metrics});
     } else if (algo == "dualhp") {
       result.schedule =
           dualhp_dag(*graph, platform,
-                     {.fifo_order = rank == RankScheme::kFifo, .sink = sink});
+                     {.fifo_order = rank == RankScheme::kFifo, .sink = sink,
+                      .metrics = metrics});
     } else {
       std::cerr << "algorithm '" << algo << "' needs an independent-task "
                 << "instance (or is unknown)\n";
@@ -328,17 +343,20 @@ std::optional<RunResult> run_algorithm(const Args& args,
     if (algo == "hp") {
       HeteroPrioOptions hp_options;
       hp_options.sink = sink;
+      hp_options.metrics = metrics;
       result.schedule = heteroprio(inst->tasks(), platform, hp_options);
     } else if (algo == "hp-nospol") {
       HeteroPrioOptions hp_options;
       hp_options.enable_spoliation = false;
       hp_options.sink = sink;
+      hp_options.metrics = metrics;
       result.schedule = heteroprio(inst->tasks(), platform, hp_options);
     } else if (algo == "heft") {
-      result.schedule =
-          heft_independent(inst->tasks(), platform, {.sink = sink});
+      result.schedule = heft_independent(inst->tasks(), platform,
+                                         {.sink = sink, .metrics = metrics});
     } else if (algo == "dualhp") {
-      result.schedule = dualhp(inst->tasks(), platform, {.sink = sink});
+      result.schedule = dualhp(inst->tasks(), platform,
+                               {.sink = sink, .metrics = metrics});
     } else if (algo == "online-eft") {
       result.schedule = online_greedy(inst->tasks(), platform,
                                       {OnlineRule::kEft, 1.0, sink});
@@ -422,9 +440,22 @@ int cmd_trace(const Args& args) {
   if (!run.has_value()) return exit_code;
 
   if (!out.empty()) {
-    const std::string json =
-        obs::chrome_trace_from_events(run->events.events(), platform,
-                                      run->tasks);
+    // Embed the run's rollup (scheduler counters, cp_* attribution,
+    // histogram summaries) as trace metadata: the numbers come from the
+    // same registries the Prometheus exposition reports.
+    obs::CounterRegistry counters = obs::registry_from(
+        obs::counters_from_events(run->events.events(), platform));
+    const CriticalPathReport cp =
+        build_critical_path(run->schedule, run->tasks, platform,
+                            run->is_graph ? &run->graph : nullptr);
+    add_to_registry(cp, counters);
+    obs::MetricsRegistry metrics;
+    obs::derive_metrics(run->events.events(), platform, &metrics);
+    obs::ChromeTraceOptions trace_options;
+    trace_options.counters = &counters;
+    trace_options.metrics = &metrics;
+    const std::string json = obs::chrome_trace_from_events(
+        run->events.events(), platform, run->tasks, trace_options);
     std::string error;
     if (!obs::validate_chrome_trace(json, platform, &error)) {
       std::cerr << "internal error: emitted trace is invalid: " << error
@@ -453,17 +484,36 @@ int cmd_trace(const Args& args) {
 /// `--critical-path`, also attribute the makespan to the chain of task
 /// executions and waits that produced it (sched/critical_path.hpp) and fold
 /// the cp_* aggregates into the counter registry.
+///
+/// `--metrics-out FILE` writes a Prometheus text exposition of the run: the
+/// phase-timer stats of an attached MetricsCollector, the distribution
+/// metrics derived from the event stream (queue-wait, task durations, idle
+/// intervals, per-resource busy time) and every counter — scheduler
+/// counters and the cp_* critical-path attribution, imported from the same
+/// CounterRegistry the text report prints, so the two cannot drift apart.
+/// `--flame FILE` writes the collector's call paths as collapsed stacks
+/// (speedscope-compatible); `--tick-clock` swaps the wall clock for the
+/// deterministic tick clock so both outputs are byte-stable.
 int cmd_report(const Args& args) {
   const Platform platform(args.get_int("cpus", 20), args.get_int("gpus", 4));
+  const std::string metrics_out = args.get("metrics-out");
+  const std::string flame_out = args.get("flame");
+  obs::TickClock tick_clock;
+  obs::MetricsCollector collector(
+      args.options.count("tick-clock") != 0 ? &tick_clock : nullptr);
+  const bool collect = !metrics_out.empty() || !flame_out.empty();
   int exit_code = 0;
-  const auto run = run_algorithm(args, platform, &exit_code);
+  const auto run = run_algorithm(args, platform, &exit_code,
+                                 collect ? &collector : nullptr);
   if (!run.has_value()) return exit_code;
 
   const obs::SchedulerCounters counters =
       obs::counters_from_events(run->events.events(), platform);
   obs::CounterRegistry registry = obs::registry_from(counters);
   std::optional<CriticalPathReport> cp;
-  if (args.options.count("critical-path") != 0) {
+  // The exposition always carries the cp_* attribution — a scrape should
+  // not depend on the report flag; the flag only controls the prose.
+  if (args.options.count("critical-path") != 0 || !metrics_out.empty()) {
     cp = build_critical_path(run->schedule, run->tasks, platform,
                              run->is_graph ? &run->graph : nullptr);
     add_to_registry(*cp, registry);
@@ -473,8 +523,34 @@ int cmd_report(const Args& args) {
             << "\nmakespan: " << run->schedule.makespan()
             << "\nlower bound: " << run->lower_bound << "\n\n"
             << registry.to_string() << '\n';
-  if (cp.has_value()) {
+  if (cp.has_value() && args.options.count("critical-path") != 0) {
     std::cout << describe(*cp, run->tasks, platform) << '\n';
+  }
+
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry metrics;
+    collector.export_to(&metrics);
+    obs::derive_metrics(run->events.events(), platform, &metrics);
+    obs::import_counter_registry(registry, &metrics);
+    const std::string text = obs::prometheus_text(metrics);
+    std::string error;
+    if (!obs::validate_prometheus_text(text, &error)) {
+      std::cerr << "internal error: emitted exposition is invalid: " << error
+                << '\n';
+      return 1;
+    }
+    if (!io::save_text_file(metrics_out, text)) {
+      std::cerr << "cannot write " << metrics_out << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << metrics_out << '\n';
+  }
+  if (!flame_out.empty()) {
+    if (!io::save_text_file(flame_out, obs::collapsed_stacks(collector))) {
+      std::cerr << "cannot write " << flame_out << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << flame_out << '\n';
   }
 
   obs::WatchdogOptions wd;
@@ -704,7 +780,8 @@ int cmd_perf(const Args& args) {
 /// Validate an emitted BENCH file: parses, right schema, every expected
 /// series present (in any order) with a positive throughput — a failure
 /// names each missing series. The schema tag of the file selects the
-/// validator (hp-bench-core/v2 or hp-bench-dag/v2). With `--against OLD`,
+/// validator (hp-bench-core/v2, hp-bench-dag/v2 or hp-bench-obs/v1 — the
+/// last also enforces the overhead budget). With `--against OLD`,
 /// additionally join the series against a previous BENCH file and fail if
 /// any series regressed beyond `--tolerance` (default 0.25) or went
 /// missing, printing each one with its delta.
@@ -724,6 +801,13 @@ int cmd_perf_check(const Args& args) {
         quick ? std::vector<int>{4, 8} : std::vector<int>{10, 20, 40, 60};
     ok = perf::validate_perf_dag_json(*text, {"cholesky", "qr", "lu"}, tiles,
                                       &error);
+  } else if (schema.rfind("hp-bench-obs/", 0) == 0) {
+    // Validate the document, then enforce the overhead budget it records
+    // (or `--budget X`). `--quick` skips the budget: the smoke file comes
+    // from a loaded CI machine where a 2% gate would be all noise.
+    ok = perf::validate_perf_obs_json(*text, &error) &&
+         (quick || perf::check_obs_budget(
+                       *text, args.get_double("budget", 0.0), &error));
   } else {
     const std::vector<std::size_t> sizes =
         quick ? std::vector<std::size_t>{1000}
