@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/engine_parts.hpp"
 #include "core/hp_engine.hpp"
 #include "dag/ready_tracker.hpp"
 #include "model/task_soa.hpp"
@@ -29,80 +30,8 @@ namespace detail {
 
 namespace {
 
-/// Double-ended ready structure, a flat sorted vector in both modes. The
-/// order: the GPU end (front) holds the task an idle GPU takes, the CPU end
-/// (back) the task an idle CPU takes. Primary key: acceleration factor,
-/// non-increasing. Tie-break (§2.2): for rho >= 1 the highest-priority task
-/// comes first; for rho < 1 the highest-priority task comes last, i.e.
-/// nearest the CPU end. Final tie: task id (determinism).
-///
-/// The order is materialized once per task as a packed integer pair
-/// (TaskSoA::key0/key1): ascending (key0, key1, id) is exactly the queue
-/// order, so the presort is a bucket/radix pass over integers and the
-/// incremental inserts (DAG releases, crash re-enqueues, retries)
-/// binary-search with branch-light integer compares. The packed compare is
-/// proven equivalent to the double comparator in model/task_soa.hpp, so the
-/// pop order (and therefore the schedule) is bitwise identical.
-class ReadyQueue {
- public:
-  ReadyQueue(const soa::TaskSoA& soa, util::Arena& arena)
-      : soa_(&soa), buf_(arena) {}
-
-  /// Independent mode: make every task ready and presort once.
-  void presort_all(std::size_t n, util::Arena& arena) {
-    buf_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      buf_[i] = make_key(static_cast<TaskId>(i));
-    }
-    util::sort_key2_id(buf_.span(), arena);
-    head_ = 0;
-  }
-
-  /// Incremental mode: a dependency release (or re-enqueue) made `id` ready.
-  void insert(TaskId id) {
-    const util::KeyId2 key = make_key(id);
-    util::KeyId2* first = buf_.begin() + static_cast<std::ptrdiff_t>(head_);
-    util::KeyId2* at = std::lower_bound(first, buf_.end(), key, before);
-    if (at == first && head_ > 0) {
-      buf_[--head_] = key;  // reuse the space freed by GPU-end pops
-    } else {
-      buf_.insert(at, key);
-    }
-  }
-
-  [[nodiscard]] bool empty() const noexcept { return head_ == buf_.size(); }
-
-  [[nodiscard]] std::size_t size() const noexcept {
-    return buf_.size() - head_;
-  }
-
-  /// Most GPU-friendly ready task (an idle GPU takes this end).
-  TaskId pop_gpu_end() { return static_cast<TaskId>(buf_[head_++].id); }
-
-  /// Most CPU-friendly ready task (an idle CPU takes this end).
-  TaskId pop_cpu_end() {
-    const TaskId id = static_cast<TaskId>(buf_.back().id);
-    buf_.pop_back();
-    return id;
-  }
-
- private:
-  static bool before(const util::KeyId2& a, const util::KeyId2& b) noexcept {
-    if (a.k0 != b.k0) return a.k0 < b.k0;
-    if (a.k1 != b.k1) return a.k1 < b.k1;
-    return a.id < b.id;
-  }
-
-  [[nodiscard]] util::KeyId2 make_key(TaskId id) const noexcept {
-    const auto i = static_cast<std::size_t>(id);
-    return util::KeyId2{soa_->key0[i], soa_->key1[i],
-                        static_cast<std::uint32_t>(id)};
-  }
-
-  const soa::TaskSoA* soa_;
-  util::ArenaVector<util::KeyId2> buf_;  ///< live range: [head_, size())
-  std::size_t head_ = 0;
-};
+// ReadyQueue, VictimKey/VictimLess, RunningSet and strictly_better moved to
+// core/engine_parts.hpp so the online runtime shares them verbatim.
 
 /// Simulation event. kCompletion is the only kind of a fault-free run; the
 /// fault kinds are pushed up front from the plan (crashes, straggler window
@@ -121,75 +50,6 @@ struct EngineEvent {
   std::uint64_t generation = 0;  ///< stale-event filter after aborts
   double value = 0.0;
 };
-
-/// Cached spoliation-scan key of one running task. `finish` is the believed
-/// completion time (start + *estimated* duration), computed once at start
-/// instead of re-deriving Platform::time_on per comparison.
-struct VictimKey {
-  double finish = 0.0;
-  double priority = 0.0;
-  TaskId task = kInvalidTask;
-  WorkerId worker = -1;
-};
-
-/// Scan order of Algorithm 1 / §6.2: decreasing believed completion time
-/// with priority tie-break (independent), or decreasing priority with
-/// completion-time tie-break (DAGs). Final tie: task id, so the order is
-/// total and the incremental set reproduces the reference sort exactly.
-struct VictimLess {
-  bool priority_first = false;
-
-  bool operator()(const VictimKey& a, const VictimKey& b) const noexcept {
-    if (priority_first) {
-      if (a.priority != b.priority) return a.priority > b.priority;
-      if (a.finish != b.finish) return a.finish > b.finish;
-    } else {
-      if (a.finish != b.finish) return a.finish > b.finish;
-      if (a.priority != b.priority) return a.priority > b.priority;
-    }
-    return a.task < b.task;
-  }
-};
-
-/// The per-resource running set, ordered by VictimLess. A flat sorted vector
-/// rather than a node-based set: the capacity is bounded by the worker count
-/// of one resource, so a binary-search insert plus a short memmove is both
-/// O(log W) in comparisons and allocation-free — the std::set node churn was
-/// measurable at 2 ops per scheduled task.
-class RunningSet {
- public:
-  RunningSet(VictimLess less, std::size_t max_workers, util::Arena& arena)
-      : less_(less), keys_(arena, max_workers) {}
-
-  void insert(const VictimKey& key) {
-    keys_.insert(std::lower_bound(keys_.begin(), keys_.end(), key, less_),
-                 key);
-  }
-
-  void erase(const VictimKey& key) {
-    VictimKey* it = std::lower_bound(keys_.begin(), keys_.end(), key, less_);
-    assert(it != keys_.end() && it->worker == key.worker);
-    keys_.erase(it);
-  }
-
-  [[nodiscard]] const VictimKey* begin() const noexcept {
-    return keys_.begin();
-  }
-  [[nodiscard]] const VictimKey* end() const noexcept { return keys_.end(); }
-
- private:
-  VictimLess less_;
-  util::ArenaVector<VictimKey> keys_;
-};
-
-/// Strict-improvement test with a small relative margin, so that the exact
-/// "equal completion time" cases of Theorems 8/11/14 (where spoliation must
-/// NOT fire) are not flipped by floating-point noise.
-bool strictly_better(double candidate_finish, double current_finish) noexcept {
-  const double margin =
-      1e-9 * std::max(1.0, std::abs(current_finish));
-  return candidate_finish < current_finish - margin;
-}
 
 /// Earliest entry of `finish` (idle lanes hold +inf; `count` is padded to a
 /// multiple of two with +inf). The scalar min loop is a serial minsd

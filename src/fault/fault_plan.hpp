@@ -127,6 +127,16 @@ class FaultPlan {
 
   /// Outcome of the `attempt`-th (0-based) attempt of `task`. Pure in
   /// (seed, task, attempt): independent of time, worker and query order.
+  ///
+  /// This purity is what makes the plan compose with online arrivals: a
+  /// fault "targeting" a task that has not arrived yet is not an event to
+  /// buffer or drop — it is a draw that simply happens whenever the task's
+  /// attempt actually starts, however late that is. A staggered-arrival run
+  /// therefore observes the exact same per-task failure/retry/abandon
+  /// sequence as the all-at-t=0 run of the same plan (regression-tested in
+  /// tests/test_online_faults.cpp). Worker-targeted events (crashes,
+  /// straggler windows) are wall-clock anchored and apply regardless of
+  /// arrivals.
   [[nodiscard]] AttemptOutcome attempt_outcome(TaskId task,
                                                int attempt) const noexcept;
 
@@ -168,6 +178,10 @@ struct RecoveryReport {
   int task_retries = 0;      ///< re-enqueues after a failed attempt
   int tasks_abandoned = 0;   ///< tasks whose retry budget ran out
   int tasks_unfinished = 0;  ///< tasks without a final placement at the end
+  int straggler_respawns = 0;  ///< online runtime: overdue attempts aborted
+                               ///< and re-enqueued (never charged against the
+                               ///< task's retry budget — the draws of
+                               ///< attempt_outcome must not shift)
   bool degraded = false;     ///< tasks_unfinished > 0
 
   friend bool operator==(const RecoveryReport&,

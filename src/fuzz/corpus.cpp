@@ -17,6 +17,7 @@ namespace {
 
 constexpr const char* kFuzzPrefix = "# fuzz:";
 constexpr const char* kHpfPrefix = "# hpf:";
+constexpr const char* kHpoPrefix = "# hpo:";
 
 bool starts_with(const std::string& line, const char* prefix) {
   return line.rfind(prefix, 0) == 0;
@@ -149,6 +150,13 @@ std::string corpus_to_text(const CorpusCase& entry) {
       oss << kHpfPrefix << ' ' << line << '\n';
     }
   }
+  if (entry.c.has_arrivals()) {
+    std::istringstream plan(entry.c.arrivals.to_text());
+    std::string line;
+    while (std::getline(plan, line)) {
+      oss << kHpoPrefix << ' ' << line << '\n';
+    }
+  }
   oss << (entry.c.is_dag() ? io::graph_to_text(entry.c.graph)
                            : io::instance_to_text(entry.c.graph.to_instance()));
   return oss.str();
@@ -160,6 +168,7 @@ bool corpus_from_text(const std::string& text, CorpusCase* out,
   int cpus = 1;
   int gpus = 1;
   std::string plan_text;
+  std::string arrivals_text;
   std::string why;
   std::istringstream in(text);
   std::string line;
@@ -183,6 +192,11 @@ bool corpus_from_text(const std::string& text, CorpusCase* out,
       if (!payload.empty() && payload.front() == ' ') payload.erase(0, 1);
       plan_text += payload;
       plan_text += '\n';
+    } else if (starts_with(line, kHpoPrefix)) {
+      std::string payload = line.substr(std::string(kHpoPrefix).size());
+      if (!payload.empty() && payload.front() == ' ') payload.erase(0, 1);
+      arrivals_text += payload;
+      arrivals_text += '\n';
     }
   }
   // The workload lines: the plain parser skips every '#' line, directives
@@ -202,6 +216,10 @@ bool corpus_from_text(const std::string& text, CorpusCase* out,
   out->c.platform = Platform(cpus, gpus);
   if (!plan_text.empty() &&
       !fault::FaultPlan::from_text(plan_text, &out->c.faults, error)) {
+    return false;
+  }
+  if (!arrivals_text.empty() &&
+      !online::ArrivalPlan::from_text(arrivals_text, &out->c.arrivals, error)) {
     return false;
   }
   return true;

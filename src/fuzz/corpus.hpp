@@ -9,11 +9,15 @@
 //   # fuzz: min-ratio=1.618033988
 //   # hpf: faultplan v1
 //   # hpf: crash 2 0
+//   # hpo: arrivals v1
+//   # hpo: arrive 0 1.25 0
 //
 // `# fuzz:` directives carry the platform, the schedulers and properties to
 // replay, and an optional tightness floor (worst-case family witnesses must
 // *stay* bad: HeteroPrio's makespan / lower bound >= min-ratio). `# hpf:`
-// lines embed the fault plan in its own .hpf text format.
+// lines embed the fault plan in its own .hpf text format; `# hpo:` lines
+// embed the arrival plan the same way, so online repros replay their
+// staggered stream forever.
 //
 // tests/corpus/ holds one file per repro; test_fuzz_corpus.cpp replays every
 // file on every listed scheduler forever after. Convention: every fuzz-found

@@ -151,6 +151,17 @@ FuzzCase generate_case(std::uint64_t seed, std::uint64_t index,
     spec.horizon = horizon > 0.0 ? horizon : 1.0;
     c.faults = fault::FaultPlan::generate(spec, c.platform);
   }
+
+  // Arrival stream last: every draw above is unchanged from before this
+  // knob existed, so historical (seed, index) cases stay byte-identical.
+  if (rng.uniform01() < knobs.online_fraction) {
+    online::ArrivalSpec arrival_spec;
+    arrival_spec.rate = rng.uniform(0.1, 2.0);
+    arrival_spec.deadline_factor =
+        rng.bernoulli(0.5) ? rng.uniform(2.0, 16.0) : 0.0;
+    arrival_spec.seed = rng();
+    c.arrivals = online::ArrivalPlan::generate(arrival_spec, c.graph.tasks());
+  }
   return c;
 }
 

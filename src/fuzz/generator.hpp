@@ -21,6 +21,7 @@
 #include "dag/task_graph.hpp"
 #include "fault/fault_plan.hpp"
 #include "model/platform.hpp"
+#include "online/arrival.hpp"
 
 namespace hp::fuzz {
 
@@ -32,6 +33,11 @@ struct GenKnobs {
   double dag_fraction = 0.4;      ///< fraction of cases that carry edges
   double fault_fraction = 0.25;   ///< fraction of cases with a fault plan
   double degenerate_fraction = 0.1;  ///< fraction forced to one-sided nodes
+  /// Fraction of cases carrying a staggered arrival stream (the online
+  /// differential of the oracle). Drawn last, after every other field, so
+  /// cases at a given (seed, index) are unchanged from before the knob
+  /// existed whenever the draw comes up fault-free-of-arrivals.
+  double online_fraction = 0.25;
 };
 
 /// One generated scheduling problem.
@@ -46,9 +52,15 @@ struct FuzzCase {
   RankScheme rank = RankScheme::kMin;  ///< scheme behind DAG priorities
   /// Empty for fault-free cases (the engines' regression-tested no-op).
   fault::FaultPlan faults;
+  /// Empty (or all-at-t=0) for batch cases; staggered streams drive the
+  /// oracle's online differential property.
+  online::ArrivalPlan arrivals;
 
   [[nodiscard]] bool is_dag() const noexcept { return graph.num_edges() > 0; }
   [[nodiscard]] bool has_faults() const noexcept { return !faults.empty(); }
+  [[nodiscard]] bool has_arrivals() const noexcept {
+    return !arrivals.empty() && !arrivals.all_at_origin();
+  }
 };
 
 /// Generate the case at (seed, index). Deterministic; independent of every

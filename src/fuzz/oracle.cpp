@@ -17,6 +17,7 @@
 #include "fault/replay.hpp"
 #include "obs/recorder.hpp"
 #include "obs/watchdog.hpp"
+#include "online/runtime.hpp"
 #include "sched/validate.hpp"
 
 namespace hp::fuzz {
@@ -33,7 +34,7 @@ constexpr PropEntry kProps[] = {
     {kPropRatio, "ratio"},           {kPropExact, "exact"},
     {kPropRefDiff, "ref-diff"},      {kPropScale, "scale"},
     {kPropPermute, "permute"},       {kPropSpareCrash, "spare-crash"},
-    {kPropFaultAccount, "fault-account"},
+    {kPropFaultAccount, "fault-account"}, {kPropOnline, "online"},
 };
 
 /// One scheduler run of a case: schedule, recovery outcome, event stream.
@@ -517,6 +518,86 @@ OracleVerdict check_case(const FuzzCase& c, SchedulerId sched,
     if (run.recovery.degraded != (unplaced > 0)) {
       fail("fault-account", "degraded flag inconsistent with " +
                                 std::to_string(unplaced) + " unplaced tasks");
+    }
+  }
+
+  if ((options.props & kPropOnline) && engine) {
+    // Differential against the online runtime. Leg one, always: replayed
+    // with every arrival at t=0 (and the case's fault plan), the online
+    // runtime is bitwise-identical to the batch engine — the PR's anchor.
+    ++verdict.properties_checked;
+    online::OnlineOptions oo;
+    oo.enable_spoliation = sched == SchedulerId::kHp;
+    if (faulty) oo.faults = &c.faults;
+    online::OnlineStats origin_stats;
+    const Schedule origin =
+        c.is_dag()
+            ? online::online_run_dag(c.graph, c.platform, oo, &origin_stats)
+            : online::online_run(tasks, c.platform, oo, &origin_stats);
+    std::string why;
+    if (!same_schedule(run.schedule, origin, &why)) {
+      fail("online", "all-at-t=0 online run diverges from batch: " + why);
+    }
+    if (faulty && !(origin_stats.recovery == run.recovery)) {
+      fail("online", "all-at-t=0 online recovery diverges from batch");
+    }
+
+    // Leg two, when the case carries a staggered stream: the schedule
+    // changes (arrivals reshape the interleaving) but it must stay valid,
+    // honor every arrival instant, and account for every task.
+    if (c.has_arrivals()) {
+      oo.arrivals = &c.arrivals;
+      online::OnlineStats stag_stats;
+      const Schedule stag =
+          c.is_dag()
+              ? online::online_run_dag(c.graph, c.platform, oo, &stag_stats)
+              : online::online_run(tasks, c.platform, oo, &stag_stats);
+      ScheduleCheckOptions sc;
+      sc.tol = options.tol;
+      sc.require_complete = false;
+      sc.exact_durations = false;
+      const ScheduleCheck check =
+          c.is_dag() ? check_schedule(stag, c.graph, c.platform, sc)
+                     : check_schedule(stag, tasks, c.platform, sc);
+      if (!check.ok) {
+        fail("online", "staggered online run invalid: " + check.message);
+      }
+      std::size_t placed = 0;
+      for (std::size_t i = 0; i < stag.num_tasks(); ++i) {
+        const Placement& p = stag.placements()[i];
+        if (!p.placed()) continue;
+        ++placed;
+        if (p.start < c.arrivals.arrival(static_cast<TaskId>(i)) - 1e-12) {
+          fail("online",
+               "task " + std::to_string(i) + " started at " + fmt(p.start) +
+                   ", before its arrival at " +
+                   fmt(c.arrivals.arrival(static_cast<TaskId>(i))));
+        }
+      }
+      for (const AbortedSegment& seg : stag.aborted()) {
+        if (seg.start < c.arrivals.arrival(seg.task) - 1e-12) {
+          fail("online", "aborted attempt of task " +
+                             std::to_string(seg.task) +
+                             " started before its arrival");
+        }
+      }
+      if (stag_stats.tasks_arrived != c.graph.size()) {
+        fail("online", "staggered run saw " +
+                           std::to_string(stag_stats.tasks_arrived) +
+                           " arrivals for " + std::to_string(c.graph.size()) +
+                           " tasks");
+      }
+      // Zero silent drops: every task placed, rejected, or unfinished.
+      if (placed + stag_stats.tasks_rejected +
+              static_cast<std::size_t>(stag_stats.recovery.tasks_unfinished) !=
+          c.graph.size()) {
+        fail("online",
+             "accounting leak: placed " + std::to_string(placed) +
+                 " + rejected " + std::to_string(stag_stats.tasks_rejected) +
+                 " + unfinished " +
+                 std::to_string(stag_stats.recovery.tasks_unfinished) +
+                 " != " + std::to_string(c.graph.size()));
+      }
     }
   }
 

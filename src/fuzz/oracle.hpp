@@ -27,6 +27,12 @@
 //   fault-account degraded runs: relaxed validity plus retry-budget
 //                 bookkeeping (a task is abandoned iff its attempts are
 //                 exhausted; unfinished == unplaced; degraded iff unfinished)
+//   online        HeteroPrio only: the online runtime replayed all-at-t=0
+//                 is bitwise-identical to the batch run (same fault plan
+//                 included); cases carrying a staggered arrival stream
+//                 additionally run it online and check validity, that no
+//                 task starts before its arrival, and the zero-silent-drop
+//                 accounting identity
 
 #include <cstdint>
 #include <string>
@@ -54,7 +60,8 @@ enum PropertyBits : unsigned {
   kPropPermute = 1u << 6,
   kPropSpareCrash = 1u << 7,
   kPropFaultAccount = 1u << 8,
-  kPropAll = (1u << 9) - 1,
+  kPropOnline = 1u << 9,
+  kPropAll = (1u << 10) - 1,
 };
 
 /// Name of a single property bit ("validity", "ratio", ...).

@@ -42,4 +42,16 @@ Instance uniform_accel_instance(std::size_t num_tasks, double accel,
   return inst;
 }
 
+std::vector<double> poisson_arrival_times(std::size_t num_tasks, double rate,
+                                          util::Rng& rng) {
+  std::vector<double> times(num_tasks, 0.0);
+  if (rate <= 0.0) return times;
+  double clock = 0.0;
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    clock += rng.exponential(rate);
+    times[i] = clock;
+  }
+  return times;
+}
+
 }  // namespace hp

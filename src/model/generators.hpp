@@ -7,6 +7,7 @@
 // overhead at scale.
 
 #include <cstdint>
+#include <vector>
 
 #include "model/instance.hpp"
 #include "util/rng.hpp"
@@ -38,5 +39,14 @@ struct UniformGenParams {
 [[nodiscard]] Instance uniform_accel_instance(std::size_t num_tasks,
                                               double accel, double cpu_time_lo,
                                               double cpu_time_hi, util::Rng& rng);
+
+/// Non-decreasing arrival instants of a Poisson process with the given
+/// `rate` (mean arrivals per time unit): cumulative sums of exponential
+/// interarrival gaps. rate <= 0 means "all at once" and returns all-zero
+/// times. One task, one instant, in task-id order — the online runtime's
+/// arrival streams (src/online/arrival.hpp) are drawn through this.
+[[nodiscard]] std::vector<double> poisson_arrival_times(std::size_t num_tasks,
+                                                        double rate,
+                                                        util::Rng& rng);
 
 }  // namespace hp

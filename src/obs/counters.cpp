@@ -81,6 +81,30 @@ SchedulerCounters counters_from_events(std::span<const Event> events,
       case EventKind::kRunDegraded:
         ++c.degraded_runs;
         break;
+      case EventKind::kTaskArrival:
+        ++c.tasks_arrived;
+        break;
+      case EventKind::kTaskShed:
+        ++c.tasks_shed;
+        break;
+      case EventKind::kTaskDeferred:
+        ++c.tasks_deferred;
+        break;
+      case EventKind::kDeadlineMiss:
+        ++c.deadline_misses;
+        break;
+      case EventKind::kReplan:
+        ++c.replans;
+        break;
+      case EventKind::kRescheduleTick:
+        ++c.reschedule_ticks;
+        break;
+      case EventKind::kModeChange:
+        ++c.mode_changes;
+        break;
+      case EventKind::kStragglerRespawn:
+        ++c.straggler_respawns;
+        break;
     }
   }
 
@@ -158,6 +182,14 @@ CounterRegistry registry_from(const SchedulerCounters& c) {
   reg.set("task_failures", static_cast<double>(c.task_failures));
   reg.set("task_retries", static_cast<double>(c.task_retries));
   reg.set("degraded_runs", static_cast<double>(c.degraded_runs));
+  reg.set("tasks_arrived", static_cast<double>(c.tasks_arrived));
+  reg.set("tasks_shed", static_cast<double>(c.tasks_shed));
+  reg.set("tasks_deferred", static_cast<double>(c.tasks_deferred));
+  reg.set("deadline_misses", static_cast<double>(c.deadline_misses));
+  reg.set("replans", static_cast<double>(c.replans));
+  reg.set("reschedule_ticks", static_cast<double>(c.reschedule_ticks));
+  reg.set("mode_changes", static_cast<double>(c.mode_changes));
+  reg.set("straggler_respawns", static_cast<double>(c.straggler_respawns));
   reg.set("peak_ready_depth", static_cast<double>(c.peak_ready_depth));
   reg.set("idle_intervals", static_cast<double>(c.idle_intervals));
   reg.set("cpu_busy_time", c.busy_time[0]);

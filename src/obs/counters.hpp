@@ -31,6 +31,14 @@ struct SchedulerCounters {
   long long task_failures = 0;        ///< attempts aborted by injected faults
   long long task_retries = 0;         ///< re-enqueues after failed attempts
   long long degraded_runs = 0;        ///< kRunDegraded events (0 or 1 per run)
+  long long tasks_arrived = 0;        ///< online arrivals (kTaskArrival)
+  long long tasks_shed = 0;           ///< rejected by admission control
+  long long tasks_deferred = 0;       ///< parked by admission control
+  long long deadline_misses = 0;      ///< tasks incomplete at their deadline
+  long long replans = 0;              ///< incremental frontier re-prioritizations
+  long long reschedule_ticks = 0;     ///< rolling-horizon ticks fired
+  long long mode_changes = 0;         ///< degraded-mode state transitions
+  long long straggler_respawns = 0;   ///< overdue tasks aborted and re-enqueued
   double busy_time[2] = {0.0, 0.0};     ///< completed work per resource type
   double aborted_time[2] = {0.0, 0.0};  ///< work lost to spoliation
   double idle_fraction[2] = {0.0, 0.0};  ///< idle / (count * makespan);

@@ -14,7 +14,11 @@ constexpr const char* kKindNames[kNumEventKinds] = {
     "bound-violation", "worker-crash",
     "worker-slow-begin", "worker-slow-end",
     "task-fail",       "task-retry",
-    "run-degraded",
+    "run-degraded",    "task-arrival",
+    "task-shed",       "task-deferred",
+    "deadline-miss",   "replan",
+    "reschedule-tick", "mode-change",
+    "straggler-respawn",
 };
 }  // namespace
 

@@ -42,10 +42,22 @@ enum class EventKind : std::uint8_t {
   kTaskRetry,        ///< `task` re-entered the ready queue after a failed
                      ///< attempt; 0-based index of the new attempt in `value`
   kRunDegraded,      ///< run ended with unfinished tasks; count in `value`
+  // Online runtime kinds (src/online/). Appended so recorded streams from
+  // earlier versions keep their numeric kinds.
+  kTaskArrival,       ///< `task` arrived in the online runtime
+  kTaskShed,          ///< admission control rejected `task` (never scheduled)
+  kTaskDeferred,      ///< admission control parked `task` for later re-admission
+  kDeadlineMiss,      ///< `task` had no completion at its deadline instant
+  kReplan,            ///< incremental re-prioritization of the ready frontier;
+                      ///< number of frontier inserts in `value`
+  kRescheduleTick,    ///< rolling-horizon tick fired; 0-based index in `value`
+  kModeChange,        ///< runtime mode transition; new Mode as 0/1/2 in `value`
+  kStragglerRespawn,  ///< overdue `task` aborted on `worker` and re-enqueued;
+                      ///< per-run respawn index in `value`
 };
 
 inline constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::kRunDegraded) + 1;
+    static_cast<std::size_t>(EventKind::kStragglerRespawn) + 1;
 
 /// Printable name, e.g. "spoliate-commit".
 [[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
@@ -190,6 +202,40 @@ class Probe {
     emit({.time = t,
           .kind = EventKind::kRunDegraded,
           .value = static_cast<double>(unfinished)});
+  }
+  void task_arrival(double t, TaskId task) const {
+    emit({.time = t, .kind = EventKind::kTaskArrival, .task = task});
+  }
+  void task_shed(double t, TaskId task) const {
+    emit({.time = t, .kind = EventKind::kTaskShed, .task = task});
+  }
+  void task_deferred(double t, TaskId task) const {
+    emit({.time = t, .kind = EventKind::kTaskDeferred, .task = task});
+  }
+  void deadline_miss(double t, TaskId task) const {
+    emit({.time = t, .kind = EventKind::kDeadlineMiss, .task = task});
+  }
+  void replan(double t, std::size_t frontier_inserts) const {
+    emit({.time = t,
+          .kind = EventKind::kReplan,
+          .value = static_cast<double>(frontier_inserts)});
+  }
+  void reschedule_tick(double t, std::size_t index) const {
+    emit({.time = t,
+          .kind = EventKind::kRescheduleTick,
+          .value = static_cast<double>(index)});
+  }
+  void mode_change(double t, int new_mode) const {
+    emit({.time = t,
+          .kind = EventKind::kModeChange,
+          .value = static_cast<double>(new_mode)});
+  }
+  void straggler_respawn(double t, TaskId task, WorkerId w, int index) const {
+    emit({.time = t,
+          .kind = EventKind::kStragglerRespawn,
+          .task = task,
+          .worker = w,
+          .value = static_cast<double>(index)});
   }
 
  private:

@@ -152,6 +152,42 @@ std::string chrome_trace_from_events(std::span<const Event> events,
             << ",\"args\":{\"unfinished\":" << util::format_double(e.value, 0)
             << "}}";
         break;
+      case EventKind::kTaskShed:
+        emit_instant(e, "task-shed", "online");
+        break;
+      case EventKind::kTaskDeferred:
+        emit_instant(e, "task-deferred", "online");
+        break;
+      case EventKind::kDeadlineMiss:
+        emit_instant(e, "deadline-miss", "online");
+        break;
+      case EventKind::kStragglerRespawn:
+        emit_instant(e, "straggler-respawn", "online");
+        break;
+      case EventKind::kReplan:
+        sep();
+        oss << "{\"name\":\"replan\",\"cat\":\"online\",\"ph\":\"i\","
+            << "\"s\":\"g\",\"pid\":0,\"ts\":" << ts(e.time)
+            << ",\"args\":{\"inserts\":" << util::format_double(e.value, 0)
+            << "}}";
+        break;
+      case EventKind::kRescheduleTick:
+        sep();
+        oss << "{\"name\":\"reschedule-tick\",\"cat\":\"online\",\"ph\":\"i\","
+            << "\"s\":\"g\",\"pid\":0,\"ts\":" << ts(e.time)
+            << ",\"args\":{\"index\":" << util::format_double(e.value, 0)
+            << "}}";
+        break;
+      case EventKind::kModeChange:
+        // The degraded-mode state machine renders as a 0/1/2 counter track
+        // (healthy/degraded/shedding) so mode spans line up with the
+        // arrival/shed markers above.
+        sep();
+        oss << "{\"name\":\"runtime_mode\",\"cat\":\"online\",\"ph\":\"C\","
+            << "\"pid\":0,\"ts\":" << ts(e.time) << ",\"args\":{\"mode\":"
+            << util::format_double(e.value, 0) << "}}";
+        break;
+      case EventKind::kTaskArrival:
       case EventKind::kReady:
       case EventKind::kIdleBegin:
       case EventKind::kIdleEnd:

@@ -1,0 +1,147 @@
+#include "online/arrival.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "model/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hp::online {
+
+namespace {
+// Salt separating arrival draws from every other consumer of a seed.
+constexpr std::uint64_t kArrivalSalt = 0x617272697665ULL;  // "arrive"
+}  // namespace
+
+ArrivalPlan ArrivalPlan::generate(const ArrivalSpec& spec,
+                                  std::span<const Task> tasks) {
+  ArrivalPlan plan;
+  util::Rng rng(util::seed_from_cell({spec.seed}, kArrivalSalt));
+  plan.arrivals_ = poisson_arrival_times(tasks.size(), spec.rate, rng);
+  plan.rel_deadlines_.assign(tasks.size(), 0.0);
+  if (spec.deadline_factor > 0.0) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const double best = std::min(tasks[i].cpu_time, tasks[i].gpu_time);
+      plan.rel_deadlines_[i] = spec.deadline_factor * best;
+    }
+  }
+  return plan;
+}
+
+void ArrivalPlan::set(TaskId task, double arrival, double rel_deadline) {
+  const auto i = static_cast<std::size_t>(task);
+  if (i >= arrivals_.size()) resize(i + 1);
+  arrivals_[i] = arrival;
+  rel_deadlines_[i] = rel_deadline;
+}
+
+void ArrivalPlan::resize(std::size_t n) {
+  arrivals_.resize(n, 0.0);
+  rel_deadlines_.resize(n, 0.0);
+}
+
+bool ArrivalPlan::all_at_origin() const noexcept {
+  return std::all_of(arrivals_.begin(), arrivals_.end(),
+                     [](double t) { return t == 0.0; });
+}
+
+bool ArrivalPlan::has_deadlines() const noexcept {
+  return std::any_of(rel_deadlines_.begin(), rel_deadlines_.end(),
+                     [](double d) { return d > 0.0; });
+}
+
+double ArrivalPlan::arrival(TaskId task) const noexcept {
+  const auto i = static_cast<std::size_t>(task);
+  return i < arrivals_.size() ? arrivals_[i] : 0.0;
+}
+
+double ArrivalPlan::rel_deadline(TaskId task) const noexcept {
+  const auto i = static_cast<std::size_t>(task);
+  return i < rel_deadlines_.size() ? rel_deadlines_[i] : 0.0;
+}
+
+std::string ArrivalPlan::to_text() const {
+  std::ostringstream oss;
+  oss.precision(std::numeric_limits<double>::max_digits10);
+  oss << "arrivals v1\n";
+  oss << "tasks " << arrivals_.size() << '\n';
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    // Tasks at (0, no deadline) stay implicit; from_text re-creates them
+    // from the `tasks` count, so the round-trip is exact.
+    if (arrivals_[i] == 0.0 && rel_deadlines_[i] == 0.0) continue;
+    oss << "arrive " << i << ' ' << arrivals_[i] << ' ' << rel_deadlines_[i]
+        << '\n';
+  }
+  return oss.str();
+}
+
+bool ArrivalPlan::from_text(const std::string& text, ArrivalPlan* out,
+                            std::string* error) {
+  const auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+  *out = ArrivalPlan{};
+  std::istringstream iss(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(iss, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (!saw_header) {
+      std::string version;
+      fields >> version;
+      if (key != "arrivals" || version != "v1") {
+        return fail(line_no, "expected 'arrivals v1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (key == "tasks") {
+      std::size_t n = 0;
+      if (!(fields >> n)) return fail(line_no, "bad task count");
+      out->resize(n);
+    } else if (key == "arrive") {
+      std::size_t task = 0;
+      double arrival = 0.0;
+      double deadline = 0.0;
+      if (!(fields >> task >> arrival >> deadline)) {
+        return fail(line_no, "bad arrive record");
+      }
+      if (task >= out->arrivals_.size()) {
+        return fail(line_no, "task index out of range");
+      }
+      if (arrival < 0.0) return fail(line_no, "negative arrival time");
+      out->arrivals_[task] = arrival;
+      out->rel_deadlines_[task] = deadline;
+    } else {
+      return fail(line_no, "unknown directive '" + key + "'");
+    }
+  }
+  if (!saw_header) return fail(line_no, "empty document");
+  return true;
+}
+
+std::string ArrivalPlan::describe() const {
+  std::ostringstream oss;
+  double last = 0.0;
+  std::size_t deadlines = 0;
+  for (const double t : arrivals_) last = std::max(last, t);
+  for (const double d : rel_deadlines_) {
+    if (d > 0.0) ++deadlines;
+  }
+  oss << "arrival plan: " << arrivals_.size() << " task(s), last arrival t="
+      << last << ", " << deadlines << " with deadlines"
+      << (all_at_origin() ? " (all at t=0)" : "");
+  return oss.str();
+}
+
+}  // namespace hp::online

@@ -1,0 +1,94 @@
+#pragma once
+// Arrival streams for the online runtime.
+//
+// An ArrivalPlan fixes, before the run starts, when each task becomes
+// known to the scheduler (absolute arrival instant, non-negative) and how
+// long after its arrival it is still useful (relative deadline; <= 0 means
+// no deadline). Like fault::FaultPlan, the plan is deterministic data the
+// scheduler only observes through its consequences: a task is invisible
+// until its arrival event fires, and a deadline event that finds the task
+// incomplete counts a miss without altering any decision.
+//
+// Generation mirrors the fault layer's discipline: every draw derives from
+// the spec seed via util::seed_from_cell, never a shared stream, so a plan
+// rebuilt anywhere (tests, fuzz cases, bench grids) is byte-identical.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/task.hpp"
+
+namespace hp::online {
+
+/// Generation parameters for ArrivalPlan::generate().
+struct ArrivalSpec {
+  /// Mean arrivals per time unit of the Poisson process; <= 0 draws an
+  /// all-at-t=0 plan (the batch-equivalent degenerate stream).
+  double rate = 0.0;
+  /// Relative deadline per task: deadline_factor * min(cpu_time, gpu_time)
+  /// after its arrival; <= 0 disables deadlines.
+  double deadline_factor = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Per-task arrival instants and relative deadlines, id-indexed.
+class ArrivalPlan {
+ public:
+  ArrivalPlan() = default;
+
+  /// Draw a plan for `tasks`: Poisson arrivals in id order (task i+1 never
+  /// arrives before task i) and per-task relative deadlines from the spec's
+  /// deadline factor.
+  [[nodiscard]] static ArrivalPlan generate(const ArrivalSpec& spec,
+                                            std::span<const Task> tasks);
+
+  /// Hand-built plans (tests, corpus files). Extends the plan to cover
+  /// `task` and sets its entries; uncovered tasks arrive at 0 with no
+  /// deadline.
+  void set(TaskId task, double arrival, double rel_deadline = 0.0);
+
+  /// Resize to exactly `n` tasks (new entries arrive at 0, no deadline).
+  void resize(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return arrivals_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return arrivals_.empty(); }
+
+  /// True when every arrival is at t=0 — the stream the online runtime is
+  /// regression-pinned to run bitwise-identically to the batch engine.
+  [[nodiscard]] bool all_at_origin() const noexcept;
+
+  /// True when at least one task carries a deadline.
+  [[nodiscard]] bool has_deadlines() const noexcept;
+
+  /// Arrival instant of `task` (0 for tasks beyond the plan's size).
+  [[nodiscard]] double arrival(TaskId task) const noexcept;
+
+  /// Relative deadline of `task`; <= 0 means none.
+  [[nodiscard]] double rel_deadline(TaskId task) const noexcept;
+
+  [[nodiscard]] std::span<const double> arrivals() const noexcept {
+    return arrivals_;
+  }
+  [[nodiscard]] std::span<const double> rel_deadlines() const noexcept {
+    return rel_deadlines_;
+  }
+
+  /// Text round-trip (the `.hpo` format of docs/online.md; also embedded in
+  /// corpus files behind `# hpo:` prefixes).
+  [[nodiscard]] std::string to_text() const;
+  static bool from_text(const std::string& text, ArrivalPlan* out,
+                        std::string* error);
+
+  /// Human-readable one-paragraph summary.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const ArrivalPlan&, const ArrivalPlan&) = default;
+
+ private:
+  std::vector<double> arrivals_;       // id-indexed, non-negative
+  std::vector<double> rel_deadlines_;  // id-indexed; <= 0 = no deadline
+};
+
+}  // namespace hp::online

@@ -1,0 +1,277 @@
+#include "perf/perf_online.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "core/heteroprio.hpp"
+#include "model/generators.hpp"
+#include "online/runtime.hpp"
+#include "perf/json_scan.hpp"
+#include "util/rng.hpp"
+
+namespace hp::perf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Instance make_instance(std::size_t n) {
+  util::Rng rng(util::seed_from_cell({static_cast<std::uint64_t>(n)}));
+  UniformGenParams params;
+  params.num_tasks = n;
+  return uniform_instance(params, rng);
+}
+
+/// The platform's aggregate service rate on `tasks`: workers divided by the
+/// mean best-resource duration. Arrival rates are expressed as multiples of
+/// this, so "1x" queues work about as fast as the platform drains it.
+double service_rate(std::span<const Task> tasks, const Platform& platform) {
+  if (tasks.empty()) return 1.0;
+  double total = 0.0;
+  for (const Task& t : tasks) total += std::min(t.cpu_time, t.gpu_time);
+  const double mean = total / static_cast<double>(tasks.size());
+  return mean > 0.0 ? static_cast<double>(platform.workers()) / mean : 1.0;
+}
+
+/// Best-of-reps wall-clock measurement of one configured online run; the
+/// run is deterministic, so the stats of the last repetition are the stats
+/// of every repetition.
+PerfOnlineSeries measure_arm(const std::string& label,
+                             std::span<const Task> tasks,
+                             const Platform& platform,
+                             const online::OnlineOptions& options,
+                             double batch_makespan, int reps) {
+  online::OnlineStats stats;
+  Schedule schedule = online::online_run(tasks, platform, options, &stats);
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    schedule = online::online_run(tasks, platform, options, &stats);
+    best = std::min(best, seconds_since(start));
+  }
+
+  PerfOnlineSeries s;
+  s.label = label;
+  s.workload = "independent-uniform";
+  s.n = tasks.size();
+  s.makespan_stretch =
+      batch_makespan > 0.0 ? schedule.makespan() / batch_makespan : 0.0;
+  const auto frac = [&](std::size_t count) {
+    return tasks.empty() ? 0.0
+                         : static_cast<double>(count) /
+                               static_cast<double>(tasks.size());
+  };
+  s.deadline_miss_rate = frac(stats.deadline_misses);
+  s.shed_fraction = frac(stats.tasks_rejected);
+  s.replan_tasks_per_sec = static_cast<double>(tasks.size()) / best;
+  s.replans = stats.replans;
+  s.final_mode = online::mode_name(stats.final_mode);
+  std::size_t placed = 0;
+  for (const Placement& p : schedule.placements()) placed += p.placed() ? 1 : 0;
+  s.zero_drop = placed + stats.tasks_rejected +
+                    static_cast<std::size_t>(
+                        stats.recovery.tasks_unfinished) ==
+                tasks.size();
+  return s;
+}
+
+std::string rate_label(double factor) {
+  std::ostringstream oss;
+  oss << "rate-" << factor << "x";
+  return oss.str();
+}
+
+void append_json_series(std::ostringstream& out, const PerfOnlineSeries& s,
+                        bool first) {
+  if (!first) out << ",";
+  out << "\n    {\"label\": \"" << s.label << "\", "
+      << "\"workload\": \"" << s.workload << "\", "
+      << "\"n\": " << s.n << ", "
+      << "\"rate\": " << s.rate << ", "
+      << "\"makespan_stretch\": " << s.makespan_stretch << ", "
+      << "\"deadline_miss_rate\": " << s.deadline_miss_rate << ", "
+      << "\"shed_fraction\": " << s.shed_fraction << ", "
+      << "\"replan_tasks_per_sec\": " << s.replan_tasks_per_sec << ", "
+      << "\"replans\": " << s.replans << ", "
+      << "\"final_mode\": \"" << s.final_mode << "\", "
+      << "\"zero_drop\": " << (s.zero_drop ? "true" : "false") << "}";
+}
+
+}  // namespace
+
+PerfOnlineBaseline run_perf_online(const PerfOnlineOptions& options) {
+  PerfOnlineBaseline out;
+  out.platform = options.platform;
+  out.repetitions = std::max(1, options.repetitions);
+
+  const Instance inst = make_instance(options.independent_n);
+  const auto tasks = inst.tasks();
+  const double batch_makespan =
+      heteroprio(tasks, options.platform).makespan();
+  const double base_rate = service_rate(tasks, options.platform);
+
+  const auto note = [&](const PerfOnlineSeries& s) {
+    if (!options.verbose) return;
+    std::cerr << "[perf-online] " << s.label << ": stretch "
+              << s.makespan_stretch << ", miss rate " << s.deadline_miss_rate
+              << ", shed " << s.shed_fraction << ", "
+              << s.replan_tasks_per_sec / 1e6 << "M tasks/s, final mode "
+              << s.final_mode << '\n';
+  };
+
+  for (const double factor : options.rate_factors) {
+    online::ArrivalSpec spec;
+    spec.rate = factor * base_rate;
+    spec.deadline_factor = options.deadline_factor;
+    spec.seed = 1;
+    const online::ArrivalPlan arrivals =
+        online::ArrivalPlan::generate(spec, tasks);
+    online::OnlineOptions run;
+    run.arrivals = &arrivals;
+    PerfOnlineSeries s =
+        measure_arm(rate_label(factor), tasks, options.platform, run,
+                    batch_makespan, out.repetitions);
+    s.rate = spec.rate;
+    out.series.push_back(s);
+    note(out.series.back());
+  }
+
+  // Saturating arm: arrivals far above the service rate against a small
+  // admission watermark with rejection — the run must end outside healthy
+  // mode (incidents happened) while still accounting for every task.
+  {
+    online::ArrivalSpec spec;
+    spec.rate = 8.0 * base_rate;
+    spec.deadline_factor = options.deadline_factor;
+    spec.seed = 2;
+    const online::ArrivalPlan arrivals =
+        online::ArrivalPlan::generate(spec, tasks);
+    online::OnlineOptions run;
+    run.arrivals = &arrivals;
+    run.watermark_high =
+        static_cast<std::size_t>(options.platform.workers()) * 2;
+    run.shed_policy = online::ShedPolicy::kReject;
+    PerfOnlineSeries s = measure_arm("saturating", tasks, options.platform,
+                                     run, batch_makespan, out.repetitions);
+    s.rate = spec.rate;
+    out.series.push_back(s);
+    note(out.series.back());
+  }
+  return out;
+}
+
+std::string perf_online_to_json(const PerfOnlineBaseline& baseline) {
+  std::ostringstream out;
+  out.precision(10);
+  out << "{\n"
+      << "  \"schema\": \"hp-bench-online/v1\",\n"
+      << "  \"platform\": {\"cpus\": " << baseline.platform.cpus()
+      << ", \"gpus\": " << baseline.platform.gpus() << "},\n"
+      << "  \"repetitions\": " << baseline.repetitions << ",\n"
+      << "  \"warmup_runs\": 1,\n"
+      << "  \"series\": [";
+  for (std::size_t i = 0; i < baseline.series.size(); ++i) {
+    append_json_series(out, baseline.series[i], i == 0);
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool write_perf_online_json(const PerfOnlineBaseline& baseline,
+                            const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << perf_online_to_json(baseline);
+  return static_cast<bool>(file);
+}
+
+bool validate_perf_online_json(const std::string& json_text,
+                               std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!jsonscan::balanced_json(json_text, error)) return false;
+  if (jsonscan::string_field(json_text, "schema").value_or("") !=
+      "hp-bench-online/v1") {
+    return fail("missing or wrong schema tag (want hp-bench-online/v1)");
+  }
+
+  bool saw_batch_equivalent = false;
+  bool saw_saturating = false;
+  std::string problems;
+  const auto problem = [&](const std::string& why) {
+    if (!problems.empty()) problems += "; ";
+    problems += why;
+  };
+
+  const bool walked = jsonscan::for_each_array_object(
+      json_text, "series", [&](const std::string& obj) {
+        const std::string label =
+            jsonscan::string_field(obj, "label").value_or("");
+        if (label.empty()) {
+          problem("series entry without label");
+          return;
+        }
+        const auto field = [&](const char* name) {
+          return jsonscan::number_field(obj, name);
+        };
+        const std::optional<double> stretch = field("makespan_stretch");
+        const std::optional<double> miss = field("deadline_miss_rate");
+        const std::optional<double> shed = field("shed_fraction");
+        const std::optional<double> rate = field("replan_tasks_per_sec");
+        if (!stretch.has_value() || !std::isfinite(*stretch) ||
+            *stretch <= 0.0) {
+          problem(label + " has no positive makespan_stretch");
+        }
+        if (!miss.has_value() || *miss < 0.0 || *miss > 1.0) {
+          problem(label + " deadline_miss_rate outside [0, 1]");
+        }
+        if (!shed.has_value() || *shed < 0.0 || *shed > 1.0) {
+          problem(label + " shed_fraction outside [0, 1]");
+        }
+        if (!rate.has_value() || !std::isfinite(*rate) || *rate <= 0.0) {
+          problem(label + " has no positive replan_tasks_per_sec");
+        }
+        // The zero-silent-drop invariant is part of the document contract.
+        const std::string raw = obj;
+        if (raw.find("\"zero_drop\": true") == std::string::npos) {
+          problem(label + " does not assert zero_drop");
+        }
+        const std::string mode =
+            jsonscan::string_field(obj, "final_mode").value_or("");
+        if (label == "rate-0x") {
+          saw_batch_equivalent = true;
+          if (std::abs(stretch.value_or(0.0) - 1.0) > 1e-9) {
+            problem("rate-0x stretch is not exactly 1 (the bitwise anchor)");
+          }
+        }
+        if (label == "saturating") {
+          saw_saturating = true;
+          if (mode == "healthy" || mode.empty()) {
+            problem("saturating arm ended in mode '" + mode +
+                    "', expected degraded operation");
+          }
+          if (shed.value_or(0.0) <= 0.0) {
+            problem("saturating arm shed nothing");
+          }
+        }
+      });
+  if (!walked) return fail("missing series array");
+  if (!saw_batch_equivalent) problem("missing rate-0x series");
+  if (!saw_saturating) problem("missing saturating series");
+  if (!problems.empty()) return fail(problems);
+  return true;
+}
+
+}  // namespace hp::perf

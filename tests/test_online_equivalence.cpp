@@ -1,0 +1,292 @@
+// The online runtime's correctness anchor: a run whose arrivals all occur
+// at t=0 with no faults is bitwise-identical to the batch engine — same
+// placements, same aborted segments, same spoliation counters. The anchor
+// must hold across every engine configuration (independent, DAG, faulty,
+// noisy estimates, spoliation off) and must survive the online-only
+// machinery (reschedule ticks, deadlines) as long as that machinery only
+// observes.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/heteroprio.hpp"
+#include "core/heteroprio_dag.hpp"
+#include "dag/ranking.hpp"
+#include "fault/fault_plan.hpp"
+#include "linalg/cholesky.hpp"
+#include "model/generators.hpp"
+#include "obs/recorder.hpp"
+#include "online/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+void expect_identical_schedules(const Schedule& batch, const Schedule& online) {
+  ASSERT_EQ(batch.num_tasks(), online.num_tasks());
+  for (std::size_t i = 0; i < batch.num_tasks(); ++i) {
+    const Placement& pb = batch.placements()[i];
+    const Placement& po = online.placements()[i];
+    EXPECT_EQ(pb.worker, po.worker) << "task " << i;
+    EXPECT_EQ(pb.start, po.start) << "task " << i;  // bitwise, no tolerance
+    EXPECT_EQ(pb.end, po.end) << "task " << i;
+  }
+  ASSERT_EQ(batch.aborted().size(), online.aborted().size());
+  for (std::size_t i = 0; i < batch.aborted().size(); ++i) {
+    EXPECT_EQ(batch.aborted()[i].task, online.aborted()[i].task) << i;
+    EXPECT_EQ(batch.aborted()[i].worker, online.aborted()[i].worker) << i;
+    EXPECT_EQ(batch.aborted()[i].start, online.aborted()[i].start) << i;
+    EXPECT_EQ(batch.aborted()[i].abort_time, online.aborted()[i].abort_time)
+        << i;
+  }
+}
+
+void expect_matching_engine_stats(const HeteroPrioStats& batch,
+                                  const online::OnlineStats& online) {
+  EXPECT_EQ(batch.spoliations, online.spoliations);
+  EXPECT_EQ(batch.spoliation_attempts, online.spoliation_attempts);
+  EXPECT_EQ(batch.spoliation_skips, online.spoliation_skips);
+  EXPECT_EQ(batch.first_idle_time, online.first_idle_time);
+}
+
+std::vector<Task> mixed_tasks(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const Instance inst = bimodal_instance(n, 0.5, rng);
+  return {inst.tasks().begin(), inst.tasks().end()};
+}
+
+TaskGraph ranked_cholesky(int tiles) {
+  TaskGraph g = cholesky_dag(tiles);
+  assign_priorities(g, RankScheme::kMin);
+  return g;
+}
+
+TEST(OnlineEquivalence, IndependentAllAtOriginIsBitwiseIdentical) {
+  const std::vector<Task> tasks = mixed_tasks(60, 101);
+  const Platform platform(4, 2);
+
+  // Recorder sink: routes the batch engine through its general loop, the
+  // code path the online runtime shares.
+  obs::EventRecorder batch_events;
+  HeteroPrioOptions batch_opts;
+  batch_opts.sink = &batch_events;
+  HeteroPrioStats batch_stats;
+  const Schedule batch = heteroprio(tasks, platform, batch_opts, &batch_stats);
+
+  online::OnlineStats stats;
+  const Schedule run = online::online_run(tasks, platform, {}, &stats);
+
+  expect_identical_schedules(batch, run);
+  expect_matching_engine_stats(batch_stats, stats);
+  EXPECT_EQ(stats.tasks_arrived, tasks.size());
+  EXPECT_EQ(stats.tasks_admitted, tasks.size());
+  EXPECT_EQ(stats.tasks_rejected, 0u);
+  EXPECT_EQ(stats.final_mode, online::Mode::kHealthy);
+  EXPECT_EQ(stats.mode_changes, 0u);
+}
+
+TEST(OnlineEquivalence, ExplicitAllZeroArrivalPlanMatchesTheImplicitOne) {
+  const std::vector<Task> tasks = mixed_tasks(40, 7);
+  const Platform platform(3, 1);
+
+  online::ArrivalPlan plan;
+  plan.resize(tasks.size());
+  ASSERT_TRUE(plan.all_at_origin());
+  online::OnlineOptions options;
+  options.arrivals = &plan;
+
+  expect_identical_schedules(online::online_run(tasks, platform),
+                             online::online_run(tasks, platform, options));
+  expect_identical_schedules(heteroprio(tasks, platform),
+                             online::online_run(tasks, platform, options));
+}
+
+TEST(OnlineEquivalence, DagAllAtOriginIsBitwiseIdentical) {
+  const TaskGraph g = ranked_cholesky(8);
+  const Platform platform(4, 2);
+
+  HeteroPrioStats batch_stats;
+  const Schedule batch = heteroprio_dag(g, platform, {}, &batch_stats);
+
+  online::OnlineStats stats;
+  const Schedule run = online::online_run_dag(g, platform, {}, &stats);
+
+  expect_identical_schedules(batch, run);
+  expect_matching_engine_stats(batch_stats, stats);
+}
+
+TEST(OnlineEquivalence, SpoliationOffStillMatches) {
+  const std::vector<Task> tasks = mixed_tasks(30, 55);
+  const Platform platform(2, 2);
+
+  HeteroPrioOptions batch_opts;
+  batch_opts.enable_spoliation = false;
+  online::OnlineOptions online_opts;
+  online_opts.enable_spoliation = false;
+
+  expect_identical_schedules(
+      heteroprio(tasks, platform, batch_opts),
+      online::online_run(tasks, platform, online_opts));
+}
+
+TEST(OnlineEquivalence, NoisyEstimatesStillMatch) {
+  const std::vector<Task> estimates = mixed_tasks(48, 13);
+  std::vector<Task> actuals = estimates;
+  util::Rng rng(99);
+  for (Task& t : actuals) {
+    t.cpu_time *= rng.uniform(0.7, 1.4);
+    t.gpu_time *= rng.uniform(0.7, 1.4);
+  }
+  const Platform platform(4, 2);
+
+  HeteroPrioOptions batch_opts;
+  batch_opts.actual_times = actuals;
+  HeteroPrioStats batch_stats;
+  const Schedule batch =
+      heteroprio(estimates, platform, batch_opts, &batch_stats);
+
+  online::OnlineOptions online_opts;
+  online_opts.actual_times = actuals;
+  online::OnlineStats stats;
+  const Schedule run =
+      online::online_run(estimates, platform, online_opts, &stats);
+
+  expect_identical_schedules(batch, run);
+  expect_matching_engine_stats(batch_stats, stats);
+}
+
+TEST(OnlineEquivalence, FaultyAllAtOriginIsBitwiseIdentical) {
+  const TaskGraph g = ranked_cholesky(8);
+  const Platform platform(4, 2);
+  fault::FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(fault::parse_spec(
+      "crashes=1,stragglers=2,slow=3,taskfail=0.1,retries=3,backoff=0.05,"
+      "seed=17",
+      &spec, &error))
+      << error;
+  spec.horizon = heteroprio_dag(g, platform).makespan();
+  const fault::FaultPlan plan = fault::FaultPlan::generate(spec, platform);
+
+  HeteroPrioOptions batch_opts;
+  batch_opts.faults = &plan;
+  HeteroPrioStats batch_stats;
+  const Schedule batch = heteroprio_dag(g, platform, batch_opts, &batch_stats);
+
+  online::OnlineOptions online_opts;
+  online_opts.faults = &plan;
+  online::OnlineStats stats;
+  const Schedule run = online::online_run_dag(g, platform, online_opts, &stats);
+
+  expect_identical_schedules(batch, run);
+  EXPECT_EQ(batch_stats.recovery, stats.recovery);
+  // Faults are incidents: the run leaves kHealthy even though nothing was
+  // shed.
+  if (stats.recovery.worker_crashes > 0 || stats.recovery.task_failures > 0 ||
+      stats.recovery.straggler_windows > 0) {
+    EXPECT_EQ(stats.final_mode, online::Mode::kDegraded);
+  }
+}
+
+TEST(OnlineEquivalence, FaultyIndependentAllAtOriginIsBitwiseIdentical) {
+  const std::vector<Task> tasks = mixed_tasks(50, 23);
+  const Platform platform(3, 2);
+  fault::FaultPlan plan;
+  plan.add_crash(1, 2.0);
+  plan.add_straggler(3, 0.5, 4.0, 3.0);
+  plan.set_task_faults(0.15, 3, 0.1, 77);
+
+  HeteroPrioOptions batch_opts;
+  batch_opts.faults = &plan;
+  HeteroPrioStats batch_stats;
+  const Schedule batch = heteroprio(tasks, platform, batch_opts, &batch_stats);
+
+  online::OnlineOptions online_opts;
+  online_opts.faults = &plan;
+  online::OnlineStats stats;
+  const Schedule run = online::online_run(tasks, platform, online_opts, &stats);
+
+  expect_identical_schedules(batch, run);
+  EXPECT_EQ(batch_stats.recovery, stats.recovery);
+}
+
+TEST(OnlineEquivalence, RescheduleTicksNeverChangeAFaultFreeSchedule) {
+  // Ticks only run the straggler scan and an extra dispatch pass; in a
+  // fault-free run neither can act (no overdue attempt exists, and between
+  // event batches idle workers imply an empty queue).
+  const std::vector<Task> tasks = mixed_tasks(40, 31);
+  const Platform platform(4, 2);
+
+  online::OnlineOptions ticking;
+  ticking.reschedule_period = 0.37;
+  ticking.straggler_factor = 2.0;
+  online::OnlineStats stats;
+  const Schedule run = online::online_run(tasks, platform, ticking, &stats);
+
+  expect_identical_schedules(heteroprio(tasks, platform), run);
+  EXPECT_GT(stats.reschedule_ticks, 0u);
+  EXPECT_EQ(stats.recovery.straggler_respawns, 0);
+  EXPECT_EQ(stats.final_mode, online::Mode::kHealthy);
+}
+
+TEST(OnlineEquivalence, DeadlinesOnlyObserveAndNeverReschedule) {
+  const std::vector<Task> tasks = mixed_tasks(60, 47);
+  const Platform platform(2, 1);
+
+  online::ArrivalPlan plan;
+  plan.resize(tasks.size());
+  // Impossible deadlines: everything at t=0 with a sliver of slack. The
+  // schedule must stay bitwise identical; only the miss counters move.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    plan.set(static_cast<TaskId>(i), 0.0, /*rel_deadline=*/1e-6);
+  }
+  online::OnlineOptions options;
+  options.arrivals = &plan;
+  online::OnlineStats stats;
+  const Schedule run = online::online_run(tasks, platform, options, &stats);
+
+  expect_identical_schedules(heteroprio(tasks, platform), run);
+  EXPECT_GT(stats.deadline_misses, 0u);
+  EXPECT_EQ(stats.final_mode, online::Mode::kDegraded);  // misses = incidents
+}
+
+TEST(OnlineEquivalence, OnlineRunsAreDeterministic) {
+  const std::vector<Task> tasks = mixed_tasks(64, 3);
+  const Platform platform(4, 2);
+  online::ArrivalPlan plan = online::ArrivalPlan::generate(
+      {.rate = 2.0, .deadline_factor = 8.0, .seed = 5}, tasks);
+  fault::FaultPlan faults;
+  faults.add_crash(0, 3.0);
+  faults.set_task_faults(0.1, 3, 0.05, 11);
+
+  online::OnlineOptions options;
+  options.arrivals = &plan;
+  options.faults = &faults;
+  options.reschedule_period = 0.5;
+  options.straggler_factor = 3.0;
+  options.watermark_high = 8;
+
+  obs::EventRecorder first_events, second_events;
+  options.sink = &first_events;
+  online::OnlineStats first_stats;
+  const Schedule a = online::online_run(tasks, platform, options, &first_stats);
+  options.sink = &second_events;
+  online::OnlineStats second_stats;
+  const Schedule b =
+      online::online_run(tasks, platform, options, &second_stats);
+
+  expect_identical_schedules(a, b);
+  EXPECT_EQ(first_stats.recovery, second_stats.recovery);
+  EXPECT_EQ(first_stats.deadline_misses, second_stats.deadline_misses);
+  EXPECT_EQ(first_stats.replans, second_stats.replans);
+  ASSERT_EQ(first_events.size(), second_events.size());
+  for (std::size_t i = 0; i < first_events.size(); ++i) {
+    EXPECT_EQ(first_events.events()[i], second_events.events()[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hp

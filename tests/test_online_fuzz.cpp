@@ -1,0 +1,129 @@
+// Fuzz-layer coverage of the online differential: the generator draws
+// arrival streams last (so historical (seed, index) cases keep their exact
+// platform/workload/faults), the oracle's `online` property checks both
+// differential legs, and corpus files embed arrival plans behind `# hpo:`
+// lines the plain workload parsers skip.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/corpus.hpp"
+
+#ifndef HP_CORPUS_DIR
+#error "HP_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace hp::fuzz {
+namespace {
+
+TEST(OnlineFuzz, GeneratorDrawsArrivalStreamsDeterministically) {
+  GenKnobs knobs;
+  knobs.online_fraction = 1.0;
+  const FuzzCase a = generate_case(7, 3, knobs);
+  const FuzzCase b = generate_case(7, 3, knobs);
+  EXPECT_TRUE(a.has_arrivals());
+  EXPECT_EQ(a.arrivals, b.arrivals);  // bitwise: pure in (seed, index)
+  EXPECT_EQ(a.arrivals.size(), a.graph.size());
+}
+
+TEST(OnlineFuzz, ArrivalKnobLeavesHistoricalCasesUntouched) {
+  // The arrival draw is the last use of the case's rng stream: every field
+  // drawn before it is byte-identical whether the knob is on or off.
+  GenKnobs off;
+  off.online_fraction = 0.0;
+  for (std::uint64_t index = 0; index < 20; ++index) {
+    const FuzzCase with_knob = generate_case(11, index);
+    const FuzzCase without = generate_case(11, index, off);
+    EXPECT_FALSE(without.has_arrivals());
+    EXPECT_EQ(with_knob.platform.cpus(), without.platform.cpus());
+    EXPECT_EQ(with_knob.platform.gpus(), without.platform.gpus());
+    EXPECT_EQ(with_knob.faults, without.faults);
+    ASSERT_EQ(with_knob.graph.size(), without.graph.size());
+    EXPECT_EQ(with_knob.graph.num_edges(), without.graph.num_edges());
+    for (std::size_t i = 0; i < with_knob.graph.size(); ++i) {
+      EXPECT_EQ(with_knob.graph.tasks()[i].cpu_time,
+                without.graph.tasks()[i].cpu_time);
+      EXPECT_EQ(with_knob.graph.tasks()[i].gpu_time,
+                without.graph.tasks()[i].gpu_time);
+      EXPECT_EQ(with_knob.graph.tasks()[i].priority,
+                without.graph.tasks()[i].priority);
+    }
+  }
+}
+
+TEST(OnlineFuzz, DefaultKnobsMixBatchAndOnlineCases) {
+  int with_arrivals = 0;
+  for (std::uint64_t index = 0; index < 40; ++index) {
+    if (generate_case(3, index).has_arrivals()) ++with_arrivals;
+  }
+  EXPECT_GT(with_arrivals, 0);
+  EXPECT_LT(with_arrivals, 40);
+}
+
+TEST(OnlineFuzz, OnlinePropertyIsInTheCatalogue) {
+  EXPECT_STREQ(property_name(kPropOnline), "online");
+  unsigned props = 0;
+  std::string error;
+  ASSERT_TRUE(parse_props("online", &props, &error)) << error;
+  EXPECT_EQ(props, kPropOnline);
+  EXPECT_EQ(props_to_string(kPropOnline), "online");
+  ASSERT_TRUE(parse_props("all", &props, &error)) << error;
+  EXPECT_EQ(props & kPropOnline, kPropOnline);
+}
+
+TEST(OnlineFuzz, OracleChecksTheOnlineDifferentialOnSeededCases) {
+  GenKnobs knobs;
+  knobs.online_fraction = 1.0;
+  OracleOptions options;
+  options.props = kPropValidity | kPropOnline;
+  for (std::uint64_t index = 0; index < 12; ++index) {
+    const FuzzCase c = generate_case(20260808, index, knobs);
+    const SchedulerId sched =
+        index % 2 == 0 ? SchedulerId::kHp : SchedulerId::kHpNoSpol;
+    const OracleVerdict verdict = check_case(c, sched, options);
+    EXPECT_GE(verdict.properties_checked, 2) << c.name;
+    for (const PropertyFailure& f : verdict.failures) {
+      ADD_FAILURE() << c.name << " [" << f.scheduler << "] " << f.property
+                    << ": " << f.detail;
+    }
+  }
+}
+
+TEST(OnlineFuzz, CorpusEmbedsArrivalPlans) {
+  GenKnobs knobs;
+  knobs.online_fraction = 1.0;
+  CorpusCase entry;
+  entry.c = generate_case(91, 2, knobs);
+  ASSERT_TRUE(entry.c.has_arrivals());
+  entry.schedulers = {SchedulerId::kHp};
+  entry.props = kPropValidity | kPropOnline;
+
+  const std::string text = corpus_to_text(entry);
+  EXPECT_NE(text.find("# hpo: arrivals v1"), std::string::npos);
+
+  CorpusCase back;
+  std::string error;
+  ASSERT_TRUE(corpus_from_text(text, &back, &error)) << error;
+  EXPECT_EQ(back.c.arrivals, entry.c.arrivals);  // bitwise round trip
+  EXPECT_EQ(back.props, entry.props);
+}
+
+TEST(OnlineFuzz, StaggeredWitnessReplaysGreen) {
+  CorpusCase entry;
+  std::string error;
+  ASSERT_TRUE(load_corpus_file(
+      std::string(HP_CORPUS_DIR) + "/online-staggered.hpi", &entry, &error))
+      << error;
+  ASSERT_TRUE(entry.c.has_arrivals());
+  EXPECT_TRUE(entry.c.arrivals.has_deadlines());
+  const CorpusVerdict verdict = replay_corpus_case(entry);
+  EXPECT_GT(verdict.properties_checked, 0);
+  for (const PropertyFailure& f : verdict.failures) {
+    ADD_FAILURE() << f.property << " [" << f.scheduler << "] " << f.detail;
+  }
+}
+
+}  // namespace
+}  // namespace hp::fuzz

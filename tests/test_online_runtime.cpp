@@ -1,0 +1,217 @@
+// Online runtime under genuinely staggered arrivals: no task may start
+// before it arrives, the resulting schedule must stay valid, and the
+// arrival-plan data layer (generation, text round-trip) must be exact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/heteroprio.hpp"
+#include "dag/ranking.hpp"
+#include "linalg/cholesky.hpp"
+#include "model/generators.hpp"
+#include "obs/recorder.hpp"
+#include "online/arrival.hpp"
+#include "online/runtime.hpp"
+#include "sched/validate.hpp"
+#include "util/rng.hpp"
+
+namespace hp {
+namespace {
+
+constexpr ScheduleCheckOptions kOnlineRun{
+    .tol = 1e-9, .require_complete = false, .exact_durations = false};
+
+std::vector<Task> mixed_tasks(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const Instance inst = bimodal_instance(n, 0.5, rng);
+  return {inst.tasks().begin(), inst.tasks().end()};
+}
+
+TEST(ArrivalPlan, GenerateIsDeterministicAndOrdered) {
+  const std::vector<Task> tasks = mixed_tasks(50, 1);
+  const online::ArrivalSpec spec{.rate = 1.5, .deadline_factor = 4.0,
+                                 .seed = 42};
+  const online::ArrivalPlan a = online::ArrivalPlan::generate(spec, tasks);
+  const online::ArrivalPlan b = online::ArrivalPlan::generate(spec, tasks);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), tasks.size());
+  EXPECT_FALSE(a.all_at_origin());
+  EXPECT_TRUE(a.has_deadlines());
+  // Poisson arrivals are cumulative sums: non-decreasing in id order.
+  EXPECT_TRUE(std::is_sorted(a.arrivals().begin(), a.arrivals().end()));
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const double best = std::min(tasks[i].cpu_time, tasks[i].gpu_time);
+    EXPECT_DOUBLE_EQ(a.rel_deadlines()[i], 4.0 * best) << i;
+  }
+}
+
+TEST(ArrivalPlan, ZeroRateMeansAllAtOrigin) {
+  const std::vector<Task> tasks = mixed_tasks(10, 2);
+  const online::ArrivalPlan plan =
+      online::ArrivalPlan::generate({.rate = 0.0, .seed = 9}, tasks);
+  EXPECT_TRUE(plan.all_at_origin());
+  EXPECT_FALSE(plan.has_deadlines());
+}
+
+TEST(ArrivalPlan, TextRoundTripIsExact) {
+  const std::vector<Task> tasks = mixed_tasks(24, 3);
+  const online::ArrivalPlan plan = online::ArrivalPlan::generate(
+      {.rate = 0.8, .deadline_factor = 2.5, .seed = 7}, tasks);
+  online::ArrivalPlan back;
+  std::string error;
+  ASSERT_TRUE(online::ArrivalPlan::from_text(plan.to_text(), &back, &error))
+      << error;
+  EXPECT_EQ(plan, back);  // bitwise: max_digits10 serialization
+}
+
+TEST(ArrivalPlan, FromTextRejectsMalformedDocuments) {
+  online::ArrivalPlan out;
+  std::string error;
+  EXPECT_FALSE(online::ArrivalPlan::from_text("", &out, &error));
+  EXPECT_FALSE(online::ArrivalPlan::from_text("faultplan v1\n", &out, &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+  EXPECT_FALSE(online::ArrivalPlan::from_text(
+      "arrivals v1\ntasks 2\narrive 5 1.0 0\n", &out, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+  EXPECT_FALSE(online::ArrivalPlan::from_text(
+      "arrivals v1\ntasks 2\narrive 0 -1.0 0\n", &out, &error));
+  EXPECT_NE(error.find("negative"), std::string::npos);
+  EXPECT_FALSE(online::ArrivalPlan::from_text(
+      "arrivals v1\ntasks 2\nbogus 0\n", &out, &error));
+  EXPECT_NE(error.find("unknown directive"), std::string::npos);
+}
+
+TEST(OnlineRuntime, NoTaskStartsBeforeItsArrival) {
+  const std::vector<Task> tasks = mixed_tasks(80, 11);
+  const Platform platform(3, 2);
+  const online::ArrivalPlan plan =
+      online::ArrivalPlan::generate({.rate = 2.0, .seed = 4}, tasks);
+
+  online::OnlineOptions options;
+  options.arrivals = &plan;
+  online::OnlineStats stats;
+  const Schedule s = online::online_run(tasks, platform, options, &stats);
+
+  const auto check = check_schedule(s, tasks, platform, kOnlineRun);
+  ASSERT_TRUE(check.ok) << check.message;
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(stats.tasks_arrived, tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_GE(s.placements()[i].start,
+              plan.arrival(static_cast<TaskId>(i)) - 1e-12)
+        << "task " << i << " started before it arrived";
+  }
+  for (const AbortedSegment& seg : s.aborted()) {
+    EXPECT_GE(seg.start, plan.arrival(seg.task) - 1e-12);
+  }
+}
+
+TEST(OnlineRuntime, DagReadinessWaitsForArrivalAndPredecessors) {
+  TaskGraph g = cholesky_dag(6);
+  assign_priorities(g, RankScheme::kMin);
+  const Platform platform(2, 2);
+  const online::ArrivalPlan plan =
+      online::ArrivalPlan::generate({.rate = 1.0, .seed = 8}, g.tasks());
+
+  online::OnlineOptions options;
+  options.arrivals = &plan;
+  online::OnlineStats stats;
+  const Schedule s = online::online_run_dag(g, platform, options, &stats);
+
+  const auto check = check_schedule(s, g, platform, kOnlineRun);
+  ASSERT_TRUE(check.ok) << check.message;  // also enforces precedence
+  EXPECT_TRUE(s.complete());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_GE(s.placements()[i].start,
+              plan.arrival(static_cast<TaskId>(i)) - 1e-12)
+        << i;
+  }
+}
+
+// Asserts on the recorded event stream, so -DHP_OBS_OFF (which compiles
+// the probes to nothing) removes the subject under test.
+#ifndef HP_OBS_OFF
+TEST(OnlineRuntime, ArrivalEventsAndReplansAreObservable) {
+  const std::vector<Task> tasks = mixed_tasks(30, 21);
+  const Platform platform(2, 1);
+  const online::ArrivalPlan plan =
+      online::ArrivalPlan::generate({.rate = 0.7, .seed = 6}, tasks);
+
+  obs::EventRecorder recorder;
+  online::OnlineOptions options;
+  options.arrivals = &plan;
+  options.sink = &recorder;
+  online::OnlineStats stats;
+  (void)online::online_run(tasks, platform, options, &stats);
+
+  EXPECT_EQ(recorder.count(obs::EventKind::kTaskArrival), tasks.size());
+  EXPECT_EQ(recorder.count(obs::EventKind::kReplan), stats.replans);
+  EXPECT_GT(stats.replans, 1u);  // staggered arrivals re-plan incrementally
+  // Replan events carry the number of frontier inserts; at least one insert
+  // per arrival overall.
+  double inserts = 0;
+  for (const obs::Event& e : recorder.events()) {
+    if (e.kind == obs::EventKind::kReplan) inserts += e.value;
+  }
+  EXPECT_GE(inserts, static_cast<double>(tasks.size()));
+}
+#endif  // HP_OBS_OFF
+
+TEST(OnlineRuntime, LateSingleArrivalRunsAlone) {
+  // One task arriving at t=5 on an otherwise empty system: it must start
+  // exactly at its arrival.
+  const std::vector<Task> tasks{Task{2.0, 1.0}};
+  const Platform platform(1, 1);
+  online::ArrivalPlan plan;
+  plan.set(0, 5.0);
+
+  online::OnlineOptions options;
+  options.arrivals = &plan;
+  const Schedule s = online::online_run(tasks, platform, options);
+  ASSERT_TRUE(s.placements()[0].placed());
+  EXPECT_DOUBLE_EQ(s.placements()[0].start, 5.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 6.0);  // GPU takes it: 5 + 1
+}
+
+TEST(OnlineRuntime, EmptyInstanceIsANoOp) {
+  const std::vector<Task> tasks;
+  const Platform platform(1, 1);
+  online::OnlineStats stats;
+  const Schedule s = online::online_run(tasks, platform, {}, &stats);
+  EXPECT_EQ(s.num_tasks(), 0u);
+  EXPECT_EQ(stats.tasks_arrived, 0u);
+  EXPECT_EQ(stats.final_mode, online::Mode::kHealthy);
+}
+
+TEST(OnlineRuntime, StragglerRespawnRescuesAnOverdueAttempt) {
+  // Estimates say 1.0 but the actual duration is 50: with a straggler
+  // factor of 2 and ticks every 1.0, the runtime aborts the overdue attempt
+  // and re-runs it. (The rescue re-runs with the same actual duration here,
+  // so the run only ends thanks to the respawn budget capping further
+  // aborts at one.)
+  const std::vector<Task> estimates{Task{1.0, 1.0}};
+  const std::vector<Task> actuals{Task{50.0, 50.0}};
+  const Platform platform(1, 0);
+
+  online::OnlineOptions options;
+  options.actual_times = actuals;
+  options.reschedule_period = 1.0;
+  options.straggler_factor = 2.0;
+  options.respawn_budget = 1;
+  online::OnlineStats stats;
+  const Schedule s = online::online_run(estimates, platform, options, &stats);
+
+  EXPECT_EQ(stats.recovery.straggler_respawns, 1);
+  ASSERT_EQ(s.aborted().size(), 1u);
+  EXPECT_GT(s.aborted()[0].abort_time, 2.0 - 1e-9);  // overdue threshold
+  ASSERT_TRUE(s.placements()[0].placed());
+  EXPECT_EQ(stats.final_mode, online::Mode::kDegraded);  // respawn = incident
+  EXPECT_GT(stats.reschedule_ticks, 0u);
+}
+
+}  // namespace
+}  // namespace hp

@@ -50,11 +50,14 @@
 #include "obs/profile.hpp"
 #include "obs/recorder.hpp"
 #include "obs/watchdog.hpp"
+#include "online/arrival.hpp"
+#include "online/runtime.hpp"
 #include "perf/json_scan.hpp"
 #include "perf/perf_baseline.hpp"
 #include "perf/perf_compare.hpp"
 #include "perf/perf_dag.hpp"
 #include "perf/perf_obs.hpp"
+#include "perf/perf_online.hpp"
 #include "sched/critical_path.hpp"
 #include "sched/export.hpp"
 #include "sched/gantt.hpp"
@@ -105,6 +108,14 @@ int usage() {
       "           [--slow X] [--retries K] [--backoff B] [--seed S] [--horizon H]\n"
       "           [--plan FILE.hpf] [--save-plan FILE.hpf] [--trace FILE.json]\n"
       "           [--csv FILE.csv]\n"
+      "  hp_sched online   --in FILE --cpus M --gpus N [--rank ...]\n"
+      "           [--rate R] [--deadline-factor F] [--arrival-seed S]\n"
+      "           [--arrivals FILE.hpo] [--save-arrivals FILE.hpo]\n"
+      "           [--watermark K] [--watermark-low K] [--shed defer|reject]\n"
+      "           [--period T] [--straggler-factor X] [--respawns K]\n"
+      "           [--crashes K] [--stragglers K] [--task-fail P] [--slow X]\n"
+      "           [--retries K] [--backoff B] [--seed S] [--horizon H]\n"
+      "           [--plan FILE.hpf] [--trace FILE.json] [--csv FILE.csv]\n"
       "  hp_sched perf     --out FILE [--dag-out FILE] [--quick] [--reps K]\n"
       "           [--threads N]\n"
       "  hp_sched perf-check --in FILE [--quick] [--against OLD]\n"
@@ -728,6 +739,188 @@ int cmd_faults(const Args& args) {
   return 0;
 }
 
+/// Rolling-horizon online run: tasks arrive over simulated time (generated
+/// Poisson stream or a .hpo file), optionally under a fault plan, with
+/// admission control, deadlines, and straggler respawn. Prints the
+/// robustness accounting and asserts the zero-silent-drop identity.
+int cmd_online(const Args& args) {
+  const auto text = io::load_text_file(args.get("in"));
+  if (!text.has_value()) {
+    std::cerr << "cannot read " << args.get("in") << '\n';
+    return 1;
+  }
+  const Platform platform(args.get_int("cpus", 20), args.get_int("gpus", 4));
+  const RankScheme rank = parse_rank(args.get("rank", "min"));
+
+  std::string error;
+  TaskGraph graph;
+  if (text->find("\nedge ") != std::string::npos) {
+    auto parsed = io::graph_from_text(*text, &error);
+    if (!parsed.has_value()) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    graph = std::move(*parsed);
+  } else {
+    const auto inst = io::instance_from_text(*text, &error);
+    if (!inst.has_value()) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    for (const Task& t : inst->tasks()) graph.add_task(t);
+    graph.finalize();
+  }
+  assign_priorities(graph, rank);
+  const double lower_bound = dag_lower_bound(graph, platform).value();
+
+  // Fault plan: a file, or generated when any injection flag is present.
+  fault::FaultPlan plan;
+  if (const std::string plan_file = args.get("plan"); !plan_file.empty()) {
+    const auto plan_text = io::load_text_file(plan_file);
+    if (!plan_text.has_value()) {
+      std::cerr << "cannot read " << plan_file << '\n';
+      return 1;
+    }
+    if (!fault::FaultPlan::from_text(*plan_text, &plan, &error)) {
+      std::cerr << plan_file << ": " << error << '\n';
+      return 1;
+    }
+  } else if (args.options.count("crashes") || args.options.count("stragglers") ||
+             args.options.count("task-fail") || args.options.count("slow")) {
+    fault::FaultSpec spec;
+    spec.crashes = args.get_int("crashes", 0);
+    spec.stragglers = args.get_int("stragglers", 0);
+    spec.task_fail_prob = args.get_double("task-fail", 0.0);
+    if (args.options.count("slow")) {
+      spec.slowdown_min = spec.slowdown_max = args.get_double("slow", 4.0);
+    }
+    spec.max_attempts = args.get_int("retries", 3) + 1;
+    spec.retry_backoff = args.get_double("backoff", 0.0);
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    spec.horizon = args.get_double("horizon", 0.0);
+    if (spec.horizon <= 0.0) {
+      spec.horizon = heteroprio_dag(graph, platform).makespan();
+    }
+    plan = fault::FaultPlan::generate(spec, platform);
+  }
+
+  // Arrival stream: a .hpo file, or a Poisson draw from --rate (0 = batch).
+  online::ArrivalPlan arrivals;
+  if (const std::string file = args.get("arrivals"); !file.empty()) {
+    const auto arrivals_text = io::load_text_file(file);
+    if (!arrivals_text.has_value()) {
+      std::cerr << "cannot read " << file << '\n';
+      return 1;
+    }
+    if (!online::ArrivalPlan::from_text(*arrivals_text, &arrivals, &error)) {
+      std::cerr << file << ": " << error << '\n';
+      return 1;
+    }
+  } else {
+    online::ArrivalSpec spec;
+    spec.rate = args.get_double("rate", 0.0);
+    spec.deadline_factor = args.get_double("deadline-factor", 0.0);
+    spec.seed = static_cast<std::uint64_t>(args.get_int("arrival-seed", 1));
+    arrivals = online::ArrivalPlan::generate(spec, graph.tasks());
+  }
+  std::cout << arrivals.describe();
+  if (const std::string save = args.get("save-arrivals"); !save.empty()) {
+    if (!io::save_text_file(save, arrivals.to_text())) {
+      std::cerr << "cannot write " << save << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << save << '\n';
+  }
+
+  obs::EventRecorder events;
+  online::OnlineOptions options;
+  options.sink = &events;
+  if (!plan.empty()) options.faults = &plan;
+  options.arrivals = &arrivals;
+  options.reschedule_period = args.get_double("period", 0.0);
+  options.watermark_high =
+      static_cast<std::size_t>(args.get_int("watermark", 0));
+  options.watermark_low =
+      static_cast<std::size_t>(args.get_int("watermark-low", 0));
+  options.shed_policy = args.get("shed", "defer") == "reject"
+                            ? online::ShedPolicy::kReject
+                            : online::ShedPolicy::kDefer;
+  options.straggler_factor = args.get_double("straggler-factor", 0.0);
+  options.respawn_budget = args.get_int("respawns", 0);
+
+  online::OnlineStats stats;
+  const Schedule schedule =
+      graph.num_edges() > 0
+          ? online::online_run_dag(graph, platform, options, &stats)
+          : online::online_run(graph.tasks(), platform, options, &stats);
+
+  const auto check = check_schedule(
+      schedule, graph, platform,
+      ScheduleCheckOptions{.require_complete = false,
+                           .exact_durations = false});
+  if (!check.ok) {
+    std::cerr << "internal error: invalid schedule: " << check.message << '\n';
+    return 1;
+  }
+  // Zero-silent-drop identity, enforced at the CLI boundary too.
+  std::size_t placed = 0;
+  for (const Placement& p : schedule.placements()) placed += p.placed() ? 1 : 0;
+  if (placed + stats.tasks_rejected +
+          static_cast<std::size_t>(stats.recovery.tasks_unfinished) !=
+      graph.size()) {
+    std::cerr << "internal error: accounting leak (placed " << placed
+              << " + rejected " << stats.tasks_rejected << " + unfinished "
+              << stats.recovery.tasks_unfinished << " != " << graph.size()
+              << ")\n";
+    return 1;
+  }
+
+  const double makespan = schedule.makespan();
+  std::cout << "\ntasks: " << graph.size() << "\nmakespan: " << makespan
+            << "\nlower bound: " << lower_bound
+            << "\nratio: " << makespan / lower_bound
+            << "\narrived: " << stats.tasks_arrived
+            << "\nadmitted: " << stats.tasks_admitted
+            << "\nrejected: " << stats.tasks_rejected
+            << "\ndeferred: " << stats.tasks_deferred
+            << "\ndeadline misses: " << stats.deadline_misses
+            << "\nreplans: " << stats.replans
+            << "\nreschedule ticks: " << stats.reschedule_ticks
+            << "\nmode changes: " << stats.mode_changes
+            << "\nfinal mode: " << online::mode_name(stats.final_mode)
+            << "\nworker crashes: " << stats.recovery.worker_crashes
+            << "\ntask failures: " << stats.recovery.task_failures
+            << "\ntask retries: " << stats.recovery.task_retries
+            << "\nstraggler respawns: " << stats.recovery.straggler_respawns
+            << "\ntasks abandoned: " << stats.recovery.tasks_abandoned
+            << "\ntasks unfinished: " << stats.recovery.tasks_unfinished
+            << "\ndegraded: " << (stats.recovery.degraded ? "yes" : "no")
+            << '\n';
+
+  if (const std::string trace = args.get("trace"); !trace.empty()) {
+    const std::string json = obs::chrome_trace_from_events(
+        events.events(), platform, graph.tasks());
+    if (!obs::validate_chrome_trace(json, platform, &error)) {
+      std::cerr << "internal error: emitted trace is invalid: " << error
+                << '\n';
+      return 1;
+    }
+    if (!io::save_text_file(trace, json)) {
+      std::cerr << "cannot write " << trace << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << trace << " (" << events.size() << " events)\n";
+  }
+  if (const std::string csv = args.get("csv"); !csv.empty()) {
+    if (!io::save_text_file(csv, obs::csv_from_events(events.events()))) {
+      std::cerr << "cannot write " << csv << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << csv << " (" << events.size() << " events)\n";
+  }
+  return 0;
+}
+
 /// Measure the core perf baseline and emit BENCH_core.json; with
 /// `--dag-out`, also measure the DAG baseline and emit BENCH_dag.json.
 /// `--quick` is the CI smoke configuration (n=1000, N in {4,8} tiles, tiny
@@ -801,6 +994,11 @@ int cmd_perf_check(const Args& args) {
         quick ? std::vector<int>{4, 8} : std::vector<int>{10, 20, 40, 60};
     ok = perf::validate_perf_dag_json(*text, {"cholesky", "qr", "lu"}, tiles,
                                       &error);
+  } else if (schema.rfind("hp-bench-online/", 0) == 0) {
+    // Structural invariants only (zero_drop everywhere, a saturating arm
+    // that left healthy mode, a batch-equivalent arm with stretch 1);
+    // throughput regressions go through `--against` like every baseline.
+    ok = perf::validate_perf_online_json(*text, &error);
   } else if (schema.rfind("hp-bench-obs/", 0) == 0) {
     // Validate the document, then enforce the overhead budget it records
     // (or `--budget X`). `--quick` skips the budget: the smoke file comes
@@ -984,6 +1182,7 @@ int main(int argc, char** argv) {
   if (command == "trace") return cmd_trace(args);
   if (command == "report") return cmd_report(args);
   if (command == "faults") return cmd_faults(args);
+  if (command == "online") return cmd_online(args);
   if (command == "perf") return cmd_perf(args);
   if (command == "perf-check") return cmd_perf_check(args);
   if (command == "fuzz") return cmd_fuzz(args);
