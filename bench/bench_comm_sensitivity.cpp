@@ -26,6 +26,7 @@
 #include "dag/ranking.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
+#include "perf/parallel_args.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,13 +36,7 @@ int main(int argc, char** argv) {
 
   int threads = 0;  // all cores
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "serial") {
-      threads = 1;
-    } else if (arg.rfind("-j", 0) == 0) {
-      threads = std::atoi(arg.c_str() + 2);
-      if (threads <= 0) threads = 0;  // "-j" alone: auto
-    }
+    perf::consume_parallel_arg(argv[i], threads);
   }
 
   std::cout << "== Communication sensitivity: Cholesky/QR N=24, tile payload "

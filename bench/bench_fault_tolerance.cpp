@@ -32,6 +32,7 @@
 #include "linalg/qr.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/recorder.hpp"
+#include "perf/parallel_args.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -61,13 +62,10 @@ int main(int argc, char** argv) {
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "serial") {
-      threads = 1;
-    } else if (arg == "--trace" && i + 1 < argc) {
+    if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
-    } else if (arg.rfind("-j", 0) == 0) {
-      threads = std::atoi(arg.c_str() + 2);
-      if (threads <= 0) threads = 0;
+    } else {
+      perf::consume_parallel_arg(arg, threads);
     }
   }
 

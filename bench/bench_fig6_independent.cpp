@@ -27,6 +27,7 @@
 #include "linalg/qr.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/recorder.hpp"
+#include "perf/parallel_args.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -43,11 +44,8 @@ int main(int argc, char** argv) {
       kernels = {arg};
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
-    } else if (arg == "serial") {
-      threads = 1;
-    } else if (arg.rfind("-j", 0) == 0) {
-      threads = std::atoi(arg.c_str() + 2);
-      if (threads <= 0) threads = 0;
+    } else if (perf::consume_parallel_arg(arg, threads)) {
+      // handled
     } else if (const int cap = std::atoi(arg.c_str()); cap > 0) {
       std::erase_if(tile_counts, [cap](int n) { return n > cap; });
     }

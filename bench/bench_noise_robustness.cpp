@@ -38,6 +38,7 @@
 #include "fault/replay.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
+#include "perf/parallel_args.hpp"
 #include "runtime/stf_runtime.hpp"
 #include "sched/executor.hpp"
 #include "baselines/dualhp.hpp"
@@ -79,9 +80,7 @@ int main(int argc, char** argv) {
   bool with_faults = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "serial") {
-      threads = 1;
-    } else if (arg == "--trace" && i + 1 < argc) {
+    if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--faults" && i + 1 < argc) {
       std::string error;
@@ -90,9 +89,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       with_faults = true;
-    } else if (arg.rfind("-j", 0) == 0) {
-      threads = std::atoi(arg.c_str() + 2);
-      if (threads <= 0) threads = 0;
+    } else {
+      perf::consume_parallel_arg(arg, threads);
     }
   }
 

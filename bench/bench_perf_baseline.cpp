@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
       options.sizes = {1000};
       options.repetitions = 2;
       options.sweep_tiles = {4, 8};
+      options.parallel_sizes = {1000};
+      options.parallel_threads = {1, 2};
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--reps" && i + 1 < argc) {
@@ -68,7 +70,9 @@ int main(int argc, char** argv) {
 
   const std::string json = perf::perf_baseline_to_json(baseline);
   std::string error;
-  if (!perf::validate_perf_baseline_json(json, options.sizes, &error)) {
+  if (!perf::validate_perf_baseline_json(json, options.sizes, &error,
+                                         options.parallel_sizes,
+                                         options.parallel_threads)) {
     std::cerr << "emitted document fails schema validation: " << error << '\n';
     return 1;
   }

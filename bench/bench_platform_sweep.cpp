@@ -25,6 +25,7 @@
 #include "core/heteroprio_dag.hpp"
 #include "dag/ranking.hpp"
 #include "linalg/cholesky.hpp"
+#include "perf/parallel_args.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -34,13 +35,7 @@ int main(int argc, char** argv) {
 
   int threads = 0;  // all cores
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "serial") {
-      threads = 1;
-    } else if (arg.rfind("-j", 0) == 0) {
-      threads = std::atoi(arg.c_str() + 2);
-      if (threads <= 0) threads = 0;  // "-j" alone: auto
-    }
+    perf::consume_parallel_arg(argv[i], threads);
   }
 
   std::cout << "== Platform sweep: Cholesky N=" << tiles

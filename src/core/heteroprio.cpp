@@ -11,6 +11,7 @@
 
 #include "core/engine_parts.hpp"
 #include "core/hp_engine.hpp"
+#include "par/heteroprio_par.hpp"
 #include "dag/ready_tracker.hpp"
 #include "model/task_soa.hpp"
 #include "obs/profile.hpp"
@@ -116,33 +117,18 @@ std::uint64_t equal_finish_mask(const double* finish, std::size_t count,
 ///    attempt gathers the <= 63 busy workers of the other type and sorts
 ///    them with the same total VictimLess order, giving the identical scan
 ///    sequence on demand.
-void run_independent_fast(const soa::SortKeys& sort_keys,
+void simulate_independent(const std::uint32_t* order, std::size_t n,
                           std::span<const Task> tasks,
                           std::span<const Task> actuals,
                           const Platform& platform,
                           const HeteroPrioOptions& options,
                           VictimOrder victim_order, Schedule& schedule,
                           HeteroPrioStats& stats, util::Arena& arena) {
-  const std::size_t n = sort_keys.size;
   const int workers = platform.workers();
   const auto wcount = static_cast<std::size_t>(workers);
   const int cpus = platform.cpus();
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  // Ready order: ids sorted GPU-end-first. Uniform priorities collapse the
-  // pair key to key0 with a stable id tie-break. The elements arrive
-  // prebuilt (ids = task index) from the fused build_sort_keys pass.
-  std::uint32_t* order = arena.alloc<std::uint32_t>(n);
-  {
-    const obs::PhaseScope sort_scope(options.metrics, obs::Phase::kSort);
-    if (sort_keys.uniform_priority) {
-      util::sort_key_id({sort_keys.key_id, n}, arena);
-      for (std::size_t i = 0; i < n; ++i) order[i] = sort_keys.key_id[i].id;
-    } else {
-      util::sort_key2_id({sort_keys.key2_id, n}, arena);
-      for (std::size_t i = 0; i < n; ++i) order[i] = sort_keys.key2_id[i].id;
-    }
-  }
   std::size_t q_gpu = 0;  ///< next GPU-end pop
   std::size_t q_cpu = n;  ///< next CPU-end pop is order[q_cpu - 1]
 
@@ -369,7 +355,72 @@ void run_independent_fast(const soa::SortKeys& sort_keys,
   stats.first_idle_time = first_idle;
 }
 
+/// Sort wrapper over simulate_independent: build the ready order from the
+/// prebuilt key elements (ids = task index from the fused build_sort_keys
+/// pass), then run the simulation over it.
+void run_independent_fast(const soa::SortKeys& sort_keys,
+                          std::span<const Task> tasks,
+                          std::span<const Task> actuals,
+                          const Platform& platform,
+                          const HeteroPrioOptions& options,
+                          VictimOrder victim_order, Schedule& schedule,
+                          HeteroPrioStats& stats, util::Arena& arena) {
+  const std::size_t n = sort_keys.size;
+  // Ready order: ids sorted GPU-end-first. Uniform priorities collapse the
+  // pair key to key0 with a stable id tie-break.
+  std::uint32_t* order = arena.alloc<std::uint32_t>(n);
+  {
+    const obs::PhaseScope sort_scope(options.metrics, obs::Phase::kSort);
+    if (sort_keys.uniform_priority) {
+      util::sort_key_id({sort_keys.key_id, n}, arena);
+      for (std::size_t i = 0; i < n; ++i) order[i] = sort_keys.key_id[i].id;
+    } else {
+      util::sort_key2_id({sort_keys.key2_id, n}, arena);
+      for (std::size_t i = 0; i < n; ++i) order[i] = sort_keys.key2_id[i].id;
+    }
+  }
+  simulate_independent(order, n, tasks, actuals, platform, options,
+                       victim_order, schedule, stats, arena);
+}
+
 }  // namespace
+
+Schedule run_independent_presorted(std::span<const std::uint32_t> order,
+                                   std::span<const Task> tasks,
+                                   const Platform& platform,
+                                   const HeteroPrioOptions& options,
+                                   HeteroPrioStats* stats) {
+  assert(order.size() == tasks.size());
+  assert(platform.workers() > 0 && platform.workers() <= 63);
+  assert(options.sink == nullptr &&
+         (options.log == nullptr || !options.log->enabled()) &&
+         (options.faults == nullptr || options.faults->empty()));
+  const std::span<const Task> actuals =
+      options.actual_times.empty() ? tasks : options.actual_times;
+  assert(actuals.size() == tasks.size());
+
+  Schedule schedule(tasks.size());
+  HeteroPrioStats local_stats;
+  local_stats.first_idle_time = std::numeric_limits<double>::infinity();
+
+  util::Arena& arena = util::scratch_arena();
+  const util::ArenaScope arena_scope(arena);
+  const obs::PhaseScope engine_scope(options.metrics, obs::Phase::kEngine);
+
+  VictimOrder victim_order = options.victim_order;
+  if (victim_order == VictimOrder::kAuto) {
+    victim_order = VictimOrder::kCompletionTime;
+  }
+  simulate_independent(order.data(), order.size(), tasks, actuals, platform,
+                       options, victim_order, schedule, local_stats, arena);
+  if (stats != nullptr) {
+    if (!std::isfinite(local_stats.first_idle_time)) {
+      local_stats.first_idle_time = schedule.makespan();
+    }
+    *stats = local_stats;
+  }
+  return schedule;
+}
 
 Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
                         const Platform& platform,
@@ -791,6 +842,13 @@ Schedule run_heteroprio(std::span<const Task> tasks, const TaskGraph* graph,
 
 Schedule heteroprio(std::span<const Task> tasks, const Platform& platform,
                     const HeteroPrioOptions& options, HeteroPrioStats* stats) {
+  // threads > 1 routes through the parallel engine (src/par), which owns
+  // the fallback decision for cases it does not cover. The layering nod:
+  // core normally doesn't reach up into par, but the public entry point
+  // lives here and the dependency is one-way at the header level.
+  if (options.threads > 1) {
+    return par::heteroprio_par_run(tasks, platform, options, stats, nullptr);
+  }
   return detail::run_heteroprio(tasks, nullptr, platform, options, stats);
 }
 

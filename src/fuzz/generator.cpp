@@ -152,8 +152,8 @@ FuzzCase generate_case(std::uint64_t seed, std::uint64_t index,
     c.faults = fault::FaultPlan::generate(spec, c.platform);
   }
 
-  // Arrival stream last: every draw above is unchanged from before this
-  // knob existed, so historical (seed, index) cases stay byte-identical.
+  // Arrival stream next-to-last: every draw above is unchanged from before
+  // this knob existed, so historical (seed, index) cases stay byte-identical.
   if (rng.uniform01() < knobs.online_fraction) {
     online::ArrivalSpec arrival_spec;
     arrival_spec.rate = rng.uniform(0.1, 2.0);
@@ -161,6 +161,15 @@ FuzzCase generate_case(std::uint64_t seed, std::uint64_t index,
         rng.bernoulli(0.5) ? rng.uniform(2.0, 16.0) : 0.0;
     arrival_spec.seed = rng();
     c.arrivals = online::ArrivalPlan::generate(arrival_spec, c.graph.tasks());
+  }
+
+  // Scheduler thread count strictly last (same reason: the `par` property
+  // arrived after the arrivals knob, and adding its draw here keeps every
+  // earlier field of historical cases byte-identical — regression-tested in
+  // test_fuzz_generator).
+  if (knobs.par_threads >= 2) {
+    c.par_threads = 2 + static_cast<int>(rng.bounded(
+                            static_cast<std::uint64_t>(knobs.par_threads - 1)));
   }
   return c;
 }

@@ -34,10 +34,16 @@ struct GenKnobs {
   double fault_fraction = 0.25;   ///< fraction of cases with a fault plan
   double degenerate_fraction = 0.1;  ///< fraction forced to one-sided nodes
   /// Fraction of cases carrying a staggered arrival stream (the online
-  /// differential of the oracle). Drawn last, after every other field, so
+  /// differential of the oracle). Drawn after every earlier field, so
   /// cases at a given (seed, index) are unchanged from before the knob
   /// existed whenever the draw comes up fault-free-of-arrivals.
   double online_fraction = 0.25;
+  /// Upper bound (inclusive) for FuzzCase::par_threads, the scheduler
+  /// thread count the `par` property exercises; drawn uniformly from
+  /// [2, par_threads]. Drawn *strictly last* — after the arrivals block —
+  /// so every earlier field of historical (seed, index) cases stays
+  /// byte-identical. < 2 disables the draw (par_threads stays 0).
+  int par_threads = 4;
 };
 
 /// One generated scheduling problem.
@@ -55,6 +61,9 @@ struct FuzzCase {
   /// Empty (or all-at-t=0) for batch cases; staggered streams drive the
   /// oracle's online differential property.
   online::ArrivalPlan arrivals;
+  /// Scheduler threads the `par` property runs the parallel engine with
+  /// (HeteroPrioOptions::threads). 0 disables the property for this case.
+  int par_threads = 0;
 
   [[nodiscard]] bool is_dag() const noexcept { return graph.num_edges() > 0; }
   [[nodiscard]] bool has_faults() const noexcept { return !faults.empty(); }

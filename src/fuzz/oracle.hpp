@@ -33,6 +33,14 @@
 //                 additionally run it online and check validity, that no
 //                 task starts before its arrival, and the zero-silent-drop
 //                 accounting identity
+//   par           HeteroPrio only, cases carrying par_threads >= 2: the
+//                 parallel engine under the canonical tie-break is
+//                 bitwise-identical to the sequential run (placements,
+//                 aborted segments, recovery — delegating cases included);
+//                 free-running mode on fault-free independent cases must
+//                 stay valid and complete, keep the aborted-segment
+//                 bookkeeping consistent, and hold the proven makespan
+//                 ratios (spoliating runs)
 
 #include <cstdint>
 #include <string>
@@ -61,7 +69,8 @@ enum PropertyBits : unsigned {
   kPropSpareCrash = 1u << 7,
   kPropFaultAccount = 1u << 8,
   kPropOnline = 1u << 9,
-  kPropAll = (1u << 10) - 1,
+  kPropPar = 1u << 10,
+  kPropAll = (1u << 11) - 1,
 };
 
 /// Name of a single property bit ("validity", "ratio", ...).

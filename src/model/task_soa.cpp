@@ -59,24 +59,28 @@ void pack_descending_keys(std::span<const double> accel,
 #endif
 }
 
-SortKeys build_sort_keys(std::span<const Task> tasks, util::Arena& arena) {
+bool uniform_priority_bits(std::span<const Task> tasks) noexcept {
+  // Bit compare, exactly like build_task_soa (NaN-safe, +0/-0 distinct on
+  // purpose: a false negative only costs the wider element, never
+  // correctness).
   const std::size_t n = tasks.size();
-  SortKeys keys;
-  keys.size = n;
-
-  // Uniformity decides the element shape, so scan it first. Bit compare,
-  // exactly like build_task_soa (NaN-safe, +0/-0 distinct on purpose: a
-  // false negative only costs the wider element, never correctness).
   std::uint64_t first_bits = 0;
   if (n != 0) std::memcpy(&first_bits, &tasks[0].priority, sizeof first_bits);
   for (std::size_t i = 1; i < n; ++i) {
     std::uint64_t bits;
     std::memcpy(&bits, &tasks[i].priority, sizeof bits);
-    if (bits != first_bits) {
-      keys.uniform_priority = false;
-      break;
-    }
+    if (bits != first_bits) return false;
   }
+  return true;
+}
+
+SortKeys build_sort_keys_shard(std::span<const Task> tasks,
+                               bool uniform_priority, std::uint32_t id_offset,
+                               util::Arena& arena) {
+  const std::size_t n = tasks.size();
+  SortKeys keys;
+  keys.size = n;
+  keys.uniform_priority = uniform_priority;
 
   // Fused blockwise pass: divide into a stack block, SIMD-pack key0 over
   // it, emit the sortable elements. Block boundaries don't change the
@@ -93,8 +97,8 @@ SortKeys build_sort_keys(std::span<const Task> tasks, util::Arena& arena) {
       }
       pack_descending_keys({accel, len}, {key0, len});
       for (std::size_t j = 0; j < len; ++j) {
-        keys.key_id[base + j] =
-            util::KeyId{key0[j], static_cast<std::uint32_t>(base + j)};
+        keys.key_id[base + j] = util::KeyId{
+            key0[j], static_cast<std::uint32_t>(base + j) + id_offset};
       }
     }
   } else {
@@ -109,11 +113,16 @@ SortKeys build_sort_keys(std::span<const Task> tasks, util::Arena& arena) {
         const std::uint64_t k = ordered_key(tasks[base + j].priority);
         keys.key2_id[base + j] =
             util::KeyId2{key0[j], accel[j] >= 1.0 ? ~k : k,
-                         static_cast<std::uint32_t>(base + j)};
+                         static_cast<std::uint32_t>(base + j) + id_offset};
       }
     }
   }
   return keys;
+}
+
+SortKeys build_sort_keys(std::span<const Task> tasks, util::Arena& arena) {
+  // Uniformity decides the element shape, so scan it first.
+  return build_sort_keys_shard(tasks, uniform_priority_bits(tasks), 0, arena);
 }
 
 TaskSoA build_task_soa(std::span<const Task> tasks, util::Arena& arena) {

@@ -1,0 +1,568 @@
+#include "par/heteroprio_par.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine_parts.hpp"
+#include "core/hp_engine.hpp"
+#include "model/task_soa.hpp"
+#include "obs/counters.hpp"
+#include "obs/profile.hpp"
+#include "par/ready_shards.hpp"
+#include "util/arena.hpp"
+#include "util/key_sort.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hp::par {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+[[nodiscard]] bool key_less(const util::KeyId& a, const util::KeyId& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.id < b.id;
+}
+
+[[nodiscard]] bool key2_less(const util::KeyId2& a, const util::KeyId2& b) {
+  if (a.k0 != b.k0) return a.k0 < b.k0;
+  if (a.k1 != b.k1) return a.k1 < b.k1;
+  return a.id < b.id;
+}
+
+/// Shard boundaries: W contiguous task-id ranges covering [0, n).
+[[nodiscard]] std::size_t shard_lo(std::size_t n, int shards, int s) {
+  return n * static_cast<std::size_t>(s) / static_cast<std::size_t>(shards);
+}
+
+/// Sharded sort: per-shard key build (forced to the global element shape)
+/// and stable counting sort, fanned over a pool; sorted runs are copied
+/// into caller-owned contiguous buffers (pool threads own their arenas).
+/// Returns the per-shard runs through `key_runs`/`key2_runs` laid out at
+/// the shard offsets inside one n-element buffer.
+struct ShardedRuns {
+  util::KeyId* key_runs = nullptr;
+  util::KeyId2* key2_runs = nullptr;
+  bool uniform = true;
+};
+
+ShardedRuns sharded_sort(std::span<const Task> tasks, int shards,
+                         util::Arena& arena, util::ThreadPool& pool) {
+  const std::size_t n = tasks.size();
+  ShardedRuns runs;
+  runs.uniform = soa::uniform_priority_bits(tasks);
+  if (runs.uniform) {
+    runs.key_runs = arena.alloc<util::KeyId>(n);
+  } else {
+    runs.key2_runs = arena.alloc<util::KeyId2>(n);
+  }
+  for (int s = 0; s < shards; ++s) {
+    const std::size_t lo = shard_lo(n, shards, s);
+    const std::size_t hi = shard_lo(n, shards, s + 1);
+    if (lo == hi) continue;
+    pool.submit([&runs, tasks, lo, hi] {
+      util::Arena& ta = util::scratch_arena();
+      const util::ArenaScope scope(ta);
+      const soa::SortKeys keys = soa::build_sort_keys_shard(
+          tasks.subspan(lo, hi - lo), runs.uniform,
+          static_cast<std::uint32_t>(lo), ta);
+      if (runs.uniform) {
+        util::sort_key_id({keys.key_id, keys.size}, ta);
+        std::memcpy(runs.key_runs + lo, keys.key_id,
+                    keys.size * sizeof(util::KeyId));
+      } else {
+        util::sort_key2_id({keys.key2_id, keys.size}, ta);
+        std::memcpy(runs.key2_runs + lo, keys.key2_id,
+                    keys.size * sizeof(util::KeyId2));
+      }
+    });
+  }
+  pool.wait_idle();
+  return runs;
+}
+
+/// Deterministic cross-shard merge: repeatedly take the run head with the
+/// minimum (key0[, key1], id). Every run is ascending in that total order,
+/// so the output equals the sequential engine's sorted order exactly — the
+/// canonical tie-break contract (min task id on full key ties).
+void merge_runs(const ShardedRuns& runs, std::size_t n, int shards,
+                std::uint32_t* order) {
+  std::vector<std::size_t> pos(static_cast<std::size_t>(shards));
+  std::vector<std::size_t> end(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    pos[static_cast<std::size_t>(s)] = shard_lo(n, shards, s);
+    end[static_cast<std::size_t>(s)] = shard_lo(n, shards, s + 1);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    int best = -1;
+    for (int s = 0; s < shards; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      if (pos[si] == end[si]) continue;
+      if (best < 0) {
+        best = s;
+        continue;
+      }
+      const auto bi = static_cast<std::size_t>(best);
+      if (runs.uniform ? key_less(runs.key_runs[pos[si]],
+                                  runs.key_runs[pos[bi]])
+                       : key2_less(runs.key2_runs[pos[si]],
+                                   runs.key2_runs[pos[bi]])) {
+        best = s;
+      }
+    }
+    const auto bi = static_cast<std::size_t>(best);
+    order[k] = runs.uniform ? runs.key_runs[pos[bi]].id
+                            : runs.key2_runs[pos[bi]].id;
+    ++pos[bi];
+  }
+}
+
+/// Published simulated clock of one free-running slice (cacheline-strided
+/// so pacing reads do not false-share). kInf marks a finished slice.
+struct alignas(64) SliceClock {
+  std::atomic<double> now{0.0};
+};
+
+/// One free-running scheduler thread: simulates the platform slice it owns
+/// (claim-on-demand from the shards, intra-slice spoliation). Writes
+/// placements straight into the shared Schedule — distinct tasks touch
+/// distinct slots — and collects aborted segments locally.
+///
+/// Conservative pacing: a slice may only claim new work while its simulated
+/// clock is within `horizon` of the slowest live slice. Without it, a slice
+/// that runs ahead in *wall-clock* time (a loaded machine, or fewer cores
+/// than threads) would steal the entire instance into its own timeline and
+/// produce a schedule as bad as one slice running everything — pacing keeps
+/// the slice clocks in a bounded window, so claims interleave in simulated
+/// time the way they would on truly concurrent slices. Completion never
+/// waits: only claims gate, so the slice holding the minimum clock always
+/// advances and the window cannot deadlock.
+struct FreeThreadResult {
+  HeteroPrioStats stats;
+  std::vector<AbortedSegment> aborted;
+  ClaimCounters counters;
+};
+
+struct PlacedRec {
+  std::uint32_t task;
+  double start;
+  double end;
+};
+
+void run_free_slice(int t, int w_eff, std::span<const Task> tasks,
+                    const Platform& platform, bool spoliation,
+                    VictimOrder victim_order, ReadyShards& rs,
+                    Schedule& schedule,
+                    std::vector<std::vector<PlacedRec>>& placed_by_worker,
+                    double* avail, SliceClock* clocks, double horizon,
+                    FreeThreadResult& out) {
+  // The slice: every w_eff-th CPU and every w_eff-th GPU. With both
+  // resources present each slice holds at least one of each (w_eff is
+  // clamped by min(cpus, gpus)), so intra-slice spoliation is live.
+  std::vector<int> gid;
+  std::vector<char> is_gpu;
+  for (int c = 0; c < platform.cpus(); ++c) {
+    if (c % w_eff == t) {
+      gid.push_back(c);
+      is_gpu.push_back(0);
+    }
+  }
+  for (int g = 0; g < platform.gpus(); ++g) {
+    if (g % w_eff == t) {
+      gid.push_back(platform.cpus() + g);
+      is_gpu.push_back(1);
+    }
+  }
+  const std::size_t nw = gid.size();
+  out.stats.first_idle_time = kInf;
+  if (nw == 0) {
+    clocks[t].now.store(kInf, std::memory_order_relaxed);
+    return;
+  }
+
+  std::vector<double> finish(nw, kInf);
+  std::vector<double> start(nw, 0.0);
+  std::vector<std::uint32_t> cur(nw, 0);
+  int busy_by_type[2] = {0, 0};
+  std::size_t busy = 0;
+  double now = 0.0;
+  bool drained = false;  ///< claim returned false: permanently empty
+  const detail::VictimLess victim_less{victim_order == VictimOrder::kPriority};
+  std::vector<detail::VictimKey> victims;
+
+  const auto start_task = [&](std::size_t wi, std::uint32_t id) {
+    const Task& tk = tasks[id];
+    finish[wi] = now + (is_gpu[wi] != 0 ? tk.gpu_time : tk.cpu_time);
+    start[wi] = now;
+    cur[wi] = id;
+    ++busy_by_type[is_gpu[wi] != 0 ? 1 : 0];
+    ++busy;
+  };
+
+  const auto try_spoliate = [&](std::size_t wi) -> bool {
+    ++out.stats.spoliation_attempts;
+    victims.clear();
+    for (std::size_t vj = 0; vj < nw; ++vj) {
+      if (finish[vj] == kInf || is_gpu[vj] == is_gpu[wi]) continue;
+      victims.push_back(detail::VictimKey{
+          finish[vj], tasks[cur[vj]].priority, static_cast<TaskId>(cur[vj]),
+          static_cast<WorkerId>(gid[vj])});
+    }
+    std::sort(victims.begin(), victims.end(), victim_less);
+    for (const detail::VictimKey& key : victims) {
+      const Task& tk = tasks[static_cast<std::size_t>(key.task)];
+      const double dt = is_gpu[wi] != 0 ? tk.gpu_time : tk.cpu_time;
+      if (!detail::strictly_better(now + dt, key.finish)) continue;
+      // Local index of the victim (slices are <= 63 workers; linear is fine).
+      std::size_t vj = 0;
+      while (gid[vj] != key.worker) ++vj;
+      out.aborted.push_back(
+          AbortedSegment{key.task, key.worker, start[vj], now});
+      avail[static_cast<std::size_t>(key.worker)] = now;
+      finish[vj] = kInf;
+      --busy_by_type[is_gpu[vj] != 0 ? 1 : 0];
+      --busy;
+      ++out.stats.spoliations;
+      start_task(wi, static_cast<std::uint32_t>(key.task));
+      return true;
+    }
+    return false;
+  };
+
+  // Claim pacing: wait (yielding) until this slice's clock is within the
+  // window of the slowest live slice. The minimum-clock slice never waits,
+  // so some slice always makes progress.
+  const auto pace = [&] {
+    for (;;) {
+      double lag = now;
+      for (int u = 0; u < w_eff; ++u) {
+        lag = std::min(lag, clocks[u].now.load(std::memory_order_relaxed));
+      }
+      if (now <= lag + horizon) return;
+      std::this_thread::yield();
+    }
+  };
+
+  const auto dispatch = [&] {
+    bool acted = true;
+    while (acted) {
+      acted = false;
+      if (!drained) pace();
+      for (int half = 0; half < 2; ++half) {
+        const char want_gpu = half == 0 ? 1 : 0;
+        for (std::size_t wi = 0; wi < nw; ++wi) {
+          if (is_gpu[wi] != want_gpu || finish[wi] != kInf) continue;
+          std::uint32_t id;
+          if (!drained &&
+              rs.claim(static_cast<std::size_t>(t),
+                       static_cast<std::size_t>(t), want_gpu != 0, id,
+                       out.counters)) {
+            start_task(wi, id);
+            acted = true;
+            continue;
+          }
+          drained = true;
+          out.stats.first_idle_time =
+              std::min(out.stats.first_idle_time, now);
+          if (!spoliation) continue;
+          if (busy_by_type[want_gpu != 0 ? 0 : 1] == 0) {
+            ++out.stats.spoliation_skips;
+          } else if (try_spoliate(wi)) {
+            acted = true;
+          }
+        }
+      }
+    }
+  };
+
+  dispatch();
+  while (busy != 0) {
+    double tmin = kInf;
+    for (std::size_t wi = 0; wi < nw; ++wi) tmin = std::min(tmin, finish[wi]);
+    now = tmin;
+    clocks[t].now.store(now, std::memory_order_relaxed);
+    for (std::size_t wi = 0; wi < nw; ++wi) {
+      if (finish[wi] != now) continue;
+      const auto w = static_cast<std::size_t>(gid[wi]);
+      schedule.place(static_cast<TaskId>(cur[wi]),
+                     static_cast<WorkerId>(gid[wi]), start[wi], now);
+      placed_by_worker[w].push_back(PlacedRec{cur[wi], start[wi], now});
+      avail[w] = now;
+      finish[wi] = kInf;
+      --busy_by_type[is_gpu[wi] != 0 ? 1 : 0];
+      --busy;
+    }
+    dispatch();
+  }
+  clocks[t].now.store(kInf, std::memory_order_relaxed);
+}
+
+/// End-game spoliation fix-up: while the makespan-defining task would
+/// finish strictly earlier started on some other worker at that worker's
+/// availability point, move it there (recording the lost progress as an
+/// aborted segment when any was made). At the fixpoint every worker b
+/// satisfies avail[b] + time(tau, b) >= makespan — the last-task
+/// spoliation inequality the proven ratio bounds build on (and, on
+/// homogeneous platforms, exactly the ingredient of Graham's 2 - 1/w
+/// argument). Shard racing can violate it transiently; this pass restores
+/// it deterministically after the threads join.
+std::uint64_t endgame_fixup(std::span<const Task> tasks,
+                            const Platform& platform, Schedule& schedule,
+                            std::vector<std::vector<PlacedRec>>& placed,
+                            std::vector<double>& avail,
+                            std::vector<double>& abort_high,
+                            HeteroPrioStats& stats) {
+  const std::size_t n = tasks.size();
+  const int workers = platform.workers();
+  // Small instances (the fuzz/ratio-checked domain) run to the fixpoint;
+  // huge ones keep a bounded best-effort pass — quality there is measured
+  // by throughput, not ratio checks.
+  const std::uint64_t cap =
+      n <= 4096 ? 4 * static_cast<std::uint64_t>(n) + 64 : 256;
+  std::uint64_t moves = 0;
+  while (moves < cap) {
+    int a = -1;
+    double makespan = -1.0;
+    for (int w = 0; w < workers; ++w) {
+      const auto& stack = placed[static_cast<std::size_t>(w)];
+      if (!stack.empty() && stack.back().end > makespan) {
+        makespan = stack.back().end;
+        a = w;
+      }
+    }
+    if (a < 0) break;
+    const PlacedRec rec = placed[static_cast<std::size_t>(a)].back();
+    const auto task = static_cast<std::size_t>(rec.task);
+    int best_b = -1;
+    double best_end = kInf;
+    for (int b = 0; b < workers; ++b) {
+      if (b == a) continue;
+      const double cand =
+          avail[static_cast<std::size_t>(b)] +
+          Platform::time_on(tasks[task], platform.type_of(b));
+      if (cand < best_end) {
+        best_end = cand;
+        best_b = b;
+      }
+    }
+    if (best_b < 0 || !detail::strictly_better(best_end, rec.end)) break;
+    const auto ai = static_cast<std::size_t>(a);
+    const auto bi = static_cast<std::size_t>(best_b);
+    const double t0 = avail[bi];
+    placed[ai].pop_back();
+    avail[ai] = std::max(placed[ai].empty() ? 0.0 : placed[ai].back().end,
+                         abort_high[ai]);
+    if (t0 > rec.start) {
+      // The move is a spoliation: progress [start, t0) on `a` is lost.
+      schedule.add_aborted(static_cast<TaskId>(rec.task),
+                           static_cast<WorkerId>(a), rec.start, t0);
+      abort_high[ai] = std::max(abort_high[ai], t0);
+      avail[ai] = std::max(avail[ai], t0);
+      ++stats.spoliations;
+    }
+    schedule.place(static_cast<TaskId>(rec.task),
+                   static_cast<WorkerId>(best_b), t0, best_end);
+    placed[bi].push_back(PlacedRec{rec.task, t0, best_end});
+    avail[bi] = best_end;
+    ++moves;
+  }
+  return moves;
+}
+
+}  // namespace
+
+void HeteroPrioParStats::export_counters(obs::CounterRegistry& registry) const {
+  registry.set("par_threads_requested", threads_requested);
+  registry.set("par_threads_used", threads_used);
+  registry.set("par_canonical", canonical ? 1.0 : 0.0);
+  registry.set("par_delegated", delegated ? 1.0 : 0.0);
+  registry.set("par_claims", static_cast<double>(claims));
+  registry.set("par_steals", static_cast<double>(steals));
+  registry.set("par_steal_failures", static_cast<double>(steal_failures));
+  registry.set("par_blocks_retired", static_cast<double>(blocks_retired));
+  registry.set("par_blocks_reclaimed", static_cast<double>(blocks_reclaimed));
+  registry.set("par_endgame_moves", static_cast<double>(endgame_moves));
+  for (std::size_t s = 0; s < shard_published.size(); ++s) {
+    registry.set("par_shard" + std::to_string(s) + "_published",
+                 static_cast<double>(shard_published[s]));
+  }
+  for (std::size_t s = 0; s < shard_steals.size(); ++s) {
+    registry.set("par_shard" + std::to_string(s) + "_steals",
+                 static_cast<double>(shard_steals[s]));
+  }
+}
+
+Schedule heteroprio_par_run(std::span<const Task> tasks,
+                            const Platform& platform,
+                            const HeteroPrioOptions& options,
+                            HeteroPrioStats* stats,
+                            HeteroPrioParStats* par_stats) {
+  const std::size_t n = tasks.size();
+  const int threads = std::max(1, options.threads);
+  HeteroPrioParStats local_par;
+  local_par.threads_requested = options.threads;
+  local_par.canonical = options.canonical;
+
+  const bool sink_live =
+      options.sink != nullptr ||
+      (options.log != nullptr && options.log->enabled());
+  const bool faulty = options.faults != nullptr && !options.faults->empty();
+  const bool coverable = !sink_live && !faulty && platform.workers() > 0 &&
+                         platform.workers() <= 63;
+
+  // Outside the fast-path preconditions — or with too little work to be
+  // worth sharding — the sequential engine is the answer (bitwise the same
+  // result by definition of canonical mode).
+  if (!coverable || threads <= 1 ||
+      n < 2 * static_cast<std::size_t>(threads)) {
+    local_par.threads_used = 1;
+    local_par.delegated = !coverable;
+    if (par_stats != nullptr) *par_stats = local_par;
+    return detail::run_heteroprio(tasks, nullptr, platform, options, stats);
+  }
+
+  util::Arena& arena = util::scratch_arena();
+  const util::ArenaScope arena_scope(arena);
+
+  // Free-running engages only when it can beat the canonical contract:
+  // noise-free (beliefs == actuals inside the slices), no collector (the
+  // profile scopes are single-threaded), and a platform it can slice.
+  const int w_eff_raw =
+      platform.cpus() > 0 && platform.gpus() > 0
+          ? std::min({threads, platform.cpus(), platform.gpus()})
+          : std::min(threads, platform.workers());
+  const bool free_running = !options.canonical && w_eff_raw > 1 &&
+                            options.actual_times.empty() &&
+                            options.metrics == nullptr;
+
+  if (!free_running) {
+    // Canonical: sharded sort -> deterministic merge -> the sequential
+    // simulation over the merged order. Bitwise-identical by construction.
+    local_par.threads_used = threads;
+    util::ThreadPool pool(static_cast<unsigned>(threads));
+    std::uint32_t* order = arena.alloc<std::uint32_t>(n);
+    {
+      const obs::PhaseScope sort_scope(options.metrics, obs::Phase::kSort);
+      const ShardedRuns runs = sharded_sort(tasks, threads, arena, pool);
+      merge_runs(runs, n, threads, order);
+    }
+    local_par.shard_published.resize(static_cast<std::size_t>(threads));
+    for (int s = 0; s < threads; ++s) {
+      local_par.shard_published[static_cast<std::size_t>(s)] =
+          shard_lo(n, threads, s + 1) - shard_lo(n, threads, s);
+    }
+    if (par_stats != nullptr) *par_stats = local_par;
+    return detail::run_independent_presorted({order, n}, tasks, platform,
+                                             options, stats);
+  }
+
+  // Free-running: per-shard sorted runs feed the two-ended ready blocks;
+  // W_eff slices claim and steal concurrently.
+  const int w_eff = w_eff_raw;
+  local_par.threads_used = w_eff;
+  VictimOrder victim_order = options.victim_order;
+  if (victim_order == VictimOrder::kAuto) {
+    victim_order = VictimOrder::kCompletionTime;
+  }
+
+  util::ThreadPool pool(static_cast<unsigned>(w_eff));
+  const ShardedRuns runs = sharded_sort(tasks, w_eff, arena, pool);
+  std::uint32_t* shard_ids = arena.alloc<std::uint32_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shard_ids[i] = runs.uniform ? runs.key_runs[i].id : runs.key2_runs[i].id;
+  }
+
+  const auto block_capacity = static_cast<std::uint32_t>(std::clamp<
+      std::size_t>(n / (static_cast<std::size_t>(w_eff) * 4) + 1, 16, 4096));
+  ReadyShards rs(static_cast<std::size_t>(w_eff), block_capacity);
+  rs.begin_publish(static_cast<std::size_t>(w_eff));
+  local_par.shard_published.resize(static_cast<std::size_t>(w_eff));
+  for (int s = 0; s < w_eff; ++s) {
+    const std::size_t lo = shard_lo(n, w_eff, s);
+    const std::size_t hi = shard_lo(n, w_eff, s + 1);
+    rs.publish(static_cast<std::size_t>(s), {shard_ids + lo, hi - lo});
+    local_par.shard_published[static_cast<std::size_t>(s)] = hi - lo;
+  }
+
+  Schedule schedule(n);
+  std::vector<std::vector<PlacedRec>> placed_by_worker(
+      static_cast<std::size_t>(platform.workers()));
+  std::vector<double> avail(static_cast<std::size_t>(platform.workers()), 0.0);
+  std::vector<FreeThreadResult> results(static_cast<std::size_t>(w_eff));
+  // Pacing window: one worst-case *well-assigned* task of slack between the
+  // fastest and the slowest live slice clock — max over tasks of the
+  // duration on the task's favored available resource. Using the worse
+  // resource instead would inflate the window past the whole makespan on
+  // acceleration-skewed instances (q = p/rho with rho < 1) and let a
+  // wall-clock-fast slice hoard the instance into a runaway timeline.
+  // Tight enough that no slice can run away, loose enough that balanced
+  // slices essentially never wait.
+  double horizon = 0.0;
+  for (const Task& tk : tasks) {
+    double favored = kInf;
+    if (platform.cpus() > 0) favored = std::min(favored, tk.cpu_time);
+    if (platform.gpus() > 0) favored = std::min(favored, tk.gpu_time);
+    horizon = std::max(horizon, favored);
+  }
+  std::vector<SliceClock> clocks(static_cast<std::size_t>(w_eff));
+  for (int t = 0; t < w_eff; ++t) {
+    pool.submit([t, w_eff, tasks, &platform, &options, victim_order, &rs,
+                 &schedule, &placed_by_worker, &avail, &clocks, horizon,
+                 &results] {
+      run_free_slice(t, w_eff, tasks, platform, options.enable_spoliation,
+                     victim_order, rs, schedule, placed_by_worker,
+                     avail.data(), clocks.data(), horizon,
+                     results[static_cast<std::size_t>(t)]);
+    });
+  }
+  pool.wait_idle();
+  local_par.blocks_reclaimed += rs.reclaim_now();
+
+  // Merge per-thread artifacts (deterministic order given the run content).
+  HeteroPrioStats total;
+  total.first_idle_time = kInf;
+  std::vector<double> abort_high(static_cast<std::size_t>(platform.workers()),
+                                 0.0);
+  local_par.shard_steals.resize(static_cast<std::size_t>(w_eff));
+  for (int t = 0; t < w_eff; ++t) {
+    const FreeThreadResult& r = results[static_cast<std::size_t>(t)];
+    for (const AbortedSegment& seg : r.aborted) {
+      schedule.add_aborted(seg.task, seg.worker, seg.start, seg.abort_time);
+      abort_high[static_cast<std::size_t>(seg.worker)] =
+          std::max(abort_high[static_cast<std::size_t>(seg.worker)],
+                   seg.abort_time);
+    }
+    total.first_idle_time =
+        std::min(total.first_idle_time, r.stats.first_idle_time);
+    total.spoliations += r.stats.spoliations;
+    total.spoliation_attempts += r.stats.spoliation_attempts;
+    total.spoliation_skips += r.stats.spoliation_skips;
+    local_par.claims += r.counters.claims;
+    local_par.steals += r.counters.steals;
+    local_par.steal_failures += r.counters.steal_failures;
+    local_par.shard_steals[static_cast<std::size_t>(t)] = r.counters.steals;
+  }
+  local_par.blocks_retired = rs.blocks_retired();
+  local_par.blocks_reclaimed = rs.blocks_reclaimed();
+
+  if (options.enable_spoliation) {
+    local_par.endgame_moves = endgame_fixup(
+        tasks, platform, schedule, placed_by_worker, avail, abort_high, total);
+  }
+
+  if (!std::isfinite(total.first_idle_time)) {
+    total.first_idle_time = schedule.makespan();
+  }
+  if (stats != nullptr) *stats = total;
+  if (par_stats != nullptr) *par_stats = local_par;
+  return schedule;
+}
+
+}  // namespace hp::par

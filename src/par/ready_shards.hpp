@@ -1,0 +1,141 @@
+#pragma once
+// Sharded double-ended ready structure for the parallel HeteroPrio engine.
+//
+// The sequential engine keeps one presorted ready array with two cursors:
+// idle GPUs pop the front (most GPU-friendly, highest acceleration), idle
+// CPUs pop the back (§2.2). To let W scheduler threads claim concurrently,
+// the sorted order is split into W shards (contiguous task-id ranges, each
+// sorted by the same packed keys), and every shard is further chunked into
+// fixed-capacity *ready blocks*. A block exposes one packed atomic
+// `head:32 | tail:32` word, so claiming from either end is a single CAS and
+// the two ends never contend on separate control words.
+//
+// Stealing follows the Chase–Lev discipline adapted to HeteroPrio's
+// two-ended contract: a thief pops the same end its resource type always
+// pops — GPUs steal fronts, CPUs steal backs — walking the shard ring from
+// its home shard. A worker therefore idles only when every shard is empty,
+// which is the work-conservation property the makespan bounds lean on
+// (docs/parallel.md).
+//
+// Reclamation: a drained block is retired exactly once (atomic flag) into a
+// util::StripedEpoch. Its id storage returns to the block pool only after
+// every participant has left the epoch the retirement happened in — a
+// claimer that won a CAS may still be reading ids[h] — and is recycled by
+// the next publish cycle. Claimers must hold an EpochGuard for their slot
+// across a claim; ReadyShards::claim does this internally.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/striped_epoch.hpp"
+
+namespace hp::par {
+
+/// Per-claimant statistics, aggregated into the run's obs:: counters.
+struct ClaimCounters {
+  std::uint64_t claims = 0;          ///< successful pops from the home shard
+  std::uint64_t steals = 0;          ///< successful pops from another shard
+  std::uint64_t steal_failures = 0;  ///< non-home shards probed and empty
+};
+
+class ReadyShards {
+ public:
+  /// `slots` epoch participants (claiming threads). `block_capacity` ids
+  /// per ready block; small capacities force frequent retirement (tests).
+  explicit ReadyShards(std::size_t slots, std::uint32_t block_capacity = 1024);
+
+  ReadyShards(const ReadyShards&) = delete;
+  ReadyShards& operator=(const ReadyShards&) = delete;
+
+  /// Start a publish cycle with `shards` empty shards. Single-threaded:
+  /// no claim may be in flight. Reclaims grace-elapsed retired blocks from
+  /// the previous cycle into the pool first.
+  void begin_publish(std::size_t shards);
+
+  /// Publish shard `shard`'s ready ids, already in ready order (ascending
+  /// packed key: GPU end first). Part of the single-threaded publish phase.
+  void publish(std::size_t shard, std::span<const std::uint32_t> ids);
+
+  /// Claim one task id. `slot` is the caller's epoch slot; `home` its home
+  /// shard. GPU claims pop fronts, CPU claims pop backs; on a miss the
+  /// other shards are probed round the ring from home+1 (stealing, same
+  /// end). Returns false only when every shard is empty — and since ids are
+  /// never re-inserted within a cycle, emptiness is permanent.
+  [[nodiscard]] bool claim(std::size_t slot, std::size_t home, bool gpu_end,
+                           std::uint32_t& id, ClaimCounters& counters);
+
+  /// Grace-elapsed reclamation outside the publish path (engine teardown,
+  /// tests). Returns the number of blocks recycled into the pool.
+  std::size_t reclaim_now();
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] util::StripedEpoch& epoch() noexcept { return epoch_; }
+
+  /// Ids published into `shard` this cycle (the shard-occupancy counter).
+  [[nodiscard]] std::size_t shard_published(std::size_t shard) const {
+    return shards_[shard]->published;
+  }
+
+  [[nodiscard]] std::uint64_t blocks_retired() const noexcept {
+    return blocks_retired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t blocks_reclaimed() const noexcept {
+    return blocks_reclaimed_;
+  }
+  /// Distinct storage allocations so far; stays flat across publish cycles
+  /// once the pool covers the working set (the reclamation regression).
+  [[nodiscard]] std::size_t storage_allocated() const noexcept {
+    return storage_.size();
+  }
+
+ private:
+  struct Block {
+    std::atomic<std::uint64_t> bounds{0};  ///< head:32 | tail:32
+    std::atomic<bool> retired{false};
+    std::uint32_t* ids = nullptr;
+
+    [[nodiscard]] bool pop(bool front, std::uint32_t& id) noexcept;
+    [[nodiscard]] bool empty() const noexcept {
+      const std::uint64_t b = bounds.load(std::memory_order_acquire);
+      return static_cast<std::uint32_t>(b >> 32) >=
+             static_cast<std::uint32_t>(b);
+    }
+  };
+
+  struct alignas(util::kEpochSlotStride) Shard {
+    std::unique_ptr<Block[]> blocks;
+    std::uint32_t num_blocks = 0;
+    std::size_t published = 0;
+    /// Advisory cursors: first (last) possibly non-drained block. Claims
+    /// re-scan from the hint, so a stale hint costs probes, never tasks.
+    std::atomic<std::uint32_t> front_hint{0};
+    std::atomic<std::uint32_t> back_hint{0};
+  };
+
+  /// Pop from shard `s`; retires blocks it finds drained along the way.
+  [[nodiscard]] bool pop_shard(Shard& s, std::size_t slot, bool front,
+                               std::uint32_t& id);
+
+  [[nodiscard]] std::uint32_t* acquire_storage();
+
+  std::uint32_t block_capacity_;
+  util::StripedEpoch epoch_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Storage pool. `storage_` owns every allocation for the object's
+  // lifetime; `free_` holds the recycled ones. Mutated only in the
+  // single-threaded publish/reclaim phases (guarded anyway for safety).
+  std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<std::uint32_t[]>> storage_;
+  std::vector<std::uint32_t*> free_;
+  std::vector<void*> reclaim_scratch_;
+  std::atomic<std::uint64_t> blocks_retired_{0};
+  std::uint64_t blocks_reclaimed_ = 0;
+};
+
+}  // namespace hp::par

@@ -1,0 +1,20 @@
+#include "perf/parallel_args.hpp"
+
+#include <cstdlib>
+
+namespace hp::perf {
+
+bool consume_parallel_arg(const std::string& arg, int& threads) {
+  if (arg == "serial") {
+    threads = 1;
+    return true;
+  }
+  if (arg.rfind("-j", 0) == 0) {
+    threads = std::atoi(arg.c_str() + 2);
+    if (threads <= 0) threads = 0;  // "-j" alone: auto
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hp::perf

@@ -1,0 +1,20 @@
+#pragma once
+// Shared parsing of the benchmark parallelism flags.
+//
+// Every bench binary accepts the same two spellings — `serial` (force one
+// worker) and `-jN` (N workers; bare `-j` or a non-positive N means "all
+// hardware threads", the util::resolve_threads convention). The parsing
+// used to be copy-pasted into each main(); it lives here once so the
+// spellings cannot drift between binaries.
+
+#include <string>
+
+namespace hp::perf {
+
+/// If `arg` is one of the parallelism flags, fold it into `threads`
+/// (0 = all hardware threads, 1 = serial, N > 1 = exactly N) and return
+/// true. Returns false — leaving `threads` untouched — for any other
+/// argument, so callers keep their own flag handling around this.
+bool consume_parallel_arg(const std::string& arg, int& threads);
+
+}  // namespace hp::perf

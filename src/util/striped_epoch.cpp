@@ -1,0 +1,117 @@
+#include "util/striped_epoch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <new>
+
+namespace hp::util {
+namespace {
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag& flag) noexcept : flag_(flag) {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Contention here is rare (retire/reclaim, never the read hot path);
+      // a bare spin keeps the helper header-light.
+    }
+  }
+  ~SpinGuard() { flag_.clear(std::memory_order_release); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  std::atomic_flag& flag_;
+};
+
+}  // namespace
+
+StripedEpoch::StripedEpoch(std::size_t slots)
+    : num_slots_(std::max<std::size_t>(1, slots)) {
+  stripes_ = static_cast<unsigned char*>(::operator new(
+      num_slots_ * kEpochSlotStride, std::align_val_t{kEpochSlotStride}));
+  for (std::size_t i = 0; i < num_slots_; ++i) {
+    new (stripes_ + i * kEpochSlotStride) std::atomic<Epoch>(kIdle);
+  }
+}
+
+StripedEpoch::~StripedEpoch() {
+  for (std::size_t i = 0; i < num_slots_; ++i) {
+    slot_at(i).~atomic<Epoch>();
+  }
+  ::operator delete(stripes_, std::align_val_t{kEpochSlotStride});
+}
+
+std::atomic<StripedEpoch::Epoch>& StripedEpoch::slot_at(
+    std::size_t slot) noexcept {
+  assert(slot < num_slots_);
+  return *reinterpret_cast<std::atomic<Epoch>*>(stripes_ +
+                                                slot * kEpochSlotStride);
+}
+
+const std::atomic<StripedEpoch::Epoch>& StripedEpoch::slot_at(
+    std::size_t slot) const noexcept {
+  assert(slot < num_slots_);
+  return *reinterpret_cast<const std::atomic<Epoch>*>(stripes_ +
+                                                      slot * kEpochSlotStride);
+}
+
+void StripedEpoch::enter(std::size_t slot) noexcept {
+  // seq_cst on the publication: the epoch load and the slot store must not
+  // reorder against the retirer's epoch bump, or a reader could pin an
+  // epoch the retirer already believes nobody observes.
+  const Epoch e = global_epoch_.load(std::memory_order_seq_cst);
+  slot_at(slot).store(e, std::memory_order_seq_cst);
+}
+
+void StripedEpoch::leave(std::size_t slot) noexcept {
+  slot_at(slot).store(kIdle, std::memory_order_release);
+}
+
+void StripedEpoch::retire(std::size_t slot, void* block) {
+  (void)slot;
+  const Epoch e = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  const SpinGuard guard(retired_lock_);
+  retired_.push_back(Retired{block, e});
+}
+
+StripedEpoch::Epoch StripedEpoch::min_observed() const noexcept {
+  Epoch min = global_epoch_.load(std::memory_order_seq_cst);
+  for (std::size_t i = 0; i < num_slots_; ++i) {
+    const Epoch e = slot_at(i).load(std::memory_order_seq_cst);
+    if (e != kIdle) min = std::min(min, e);
+  }
+  return min;
+}
+
+std::size_t StripedEpoch::try_reclaim(std::vector<void*>& out) {
+  const Epoch safe = min_observed();
+  const SpinGuard guard(retired_lock_);
+  std::size_t reclaimed = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < retired_.size(); ++i) {
+    // Retired in epoch E, pinned epochs are all > E => no live reader.
+    if (retired_[i].epoch < safe) {
+      out.push_back(retired_[i].block);
+      ++reclaimed;
+    } else {
+      retired_[keep++] = retired_[i];
+    }
+  }
+  retired_.resize(keep);
+  return reclaimed;
+}
+
+void StripedEpoch::drain(std::vector<void*>& out) {
+  const SpinGuard guard(retired_lock_);
+  for (const Retired& r : retired_) out.push_back(r.block);
+  retired_.clear();
+}
+
+std::size_t StripedEpoch::pending() const {
+  const SpinGuard guard(
+      const_cast<std::atomic_flag&>(retired_lock_));
+  return retired_.size();
+}
+
+}  // namespace hp::util

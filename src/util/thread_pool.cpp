@@ -18,18 +18,32 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
     stop_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool ThreadPool::is_shut_down() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
 }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error(
+          "ThreadPool::submit: pool is shut down; job rejected");
+    }
     queue_.push(std::move(job));
   }
   work_cv_.notify_one();

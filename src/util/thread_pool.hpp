@@ -37,17 +37,27 @@ class ThreadPool {
   }
 
   /// Enqueue a job. Jobs may be submitted from any thread, including from
-  /// inside a running job.
+  /// inside a running job. Throws std::runtime_error after shutdown() —
+  /// silently dropping work would break the "every cell ran" contract the
+  /// sweep engines rely on.
   void submit(std::function<void()> job);
 
   /// Block until the queue is empty and no job is running. If any job threw,
   /// rethrows the first captured exception (the remaining jobs still ran).
   void wait_idle();
 
+  /// Drain the queue, join every worker and start rejecting new work.
+  /// Idempotent; called implicitly by the destructor. Unlike the destructor
+  /// it leaves the pool object alive so late submit() calls fail loudly
+  /// instead of racing destruction.
+  void shutdown();
+
+  [[nodiscard]] bool is_shut_down() const noexcept;
+
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::queue<std::function<void()>> queue_;

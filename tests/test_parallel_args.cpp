@@ -1,0 +1,43 @@
+// perf/parallel_args.hpp — the shared "serial" / "-jN" argument parser the
+// bench drivers dedupe their thread-count handling through.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "perf/parallel_args.hpp"
+
+namespace hp::perf {
+namespace {
+
+TEST(ParallelArgs, SerialMeansOneThread) {
+  int threads = 0;
+  EXPECT_TRUE(consume_parallel_arg("serial", threads));
+  EXPECT_EQ(threads, 1);
+}
+
+TEST(ParallelArgs, DashJTakesAnExplicitCount) {
+  int threads = 0;
+  EXPECT_TRUE(consume_parallel_arg("-j6", threads));
+  EXPECT_EQ(threads, 6);
+}
+
+TEST(ParallelArgs, BareOrZeroDashJMeansAllCores) {
+  int threads = 99;
+  EXPECT_TRUE(consume_parallel_arg("-j", threads));
+  EXPECT_EQ(threads, 0);
+  threads = 99;
+  EXPECT_TRUE(consume_parallel_arg("-j0", threads));
+  EXPECT_EQ(threads, 0);
+}
+
+TEST(ParallelArgs, UnrelatedArgumentsAreLeftUntouched) {
+  int threads = 7;
+  EXPECT_FALSE(consume_parallel_arg("--trace", threads));
+  EXPECT_FALSE(consume_parallel_arg("serial-ish", threads));
+  EXPECT_FALSE(consume_parallel_arg("", threads));
+  EXPECT_EQ(threads, 7);
+}
+
+}  // namespace
+}  // namespace hp::perf

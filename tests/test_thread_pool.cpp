@@ -83,6 +83,41 @@ TEST(ThreadPool, WaitIdleRethrowsFirstException) {
   EXPECT_EQ(done.load(), 9);
 }
 
+TEST(ThreadPool, ShutdownRejectsLateWork) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_FALSE(pool.is_shut_down());
+  pool.shutdown();
+  EXPECT_TRUE(pool.is_shut_down());
+  // Queued work was drained, not dropped.
+  EXPECT_EQ(done.load(), 16);
+  // Late submissions fail loudly instead of disappearing.
+  EXPECT_THROW(pool.submit([&done] { done.fetch_add(1); }),
+               std::runtime_error);
+  EXPECT_EQ(done.load(), 16);
+  // Idempotent: a second shutdown is a no-op.
+  EXPECT_NO_THROW(pool.shutdown());
+}
+
+TEST(ThreadPool, OversubscriptionRunsEveryJob) {
+  // More workers than hardware threads (this box may have only one): the
+  // pool must still spawn them all and run every job exactly once.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool pool(hw * 4 + 3);
+  EXPECT_EQ(pool.size(), hw * 4 + 3);
+  std::vector<std::atomic<int>> hits(257);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    pool.submit([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   constexpr std::size_t kCount = 1000;
   std::vector<std::atomic<int>> hits(kCount);

@@ -98,6 +98,7 @@ int usage() {
       "  hp_sched schedule --in FILE --cpus M --gpus N\n"
       "           [--algo hp|hp-nospol|heft|dualhp|online-eft|online-threshold|online-balance]\n"
       "           [--rank avg|min|fifo] [--gantt] [--svg FILE] [--trace FILE]\n"
+      "           [--threads N] [--free-running]   (hp/hp-nospol, independent)\n"
       "  hp_sched trace    --in FILE --cpus M --gpus N [--algo ...] [--rank ...]\n"
       "           [--out FILE.json] [--csv FILE.csv]\n"
       "  hp_sched report   --in FILE --cpus M --gpus N [--algo ...] [--rank ...]\n"
@@ -351,16 +352,26 @@ std::optional<RunResult> run_algorithm(const Args& args,
       return std::nullopt;
     }
     result.lower_bound = opt_lower_bound(inst->tasks(), platform);
+    // Parallel engine wiring: --threads N routes hp/hp-nospol through
+    // par::heteroprio_par_run; --free-running drops the canonical bitwise
+    // contract for throughput. The parallel fast path records no events,
+    // so --threads > 1 disables event capture for these algorithms.
+    const int threads = args.get_int("threads", 1);
+    const bool free_running = args.get("free-running") == "1";
     if (algo == "hp") {
       HeteroPrioOptions hp_options;
-      hp_options.sink = sink;
+      hp_options.sink = threads > 1 ? nullptr : sink;
       hp_options.metrics = metrics;
+      hp_options.threads = threads;
+      hp_options.canonical = !free_running;
       result.schedule = heteroprio(inst->tasks(), platform, hp_options);
     } else if (algo == "hp-nospol") {
       HeteroPrioOptions hp_options;
       hp_options.enable_spoliation = false;
-      hp_options.sink = sink;
+      hp_options.sink = threads > 1 ? nullptr : sink;
       hp_options.metrics = metrics;
+      hp_options.threads = threads;
+      hp_options.canonical = !free_running;
       result.schedule = heteroprio(inst->tasks(), platform, hp_options);
     } else if (algo == "heft") {
       result.schedule = heft_independent(inst->tasks(), platform,
@@ -932,6 +943,8 @@ int cmd_perf(const Args& args) {
     options.sizes = {1000};
     options.repetitions = 2;
     options.sweep_tiles = {4, 8};
+    options.parallel_sizes = {1000};
+    options.parallel_threads = {1, 2};
     dag_options.tile_counts = {4, 8};
     dag_options.repetitions = 2;
   }
@@ -1010,7 +1023,13 @@ int cmd_perf_check(const Args& args) {
     const std::vector<std::size_t> sizes =
         quick ? std::vector<std::size_t>{1000}
               : std::vector<std::size_t>{1000, 10000, 100000};
-    ok = perf::validate_perf_baseline_json(*text, sizes, &error);
+    const std::vector<std::size_t> par_sizes =
+        quick ? std::vector<std::size_t>{1000}
+              : std::vector<std::size_t>{100000, 1000000};
+    const std::vector<int> par_threads =
+        quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    ok = perf::validate_perf_baseline_json(*text, sizes, &error, par_sizes,
+                                           par_threads);
   }
   if (!ok) {
     std::cerr << "invalid baseline: " << error << '\n';
