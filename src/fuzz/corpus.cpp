@@ -19,6 +19,7 @@ constexpr const char* kFuzzPrefix = "# fuzz:";
 constexpr const char* kHpfPrefix = "# hpf:";
 constexpr const char* kHpoPrefix = "# hpo:";
 constexpr const char* kParPrefix = "# par:";
+constexpr const char* kServePrefix = "# serve:";
 
 bool starts_with(const std::string& line, const char* prefix) {
   return line.rfind(prefix, 0) == 0;
@@ -146,6 +147,30 @@ bool apply_par_directive(const std::string& token, CorpusCase* out,
   return false;
 }
 
+/// Apply one "key=value" token of a `# serve:` directive.
+bool apply_serve_directive(const std::string& token, CorpusCase* out,
+                           std::string* why) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    *why = "serve directive '" + token + "' is not key=value";
+    return false;
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  if (key == "workers") {
+    char* end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (end != value.c_str() + value.size() || v < 2) {
+      *why = "serve workers '" + value + "' is not an integer >= 2";
+      return false;
+    }
+    out->c.serve_workers = static_cast<int>(v);
+    return true;
+  }
+  *why = "unknown serve directive key '" + key + "'";
+  return false;
+}
+
 }  // namespace
 
 std::string corpus_to_text(const CorpusCase& entry) {
@@ -165,6 +190,9 @@ std::string corpus_to_text(const CorpusCase& entry) {
   oss << " props=" << props_to_string(entry.props);
   if (entry.c.par_threads >= 2) {
     oss << '\n' << kParPrefix << " threads=" << entry.c.par_threads;
+  }
+  if (entry.c.serve_workers >= 2) {
+    oss << '\n' << kServePrefix << " workers=" << entry.c.serve_workers;
   }
   if (entry.min_ratio > 0.0) {
     oss.precision(12);
@@ -220,6 +248,17 @@ bool corpus_from_text(const std::string& text, CorpusCase* out,
       std::string token;
       while (fields >> token) {
         if (!apply_par_directive(token, out, &why)) {
+          if (error != nullptr) {
+            *error = "line " + std::to_string(line_no) + ": " + why;
+          }
+          return false;
+        }
+      }
+    } else if (starts_with(line, kServePrefix)) {
+      std::istringstream fields(line.substr(std::string(kServePrefix).size()));
+      std::string token;
+      while (fields >> token) {
+        if (!apply_serve_directive(token, out, &why)) {
           if (error != nullptr) {
             *error = "line " + std::to_string(line_no) + ": " + why;
           }

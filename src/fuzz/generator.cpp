@@ -171,6 +171,16 @@ FuzzCase generate_case(std::uint64_t seed, std::uint64_t index,
     c.par_threads = 2 + static_cast<int>(rng.bounded(
                             static_cast<std::uint64_t>(knobs.par_threads - 1)));
   }
+
+  // Service worker count strictly last again (the `serve` property arrived
+  // after the par knob; drawing here keeps every earlier field of
+  // historical cases byte-identical — regression-tested alongside the par
+  // draw in test_fuzz_generator).
+  if (knobs.serve_workers >= 2) {
+    c.serve_workers =
+        2 + static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(knobs.serve_workers - 1)));
+  }
   return c;
 }
 

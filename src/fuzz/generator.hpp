@@ -44,6 +44,12 @@ struct GenKnobs {
   /// so every earlier field of historical (seed, index) cases stays
   /// byte-identical. < 2 disables the draw (par_threads stays 0).
   int par_threads = 4;
+  /// Upper bound (inclusive) for FuzzCase::serve_workers, the service
+  /// worker-pool size the `serve` property exercises; drawn uniformly from
+  /// [2, serve_workers]. Drawn *strictly last*, after the par_threads draw
+  /// (the property arrived later), so every earlier field of historical
+  /// (seed, index) cases stays byte-identical. < 2 disables the draw.
+  int serve_workers = 3;
 };
 
 /// One generated scheduling problem.
@@ -64,6 +70,9 @@ struct FuzzCase {
   /// Scheduler threads the `par` property runs the parallel engine with
   /// (HeteroPrioOptions::threads). 0 disables the property for this case.
   int par_threads = 0;
+  /// Service workers the `serve` property routes the case through
+  /// (ServiceOptions::workers). 0 disables the property for this case.
+  int serve_workers = 0;
 
   [[nodiscard]] bool is_dag() const noexcept { return graph.num_edges() > 0; }
   [[nodiscard]] bool has_faults() const noexcept { return !faults.empty(); }

@@ -19,6 +19,8 @@
 #include "obs/watchdog.hpp"
 #include "online/runtime.hpp"
 #include "sched/validate.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
 
 namespace hp::fuzz {
 
@@ -35,7 +37,7 @@ constexpr PropEntry kProps[] = {
     {kPropRefDiff, "ref-diff"},      {kPropScale, "scale"},
     {kPropPermute, "permute"},       {kPropSpareCrash, "spare-crash"},
     {kPropFaultAccount, "fault-account"}, {kPropOnline, "online"},
-    {kPropPar, "par"},
+    {kPropPar, "par"},                    {kPropServe, "serve"},
 };
 
 /// One scheduler run of a case: schedule, recovery outcome, event stream.
@@ -56,6 +58,28 @@ HeteroPrioOptions hp_options(const FuzzCase& c, SchedulerId sched,
 
 RankScheme heft_rank(const FuzzCase& c) {
   return c.rank == RankScheme::kFifo ? RankScheme::kAvg : c.rank;
+}
+
+serve::Backend serve_backend(SchedulerId sched) {
+  switch (sched) {
+    case SchedulerId::kHp: return serve::Backend::kHp;
+    case SchedulerId::kHpNoSpol: return serve::Backend::kHpNoSpol;
+    case SchedulerId::kHeft: return serve::Backend::kHeft;
+    case SchedulerId::kDualHp: return serve::Backend::kDualHp;
+  }
+  return serve::Backend::kHp;
+}
+
+serve::Request serve_request(const FuzzCase& c, SchedulerId sched,
+                             int tenant) {
+  serve::Request request;
+  request.tenant = tenant;
+  request.backend = serve_backend(sched);
+  request.graph = c.graph;
+  request.rank = c.rank;
+  request.platform = c.platform;
+  request.faults = c.faults;
+  return request;
 }
 
 void run_scheduler(const FuzzCase& c, SchedulerId sched, RunOutput* out) {
@@ -662,6 +686,132 @@ OracleVerdict check_case(const FuzzCase& c, SchedulerId sched,
           fail("par", std::string("free-running run breaks the proven "
                                   "ratio: ") +
                           obs::describe(bc));
+        }
+      }
+    }
+  }
+
+  if ((options.props & kPropServe) && c.serve_workers >= 2) {
+    // The service is a routing layer, never a scheduling layer: any case
+    // submitted through it must come back bitwise-identical to the direct
+    // engine run (`run`), whatever worker served it, however requests were
+    // batched, and under whatever admission pressure — and every
+    // submission must be answered (zero silent drops).
+    ++verdict.properties_checked;
+    const auto check_response = [&](const serve::Response& r,
+                                    const char* leg) {
+      if (r.status != serve::ResponseStatus::kCompleted) {
+        fail("serve", std::string(leg) + ": request was not completed");
+        return;
+      }
+      std::string why;
+      if (!same_schedule(run.schedule, r.schedule, &why)) {
+        fail("serve", std::string(leg) +
+                          ": service schedule diverges from the direct "
+                          "engine run: " + why);
+      }
+      if (faulty && !(r.recovery == run.recovery)) {
+        fail("serve", std::string(leg) +
+                          ": service recovery report diverges from the "
+                          "direct engine run");
+      }
+    };
+    const auto check_balanced = [&](const serve::Service& service,
+                                    const char* leg) {
+      const serve::Service::Accounting acct = service.accounting();
+      if (!acct.balanced() || acct.in_flight != 0) {
+        fail("serve", std::string(leg) +
+                          ": accounting identity broken: submitted " +
+                          std::to_string(acct.submitted) + " != accepted " +
+                          std::to_string(acct.accepted) + " + rejected " +
+                          std::to_string(acct.rejected) + " (completed " +
+                          std::to_string(acct.completed) + ", in flight " +
+                          std::to_string(acct.in_flight) + ")");
+      }
+    };
+
+    {  // Leg one: one tenant, one worker.
+      serve::ServiceOptions so;
+      so.workers = 1;
+      so.max_clients = 1;
+      serve::Service service(so);
+      serve::Service::Ticket ticket =
+          service.submit(serve_request(c, sched, 0), 0);
+      const serve::Response response = ticket.response.get();
+      service.drain();
+      check_response(response, "1-worker leg");
+      check_balanced(service, "1-worker leg");
+    }
+
+    {  // Leg two: several tenants over serve_workers workers.
+      serve::ServiceOptions so;
+      so.workers = c.serve_workers;
+      so.max_clients = 1;
+      serve::Service service(so);
+      constexpr int kRepeats = 4;
+      std::vector<std::future<serve::Response>> futures;
+      for (int i = 0; i < kRepeats; ++i) {
+        futures.push_back(
+            service.submit(serve_request(c, sched, i % 2), 0).response);
+      }
+      for (std::future<serve::Response>& f : futures) {
+        check_response(f.get(), "W-worker leg");
+      }
+      service.drain();
+      check_balanced(service, "W-worker leg");
+    }
+
+    {  // Leg three: seed-randomized admission watermarks and shed policy.
+      util::Rng rng(util::seed_from_cell(
+          {c.seed, static_cast<std::uint64_t>(c.graph.size()),
+           static_cast<std::uint64_t>(sched)}));
+      serve::ServiceOptions so;
+      so.workers = c.serve_workers;
+      so.max_clients = 1;
+      so.watermark_high = 1 + rng.bounded(3);
+      so.shed_policy = rng.bernoulli(0.5) ? online::ShedPolicy::kDefer
+                                          : online::ShedPolicy::kReject;
+      constexpr int kSubmissions = 6;
+      std::vector<std::future<serve::Response>> futures;
+      std::size_t rejected_tickets = 0;
+      {
+        serve::Service service(so);
+        for (int i = 0; i < kSubmissions; ++i) {
+          serve::Service::Ticket ticket =
+              service.submit(serve_request(c, sched, i % 2), 0);
+          rejected_tickets +=
+              ticket.admission == serve::Admission::kRejected ? 1 : 0;
+          futures.push_back(std::move(ticket.response));
+        }
+        std::size_t completed = 0;
+        std::size_t rejected = 0;
+        for (std::future<serve::Response>& f : futures) {
+          const serve::Response response = f.get();
+          if (response.status == serve::ResponseStatus::kRejected) {
+            ++rejected;
+          } else {
+            ++completed;
+            check_response(response, "watermark leg");
+          }
+        }
+        service.drain();
+        check_balanced(service, "watermark leg");
+        if (completed + rejected != kSubmissions) {
+          fail("serve", "watermark leg: " + std::to_string(completed) +
+                            " completed + " + std::to_string(rejected) +
+                            " rejected != " + std::to_string(kSubmissions) +
+                            " submitted");
+        }
+        if (rejected != rejected_tickets) {
+          fail("serve",
+               "watermark leg: rejected responses disagree with rejected "
+               "tickets");
+        }
+        if (so.shed_policy == online::ShedPolicy::kDefer && rejected != 0) {
+          fail("serve",
+               "watermark leg: defer policy rejected " +
+                   std::to_string(rejected) +
+                   " submissions (deferred requests must complete)");
         }
       }
     }

@@ -33,6 +33,14 @@
 //                 additionally run it online and check validity, that no
 //                 task starts before its arrival, and the zero-silent-drop
 //                 accounting identity
+//   serve         cases carrying serve_workers >= 2: the same case routed
+//                 through the multi-tenant service (1 tenant / 1 worker,
+//                 then several submissions over serve_workers workers)
+//                 returns schedules bitwise-identical to the direct engine
+//                 call, and under seed-randomized defer/reject admission
+//                 watermarks the zero-silent-drop accounting identity holds
+//                 (every submission answered, completed + rejected ==
+//                 submitted, deferred requests never lost)
 //   par           HeteroPrio only, cases carrying par_threads >= 2: the
 //                 parallel engine under the canonical tie-break is
 //                 bitwise-identical to the sequential run (placements,
@@ -70,7 +78,8 @@ enum PropertyBits : unsigned {
   kPropFaultAccount = 1u << 8,
   kPropOnline = 1u << 9,
   kPropPar = 1u << 10,
-  kPropAll = (1u << 11) - 1,
+  kPropServe = 1u << 11,
+  kPropAll = (1u << 12) - 1,
 };
 
 /// Name of a single property bit ("validity", "ratio", ...).

@@ -1,0 +1,332 @@
+#include "serve/service.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+namespace hp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr auto kIdleSleep = std::chrono::microseconds(50);
+constexpr int kIdleYields = 32;  ///< yields before backing off to a sleep
+
+}  // namespace
+
+/// One submitted request in service custody: the request itself, the
+/// promise its ticket resolves, and the enqueue timestamp the latency
+/// histogram is fed from. Owned by exactly one stage at a time (intake
+/// queue, parked deque, or the worker executing it), which is what makes
+/// "no request lost or double-served" a structural property.
+struct PendingRequest {
+  explicit PendingRequest(Request r) : request(std::move(r)) {}
+
+  Request request;
+  std::promise<Response> promise;
+  std::uint64_t id = 0;
+  Clock::time_point submit_time;
+};
+
+const char* admission_name(Admission admission) noexcept {
+  switch (admission) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kDeferred: return "deferred";
+    case Admission::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+Service::Service(const ServiceOptions& options)
+    : options_(options),
+      // Epoch participants: every client slot, every worker, plus one
+      // control slot drain() pushes re-admitted requests through.
+      queue_(static_cast<std::size_t>(std::max(1, options.max_clients)) +
+                 static_cast<std::size_t>(std::max(1, options.workers)) + 1,
+             options.segment_capacity, options.queue_capacity) {
+  options_.workers = std::max(1, options_.workers);
+  options_.max_clients = std::max(1, options_.max_clients);
+  options_.batch_size = std::max(1, options_.batch_size);
+  if (options_.watermark_high > 0 && options_.watermark_low == 0) {
+    options_.watermark_low = options_.watermark_high / 2;
+  }
+  worker_metrics_.resize(static_cast<std::size_t>(options_.workers));
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+Service::~Service() { drain(); }
+
+Service::Ticket Service::submit(Request request, int client_slot) {
+  assert(client_slot >= 0 && client_slot < options_.max_clients);
+  auto* pending = new PendingRequest(std::move(request));
+  pending->submit_time = Clock::now();
+
+  Ticket ticket;
+  ticket.response = pending->promise.get_future();
+
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    pending->id = next_id_++;
+    ticket.id = pending->id;
+    ++acct_.submitted;
+    TenantCounters& tenant = tenant_counts_[pending->request.tenant];
+    ++tenant.submitted;
+    if (draining_) {
+      ticket.admission = Admission::kRejected;
+    } else if (options_.watermark_high > 0) {
+      if (!shedding_ && backlog_ >= options_.watermark_high) {
+        shedding_ = true;
+        ++acct_.shed_mode_changes;
+      }
+      ticket.admission =
+          !shedding_ ? Admission::kAccepted
+          : options_.shed_policy == online::ShedPolicy::kReject
+              ? Admission::kRejected
+              : Admission::kDeferred;
+    }
+    switch (ticket.admission) {
+      case Admission::kRejected:
+        ++acct_.rejected;
+        ++tenant.rejected;
+        break;
+      case Admission::kDeferred:
+        ++acct_.accepted;
+        ++acct_.in_flight;
+        ++acct_.deferred;
+        ++tenant.accepted;
+        ++tenant.deferred;
+        parked_.push_back(pending);
+        break;
+      case Admission::kAccepted:
+        ++acct_.accepted;
+        ++acct_.in_flight;
+        ++tenant.accepted;
+        ++backlog_;
+        break;
+    }
+  }
+
+  if (ticket.admission == Admission::kRejected) {
+    reject_request(pending);
+    return ticket;
+  }
+  if (ticket.admission == Admission::kAccepted) {
+    if (!queue_.try_push(static_cast<std::size_t>(client_slot), pending)) {
+      // Hard custody cap hit: convert the acceptance into a counted
+      // rejection — still answered, still balanced.
+      {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        --acct_.accepted;
+        --acct_.in_flight;
+        ++acct_.rejected;
+        TenantCounters& tenant = tenant_counts_[pending->request.tenant];
+        --tenant.accepted;
+        ++tenant.rejected;
+        --backlog_;
+      }
+      ticket.admission = Admission::kRejected;
+      reject_request(pending);
+    }
+  }
+  return ticket;
+}
+
+void Service::reject_request(PendingRequest* pending) {
+  Response response;
+  response.id = pending->id;
+  response.tenant = pending->request.tenant;
+  response.status = ResponseStatus::kRejected;
+  response.latency_seconds =
+      std::chrono::duration<double>(Clock::now() - pending->submit_time)
+          .count();
+  pending->promise.set_value(std::move(response));
+  delete pending;
+}
+
+void Service::finish_request(PendingRequest* pending, int worker_index) {
+  Response response = execute_request(pending->request);
+  response.id = pending->id;
+  response.served_by = worker_index;
+  response.latency_seconds =
+      std::chrono::duration<double>(Clock::now() - pending->submit_time)
+          .count();
+
+  WorkerMetrics& wm = worker_metrics_[static_cast<std::size_t>(worker_index)];
+  obs::MetricsRegistry& tm = wm.tenants[pending->request.tenant];
+  tm.counter("serve_requests_completed") += 1.0;
+  tm.counter("serve_tasks_scheduled") +=
+      static_cast<double>(pending->request.graph.size());
+  tm.histogram("serve_latency_seconds").record(response.latency_seconds);
+
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    ++acct_.completed;
+    --acct_.in_flight;
+    ++tenant_counts_[pending->request.tenant].completed;
+  }
+  pending->promise.set_value(std::move(response));
+  delete pending;
+}
+
+void Service::update_shedding_locked(std::size_t epoch_slot) {
+  if (options_.watermark_high > 0) {
+    if (!shedding_ && backlog_ >= options_.watermark_high) {
+      shedding_ = true;
+      ++acct_.shed_mode_changes;
+    }
+    if (shedding_ && backlog_ <= options_.watermark_low) {
+      shedding_ = false;
+      ++acct_.shed_mode_changes;
+    }
+  }
+  // Re-admit parked requests while below the high watermark (drain
+  // force-admits regardless — graceful shutdown completes what it holds).
+  while (!parked_.empty() &&
+         (draining_ || (!shedding_ && (options_.watermark_high == 0 ||
+                                       backlog_ < options_.watermark_high)))) {
+    PendingRequest* pending = parked_.front();
+    if (!queue_.try_push(epoch_slot, pending)) break;  // hard cap; retry later
+    parked_.pop_front();
+    ++backlog_;
+    if (options_.watermark_high > 0 && !draining_ &&
+        backlog_ >= options_.watermark_high) {
+      shedding_ = true;
+      ++acct_.shed_mode_changes;
+      break;
+    }
+  }
+}
+
+void Service::worker_main(int worker_index) {
+  const std::size_t epoch_slot =
+      static_cast<std::size_t>(options_.max_clients + worker_index);
+  WorkerMetrics& wm = worker_metrics_[static_cast<std::size_t>(worker_index)];
+  double& batches = wm.own.counter("serve_batches");
+  obs::Histogram& batch_sizes = wm.own.histogram("serve_batch_size");
+
+  std::vector<PendingRequest*> batch;
+  batch.reserve(static_cast<std::size_t>(options_.batch_size));
+  int idle = 0;
+  for (;;) {
+    batch.clear();
+    PendingRequest* pending = nullptr;
+    while (batch.size() < static_cast<std::size_t>(options_.batch_size) &&
+           queue_.try_pop(epoch_slot, &pending)) {
+      batch.push_back(pending);
+    }
+    if (!batch.empty()) {
+      idle = 0;
+      batches += 1.0;
+      batch_sizes.record(static_cast<double>(batch.size()));
+      {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        backlog_ -= batch.size();
+        update_shedding_locked(epoch_slot);
+      }
+      for (PendingRequest* p : batch) finish_request(p, worker_index);
+      continue;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      update_shedding_locked(epoch_slot);
+      if (draining_ && backlog_ == 0 && parked_.empty()) return;
+    }
+    // Empty (or a spurious pop failure while a producer is mid-flight):
+    // yield briefly, then back off so idle workers stay cheap.
+    if (++idle <= kIdleYields) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(kIdleSleep);
+    }
+  }
+}
+
+void Service::drain() {
+  // Serializes concurrent drain() callers (the flush loop and the joins
+  // must run exactly once); state_mutex_ stays the inner lock.
+  const std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  const std::size_t control_slot =
+      static_cast<std::size_t>(options_.max_clients + options_.workers);
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (draining_ && workers_.empty()) return;  // already drained
+    draining_ = true;
+  }
+  // Force-admit everything parked; workers (and this push loop) finish the
+  // rest. A push can only fail against a hard custody cap — wait for the
+  // workers to free capacity.
+  for (;;) {
+    PendingRequest* pending = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      if (parked_.empty()) break;
+      pending = parked_.front();
+      parked_.pop_front();
+      ++backlog_;
+    }
+    while (!queue_.try_push(control_slot, pending)) {
+      std::this_thread::sleep_for(kIdleSleep);
+    }
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  assert(accounting().balanced());
+  assert(accounting().in_flight == 0);
+}
+
+bool Service::draining() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return draining_;
+}
+
+Service::Accounting Service::accounting() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return acct_;
+}
+
+std::vector<int> Service::tenants() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  std::vector<int> out;
+  out.reserve(tenant_counts_.size());
+  for (const auto& [tenant, counts] : tenant_counts_) out.push_back(tenant);
+  return out;
+}
+
+obs::MetricsRegistry Service::tenant_metrics(int tenant) const {
+  obs::MetricsRegistry merged;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const auto it = tenant_counts_.find(tenant);
+    if (it != tenant_counts_.end()) {
+      merged.counter("serve_requests_submitted") =
+          static_cast<double>(it->second.submitted);
+      merged.counter("serve_requests_accepted") =
+          static_cast<double>(it->second.accepted);
+      merged.counter("serve_requests_rejected") =
+          static_cast<double>(it->second.rejected);
+      merged.counter("serve_requests_deferred") =
+          static_cast<double>(it->second.deferred);
+    }
+  }
+  // Worker registries are single-writer and lock-free; exact only while
+  // the workers are idle (see the header contract).
+  for (const WorkerMetrics& wm : worker_metrics_) {
+    const auto it = wm.tenants.find(tenant);
+    if (it != wm.tenants.end()) merged.merge(it->second);
+  }
+  return merged;
+}
+
+std::size_t Service::queue_segments_allocated() const noexcept {
+  return queue_.segments_allocated();
+}
+
+std::size_t Service::queue_segments_recycled() const noexcept {
+  return queue_.segments_recycled();
+}
+
+}  // namespace hp::serve

@@ -120,6 +120,41 @@ TEST(FuzzGenerator, ParThreadsDrawStaysInRangeAndIsStrictlyLast) {
   }
 }
 
+TEST(FuzzGenerator, ServeWorkersDrawStaysInRangeAndIsStrictlyLast) {
+  // Enabled (the default): serve_workers lands in [2, knobs.serve_workers].
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    const FuzzCase c = generate_case(13, i);
+    EXPECT_GE(c.serve_workers, 2) << c.name;
+    EXPECT_LE(c.serve_workers, GenKnobs{}.serve_workers) << c.name;
+  }
+  // Byte-identity regression: the serve draw comes strictly last — after
+  // even the par draw — so disabling it must leave every other field
+  // untouched, par_threads included; historical (seed, index) coordinates
+  // keep naming the same problems.
+  GenKnobs disabled;
+  disabled.serve_workers = 0;
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    const FuzzCase with = generate_case(13, i);
+    const FuzzCase without = generate_case(13, i, disabled);
+    EXPECT_EQ(without.serve_workers, 0) << with.name;
+    EXPECT_EQ(with.par_threads, without.par_threads) << with.name;
+    EXPECT_EQ(with.name, without.name);
+    EXPECT_EQ(with.platform.cpus(), without.platform.cpus());
+    EXPECT_EQ(with.platform.gpus(), without.platform.gpus());
+    ASSERT_EQ(with.graph.size(), without.graph.size());
+    ASSERT_EQ(with.graph.num_edges(), without.graph.num_edges());
+    for (std::size_t t = 0; t < with.graph.size(); ++t) {
+      const Task& ta = with.graph.tasks()[t];
+      const Task& tb = without.graph.tasks()[t];
+      EXPECT_EQ(ta.cpu_time, tb.cpu_time);
+      EXPECT_EQ(ta.gpu_time, tb.gpu_time);
+      EXPECT_EQ(ta.priority, tb.priority);
+    }
+    EXPECT_EQ(with.faults, without.faults);
+    EXPECT_EQ(with.arrivals.empty(), without.arrivals.empty());
+  }
+}
+
 TEST(FuzzGenerator, FaultPlansAreScaledToTheRun) {
   // Crash instants of generated plans must land within a few horizons of
   // the fault-free makespan, or they would never fire.

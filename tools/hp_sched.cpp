@@ -52,12 +52,16 @@
 #include "obs/watchdog.hpp"
 #include "online/arrival.hpp"
 #include "online/runtime.hpp"
+#include "model/generators.hpp"
+#include "serve/driver.hpp"
+#include "util/rng.hpp"
 #include "perf/json_scan.hpp"
 #include "perf/perf_baseline.hpp"
 #include "perf/perf_compare.hpp"
 #include "perf/perf_dag.hpp"
 #include "perf/perf_obs.hpp"
 #include "perf/perf_online.hpp"
+#include "perf/perf_serve.hpp"
 #include "sched/critical_path.hpp"
 #include "sched/export.hpp"
 #include "sched/gantt.hpp"
@@ -117,6 +121,11 @@ int usage() {
       "           [--crashes K] [--stragglers K] [--task-fail P] [--slow X]\n"
       "           [--retries K] [--backoff B] [--seed S] [--horizon H]\n"
       "           [--plan FILE.hpf] [--trace FILE.json] [--csv FILE.csv]\n"
+      "  hp_sched serve    [--in FILE | --seed S [--tasks N]] --cpus M --gpus N\n"
+      "           [--clients C] [--requests R] [--workers W] [--batch B]\n"
+      "           [--watermark K] [--watermark-low K] [--shed defer|reject]\n"
+      "           [--backend hp|hp-nospol|heft|dualhp|mixed] [--rank avg|min|fifo]\n"
+      "           [--no-verify]\n"
       "  hp_sched perf     --out FILE [--dag-out FILE] [--quick] [--reps K]\n"
       "           [--threads N]\n"
       "  hp_sched perf-check --in FILE [--quick] [--against OLD]\n"
@@ -1012,6 +1021,11 @@ int cmd_perf_check(const Args& args) {
     // that left healthy mode, a batch-equivalent arm with stretch 1);
     // throughput regressions go through `--against` like every baseline.
     ok = perf::validate_perf_online_json(*text, &error);
+  } else if (schema.rfind("hp-bench-serve/", 0) == 0) {
+    // Structural invariants only (zero_drop everywhere, ordered latency
+    // quantiles, a saturating arm that actually rejected work); throughput
+    // regressions go through `--against` like every baseline.
+    ok = perf::validate_perf_serve_json(*text, &error);
   } else if (schema.rfind("hp-bench-obs/", 0) == 0) {
     // Validate the document, then enforce the overhead budget it records
     // (or `--budget X`). `--quick` skips the budget: the smoke file comes
@@ -1054,6 +1068,151 @@ int cmd_perf_check(const Args& args) {
     }
   }
   std::cout << args.get("in") << ": ok\n";
+  return 0;
+}
+
+/// In-process service driver: C client threads submit R scheduling
+/// requests each through the multi-tenant service (src/serve/), then the
+/// driver cross-checks request/response pairing, the zero-silent-drop
+/// accounting identity, and — unless --no-verify — the bitwise
+/// differential of every completed response against the direct engine
+/// call. Workloads come from --in FILE (every request schedules that file)
+/// or a --seed generator (one uniform instance per (client, request) cell).
+int cmd_serve(const Args& args) {
+  const Platform platform(args.get_int("cpus", 4), args.get_int("gpus", 2));
+  if (platform.workers() == 0) {
+    std::cerr << "platform has no workers (cpus+gpus=0)\n";
+    return 2;
+  }
+
+  serve::DriverOptions driver;
+  driver.clients = args.get_int("clients", 4);
+  driver.requests_per_client = args.get_int("requests", 32);
+  driver.verify = args.options.count("no-verify") == 0;
+  driver.service.workers = args.get_int("workers", 2);
+  driver.service.batch_size =
+      args.get_int("batch", driver.service.batch_size);
+  driver.service.watermark_high =
+      static_cast<std::size_t>(args.get_int("watermark", 0));
+  driver.service.watermark_low =
+      static_cast<std::size_t>(args.get_int("watermark-low", 0));
+  if (const std::string shed = args.get("shed", "defer"); shed == "reject") {
+    driver.service.shed_policy = online::ShedPolicy::kReject;
+  } else if (shed != "defer") {
+    std::cerr << "unknown shed policy '" << shed << "'\n";
+    return 2;
+  }
+
+  const std::string backend_arg = args.get("backend", "mixed");
+  serve::Backend fixed_backend{};
+  const bool mixed = backend_arg == "mixed";
+  if (!mixed && !serve::backend_from_name(backend_arg, &fixed_backend)) {
+    std::cerr << "unknown backend '" << backend_arg << "'\n";
+    return 2;
+  }
+  const auto pick_backend = [&](int index) {
+    if (!mixed) return fixed_backend;
+    switch (index % 3) {
+      case 0: return serve::Backend::kHp;
+      case 1: return serve::Backend::kHeft;
+      default: return serve::Backend::kDualHp;
+    }
+  };
+  const RankScheme rank = parse_rank(args.get("rank", "min"));
+
+  // Fixed-file workload: every request schedules the file's graph (DAG
+  // priorities re-assigned under --rank, matching `hp_sched schedule`).
+  TaskGraph base;
+  const std::string in = args.get("in");
+  if (!in.empty()) {
+    const auto text = io::load_text_file(in);
+    if (!text.has_value()) {
+      std::cerr << "cannot read " << in << '\n';
+      return 1;
+    }
+    std::string error;
+    if (text->find("\nedge ") != std::string::npos) {
+      auto graph = io::graph_from_text(*text, &error);
+      if (!graph.has_value()) {
+        std::cerr << error << '\n';
+        return 1;
+      }
+      assign_priorities(*graph, rank);
+      base = std::move(*graph);
+    } else {
+      const auto inst = io::instance_from_text(*text, &error);
+      if (!inst.has_value()) {
+        std::cerr << error << '\n';
+        return 1;
+      }
+      TaskGraph graph(inst->name());
+      for (const Task& t : inst->tasks()) graph.add_task(t);
+      graph.finalize();
+      base = std::move(graph);
+    }
+  }
+  const std::uint64_t seed = std::stoull(args.get("seed", "1"));
+  const std::size_t gen_tasks =
+      static_cast<std::size_t>(std::max(1, args.get_int("tasks", 64)));
+
+  const serve::DriverReport report = serve::run_driver(
+      [&](int client, int index) {
+        serve::Request request;
+        request.tenant = client;
+        request.backend = pick_backend(index);
+        request.platform = platform;
+        request.rank = rank;
+        if (!in.empty()) {
+          request.graph = base;
+        } else {
+          util::Rng rng(util::seed_from_cell(
+              {seed, static_cast<std::uint64_t>(client),
+               static_cast<std::uint64_t>(index)}));
+          UniformGenParams params;
+          params.num_tasks = gen_tasks;
+          const Instance inst = uniform_instance(params, rng);
+          TaskGraph graph("serve-" + std::to_string(client) + "-" +
+                          std::to_string(index));
+          for (const Task& t : inst.tasks()) {
+            Task task = t;
+            task.priority = rng.uniform(0.0, 16.0);
+            graph.add_task(task);
+          }
+          graph.finalize();
+          request.graph = std::move(graph);
+        }
+        return request;
+      },
+      driver);
+
+  util::Table table({"tenant", "submitted", "completed", "rejected",
+                     "deferred", "p50 ms", "p99 ms"},
+                    3);
+  for (const serve::DriverTenantReport& t : report.tenants) {
+    table.row().cell(t.tenant).cell(t.submitted).cell(t.completed)
+        .cell(t.rejected).cell(t.deferred)
+        .cell(t.p50_latency_seconds * 1e3).cell(t.p99_latency_seconds * 1e3);
+  }
+  std::cout << "== Service run: " << driver.clients << " clients x "
+            << driver.requests_per_client << " requests over "
+            << driver.service.workers << " workers ==\n";
+  table.print(std::cout);
+  const serve::Service::Accounting& acct = report.accounting;
+  std::cout << "accounting: submitted " << acct.submitted << " = accepted "
+            << acct.accepted << " + rejected " << acct.rejected
+            << " (deferred " << acct.deferred << ", shed-mode changes "
+            << acct.shed_mode_changes << ")\n"
+            << "throughput: " << report.requests_per_sec << " req/s, p50 "
+            << report.p50_latency_seconds * 1e3 << " ms, p99 "
+            << report.p99_latency_seconds * 1e3 << " ms over "
+            << report.wall_seconds << " s\n";
+  if (!report.ok()) {
+    std::cerr << "serve: FAILED: " << report.first_error << '\n';
+    return 1;
+  }
+  std::cout << "serve: ok (" << report.responses
+            << " responses paired, accounting balanced"
+            << (driver.verify ? ", bitwise differential held" : "") << ")\n";
   return 0;
 }
 
@@ -1202,6 +1361,7 @@ int main(int argc, char** argv) {
   if (command == "report") return cmd_report(args);
   if (command == "faults") return cmd_faults(args);
   if (command == "online") return cmd_online(args);
+  if (command == "serve") return cmd_serve(args);
   if (command == "perf") return cmd_perf(args);
   if (command == "perf-check") return cmd_perf_check(args);
   if (command == "fuzz") return cmd_fuzz(args);
